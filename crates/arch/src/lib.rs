@@ -1,0 +1,51 @@
+//! # yoso-arch
+//!
+//! The joint DNN + accelerator search space of the YOSO co-design
+//! framework (DATE 2020):
+//!
+//! * [`Op`] — the six candidate cell operations;
+//! * [`Genotype`] / [`CellGenotype`] — NASNet-style normal + reduction
+//!   cells with `B = 7` nodes (Eq. 5 of the paper);
+//! * [`HwConfig`] — systolic-array configuration (PE array, global buffer,
+//!   register buffer, dataflow — Table 1);
+//! * [`ActionSpace`] — the 44-symbol action-sequence codec used by the RL
+//!   controller (`S = 40`, `L = 4`, §III-C);
+//! * [`NetworkSkeleton`] / [`NetworkPlan`] — compilation of a genotype
+//!   into the concrete [`LayerSpec`] workload shared by the trainer
+//!   (`yoso-nn`) and the simulator (`yoso-accel`).
+//!
+//! ## Example
+//!
+//! ```
+//! use yoso_arch::{ActionSpace, DesignPoint, NetworkSkeleton};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let point = DesignPoint::random(&mut rng);
+//! let space = ActionSpace::new();
+//! let actions = space.encode(&point);
+//! assert_eq!(actions.len(), 44);
+//! assert_eq!(space.decode(&actions).unwrap(), point);
+//!
+//! let plan = NetworkSkeleton::paper_default().compile(&point.genotype);
+//! assert!(plan.stats.total_macs > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod genotype;
+pub mod hw;
+pub mod layer;
+pub mod op;
+pub mod skeleton;
+pub mod space;
+
+pub use codec::{ActionSpace, DecodeActionError, DNN_LEN, HW_LEN, SEQUENCE_LEN};
+pub use genotype::{CellGenotype, Genotype, NodeGene, DNN_PARAMS, INTERNAL_NODES, NODES_PER_CELL};
+pub use hw::{Dataflow, HwConfig, PeArray, GBUF_MENU_KB, PE_MENU, RBUF_MENU_B};
+pub use layer::{LayerKind, LayerSpec, NetworkStats, PoolKind};
+pub use op::Op;
+pub use skeleton::{CellPlan, NetworkPlan, NetworkSkeleton};
+pub use space::{cardinality, DesignPoint, SpaceCardinality};

@@ -1,0 +1,102 @@
+//! Property tests of the search-space machinery across skeleton shapes.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yoso_arch::{Genotype, LayerKind, NetworkSkeleton, NetworkStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any (cells, reductions, channels, resolution) skeleton that leaves
+    /// at least 1x1 resolution compiles any genotype consistently.
+    #[test]
+    fn arbitrary_skeletons_compile(
+        seed in 0u64..1000,
+        num_cells in 1usize..8,
+        reductions in 0usize..3,
+        init_channels in 4usize..17,
+        input_hw in 8usize..17,
+    ) {
+        let reductions = reductions.min(num_cells);
+        // Resolution must stay integral across every reduction.
+        prop_assume!(input_hw % (1 << reductions) == 0);
+        prop_assume!(input_hw >> reductions >= 1);
+        let sk = NetworkSkeleton {
+            input_hw,
+            input_channels: 3,
+            num_classes: 10,
+            init_channels,
+            num_cells,
+            reduction_positions: NetworkSkeleton::evenly_spaced(num_cells, reductions),
+        };
+        let g = Genotype::random(&mut StdRng::seed_from_u64(seed));
+        let plan = sk.compile(&g);
+        prop_assert_eq!(plan.cells.len(), num_cells);
+        // Channel schedule: doubled once per reduction position < cells.
+        let n_red = plan.cells.iter().filter(|c| c.is_reduction).count();
+        prop_assert_eq!(
+            plan.cells.last().unwrap().c,
+            init_channels << n_red
+        );
+        // Stats recomputed from scratch agree.
+        let stats = NetworkStats::from_layers(&plan.layers);
+        prop_assert_eq!(stats, plan.stats);
+    }
+
+    /// Doubling init channels multiplies dense-conv MACs by ~4 (both cin
+    /// and cout double) — sanity of the workload model scaling.
+    #[test]
+    fn macs_scale_quadratically_with_width(seed in 0u64..500) {
+        let g = Genotype::random(&mut StdRng::seed_from_u64(seed));
+        let mut sk1 = NetworkSkeleton::tiny();
+        sk1.init_channels = 8;
+        let mut sk2 = sk1.clone();
+        sk2.init_channels = 16;
+        let p1 = sk1.compile(&g);
+        let p2 = sk2.compile(&g);
+        let r = p2.stats.conv_macs as f64 / p1.stats.conv_macs.max(1) as f64;
+        // Stem (3->C) scales linearly, everything else quadratically.
+        prop_assert!(r > 2.5 && r < 4.5, "ratio {}", r);
+    }
+
+    /// The compiled layer list contains exactly one stem, one classifier,
+    /// one global pool, and 2 preprocessing convs per cell.
+    #[test]
+    fn layer_census(seed in 0u64..500) {
+        let g = Genotype::random(&mut StdRng::seed_from_u64(seed));
+        let sk = NetworkSkeleton::paper_default();
+        let plan = sk.compile(&g);
+        let count = |pred: &dyn Fn(&str) -> bool| {
+            plan.layers.iter().filter(|l| pred(&l.name)).count()
+        };
+        prop_assert_eq!(count(&|n| n == "stem"), 1);
+        prop_assert_eq!(count(&|n| n == "classifier"), 1);
+        prop_assert_eq!(count(&|n| n == "gap"), 1);
+        prop_assert_eq!(count(&|n| n.contains(".prep")), 2 * sk.num_cells);
+        // Each internal node contributes exactly two op slots.
+        let op_slots = count(&|n| n.contains(".op"));
+        // dwconv ops emit two layers (.dw + .pw); everything else one.
+        let dw_layers = plan
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::DwConv { .. }))
+            .count();
+        prop_assert_eq!(op_slots, sk.num_cells * 5 * 2 + dw_layers);
+    }
+
+    /// Pool layers never carry weights; conv layers always do.
+    #[test]
+    fn weight_accounting(seed in 0u64..500) {
+        let g = Genotype::random(&mut StdRng::seed_from_u64(seed));
+        let plan = NetworkSkeleton::tiny().compile(&g);
+        for l in &plan.layers {
+            match l.kind {
+                LayerKind::Pool { .. } | LayerKind::GlobalPool { .. } => {
+                    prop_assert_eq!(l.weights(), 0)
+                }
+                _ => prop_assert!(l.weights() > 0, "{} has no weights", l.name),
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! RL controller throughput: rollout sampling and REINFORCE updates over
+//! the 44-step YOSO action space (LSTM-120, as in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use yoso_arch::ActionSpace;
+use yoso_controller::{Controller, ControllerConfig, Rollout};
+
+fn bench_controller(c: &mut Criterion) {
+    let space = ActionSpace::new();
+    let cfg = ControllerConfig::paper_default(space.vocab_sizes().to_vec());
+    let controller = Controller::new(cfg.clone());
+    let mut rng = StdRng::seed_from_u64(0);
+
+    c.bench_function("controller_sample", |b| {
+        b.iter(|| black_box(controller.sample(&mut rng).actions[0]))
+    });
+
+    c.bench_function("controller_update_batch8", |b| {
+        let mut ctrl = Controller::new(cfg.clone());
+        b.iter(|| {
+            let batch: Vec<(Rollout, f64)> = (0..8)
+                .map(|i| {
+                    let r = ctrl.sample(&mut rng);
+                    let reward = (i as f64) / 8.0;
+                    (r, reward)
+                })
+                .collect();
+            black_box(ctrl.update(&batch).mean_reward)
+        })
+    });
+
+    c.bench_function("decode_actions", |b| {
+        let rollout = controller.sample(&mut rng);
+        b.iter(|| black_box(space.decode(&rollout.actions).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_controller
+}
+criterion_main!(benches);

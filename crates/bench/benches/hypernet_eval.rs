@@ -1,0 +1,59 @@
+//! The HyperNet's one-shot evaluation claim: accuracy of a candidate at
+//! the cost of a single validation pass with inherited weights, vs the
+//! cost of standalone training (even a single epoch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use yoso_arch::{Genotype, NetworkSkeleton};
+use yoso_dataset::{SynthCifar, SynthCifarConfig};
+use yoso_hypernet::{HyperNet, HyperTrainConfig};
+use yoso_nn::{CellNetwork, TrainConfig};
+
+fn bench_hypernet(c: &mut Criterion) {
+    let skeleton = NetworkSkeleton::tiny();
+    let data = SynthCifar::generate(&SynthCifarConfig::tiny());
+    let mut hyper = HyperNet::new(skeleton.clone(), 0);
+    let cfg = HyperTrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        augment: false,
+        ..Default::default()
+    };
+    hyper.train(&data, &cfg);
+    let mut rng = StdRng::seed_from_u64(1);
+    let genotypes: Vec<Genotype> = (0..8).map(|_| Genotype::random(&mut rng)).collect();
+
+    c.bench_function("hypernet_inherited_eval", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let g = &genotypes[i % 8];
+            i += 1;
+            black_box(hyper.evaluate_genotype(g, &data.val, 64))
+        })
+    });
+
+    c.bench_function("standalone_one_epoch_train", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let g = &genotypes[i % 8];
+            i += 1;
+            let mut net = CellNetwork::new(skeleton.compile(g), 0);
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                augment: false,
+                ..Default::default()
+            };
+            black_box(net.train(&data, &cfg).final_val_acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hypernet
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! §III-E speedup claim: Gaussian-process prediction vs exact simulation.
+//!
+//! The paper reports ~2000x speedup over its Python `nn_dataflow`
+//! simulator at <4% error. Our Rust analytical simulator is itself fast,
+//! so the measured ratio is smaller — EXPERIMENTS.md records both numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use yoso_accel::Simulator;
+use yoso_arch::{DesignPoint, NetworkSkeleton};
+use yoso_predictor::perf::{collect_samples, PerfPredictor};
+
+fn bench_predictor_speedup(c: &mut Criterion) {
+    let skeleton = NetworkSkeleton::paper_default();
+    let exact = Simulator::exact();
+    let fast = Simulator::fast();
+    let train = collect_samples(&skeleton, &exact, 600, 0);
+    let predictor = PerfPredictor::train(&skeleton, &train).expect("fit");
+    let mut rng = StdRng::seed_from_u64(1);
+    let points: Vec<DesignPoint> = (0..32).map(|_| DesignPoint::random(&mut rng)).collect();
+    let plans: Vec<_> = points.iter().map(|p| skeleton.compile(&p.genotype)).collect();
+
+    let mut group = c.benchmark_group("perf_oracle");
+    group.bench_function("exact_simulation", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let r = exact.simulate_plan(&plans[i % 32], &points[i % 32].hw);
+            i += 1;
+            black_box(r.energy_mj)
+        })
+    });
+    group.bench_function("fast_simulation", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let r = fast.simulate_plan(&plans[i % 32], &points[i % 32].hw);
+            i += 1;
+            black_box(r.energy_mj)
+        })
+    });
+    group.bench_function("gp_prediction", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let r = predictor.predict(&points[i % 32]);
+            i += 1;
+            black_box(r.1)
+        })
+    });
+    group.bench_function("gp_prediction_incl_compile", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            // End-to-end cost as seen by the search loop: compile + predict.
+            let p = &points[i % 32];
+            let _plan = skeleton.compile(&p.genotype);
+            let r = predictor.predict(p);
+            i += 1;
+            black_box(r.0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_predictor_speedup
+}
+criterion_main!(benches);

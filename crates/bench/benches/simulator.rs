@@ -1,0 +1,47 @@
+//! Simulator throughput per dataflow and fidelity: quantifies the cost of
+//! the exhaustive tiling search (Exact) vs the greedy heuristic (Fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use yoso_accel::Simulator;
+use yoso_arch::{Dataflow, Genotype, HwConfig, NetworkSkeleton, PeArray};
+
+fn bench_simulator(c: &mut Criterion) {
+    let skeleton = NetworkSkeleton::paper_default();
+    let mut rng = StdRng::seed_from_u64(0);
+    let plan = skeleton.compile(&Genotype::random(&mut rng));
+
+    let mut group = c.benchmark_group("simulate_network");
+    for df in Dataflow::ALL {
+        let hw = HwConfig {
+            pe: PeArray { rows: 16, cols: 16 },
+            gbuf_kb: 256,
+            rbuf_bytes: 256,
+            dataflow: df,
+        };
+        group.bench_with_input(BenchmarkId::new("exact", df.to_string()), &hw, |b, hw| {
+            let sim = Simulator::exact();
+            b.iter(|| black_box(sim.simulate_plan(&plan, hw).energy_mj))
+        });
+        group.bench_with_input(BenchmarkId::new("fast", df.to_string()), &hw, |b, hw| {
+            let sim = Simulator::fast();
+            b.iter(|| black_box(sim.simulate_plan(&plan, hw).energy_mj))
+        });
+    }
+    group.finish();
+
+    // Genotype compilation cost (plan building + shape inference).
+    c.bench_function("compile_genotype", |b| {
+        let g = Genotype::random(&mut rng);
+        b.iter(|| black_box(skeleton.compile(&g).stats.total_macs))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_simulator
+}
+criterion_main!(benches);

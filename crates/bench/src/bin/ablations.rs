@@ -1,0 +1,290 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. **Uniform vs biased HyperNet path sampling** (paper §III-D claims
+//!    uniform sampling is vital for ranking fidelity).
+//! 2. **Reward-form ambiguity** — weighted-product vs additive Eq. 2.
+//! 3. **GP training-set-size curve** — predictor error vs sample budget.
+//! 4. **RL vs random under equal budgets, multiple seeds.**
+//! 5. **Hardware parameter isolation** — the marginal effect of each of
+//!    the four searched parameters.
+//! 6. **Fixed vs flexible dataflow** — how much a per-layer-reconfigurable
+//!    array (an extension beyond the paper's template) would close the
+//!    dataflow gap.
+//!
+//! Usage: `cargo run --release -p yoso-bench --bin ablations --
+//!   [--which 1,2,3,4,5,6]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yoso_accel::Simulator;
+use yoso_arch::{Dataflow, Genotype, HwConfig, NetworkSkeleton, PeArray};
+use yoso_bench::{arg_value, Table};
+use yoso_core::evaluation::{calibrate_constraints, SurrogateEvaluator};
+use yoso_core::reward::{RewardConfig, RewardForm};
+use yoso_core::search::{evolution_search, random_search, rl_search, SearchConfig};
+use yoso_dataset::{SynthCifar, SynthCifarConfig};
+use yoso_hypernet::{HyperNet, HyperTrainConfig};
+use yoso_nn::{CellNetwork, TrainConfig};
+use yoso_predictor::metrics::{mape, spearman};
+use yoso_predictor::perf::{collect_samples, PerfPredictor};
+
+fn wants(which: &str, id: char) -> bool {
+    which.contains(id)
+}
+
+fn main() {
+    let which = arg_value("--which").unwrap_or_else(|| "123456".into());
+
+    if wants(&which, '1') {
+        ablation_sampling();
+    }
+    if wants(&which, '2') {
+        ablation_reward_form();
+    }
+    if wants(&which, '3') {
+        ablation_gp_budget();
+    }
+    if wants(&which, '4') {
+        ablation_rl_seeds();
+    }
+    if wants(&which, '5') {
+        ablation_hw_isolation();
+    }
+    if wants(&which, '6') {
+        ablation_flexible_dataflow();
+    }
+}
+
+/// 1. Uniform vs biased path sampling: which HyperNet ranks sub-models
+///    closer to their fully-trained order?
+fn ablation_sampling() {
+    println!("=== Ablation 1: uniform vs biased HyperNet sampling ===");
+    let skeleton = NetworkSkeleton::tiny();
+    // Hard-mode data so fully-trained accuracies spread (see the Fig. 5(b)
+    // notes in EXPERIMENTS.md: saturated tasks cannot be ranked).
+    let mut data_cfg = SynthCifarConfig::tiny();
+    data_cfg.noise = 0.42;
+    data_cfg.label_noise = 0.05;
+    let data = SynthCifar::generate(&data_cfg);
+    let probes: Vec<Genotype> = {
+        let mut rng = StdRng::seed_from_u64(99);
+        (0..10).map(|_| Genotype::random(&mut rng)).collect()
+    };
+    // Ground truth: standalone training of each probe.
+    let truth: Vec<f64> = probes
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let mut net = CellNetwork::new(skeleton.compile(g), i as u64);
+            let cfg = TrainConfig {
+                epochs: 8,
+                batch_size: 32,
+                seed: i as u64,
+                ..Default::default()
+            };
+            net.train(&data, &cfg).final_val_acc
+        })
+        .collect();
+    for (label, uniform) in [("uniform", true), ("biased(single-path)", false)] {
+        let mut hyper = HyperNet::new(skeleton.clone(), 0);
+        let cfg = HyperTrainConfig {
+            epochs: 400,
+            batch_size: 32,
+            uniform_sampling: uniform,
+            ..Default::default()
+        };
+        hyper.train(&data, &cfg);
+        let inherited: Vec<f64> = probes
+            .iter()
+            .map(|g| hyper.evaluate_genotype(g, &data.val, 64))
+            .collect();
+        println!(
+            "  {label:>20}: spearman(inherited, fully-trained) = {:.3}",
+            spearman(&inherited, &truth)
+        );
+    }
+    println!(
+        "  (the paper argues biased sampling confuses the ranking; NOTE: with\n   ~10 probes a Spearman estimate has a null std of ~0.33, so CPU-scale\n   runs of this ablation are statistically underpowered — raise the\n   probe count and supernet epochs for a conclusive comparison)\n"
+    );
+}
+
+/// 2. Eq. 2 reading: weighted product vs additive.
+fn ablation_reward_form() {
+    println!("=== Ablation 2: reward form (Eq. 2 ambiguity) ===");
+    let sk = NetworkSkeleton::paper_default();
+    let ev = SurrogateEvaluator::new(sk.clone());
+    let cons = calibrate_constraints(&sk, 200, 0, 40.0);
+    let cfg = SearchConfig {
+        iterations: 800,
+        rollouts_per_update: 10,
+        seed: 0,
+    };
+    let mut table = Table::new(&["form", "best_acc", "best_lat(ms)", "best_eer(mJ)"]);
+    for form in [RewardForm::WeightedProduct, RewardForm::Additive] {
+        let mut rc = RewardConfig::balanced(cons);
+        rc.form = form;
+        let out = rl_search(&ev, &rc, &cfg);
+        let b = out.best();
+        table.row(vec![
+            format!("{form:?}"),
+            format!("{:.3}", b.eval.accuracy),
+            format!("{:.4}", b.eval.latency_ms),
+            format!("{:.4}", b.eval.energy_mj),
+        ]);
+    }
+    println!("{table}");
+    println!("  (both forms steer toward the same region; the product form\n   couples accuracy and hardware terms more tightly)\n");
+}
+
+/// 3. GP predictor error vs training-sample budget.
+fn ablation_gp_budget() {
+    println!("=== Ablation 3: GP error vs training-set size ===");
+    let sk = NetworkSkeleton::paper_default();
+    let sim = Simulator::exact();
+    let test = collect_samples(&sk, &sim, 200, 999);
+    let mut table = Table::new(&["samples", "latency MAPE%", "energy MAPE%"]);
+    for n in [50usize, 100, 200, 400, 800] {
+        let train = collect_samples(&sk, &sim, n, 7);
+        let pred = PerfPredictor::train(&sk, &train).expect("fit");
+        let mut pl = Vec::new();
+        let mut pe = Vec::new();
+        let mut tl = Vec::new();
+        let mut te = Vec::new();
+        for s in &test {
+            let (l, e) = pred.predict(&s.point);
+            pl.push(l);
+            pe.push(e);
+            tl.push(s.latency_ms);
+            te.push(s.energy_mj);
+        }
+        table.row(vec![
+            n.to_string(),
+            format!("{:.2}", mape(&pl, &tl) * 100.0),
+            format!("{:.2}", mape(&pe, &te) * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("  (paper: <4% accuracy loss at 3000 samples)\n");
+}
+
+/// 4. RL vs regularized evolution vs random, multiple seeds.
+fn ablation_rl_seeds() {
+    println!("=== Ablation 4: RL vs evolution vs random across seeds ===");
+    let sk = NetworkSkeleton::paper_default();
+    let ev = SurrogateEvaluator::new(sk.clone());
+    let cons = calibrate_constraints(&sk, 200, 0, 40.0);
+    let rc = RewardConfig::balanced(cons);
+    let mut table = Table::new(&[
+        "seed",
+        "rl_best",
+        "evo_best",
+        "random_best",
+        "rl_tail",
+        "evo_tail",
+        "random_tail",
+    ]);
+    let mut rl_wins = 0;
+    for seed in 0..5u64 {
+        let cfg = SearchConfig {
+            iterations: 600,
+            rollouts_per_update: 10,
+            seed,
+        };
+        let rl = rl_search(&ev, &rc, &cfg);
+        let evo = evolution_search(&ev, &rc, &cfg, 50, 10);
+        let rnd = random_search(&ev, &rc, &cfg);
+        let tail = |o: &yoso_core::SearchOutcome| {
+            let k = o.history.len() / 4;
+            o.history[o.history.len() - k..].iter().map(|r| r.reward).sum::<f64>() / k as f64
+        };
+        if tail(&rl) > tail(&rnd) {
+            rl_wins += 1;
+        }
+        table.row(vec![
+            seed.to_string(),
+            format!("{:.4}", rl.best().reward),
+            format!("{:.4}", evo.best().reward),
+            format!("{:.4}", rnd.best().reward),
+            format!("{:.4}", tail(&rl)),
+            format!("{:.4}", tail(&evo)),
+            format!("{:.4}", tail(&rnd)),
+        ]);
+    }
+    println!("{table}");
+    println!("  RL tail-mean beats random in {rl_wins}/5 seeds\n");
+}
+
+/// 5. Marginal effect of each hardware parameter on a fixed network.
+fn ablation_hw_isolation() {
+    println!("=== Ablation 5: hardware parameter isolation ===");
+    // A wide, conv5-heavy star genotype maximizes weights and activations
+    // so that buffer capacities actually bind at CPU scale.
+    let mut sk = NetworkSkeleton::paper_default();
+    sk.init_channels = 24;
+    use yoso_arch::{CellGenotype, NodeGene, Op};
+    let star = CellGenotype {
+        nodes: [NodeGene { in1: 0, op1: Op::Conv5, in2: 1, op2: Op::Conv5 }; 5],
+    };
+    let plan = sk.compile(&Genotype { normal: star, reduction: star });
+    let sim = Simulator::exact();
+    let base = HwConfig {
+        pe: PeArray { rows: 16, cols: 16 },
+        gbuf_kb: 256,
+        rbuf_bytes: 256,
+        dataflow: Dataflow::Ws,
+    };
+    let mut table = Table::new(&["variant", "energy(mJ)", "latency(ms)", "dram(words)"]);
+    let mut push = |label: String, hw: HwConfig| {
+        let r = sim.simulate_plan(&plan, &hw);
+        table.row(vec![
+            label,
+            format!("{:.4}", r.energy_mj),
+            format!("{:.4}", r.latency_ms),
+            format!("{:.0}", r.dram_words),
+        ]);
+    };
+    push("base 16*16/256KB/256b/WS".into(), base);
+    push("PE -> 8*8".into(), HwConfig { pe: PeArray { rows: 8, cols: 8 }, ..base });
+    push("PE -> 16*32".into(), HwConfig { pe: PeArray { rows: 16, cols: 32 }, ..base });
+    push("gbuf -> 108KB".into(), HwConfig { gbuf_kb: 108, ..base });
+    push("gbuf -> 1024KB".into(), HwConfig { gbuf_kb: 1024, ..base });
+    push("rbuf -> 64b".into(), HwConfig { rbuf_bytes: 64, ..base });
+    push("rbuf -> 1024b".into(), HwConfig { rbuf_bytes: 1024, ..base });
+    for df in Dataflow::ALL {
+        push(format!("dataflow -> {df}"), HwConfig { dataflow: df, ..base });
+    }
+    println!("{table}");
+}
+
+/// 6. Fixed vs per-layer flexible dataflow (extension study).
+fn ablation_flexible_dataflow() {
+    println!("=== Ablation 6: fixed vs flexible dataflow ===");
+    let sk = NetworkSkeleton::paper_default();
+    let sim = Simulator::exact();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut table = Table::new(&["network", "best fixed (mJ)", "flexible (mJ)", "gain%"]);
+    for i in 0..4 {
+        let plan = sk.compile(&Genotype::random(&mut rng));
+        let base = HwConfig {
+            pe: PeArray { rows: 16, cols: 16 },
+            gbuf_kb: 256,
+            rbuf_bytes: 256,
+            dataflow: Dataflow::Ws,
+        };
+        let best_fixed = Dataflow::ALL
+            .iter()
+            .map(|&df| sim.simulate_plan(&plan, &HwConfig { dataflow: df, ..base }).energy_mj)
+            .fold(f64::INFINITY, f64::min);
+        let flex = sim.simulate_plan_flexible(&plan, &base).energy_mj;
+        table.row(vec![
+            format!("random#{i}"),
+            format!("{best_fixed:.4}"),
+            format!("{flex:.4}"),
+            format!("{:.1}", (1.0 - flex / best_fixed) * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "  (a gain of ~0% means one dataflow dominates every layer of that\n   network under this cost model — reconfigurability pays off only on\n   mixed conv/dwconv layer diets)\n"
+    );
+}

@@ -1,0 +1,193 @@
+//! **Figure 6**: the RL search strategy.
+//!
+//! * Part (a): RL vs random search on the composite reward
+//!   (`α1 0.5, ω1 −0.4, α2 0.5, ω2 −0.4`); every 10th sample reported.
+//! * Part (b): accuracy–energy trade-off trajectory (energy-leaning
+//!   constants) with Pareto front; every 20th sample.
+//! * Part (c): accuracy–latency trade-off (latency-leaning constants).
+//!
+//! By default candidates are scored by the deterministic surrogate
+//! evaluator (fast; same simulator-backed hardware metrics). Pass
+//! `--fast-evaluator` to use the trained HyperNet + GP fast evaluator as
+//! in the paper (slower).
+//!
+//! Usage: `cargo run --release -p yoso-bench --bin fig6_search --
+//!   [--part a|b|c|all] [--iterations 2000] [--seed 0] [--fast-evaluator]`
+
+use std::time::Instant;
+use yoso_arch::NetworkSkeleton;
+use yoso_bench::{arg_present, arg_u64, arg_usize, arg_value, write_csv};
+use yoso_core::evaluation::{calibrate_constraints, Evaluator, FastEvaluator, SurrogateEvaluator};
+use yoso_core::reward::RewardConfig;
+use yoso_core::search::{random_search, rl_search, SearchConfig, SearchOutcome};
+use yoso_dataset::{SynthCifar, SynthCifarConfig};
+use yoso_hypernet::HyperTrainConfig;
+
+fn build_evaluator(skeleton: &NetworkSkeleton, seed: u64) -> Box<dyn Evaluator> {
+    if arg_present("--fast-evaluator") {
+        println!("building fast evaluator (HyperNet + GP) ...");
+        let data = SynthCifar::generate(&SynthCifarConfig::small());
+        let cfg = HyperTrainConfig {
+            epochs: arg_usize("--hyper-epochs", 6),
+            batch_size: 32,
+            seed,
+            ..Default::default()
+        };
+        Box::new(FastEvaluator::build(skeleton, &data, &cfg, 400, seed))
+    } else {
+        Box::new(SurrogateEvaluator::new(skeleton.clone()))
+    }
+}
+
+fn tail_mean(outcome: &SearchOutcome, frac: usize) -> f64 {
+    let k = (outcome.history.len() / frac).max(1);
+    outcome.history[outcome.history.len() - k..]
+        .iter()
+        .map(|r| r.reward)
+        .sum::<f64>()
+        / k as f64
+}
+
+fn main() {
+    let part = arg_value("--part").unwrap_or_else(|| "all".into());
+    let seed = arg_u64("--seed", 0);
+    let iterations = arg_usize("--iterations", 2000);
+    let skeleton = if arg_present("--fast-evaluator") {
+        NetworkSkeleton::small()
+    } else {
+        NetworkSkeleton::paper_default()
+    };
+    let evaluator = build_evaluator(&skeleton, seed);
+    let constraints = calibrate_constraints(&skeleton, 300, seed, 40.0);
+    println!(
+        "constraints (40th pct of random designs): t_lat {:.4} ms, t_eer {:.4} mJ",
+        constraints.t_lat_ms, constraints.t_eer_mj
+    );
+    let search_cfg = SearchConfig {
+        iterations,
+        rollouts_per_update: 10,
+        seed,
+    };
+
+    if part == "a" || part == "all" {
+        println!("\n=== Fig. 6(a): RL vs random search ({iterations} iterations) ===");
+        let rc = RewardConfig::balanced(constraints);
+        let t0 = Instant::now();
+        let rl = rl_search(evaluator.as_ref(), &rc, &search_cfg);
+        let rnd = random_search(evaluator.as_ref(), &rc, &search_cfg);
+        println!("both searches done in {:.1?}", t0.elapsed());
+        // Every 10th sample, as in the paper.
+        let rows: Vec<Vec<String>> = rl
+            .history
+            .iter()
+            .zip(&rnd.history)
+            .step_by(10)
+            .map(|(a, b)| {
+                vec![
+                    a.iteration.to_string(),
+                    a.reward.to_string(),
+                    b.reward.to_string(),
+                ]
+            })
+            .collect();
+        let p = write_csv("fig6a_rl_vs_random.csv", &["iteration", "rl_reward", "random_reward"], &rows);
+        println!(
+            "tail-quarter mean reward: RL {:.4} vs random {:.4}  (best: RL {:.4} vs random {:.4})",
+            tail_mean(&rl, 4),
+            tail_mean(&rnd, 4),
+            rl.best().reward,
+            rnd.best().reward
+        );
+        println!("written {}", p.display());
+    }
+
+    for (tag, label, rc, proj) in [
+        (
+            "b",
+            "accuracy-energy",
+            RewardConfig::energy_focused(constraints),
+            true,
+        ),
+        (
+            "c",
+            "accuracy-latency",
+            RewardConfig::latency_focused(constraints),
+            false,
+        ),
+    ] {
+        if part != tag && part != "all" {
+            continue;
+        }
+        // MnasNet-style saturation: designs already inside the thresholds
+        // compete on accuracy, which is what draws the trajectory toward
+        // the high-accuracy end of the Pareto region (as in the paper's
+        // scatter plots).
+        let mut rc = rc;
+        rc.saturate_below_threshold = true;
+        println!("\n=== Fig. 6({tag}): trade-off between accuracy and {label} ===");
+        let out = rl_search(evaluator.as_ref(), &rc, &search_cfg);
+        // Every 20th sample, as in the paper.
+        let rows: Vec<Vec<String>> = out
+            .history
+            .iter()
+            .step_by(20)
+            .map(|r| {
+                vec![
+                    r.iteration.to_string(),
+                    r.eval.accuracy.to_string(),
+                    r.eval.energy_mj.to_string(),
+                    r.eval.latency_ms.to_string(),
+                    r.reward.to_string(),
+                ]
+            })
+            .collect();
+        let p = write_csv(
+            &format!("fig6{tag}_tradeoff.csv"),
+            &["iteration", "accuracy", "energy_mj", "latency_ms", "reward"],
+            &rows,
+        );
+        // Progress check: the mean cost metric of explored designs should
+        // drop while accuracy holds, i.e. the search drifts toward the
+        // Pareto region.
+        let metric = |r: &yoso_core::SearchRecord| {
+            if proj {
+                r.eval.energy_mj
+            } else {
+                r.eval.latency_ms
+            }
+        };
+        let k = out.history.len() / 4;
+        let head: Vec<&yoso_core::SearchRecord> = out.history[..k].iter().collect();
+        let tail: Vec<&yoso_core::SearchRecord> = out.history[out.history.len() - k..].iter().collect();
+        let mean = |v: &[&yoso_core::SearchRecord], f: &dyn Fn(&yoso_core::SearchRecord) -> f64| {
+            v.iter().map(|r| f(r)).sum::<f64>() / v.len() as f64
+        };
+        println!(
+            "first quarter: acc {:.3}, {} {:.4} | last quarter: acc {:.3}, {} {:.4}",
+            mean(&head, &|r| r.eval.accuracy),
+            label,
+            mean(&head, &metric),
+            mean(&tail, &|r| r.eval.accuracy),
+            label,
+            mean(&tail, &metric),
+        );
+        let front = out.pareto_by(|r| (metric(r), r.eval.accuracy));
+        println!("pareto front size: {} points", front.len());
+        let front_rows: Vec<Vec<String>> = front
+            .iter()
+            .map(|r| {
+                vec![
+                    r.eval.accuracy.to_string(),
+                    r.eval.energy_mj.to_string(),
+                    r.eval.latency_ms.to_string(),
+                ]
+            })
+            .collect();
+        write_csv(
+            &format!("fig6{tag}_pareto.csv"),
+            &["accuracy", "energy_mj", "latency_ms"],
+            &front_rows,
+        );
+        println!("written {}", p.display());
+    }
+}

@@ -1,0 +1,76 @@
+//! **Figure 7**: energy and latency of every Table 2 design, normalized to
+//! the respective column minimum (the paper normalizes "to the lowest
+//! energy and latency").
+//!
+//! Consumes `results/table2.csv` (run `table2_comparison` first).
+//!
+//! Usage: `cargo run --release -p yoso-bench --bin fig7_normalized`
+
+use yoso_bench::{read_csv, write_csv, Table};
+
+fn bar(v: f64, scale: f64) -> String {
+    let n = ((v / scale) * 24.0).round() as usize;
+    "#".repeat(n.clamp(1, 60))
+}
+
+fn main() {
+    let (_, rows) = match read_csv("table2.csv") {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!(
+                "results/table2.csv not found — run `cargo run --release -p yoso-bench --bin table2_comparison` first"
+            );
+            std::process::exit(1);
+        }
+    };
+    let parsed: Vec<(String, f64, f64)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].clone(),
+                r[3].parse::<f64>().expect("energy column"),
+                r[4].parse::<f64>().expect("latency column"),
+            )
+        })
+        .collect();
+    let e_min = parsed.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let l_min = parsed.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+    let max_norm = parsed
+        .iter()
+        .map(|r| (r.1 / e_min).max(r.2 / l_min))
+        .fold(0.0f64, f64::max);
+
+    println!("=== Fig. 7: energy & latency normalized to the column minimum ===\n");
+    let mut table = Table::new(&["model", "energy(x)", "latency(x)"]);
+    let mut csv = Vec::new();
+    for (name, e, l) in &parsed {
+        table.row(vec![
+            name.clone(),
+            format!("{:.2}", e / e_min),
+            format!("{:.2}", l / l_min),
+        ]);
+        csv.push(vec![
+            name.clone(),
+            (e / e_min).to_string(),
+            (l / l_min).to_string(),
+        ]);
+    }
+    println!("{table}");
+    for (name, e, l) in &parsed {
+        println!("{name:>12} energy  | {}", bar(e / e_min, max_norm));
+        println!("{:>12} latency | {}", "", bar(l / l_min, max_norm));
+    }
+    let p = write_csv("fig7_normalized.csv", &["model", "energy_norm", "latency_norm"], &csv);
+    println!("\nwritten {}", p.display());
+
+    // The winners should be YOSO designs, as in the paper's Fig. 7.
+    let best_e = parsed
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("rows");
+    let best_l = parsed
+        .iter()
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("rows");
+    println!("lowest energy: {} | lowest latency: {}", best_e.0, best_l.0);
+}

@@ -1,0 +1,208 @@
+//! **Table 2 / Fig. 7 data**: single-stage YOSO vs the two-stage method.
+//!
+//! Two-stage rows: six representative accuracy-first networks (stand-ins
+//! for NasNet-A, DARTS v1/v2, AmoebaNet-A, ENAS, PNAS — see DESIGN.md),
+//! each paired with the best accelerator configuration found by
+//! exhaustively enumerating the hardware space under the constraints.
+//!
+//! YOSO rows: the single-stage RL search in the joint space with the fast
+//! evaluator, followed by top-N accurate reranking — run twice, once with
+//! the latency-leaning reward (`Yoso_lat`) and once with the
+//! energy-leaning reward (`Yoso_eer`).
+//!
+//! Usage: `cargo run --release -p yoso-bench --bin table2_comparison --
+//!   [--iterations 600] [--topn 5] [--hyper-epochs 6] [--full-epochs 6]
+//!   [--seed 0]`
+
+use std::time::Instant;
+use yoso_accel::Simulator;
+use yoso_arch::{DesignPoint, Genotype, NetworkSkeleton};
+use yoso_bench::{arg_u64, arg_usize, write_csv, Table};
+use yoso_core::evaluation::{calibrate_constraints, FastEvaluator};
+use yoso_core::reward::RewardConfig;
+use yoso_core::search::{rl_search, SearchConfig};
+use yoso_core::twostage::{best_hw_for, reference_models, OptimizationTarget};
+use yoso_core::parallel_map;
+use yoso_dataset::{SynthCifar, SynthCifarConfig};
+use yoso_hypernet::HyperTrainConfig;
+use yoso_nn::{CellNetwork, TrainConfig};
+
+struct Row {
+    name: String,
+    search_cost: String,
+    test_error_pct: f64,
+    energy_mj: f64,
+    latency_ms: f64,
+    config: String,
+}
+
+fn train_full(
+    skeleton: &NetworkSkeleton,
+    data: &SynthCifar,
+    genotype: &Genotype,
+    epochs: usize,
+    seed: u64,
+) -> f64 {
+    let plan = skeleton.compile(genotype);
+    let mut net = CellNetwork::new(plan, seed);
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 32,
+        seed,
+        ..Default::default()
+    };
+    let hist = net.train(data, &cfg);
+    hist.final_test_acc
+}
+
+fn main() {
+    let iterations = arg_usize("--iterations", 600);
+    let top_n = arg_usize("--topn", 5);
+    let hyper_epochs = arg_usize("--hyper-epochs", 6);
+    let full_epochs = arg_usize("--full-epochs", 6);
+    let seed = arg_u64("--seed", 0);
+
+    let skeleton = NetworkSkeleton::small();
+    let data = SynthCifar::generate(&SynthCifarConfig::small());
+    let sim = Simulator::exact();
+    let constraints = calibrate_constraints(&skeleton, 400, seed, 40.0);
+    println!(
+        "constraints: t_lat {:.4} ms, t_eer {:.4} mJ (40th pct of random designs; paper used 1.2 ms / 9 mJ at CIFAR scale)",
+        constraints.t_lat_ms, constraints.t_eer_mj
+    );
+
+    // ---- two-stage baselines -------------------------------------------
+    println!("\n[two-stage] full-training the six reference networks ...");
+    let models = reference_models();
+    let t0 = Instant::now();
+    let accs: Vec<f64> = parallel_map(models.len(), models.len(), |i| {
+        train_full(&skeleton, &data, &models[i].genotype, full_epochs, seed + i as u64)
+    });
+    println!("  trained in {:.1?}", t0.elapsed());
+    let mut rows: Vec<Row> = Vec::new();
+    for (m, &acc) in models.iter().zip(&accs) {
+        // Stage 2: enumerate all hardware for the fixed network. The
+        // paper picks the best configuration per network; we optimize the
+        // composite objective's dominant metric (energy, matching the
+        // ordering used in Table 2's energy column).
+        let best = best_hw_for(&m.genotype, &skeleton, &sim, &constraints, OptimizationTarget::Energy);
+        rows.push(Row {
+            name: m.name.to_string(),
+            search_cost: format!("{} (orig.)", m.search_cost_gpu_days),
+            test_error_pct: (1.0 - acc) * 100.0,
+            energy_mj: best.report.energy_mj,
+            latency_ms: best.report.latency_ms,
+            config: best.hw.to_string(),
+        });
+    }
+
+    // ---- YOSO single-stage runs ----------------------------------------
+    println!("\n[yoso] building fast evaluator (HyperNet {hyper_epochs} epochs + GP) ...");
+    let t1 = Instant::now();
+    let hyper_cfg = HyperTrainConfig {
+        epochs: hyper_epochs,
+        batch_size: 32,
+        seed,
+        ..Default::default()
+    };
+    let fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 500, seed);
+    println!("  built in {:.1?}", t1.elapsed());
+
+    for (label, reward_cfg) in [
+        ("Yoso_lat", RewardConfig::latency_focused(constraints)),
+        ("Yoso_eer", RewardConfig::energy_focused(constraints)),
+    ] {
+        println!("\n[yoso] {label}: RL search ({iterations} iterations) + top-{top_n} rerank ...");
+        let t2 = Instant::now();
+        let outcome = rl_search(
+            &fast,
+            &reward_cfg,
+            &SearchConfig {
+                iterations,
+                rollouts_per_update: 10,
+                seed,
+            },
+        );
+        // Accurate rerank: full training + exact simulation per finalist.
+        let finalists = outcome.top_n(top_n);
+        let reranked: Vec<(DesignPoint, f64, f64, f64, f64)> =
+            parallel_map(finalists.len(), finalists.len(), |i| {
+                let point = finalists[i].point;
+                let acc = train_full(&skeleton, &data, &point.genotype, full_epochs, seed ^ 0xF1);
+                let plan = skeleton.compile(&point.genotype);
+                let rep = sim.simulate_plan(&plan, &point.hw);
+                let reward = reward_cfg.reward(acc, rep.latency_ms, rep.energy_mj);
+                (point, acc, rep.latency_ms, rep.energy_mj, reward)
+            });
+        let champ = reranked
+            .iter()
+            .max_by(|a, b| a.4.total_cmp(&b.4))
+            .expect("finalists present");
+        let minutes = (t1.elapsed().as_secs_f64() + t2.elapsed().as_secs_f64()) / 60.0;
+        println!("  done in {:.1?} (champion reward {:.4})", t2.elapsed(), champ.4);
+        rows.push(Row {
+            name: label.to_string(),
+            search_cost: format!("{minutes:.1} min"),
+            test_error_pct: (1.0 - champ.1) * 100.0,
+            energy_mj: champ.3,
+            latency_ms: champ.2,
+            config: champ.0.hw.to_string(),
+        });
+    }
+
+    // ---- Table 2 ---------------------------------------------------------
+    println!("\n=== Table 2: performance comparison ===");
+    let mut table = Table::new(&[
+        "Model",
+        "SearchCost",
+        "TestError(%)",
+        "Energy(mJ)",
+        "Latency(ms)",
+        "Configuration",
+    ]);
+    let mut csv = Vec::new();
+    for r in &rows {
+        table.row(vec![
+            r.name.clone(),
+            r.search_cost.clone(),
+            format!("{:.2}", r.test_error_pct),
+            format!("{:.4}", r.energy_mj),
+            format!("{:.4}", r.latency_ms),
+            r.config.clone(),
+        ]);
+        csv.push(vec![
+            r.name.clone(),
+            r.search_cost.clone(),
+            r.test_error_pct.to_string(),
+            r.energy_mj.to_string(),
+            r.latency_ms.to_string(),
+            r.config.clone(),
+        ]);
+    }
+    println!("{table}");
+    let p = write_csv(
+        "table2.csv",
+        &["model", "search_cost", "test_error_pct", "energy_mj", "latency_ms", "config"],
+        &csv,
+    );
+    println!("written {}", p.display());
+
+    // ---- headline ratios (the 1.42x–2.29x / 1.79x–3.07x claims) ----------
+    let yoso_eer = rows.iter().find(|r| r.name == "Yoso_eer").expect("row");
+    let yoso_lat = rows.iter().find(|r| r.name == "Yoso_lat").expect("row");
+    let two_stage: Vec<&Row> = rows.iter().filter(|r| !r.name.starts_with("Yoso")).collect();
+    let e_ratios: Vec<f64> = two_stage.iter().map(|r| r.energy_mj / yoso_eer.energy_mj).collect();
+    let l_ratios: Vec<f64> = two_stage.iter().map(|r| r.latency_ms / yoso_lat.latency_ms).collect();
+    let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "energy reduction vs two-stage: {:.2}x – {:.2}x   (paper: 1.42x – 2.29x)",
+        min(&e_ratios),
+        max(&e_ratios)
+    );
+    println!(
+        "latency reduction vs two-stage: {:.2}x – {:.2}x  (paper: 1.79x – 3.07x)",
+        min(&l_ratios),
+        max(&l_ratios)
+    );
+}

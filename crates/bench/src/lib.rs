@@ -1,0 +1,203 @@
+//! # yoso-bench
+//!
+//! Experiment drivers and benchmark harness regenerating **every table and
+//! figure** of the paper's evaluation (see DESIGN.md §4 for the index):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig4_regressors` | Fig. 4 — six regression models' MSE |
+//! | `fig5_hypernet` | Fig. 5(a) training curve, 5(b) ranking correlation |
+//! | `fig6_search` | Fig. 6(a) RL vs random, 6(b)/(c) trade-off scatters |
+//! | `table2_comparison` | Table 2 — two-stage vs Yoso_lat / Yoso_eer |
+//! | `fig7_normalized` | Fig. 7 — normalized energy/latency bars |
+//! | `ablations` | design-choice ablations called out in DESIGN.md |
+//!
+//! Criterion benches (`cargo bench -p yoso-bench`) quantify the §III-E
+//! speedup claims (GP predictor vs exact simulation, HyperNet inheritance
+//! vs standalone training).
+//!
+//! This library hosts the small shared utilities: CLI flag parsing, CSV
+//! output under `results/`, and aligned table printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Returns (and creates) the `results/` directory next to the workspace
+/// root (or under `YOSO_RESULTS_DIR` if set).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("YOSO_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file into [`results_dir`]; returns its path.
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out).expect("write csv");
+    path
+}
+
+/// Reads a CSV produced by [`write_csv`]; returns (header, rows).
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be read.
+pub fn read_csv(name: &str) -> std::io::Result<(Vec<String>, Vec<Vec<String>>)> {
+    let text = fs::read_to_string(results_dir().join(name))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .unwrap_or("")
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let rows = lines
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    Ok((header, rows))
+}
+
+/// Value of `--flag <value>` in the process arguments.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// `--flag <n>` parsed as usize, with default.
+pub fn arg_usize(flag: &str, default: usize) -> usize {
+    arg_value(flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `--flag <x>` parsed as u64, with default.
+pub fn arg_u64(flag: &str, default: u64) -> u64 {
+    arg_value(flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Presence of a boolean `--flag`.
+pub fn arg_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Minimal aligned-column table printer for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row/header mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            (0..ncol)
+                .map(|i| format!("{:>width$}", cells[i], width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rows as strings (for CSV reuse).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["model", "mse"]);
+        t.row(vec!["GP".into(), "0.001".into()]);
+        t.row(vec!["LinearRegression".into(), "12.5".into()]);
+        let s = t.render();
+        assert!(s.contains("model"));
+        assert!(s.contains("LinearRegression"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row/header mismatch")]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var(
+            "YOSO_RESULTS_DIR",
+            std::env::temp_dir().join("yoso_test_results"),
+        );
+        let rows = vec![vec!["1".to_string(), "2.5".to_string()]];
+        write_csv("unit_test.csv", &["a", "b"], &rows);
+        let (header, got) = read_csv("unit_test.csv").unwrap();
+        assert_eq!(header, vec!["a", "b"]);
+        assert_eq!(got, rows);
+    }
+}

@@ -1,0 +1,289 @@
+//! A single-layer LSTM cell with manual forward/backward, specialized for
+//! the controller's per-step sequence generation.
+
+#![allow(clippy::needless_range_loop)]
+
+use yoso_tensor::{ParamId, ParamStore, Tensor};
+
+/// Parameter ids of one LSTM cell inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct LstmParams {
+    /// Input-to-hidden weights `[4H, E]` (gate order: i, f, g, o).
+    pub w_ih: ParamId,
+    /// Hidden-to-hidden weights `[4H, H]`.
+    pub w_hh: ParamId,
+    /// Gate biases `[4H]` (forget-gate bias initialized to 1).
+    pub b: ParamId,
+}
+
+/// Per-step cache required by the backward pass.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    /// Input vector.
+    pub x: Vec<f32>,
+    /// Previous hidden state.
+    pub h_prev: Vec<f32>,
+    /// Previous cell state.
+    pub c_prev: Vec<f32>,
+    /// Post-activation gates (i, f, g, o).
+    pub gates: Vec<f32>,
+    /// New cell state.
+    pub c: Vec<f32>,
+    /// New hidden state.
+    pub h: Vec<f32>,
+}
+
+/// Hidden/input sizes of the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmShape {
+    /// Hidden units (paper: 120).
+    pub hidden: usize,
+    /// Input (embedding) size.
+    pub input: usize,
+}
+
+impl LstmParams {
+    /// Allocates LSTM parameters in `store` with small random init and a
+    /// forget-gate bias of 1.
+    pub fn init<R: rand::Rng + ?Sized>(shape: LstmShape, store: &mut ParamStore, rng: &mut R) -> Self {
+        let (h, e) = (shape.hidden, shape.input);
+        let w_ih = store.add(Tensor::randn(&[4 * h, e], 0.1, rng));
+        let w_hh = store.add(Tensor::randn(&[4 * h, h], 0.1, rng));
+        let mut bias = Tensor::zeros(&[4 * h]);
+        for v in &mut bias.data_mut()[h..2 * h] {
+            *v = 1.0; // forget-gate bias
+        }
+        let b = store.add(bias);
+        LstmParams { w_ih, w_hh, b }
+    }
+
+    /// One forward step; returns the cache holding `(h, c)` and
+    /// intermediates.
+    pub fn forward(
+        &self,
+        store: &ParamStore,
+        shape: LstmShape,
+        x: &[f32],
+        h_prev: &[f32],
+        c_prev: &[f32],
+    ) -> LstmCache {
+        let (h_n, e) = (shape.hidden, shape.input);
+        debug_assert_eq!(x.len(), e);
+        debug_assert_eq!(h_prev.len(), h_n);
+        let w_ih = store.value(self.w_ih).data();
+        let w_hh = store.value(self.w_hh).data();
+        let b = store.value(self.b).data();
+        let mut pre = b.to_vec();
+        for r in 0..4 * h_n {
+            let wrow = &w_ih[r * e..(r + 1) * e];
+            let hrow = &w_hh[r * h_n..(r + 1) * h_n];
+            let mut acc = 0.0f32;
+            for (w, v) in wrow.iter().zip(x) {
+                acc += w * v;
+            }
+            for (w, v) in hrow.iter().zip(h_prev) {
+                acc += w * v;
+            }
+            pre[r] += acc;
+        }
+        let mut gates = vec![0.0f32; 4 * h_n];
+        for j in 0..h_n {
+            gates[j] = sigmoid(pre[j]); // i
+            gates[h_n + j] = sigmoid(pre[h_n + j]); // f
+            gates[2 * h_n + j] = pre[2 * h_n + j].tanh(); // g
+            gates[3 * h_n + j] = sigmoid(pre[3 * h_n + j]); // o
+        }
+        let mut c = vec![0.0f32; h_n];
+        let mut h = vec![0.0f32; h_n];
+        for j in 0..h_n {
+            c[j] = gates[h_n + j] * c_prev[j] + gates[j] * gates[2 * h_n + j];
+            h[j] = gates[3 * h_n + j] * c[j].tanh();
+        }
+        LstmCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            gates,
+            c,
+            h,
+        }
+    }
+
+    /// One backward step. `dh`/`dc` are gradients flowing into this step's
+    /// outputs; returns `(dx, dh_prev, dc_prev)` and accumulates parameter
+    /// gradients into `store`.
+    pub fn backward(
+        &self,
+        store: &mut ParamStore,
+        shape: LstmShape,
+        cache: &LstmCache,
+        dh: &[f32],
+        dc_in: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let (h_n, e) = (shape.hidden, shape.input);
+        let mut dpre = vec![0.0f32; 4 * h_n];
+        let mut dc_prev = vec![0.0f32; h_n];
+        for j in 0..h_n {
+            let (i, f, g, o) = (
+                cache.gates[j],
+                cache.gates[h_n + j],
+                cache.gates[2 * h_n + j],
+                cache.gates[3 * h_n + j],
+            );
+            let tc = cache.c[j].tanh();
+            let dc = dc_in[j] + dh[j] * o * (1.0 - tc * tc);
+            let do_ = dh[j] * tc;
+            let di = dc * g;
+            let df = dc * cache.c_prev[j];
+            let dg = dc * i;
+            dc_prev[j] = dc * f;
+            dpre[j] = di * i * (1.0 - i);
+            dpre[h_n + j] = df * f * (1.0 - f);
+            dpre[2 * h_n + j] = dg * (1.0 - g * g);
+            dpre[3 * h_n + j] = do_ * o * (1.0 - o);
+        }
+        // Parameter gradients.
+        let mut gw_ih = Tensor::zeros(&[4 * h_n, e]);
+        let mut gw_hh = Tensor::zeros(&[4 * h_n, h_n]);
+        {
+            let gi = gw_ih.data_mut();
+            let gh = gw_hh.data_mut();
+            for r in 0..4 * h_n {
+                let d = dpre[r];
+                if d == 0.0 {
+                    continue;
+                }
+                for (slot, v) in gi[r * e..(r + 1) * e].iter_mut().zip(&cache.x) {
+                    *slot = d * v;
+                }
+                for (slot, v) in gh[r * h_n..(r + 1) * h_n].iter_mut().zip(&cache.h_prev) {
+                    *slot = d * v;
+                }
+            }
+        }
+        store.accumulate_grad(self.w_ih, &gw_ih);
+        store.accumulate_grad(self.w_hh, &gw_hh);
+        store.accumulate_grad(self.b, &Tensor::from_vec(&[4 * h_n], dpre.clone()));
+        // Input gradients.
+        let w_ih = store.value(self.w_ih).data();
+        let w_hh = store.value(self.w_hh).data();
+        let mut dx = vec![0.0f32; e];
+        let mut dh_prev = vec![0.0f32; h_n];
+        for r in 0..4 * h_n {
+            let d = dpre[r];
+            if d == 0.0 {
+                continue;
+            }
+            for (slot, w) in dx.iter_mut().zip(&w_ih[r * e..(r + 1) * e]) {
+                *slot += d * w;
+            }
+            for (slot, w) in dh_prev.iter_mut().zip(&w_hh[r * h_n..(r + 1) * h_n]) {
+                *slot += d * w;
+            }
+        }
+        (dx, dh_prev, dc_prev)
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, LstmParams, LstmShape) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let shape = LstmShape { hidden: 6, input: 4 };
+        let mut store = ParamStore::new();
+        let p = LstmParams::init(shape, &mut store, &mut rng);
+        (store, p, shape)
+    }
+
+    /// Scalar loss = sum(h) after two steps, checked against finite
+    /// differences on every parameter tensor.
+    #[test]
+    fn bptt_matches_finite_differences() {
+        let (mut store, p, shape) = setup();
+        let x1 = vec![0.5, -0.3, 0.8, 0.1];
+        let x2 = vec![-0.2, 0.7, 0.0, -0.5];
+        let forward_loss = |store: &ParamStore| -> f32 {
+            let h0 = vec![0.0; shape.hidden];
+            let c0 = vec![0.0; shape.hidden];
+            let s1 = p.forward(store, shape, &x1, &h0, &c0);
+            let s2 = p.forward(store, shape, &x2, &s1.h, &s1.c);
+            s2.h.iter().sum()
+        };
+        // Analytic gradient.
+        store.zero_grads();
+        let h0 = vec![0.0; shape.hidden];
+        let c0 = vec![0.0; shape.hidden];
+        let s1 = p.forward(&store, shape, &x1, &h0, &c0);
+        let s2 = p.forward(&store, shape, &x2, &s1.h, &s1.c);
+        let dh2 = vec![1.0f32; shape.hidden];
+        let dc2 = vec![0.0f32; shape.hidden];
+        let (_, dh1, dc1) = p.backward(&mut store, shape, &s2, &dh2, &dc2);
+        let _ = p.backward(&mut store, shape, &s1, &dh1, &dc1);
+
+        let eps = 1e-3f32;
+        for (pid, indices) in [
+            (p.w_ih, vec![0usize, 17, 95]),
+            (p.w_hh, vec![0usize, 50, 143]),
+            (p.b, vec![0usize, 7, 23]),
+        ] {
+            for idx in indices {
+                let orig = store.value(pid).data()[idx];
+                store.value_mut(pid).data_mut()[idx] = orig + eps;
+                let f1 = forward_loss(&store);
+                store.value_mut(pid).data_mut()[idx] = orig - eps;
+                let f2 = forward_loss(&store);
+                store.value_mut(pid).data_mut()[idx] = orig;
+                let num = (f1 - f2) / (2.0 * eps);
+                let ana = store.grad(pid).data()[idx];
+                assert!(
+                    (num - ana).abs() < 0.02 * (1.0 + num.abs().max(ana.abs())),
+                    "grad[{idx}]: fd {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_bounded() {
+        let (store, p, shape) = setup();
+        let x = vec![1.0, -1.0, 0.5, 2.0];
+        let h0 = vec![0.0; 6];
+        let c0 = vec![0.0; 6];
+        let a = p.forward(&store, shape, &x, &h0, &c0);
+        let b = p.forward(&store, shape, &x, &h0, &c0);
+        assert_eq!(a.h, b.h);
+        for v in &a.h {
+            assert!(v.abs() <= 1.0, "|h| must be < 1 (o * tanh(c))");
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let (store, p, shape) = setup();
+        let b = store.value(p.b).data();
+        for j in shape.hidden..2 * shape.hidden {
+            assert_eq!(b[j], 1.0);
+        }
+        assert_eq!(b[0], 0.0);
+    }
+
+    #[test]
+    fn state_propagates_between_steps() {
+        let (store, p, shape) = setup();
+        let x = vec![0.3; 4];
+        let h0 = vec![0.0; 6];
+        let c0 = vec![0.0; 6];
+        let s1 = p.forward(&store, shape, &x, &h0, &c0);
+        let s2 = p.forward(&store, shape, &x, &s1.h, &s1.c);
+        assert_ne!(s1.h, s2.h, "same input, different state => different h");
+    }
+}

@@ -1,0 +1,495 @@
+//! The autoregressive RL controller (paper §III-C).
+//!
+//! An LSTM with 120 hidden units emits the 44-symbol action sequence via a
+//! per-step softmax classifier; previously generated actions are fed back
+//! as embeddings (zero vector at the initial step). Logits are shaped with
+//! a temperature of 1.1 and a `2.5 * tanh` constant (following ENAS \[7\]),
+//! a sample-entropy bonus is added to the reward, and the parameters are
+//! updated with REINFORCE plus a moving-average baseline (Eq. 4).
+
+#![allow(clippy::needless_range_loop)]
+
+use crate::lstm::{LstmParams, LstmShape};
+use rand::{Rng, RngExt};
+use yoso_tensor::{Adam, ParamId, ParamStore, Tensor};
+
+/// Controller hyper-parameters (defaults follow the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerConfig {
+    /// Per-step vocabulary sizes (44 steps for YOSO).
+    pub vocab_sizes: Vec<usize>,
+    /// LSTM hidden units (paper: 120).
+    pub hidden: usize,
+    /// Action-embedding size.
+    pub embed: usize,
+    /// Adam learning rate (paper: 0.0035).
+    pub lr: f32,
+    /// Softmax temperature (paper: 1.1).
+    pub temperature: f32,
+    /// Logit tanh constant (paper: 2.5).
+    pub tanh_constant: f32,
+    /// Entropy bonus weight (paper: 1e-4).
+    pub entropy_weight: f32,
+    /// Moving-average baseline decay.
+    pub baseline_decay: f64,
+    /// Gradient-norm clip.
+    pub grad_clip: f32,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl ControllerConfig {
+    /// Paper-default hyper-parameters for a given action space.
+    pub fn paper_default(vocab_sizes: Vec<usize>) -> Self {
+        ControllerConfig {
+            vocab_sizes,
+            hidden: 120,
+            embed: 32,
+            lr: 0.0035,
+            temperature: 1.1,
+            tanh_constant: 2.5,
+            entropy_weight: 1e-4,
+            baseline_decay: 0.95,
+            grad_clip: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One sampled action sequence with its policy statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rollout {
+    /// Sampled action per step.
+    pub actions: Vec<usize>,
+    /// Sum of log-probabilities of the sampled actions.
+    pub log_prob: f64,
+    /// Sum of per-step softmax entropies.
+    pub entropy: f64,
+}
+
+/// Statistics returned by [`Controller::update`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStats {
+    /// Mean reward of the batch.
+    pub mean_reward: f64,
+    /// Baseline value after the update.
+    pub baseline: f64,
+    /// Pre-clip gradient norm.
+    pub grad_norm: f32,
+    /// Mean policy entropy per step.
+    pub mean_entropy: f64,
+}
+
+/// The LSTM policy with per-step embeddings and softmax heads.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    store: ParamStore,
+    lstm: LstmParams,
+    /// `emb[0]` is the learned start vector `[1, E]`; `emb[s]` (s ≥ 1)
+    /// embeds step `s-1`'s action, `[vocab_{s-1}, E]`.
+    emb: Vec<ParamId>,
+    /// Per-step softmax heads: `(W [vocab_s, H], b [vocab_s])`.
+    heads: Vec<(ParamId, ParamId)>,
+    opt: Adam,
+    baseline: Option<f64>,
+}
+
+struct StepCache {
+    lstm: crate::lstm::LstmCache,
+    probs: Vec<f32>,
+    logits_raw: Vec<f32>,
+    action: usize,
+}
+
+impl Controller {
+    /// Builds a controller with randomly initialized parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_sizes` is empty or contains a zero.
+    pub fn new(cfg: ControllerConfig) -> Self {
+        assert!(!cfg.vocab_sizes.is_empty(), "empty action space");
+        assert!(cfg.vocab_sizes.iter().all(|&v| v > 0), "zero vocab");
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let shape = LstmShape {
+            hidden: cfg.hidden,
+            input: cfg.embed,
+        };
+        let lstm = LstmParams::init(shape, &mut store, &mut rng);
+        let mut emb = Vec::with_capacity(cfg.vocab_sizes.len());
+        emb.push(store.add(Tensor::randn(&[1, cfg.embed], 0.1, &mut rng)));
+        for s in 1..cfg.vocab_sizes.len() {
+            emb.push(store.add(Tensor::randn(&[cfg.vocab_sizes[s - 1], cfg.embed], 0.1, &mut rng)));
+        }
+        let heads = cfg
+            .vocab_sizes
+            .iter()
+            .map(|&v| {
+                (
+                    store.add(Tensor::randn(&[v, cfg.hidden], 0.1, &mut rng)),
+                    store.add(Tensor::zeros(&[v])),
+                )
+            })
+            .collect();
+        let opt = Adam::new(cfg.lr);
+        Controller {
+            cfg,
+            store,
+            lstm,
+            emb,
+            heads,
+            opt,
+            baseline: None,
+        }
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Current moving-average baseline (`None` before the first update).
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.store.total_elems()
+    }
+
+    fn shape(&self) -> LstmShape {
+        LstmShape {
+            hidden: self.cfg.hidden,
+            input: self.cfg.embed,
+        }
+    }
+
+    /// Runs the policy forward; `forced` replays a stored action sequence
+    /// (for the update pass), otherwise actions are sampled from `rng`.
+    fn run<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        forced: Option<&[usize]>,
+    ) -> (Vec<StepCache>, f64, f64) {
+        let t_len = self.cfg.vocab_sizes.len();
+        let shape = self.shape();
+        let mut h = vec![0.0f32; self.cfg.hidden];
+        let mut c = vec![0.0f32; self.cfg.hidden];
+        let mut caches = Vec::with_capacity(t_len);
+        let mut log_prob = 0.0f64;
+        let mut entropy = 0.0f64;
+        let mut prev_action = 0usize;
+        for s in 0..t_len {
+            let emb_t = self.store.value(self.emb[s]);
+            let row = if s == 0 { 0 } else { prev_action };
+            let e = self.cfg.embed;
+            let x = &emb_t.data()[row * e..(row + 1) * e];
+            let cache = self.lstm.forward(&self.store, shape, x, &h, &c);
+            let v = self.cfg.vocab_sizes[s];
+            let (w, b) = self.heads[s];
+            let wd = self.store.value(w).data();
+            let bd = self.store.value(b).data();
+            let mut logits_raw = vec![0.0f32; v];
+            for (j, lr_) in logits_raw.iter_mut().enumerate() {
+                let row_w = &wd[j * self.cfg.hidden..(j + 1) * self.cfg.hidden];
+                *lr_ = row_w.iter().zip(&cache.h).map(|(a, b)| a * b).sum::<f32>() + bd[j];
+            }
+            // ENAS-style logit shaping.
+            let logits: Vec<f32> = logits_raw
+                .iter()
+                .map(|&z| self.cfg.tanh_constant * (z / self.cfg.temperature).tanh())
+                .collect();
+            let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut probs: Vec<f32> = logits.iter().map(|&z| (z - mx).exp()).collect();
+            let denom: f32 = probs.iter().sum();
+            for p in &mut probs {
+                *p /= denom;
+            }
+            let action = match forced {
+                Some(seq) => seq[s],
+                None => {
+                    let u: f32 = rng.random();
+                    let mut acc = 0.0;
+                    let mut a = v - 1;
+                    for (j, &p) in probs.iter().enumerate() {
+                        acc += p;
+                        if u < acc {
+                            a = j;
+                            break;
+                        }
+                    }
+                    a
+                }
+            };
+            log_prob += (probs[action].max(1e-12) as f64).ln();
+            entropy += -probs
+                .iter()
+                .map(|&p| if p > 0.0 { (p as f64) * (p as f64).ln() } else { 0.0 })
+                .sum::<f64>();
+            h = cache.h.clone();
+            c = cache.c.clone();
+            caches.push(StepCache {
+                lstm: cache,
+                probs,
+                logits_raw,
+                action,
+            });
+            prev_action = action;
+        }
+        (caches, log_prob, entropy)
+    }
+
+    /// Samples one action sequence from the current policy.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Rollout {
+        let (caches, log_prob, entropy) = self.run(rng, None);
+        Rollout {
+            actions: caches.iter().map(|c| c.action).collect(),
+            log_prob,
+            entropy,
+        }
+    }
+
+    /// REINFORCE update on a batch of `(rollout, reward)` pairs (Eq. 4:
+    /// moving-average baseline, entropy bonus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or an action sequence has the wrong
+    /// length.
+    pub fn update(&mut self, batch: &[(Rollout, f64)]) -> UpdateStats {
+        assert!(!batch.is_empty(), "empty update batch");
+        let t_len = self.cfg.vocab_sizes.len();
+        let mean_reward = batch.iter().map(|(_, r)| r).sum::<f64>() / batch.len() as f64;
+        let baseline = match self.baseline {
+            None => mean_reward,
+            Some(b) => {
+                self.cfg.baseline_decay * b + (1.0 - self.cfg.baseline_decay) * mean_reward
+            }
+        };
+        self.baseline = Some(baseline);
+        self.store.zero_grads();
+        let shape = self.shape();
+        let mut entropy_sum = 0.0;
+        for (rollout, reward) in batch {
+            assert_eq!(rollout.actions.len(), t_len, "wrong action length");
+            // Replay the forward pass to rebuild caches.
+            let mut dummy = NoRng;
+            let (caches, _, entropy) = self.run(&mut dummy, Some(&rollout.actions));
+            entropy_sum += entropy / t_len as f64;
+            // Advantage: loss = -(R - b) log p - w_e H.
+            let adv = (*reward - baseline) as f32 / batch.len() as f32;
+            let w_e = self.cfg.entropy_weight / batch.len() as f32;
+            let mut dh = vec![0.0f32; self.cfg.hidden];
+            let mut dc = vec![0.0f32; self.cfg.hidden];
+            for s in (0..t_len).rev() {
+                let cache = &caches[s];
+                let v = self.cfg.vocab_sizes[s];
+                let step_entropy: f32 = -cache
+                    .probs
+                    .iter()
+                    .map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 })
+                    .sum::<f32>();
+                // d(loss)/d(logits).
+                let mut dlogits = vec![0.0f32; v];
+                for j in 0..v {
+                    let p = cache.probs[j];
+                    let onehot = if j == cache.action { 1.0 } else { 0.0 };
+                    let d_logp = -adv * (onehot - p); // -(R-b) dlogp
+                    let d_ent = w_e * p * (p.max(1e-12).ln() + step_entropy); // -w_e dH
+                    dlogits[j] = d_logp + d_ent;
+                }
+                // Back through the tanh/temperature shaping.
+                let mut dlogits_raw = vec![0.0f32; v];
+                for j in 0..v {
+                    let t = (cache.logits_raw[j] / self.cfg.temperature).tanh();
+                    dlogits_raw[j] =
+                        dlogits[j] * self.cfg.tanh_constant * (1.0 - t * t) / self.cfg.temperature;
+                }
+                // Head gradients.
+                let (w, b) = self.heads[s];
+                let hdim = self.cfg.hidden;
+                let mut gw = Tensor::zeros(&[v, hdim]);
+                for j in 0..v {
+                    let d = dlogits_raw[j];
+                    if d != 0.0 {
+                        for (slot, hv) in gw.data_mut()[j * hdim..(j + 1) * hdim]
+                            .iter_mut()
+                            .zip(&cache.lstm.h)
+                        {
+                            *slot = d * hv;
+                        }
+                    }
+                }
+                self.store.accumulate_grad(w, &gw);
+                self.store
+                    .accumulate_grad(b, &Tensor::from_vec(&[v], dlogits_raw.clone()));
+                // dh from the head plus the gradient flowing from step s+1.
+                let wd = self.store.value(w).data().to_vec();
+                for j in 0..v {
+                    let d = dlogits_raw[j];
+                    if d != 0.0 {
+                        for (slot, wv) in dh.iter_mut().zip(&wd[j * hdim..(j + 1) * hdim]) {
+                            *slot += d * wv;
+                        }
+                    }
+                }
+                let (dx, dh_prev, dc_prev) =
+                    self.lstm
+                        .backward(&mut self.store, shape, &cache.lstm, &dh, &dc);
+                // Embedding gradient for the action fed into this step.
+                let row = if s == 0 { 0 } else { caches[s - 1].action };
+                let e = self.cfg.embed;
+                let vocab_rows = self.store.value(self.emb[s]).shape()[0];
+                let mut gemb = Tensor::zeros(&[vocab_rows, e]);
+                gemb.data_mut()[row * e..(row + 1) * e].copy_from_slice(&dx);
+                self.store.accumulate_grad(self.emb[s], &gemb);
+                dh = dh_prev;
+                dc = dc_prev;
+            }
+        }
+        let grad_norm = self.store.clip_grad_norm(self.cfg.grad_clip);
+        self.opt.step(&mut self.store);
+        UpdateStats {
+            mean_reward,
+            baseline,
+            grad_norm,
+            mean_entropy: entropy_sum / batch.len() as f64,
+        }
+    }
+}
+
+/// RNG stub used when replaying forced action sequences: the policy never
+/// draws from it (any seed works; present only to satisfy the signature).
+struct NoRng;
+
+impl rand::TryRng for NoRng {
+    type Error = std::convert::Infallible;
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        unreachable!("forced replay must not sample")
+    }
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        unreachable!("forced replay must not sample")
+    }
+    fn try_fill_bytes(&mut self, _dst: &mut [u8]) -> Result<(), Self::Error> {
+        unreachable!("forced replay must not sample")
+    }
+}
+
+// `rand::Rng` is blanket-implemented for every `TryRng<Error = Infallible>`.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> ControllerConfig {
+        let mut cfg = ControllerConfig::paper_default(vec![3, 4, 2, 5]);
+        cfg.hidden = 16;
+        cfg.embed = 8;
+        cfg.lr = 0.02;
+        cfg
+    }
+
+    #[test]
+    fn sample_respects_vocab() {
+        let ctrl = Controller::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let r = ctrl.sample(&mut rng);
+            assert_eq!(r.actions.len(), 4);
+            for (a, &v) in r.actions.iter().zip(&ctrl.cfg.vocab_sizes) {
+                assert!(*a < v);
+            }
+            assert!(r.log_prob <= 0.0);
+            assert!(r.entropy > 0.0);
+        }
+    }
+
+    #[test]
+    fn learns_to_prefer_rewarded_action() {
+        // Reward = 1 when action[0] == 2, else 0. After training the
+        // controller should sample action 2 at step 0 most of the time.
+        let mut ctrl = Controller::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let batch: Vec<(Rollout, f64)> = (0..8)
+                .map(|_| {
+                    let r = ctrl.sample(&mut rng);
+                    let reward = if r.actions[0] == 2 { 1.0 } else { 0.0 };
+                    (r, reward)
+                })
+                .collect();
+            ctrl.update(&batch);
+        }
+        let hits = (0..100)
+            .filter(|_| ctrl.sample(&mut rng).actions[0] == 2)
+            .count();
+        assert!(hits > 80, "only {hits}/100 after training");
+    }
+
+    #[test]
+    fn learns_joint_action_pattern() {
+        // Reward depends on two coordinated actions, exercising the
+        // autoregressive conditioning: a[1] must equal a[0] + 1.
+        let mut cfg = small_cfg();
+        cfg.vocab_sizes = vec![3, 4];
+        let mut ctrl = Controller::new(cfg);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..400 {
+            let batch: Vec<(Rollout, f64)> = (0..8)
+                .map(|_| {
+                    let r = ctrl.sample(&mut rng);
+                    let reward = if r.actions[1] == r.actions[0] + 1 { 1.0 } else { 0.0 };
+                    (r, reward)
+                })
+                .collect();
+            ctrl.update(&batch);
+        }
+        let hits = (0..100)
+            .filter(|_| {
+                let r = ctrl.sample(&mut rng);
+                r.actions[1] == r.actions[0] + 1
+            })
+            .count();
+        assert!(hits > 60, "only {hits}/100 after training");
+    }
+
+    #[test]
+    fn baseline_tracks_reward() {
+        let mut ctrl = Controller::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(ctrl.baseline().is_none());
+        let r = ctrl.sample(&mut rng);
+        let stats = ctrl.update(&[(r, 5.0)]);
+        assert_eq!(stats.baseline, 5.0);
+        let r2 = ctrl.sample(&mut rng);
+        let stats2 = ctrl.update(&[(r2, 1.0)]);
+        assert!(stats2.baseline < 5.0 && stats2.baseline > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty update batch")]
+    fn empty_batch_panics() {
+        let mut ctrl = Controller::new(small_cfg());
+        ctrl.update(&[]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Controller::new(small_cfg());
+        let b = Controller::new(small_cfg());
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert_eq!(a.sample(&mut r1), b.sample(&mut r2));
+    }
+
+    #[test]
+    fn param_count_nontrivial() {
+        let ctrl = Controller::new(small_cfg());
+        assert!(ctrl.param_count() > 1000);
+    }
+}

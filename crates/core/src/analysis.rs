@@ -1,0 +1,199 @@
+//! Post-search analysis utilities: feasibility filtering, hypervolume
+//! indicator and CSV persistence of search histories.
+
+use crate::evaluation::Evaluation;
+use crate::reward::Constraints;
+use crate::search::{SearchOutcome, SearchRecord};
+use std::io::Write;
+use std::path::Path;
+
+/// Records satisfying the thresholds (the paper screens out the rest
+/// before comparing designs).
+pub fn feasible<'a>(
+    outcome: &'a SearchOutcome,
+    constraints: &Constraints,
+) -> Vec<&'a SearchRecord> {
+    outcome
+        .history
+        .iter()
+        .filter(|r| constraints.satisfied(r.eval.latency_ms, r.eval.energy_mj))
+        .collect()
+}
+
+/// 2-D hypervolume (to be *maximized*) of an accuracy-vs-cost point set
+/// with respect to a reference `(cost_ref, acc_ref = 0)` corner: the area
+/// dominated by the Pareto front in (lower cost, higher accuracy) space.
+///
+/// # Panics
+///
+/// Panics if `cost_ref <= 0`.
+pub fn hypervolume(points: &[(f64, f64)], cost_ref: f64) -> f64 {
+    assert!(cost_ref > 0.0);
+    // Keep only points within the reference box.
+    let mut pts: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(c, a)| c <= cost_ref && a >= 0.0)
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by cost ascending; sweep keeping the running max accuracy.
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut volume = 0.0;
+    let mut best_acc: f64 = 0.0;
+    // Walk from the cheapest point to the reference cost.
+    let mut prev_cost = pts[0].0;
+    let mut i = 0;
+    while i < pts.len() {
+        let cost = pts[i].0;
+        volume += best_acc * (cost - prev_cost);
+        while i < pts.len() && pts[i].0 == cost {
+            best_acc = best_acc.max(pts[i].1);
+            i += 1;
+        }
+        prev_cost = cost;
+    }
+    volume += best_acc * (cost_ref - prev_cost);
+    volume
+}
+
+/// Writes a search history to CSV (one row per candidate).
+///
+/// # Errors
+///
+/// Returns an I/O error on write failure.
+pub fn save_history_csv(outcome: &SearchOutcome, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "iteration,accuracy,latency_ms,energy_mj,reward,hw")?;
+    for r in &outcome.history {
+        writeln!(
+            f,
+            "{},{},{},{},{},{}",
+            r.iteration, r.eval.accuracy, r.eval.latency_ms, r.eval.energy_mj, r.reward, r.point.hw
+        )?;
+    }
+    Ok(())
+}
+
+/// Summary statistics of an evaluation set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvalSummary {
+    /// Mean accuracy.
+    pub mean_accuracy: f64,
+    /// Mean latency (ms).
+    pub mean_latency_ms: f64,
+    /// Mean energy (mJ).
+    pub mean_energy_mj: f64,
+    /// Count.
+    pub count: usize,
+}
+
+/// Aggregates evaluations into means.
+pub fn summarize<'a>(evals: impl IntoIterator<Item = &'a Evaluation>) -> EvalSummary {
+    let mut s = EvalSummary::default();
+    for e in evals {
+        s.mean_accuracy += e.accuracy;
+        s.mean_latency_ms += e.latency_ms;
+        s.mean_energy_mj += e.energy_mj;
+        s.count += 1;
+    }
+    if s.count > 0 {
+        let n = s.count as f64;
+        s.mean_accuracy /= n;
+        s.mean_latency_ms /= n;
+        s.mean_energy_mj /= n;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::Evaluation;
+    use yoso_arch::DesignPoint;
+
+    fn rec(acc: f64, lat: f64, eer: f64) -> SearchRecord {
+        use rand::{rngs::StdRng, SeedableRng};
+        SearchRecord {
+            iteration: 0,
+            point: DesignPoint::random(&mut StdRng::seed_from_u64(0)),
+            eval: Evaluation {
+                accuracy: acc,
+                latency_ms: lat,
+                energy_mj: eer,
+            },
+            reward: acc,
+        }
+    }
+
+    #[test]
+    fn feasible_filters_correctly() {
+        let outcome = SearchOutcome {
+            history: vec![rec(0.9, 1.0, 5.0), rec(0.8, 3.0, 5.0), rec(0.7, 1.0, 20.0)],
+        };
+        let cons = Constraints {
+            t_lat_ms: 2.0,
+            t_eer_mj: 10.0,
+        };
+        let ok = feasible(&outcome, &cons);
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].eval.accuracy, 0.9);
+    }
+
+    #[test]
+    fn hypervolume_simple_rectangle() {
+        // One point (cost 1, acc 0.5) with ref cost 3: area = 0.5 * (3-1).
+        let hv = hypervolume(&[(1.0, 0.5)], 3.0);
+        assert!((hv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_dominated_point_adds_nothing() {
+        let base = hypervolume(&[(1.0, 0.5)], 3.0);
+        let with_dominated = hypervolume(&[(1.0, 0.5), (2.0, 0.3)], 3.0);
+        assert!((base - with_dominated).abs() < 1e-12);
+        // A non-dominated point adds area.
+        let with_front = hypervolume(&[(1.0, 0.5), (2.0, 0.8)], 3.0);
+        assert!(with_front > base);
+    }
+
+    #[test]
+    fn hypervolume_empty_and_out_of_box() {
+        assert_eq!(hypervolume(&[], 1.0), 0.0);
+        assert_eq!(hypervolume(&[(5.0, 0.9)], 1.0), 0.0);
+    }
+
+    #[test]
+    fn summarize_means() {
+        let evals = [
+            Evaluation {
+                accuracy: 0.8,
+                latency_ms: 1.0,
+                energy_mj: 2.0,
+            },
+            Evaluation {
+                accuracy: 0.6,
+                latency_ms: 3.0,
+                energy_mj: 4.0,
+            },
+        ];
+        let s = summarize(evals.iter());
+        assert_eq!(s.count, 2);
+        assert!((s.mean_accuracy - 0.7).abs() < 1e-12);
+        assert!((s.mean_latency_ms - 2.0).abs() < 1e-12);
+        assert!((s.mean_energy_mj - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_history_roundtrip() {
+        let outcome = SearchOutcome {
+            history: vec![rec(0.9, 1.0, 5.0)],
+        };
+        let path = std::env::temp_dir().join("yoso_hist_test.csv");
+        save_history_csv(&outcome, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("iteration,"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,348 @@
+//! Candidate evaluation: the fast evaluator (HyperNet + GP predictors,
+//! paper step 1/2) and the accurate evaluator (full training + exact
+//! simulation, paper step 3), plus a cheap deterministic surrogate for
+//! large-scale search-behaviour experiments and tests.
+
+use crate::reward::Constraints;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use yoso_accel::Simulator;
+use yoso_arch::{DesignPoint, Genotype, NetworkSkeleton};
+use yoso_dataset::SynthCifar;
+use yoso_hypernet::{HyperNet, HyperTrainConfig};
+use yoso_nn::{CellNetwork, TrainConfig};
+use yoso_predictor::perf::{collect_samples, PerfPredictor};
+
+/// The three metrics the reward combines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Validation accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Latency in ms.
+    pub latency_ms: f64,
+    /// Energy in mJ.
+    pub energy_mj: f64,
+}
+
+/// Scores a design point. Implementations must be deterministic for a
+/// given point so that search histories are reproducible.
+pub trait Evaluator: Send + Sync {
+    /// Evaluates one candidate.
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation;
+    /// Short name for logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Calibrates thresholds from the distribution of random designs: the
+/// given percentile (0..=100) of latency and energy over `n` samples.
+///
+/// The paper's absolute thresholds (1.2 ms / 9 mJ) are tied to its
+/// CIFAR-scale workload; at our CPU scale the equivalent "moderately
+/// demanding" constraint is a percentile of the random-design population.
+pub fn calibrate_constraints(
+    skeleton: &NetworkSkeleton,
+    n: usize,
+    seed: u64,
+    percentile: f64,
+) -> Constraints {
+    let sim = Simulator::fast();
+    let samples = collect_samples(skeleton, &sim, n, seed);
+    let mut lats: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    let mut eers: Vec<f64> = samples.iter().map(|s| s.energy_mj).collect();
+    lats.sort_by(|a, b| a.total_cmp(b));
+    eers.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((percentile / 100.0) * (n.saturating_sub(1)) as f64).round() as usize;
+    Constraints {
+        t_lat_ms: lats[idx.min(n - 1)],
+        t_eer_mj: eers[idx.min(n - 1)],
+    }
+}
+
+/// The paper's fast evaluator: accuracy from the trained HyperNet
+/// (weight inheritance, single test run) and latency/energy from the
+/// Gaussian-process predictors.
+pub struct FastEvaluator {
+    hyper: HyperNet,
+    predictor: PerfPredictor,
+    data: SynthCifar,
+    /// Validation examples used per accuracy query (caps cost).
+    pub eval_subset: usize,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    acc_cache: RwLock<HashMap<Genotype, f64>>,
+    stats_cache: RwLock<HashMap<Genotype, (yoso_arch::NetworkStats, (usize, usize))>>,
+}
+
+impl FastEvaluator {
+    /// Assembles a fast evaluator from already-built parts.
+    pub fn from_parts(hyper: HyperNet, predictor: PerfPredictor, data: SynthCifar) -> Self {
+        FastEvaluator {
+            hyper,
+            predictor,
+            data,
+            eval_subset: 256,
+            eval_batch: 128,
+            acc_cache: RwLock::new(HashMap::new()),
+            stats_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Paper step 1 — "fast evaluator construction": trains the HyperNet
+    /// with uniform sampling and fits the GP predictors on simulator
+    /// samples.
+    pub fn build(
+        skeleton: &NetworkSkeleton,
+        data: &SynthCifar,
+        hyper_cfg: &HyperTrainConfig,
+        predictor_samples: usize,
+        seed: u64,
+    ) -> Self {
+        let mut hyper = HyperNet::new(skeleton.clone(), seed);
+        hyper.train(data, hyper_cfg);
+        let sim = Simulator::exact();
+        let samples = collect_samples(skeleton, &sim, predictor_samples, seed ^ 0x5a5a);
+        let predictor =
+            PerfPredictor::train(skeleton, &samples).expect("predictor training on >0 samples");
+        Self::from_parts(hyper, predictor, data.clone())
+    }
+
+    /// The wrapped HyperNet.
+    pub fn hypernet(&self) -> &HyperNet {
+        &self.hyper
+    }
+
+    /// The wrapped performance predictor.
+    pub fn predictor(&self) -> &PerfPredictor {
+        &self.predictor
+    }
+
+    fn accuracy_of(&self, genotype: &Genotype) -> f64 {
+        if let Some(&a) = self.acc_cache.read().get(genotype) {
+            return a;
+        }
+        let n = self.data.val.len().min(self.eval_subset.max(1));
+        // Evaluate on a deterministic subset of the validation split.
+        let subset: Vec<usize> = (0..n).collect();
+        let plan = self.hyper.skeleton().compile(genotype);
+        let provider = self.hyper.provider(&plan);
+        let mut correct = 0.0;
+        let mut total = 0usize;
+        let mut i = 0;
+        while i < subset.len() {
+            let end = (i + self.eval_batch).min(subset.len());
+            let (images, labels) = self.data.val.batch(&subset[i..end]);
+            let mut g = yoso_tensor::Graph::new();
+            let logits =
+                yoso_nn::forward_network(&plan, &mut g, self.hyper.store(), &provider, images);
+            correct += yoso_tensor::accuracy(g.value(logits), &labels) * labels.len() as f64;
+            total += labels.len();
+            i = end;
+        }
+        let acc = correct / total.max(1) as f64;
+        self.acc_cache.write().insert(*genotype, acc);
+        acc
+    }
+}
+
+impl Evaluator for FastEvaluator {
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        let accuracy = self.accuracy_of(&point.genotype);
+        // Reuse the compiled network statistics across hardware sweeps.
+        let cached = self.stats_cache.read().get(&point.genotype).copied();
+        let (stats, arities) = match cached {
+            Some(v) => v,
+            None => {
+                let plan = self.hyper.skeleton().compile(&point.genotype);
+                let v = (
+                    plan.stats,
+                    (
+                        point.genotype.normal.output_arity(),
+                        point.genotype.reduction.output_arity(),
+                    ),
+                );
+                self.stats_cache.write().insert(point.genotype, v);
+                v
+            }
+        };
+        let (latency_ms, energy_mj) =
+            self.predictor
+                .predict_from_stats(&stats, &point.hw, arities);
+        Evaluation {
+            accuracy,
+            latency_ms,
+            energy_mj,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fast(hypernet+gp)"
+    }
+}
+
+/// The accurate evaluator used for final top-N reranking: fully trains
+/// the candidate network and runs the exact simulator.
+pub struct AccurateEvaluator {
+    /// Skeleton for compilation.
+    pub skeleton: NetworkSkeleton,
+    /// Dataset for training/validation.
+    pub data: SynthCifar,
+    /// Full-training recipe.
+    pub train_cfg: TrainConfig,
+    /// Exact simulator.
+    pub sim: Simulator,
+}
+
+impl AccurateEvaluator {
+    /// Creates the accurate evaluator.
+    pub fn new(skeleton: NetworkSkeleton, data: SynthCifar, train_cfg: TrainConfig) -> Self {
+        AccurateEvaluator {
+            skeleton,
+            data,
+            train_cfg,
+            sim: Simulator::exact(),
+        }
+    }
+}
+
+impl Evaluator for AccurateEvaluator {
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        let plan = self.skeleton.compile(&point.genotype);
+        let mut net = CellNetwork::new(plan.clone(), self.train_cfg.seed);
+        let hist = net.train(&self.data, &self.train_cfg);
+        let rep = self.sim.simulate_plan(&plan, &point.hw);
+        Evaluation {
+            accuracy: hist.final_val_acc,
+            latency_ms: rep.latency_ms,
+            energy_mj: rep.energy_mj,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "accurate(train+sim)"
+    }
+}
+
+/// Deterministic analytic evaluator: accuracy is a saturating function of
+/// network capacity (plus op-mix terms and a small per-genotype jitter),
+/// latency/energy come from the fast simulator. Used for large-iteration
+/// search-behaviour experiments and unit tests, where per-candidate
+/// HyperNet inference would dominate runtime.
+pub struct SurrogateEvaluator {
+    /// Skeleton for compilation.
+    pub skeleton: NetworkSkeleton,
+    sim: Simulator,
+}
+
+impl SurrogateEvaluator {
+    /// Creates the surrogate for a skeleton.
+    pub fn new(skeleton: NetworkSkeleton) -> Self {
+        SurrogateEvaluator {
+            skeleton,
+            sim: Simulator::fast(),
+        }
+    }
+
+    /// The accuracy model, exposed for tests.
+    pub fn surrogate_accuracy(&self, point: &DesignPoint) -> f64 {
+        let plan = self.skeleton.compile(&point.genotype);
+        let stats = plan.stats;
+        let macs = stats.total_macs as f64;
+        let size_term = 1.0 - (-macs / 25.0e6).exp();
+        let total = stats.total_macs.max(1) as f64;
+        let conv_frac = stats.conv_macs as f64 / total;
+        let dw_frac = stats.dw_macs as f64 / total;
+        // Small deterministic jitter so equal-capacity genotypes differ.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        point.genotype.hash(&mut h);
+        let jitter = ((h.finish() % 1000) as f64 / 1000.0 - 0.5) * 0.02;
+        (0.38 + 0.5 * size_term + 0.05 * conv_frac + 0.03 * dw_frac + jitter).clamp(0.1, 0.97)
+    }
+}
+
+impl Evaluator for SurrogateEvaluator {
+    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        let plan = self.skeleton.compile(&point.genotype);
+        let rep = self.sim.simulate_plan(&plan, &point.hw);
+        Evaluation {
+            accuracy: self.surrogate_accuracy(point),
+            latency_ms: rep.latency_ms,
+            energy_mj: rep.energy_mj,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "surrogate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn surrogate_is_deterministic_and_bounded() {
+        let ev = SurrogateEvaluator::new(NetworkSkeleton::tiny());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let p = DesignPoint::random(&mut rng);
+            let a = ev.evaluate(&p);
+            let b = ev.evaluate(&p);
+            assert_eq!(a, b);
+            assert!((0.1..=0.97).contains(&a.accuracy));
+            assert!(a.latency_ms > 0.0 && a.energy_mj > 0.0);
+        }
+    }
+
+    #[test]
+    fn surrogate_prefers_bigger_networks() {
+        // A conv5x5-heavy genotype has far more MACs than a pool-only one.
+        use yoso_arch::{CellGenotype, NodeGene, Op};
+        let heavy_gene = NodeGene {
+            in1: 0,
+            op1: Op::Conv5,
+            in2: 1,
+            op2: Op::Conv5,
+        };
+        let light_gene = NodeGene {
+            in1: 0,
+            op1: Op::MaxPool,
+            in2: 1,
+            op2: Op::AvgPool,
+        };
+        let cell = |g: NodeGene| CellGenotype { nodes: [g; 5] };
+        let mut rng = StdRng::seed_from_u64(1);
+        let hw = yoso_arch::HwConfig::random(&mut rng);
+        let ev = SurrogateEvaluator::new(NetworkSkeleton::tiny());
+        let heavy = ev.evaluate(&DesignPoint {
+            genotype: Genotype {
+                normal: cell(heavy_gene),
+                reduction: cell(heavy_gene),
+            },
+            hw,
+        });
+        let light = ev.evaluate(&DesignPoint {
+            genotype: Genotype {
+                normal: cell(light_gene),
+                reduction: cell(light_gene),
+            },
+            hw,
+        });
+        assert!(heavy.accuracy > light.accuracy);
+        assert!(heavy.energy_mj > light.energy_mj, "capacity costs energy");
+    }
+
+    #[test]
+    fn calibrated_constraints_are_interior() {
+        let sk = NetworkSkeleton::tiny();
+        let c = calibrate_constraints(&sk, 50, 0, 40.0);
+        assert!(c.t_lat_ms > 0.0 && c.t_eer_mj > 0.0);
+        // Roughly 40% of random designs should satisfy each threshold.
+        let sim = Simulator::fast();
+        let samples = collect_samples(&sk, &sim, 50, 0);
+        let ok_lat = samples.iter().filter(|s| s.latency_ms <= c.t_lat_ms).count();
+        assert!((10..=30).contains(&ok_lat), "{ok_lat}");
+    }
+}

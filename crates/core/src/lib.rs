@@ -1,0 +1,58 @@
+//! # yoso-core
+//!
+//! The single-stage DNN/accelerator co-design engine — the paper's primary
+//! contribution, assembled from the substrate crates:
+//!
+//! * [`reward`] — the multi-objective reward `R(λ)` (Eq. 2) and user
+//!   constraints;
+//! * [`evaluation`] — the fast evaluator (HyperNet accuracy + GP
+//!   performance predictors), the accurate evaluator (full training +
+//!   exact simulation) and a deterministic surrogate;
+//! * [`search`] — the RL search loop (LSTM + REINFORCE over the 44-symbol
+//!   joint action space) and the random-search baseline;
+//! * [`twostage`] — the two-stage baseline flow with representative
+//!   reference models (Table 2);
+//! * [`pipeline`] — the three-step YOSO flow ending in top-N accurate
+//!   reranking.
+//!
+//! ## Example
+//!
+//! ```
+//! use yoso_core::evaluation::{calibrate_constraints, SurrogateEvaluator};
+//! use yoso_core::reward::RewardConfig;
+//! use yoso_core::search::{rl_search, SearchConfig};
+//! use yoso_arch::NetworkSkeleton;
+//!
+//! let sk = NetworkSkeleton::tiny();
+//! let evaluator = SurrogateEvaluator::new(sk.clone());
+//! let constraints = calibrate_constraints(&sk, 30, 0, 50.0);
+//! let reward = RewardConfig::balanced(constraints);
+//! let cfg = SearchConfig { iterations: 20, rollouts_per_update: 4, seed: 0 };
+//! let outcome = rl_search(&evaluator, &reward, &cfg);
+//! assert_eq!(outcome.history.len(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod evaluation;
+pub mod parallel;
+pub mod pipeline;
+pub mod reward;
+pub mod search;
+pub mod twostage;
+
+pub use analysis::{feasible, hypervolume, save_history_csv, summarize, EvalSummary};
+pub use evaluation::{
+    calibrate_constraints, AccurateEvaluator, Evaluation, Evaluator, FastEvaluator,
+    SurrogateEvaluator,
+};
+pub use parallel::parallel_map;
+pub use pipeline::{finalize, run_search_and_finalize, Finalist, YosoResult};
+pub use reward::{Constraints, RewardConfig, RewardForm};
+pub use search::{evolution_search, random_search, rl_search, SearchConfig, SearchOutcome, SearchRecord};
+pub use twostage::{
+    best_hw_for, reference_models, run_two_stage, BestHw, OptimizationTarget, ReferenceModel,
+    TwoStageResult,
+};

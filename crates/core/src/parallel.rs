@@ -1,0 +1,57 @@
+//! Scoped-thread parallel map over an index range (crossbeam-based),
+//! used by the exhaustive hardware sweeps and benchmark drivers.
+
+/// Applies `f` to `0..n` across up to `threads` worker threads and
+/// returns results in index order.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (t, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(t * chunk + i));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|v| v.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let v = parallel_map(100, 8, |i| i * i);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn single_thread_and_empty() {
+        assert_eq!(parallel_map(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(parallel_map(3, 64, |i| i + 1), vec![1, 2, 3]);
+    }
+}

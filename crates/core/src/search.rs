@@ -1,0 +1,396 @@
+//! Design-space search: the RL engine (paper step 2) and the random-search
+//! baseline of Fig. 6(a), plus history bookkeeping, top-N selection and
+//! Pareto-front extraction.
+
+use crate::evaluation::{Evaluation, Evaluator};
+use crate::reward::RewardConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yoso_arch::{ActionSpace, DesignPoint};
+use yoso_controller::{Controller, ControllerConfig, Rollout};
+
+/// Search-loop parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Total candidate evaluations.
+    pub iterations: usize,
+    /// Rollouts per controller update (RL only).
+    pub rollouts_per_update: usize,
+    /// RNG / controller-init seed.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            iterations: 2000,
+            rollouts_per_update: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchRecord {
+    /// Candidate index (0-based).
+    pub iteration: usize,
+    /// The design point.
+    pub point: DesignPoint,
+    /// Its fast evaluation.
+    pub eval: Evaluation,
+    /// Its reward under the configured objective.
+    pub reward: f64,
+}
+
+/// Full search history.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchOutcome {
+    /// Every evaluated candidate, in order.
+    pub history: Vec<SearchRecord>,
+}
+
+impl SearchOutcome {
+    /// The highest-reward record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is empty.
+    pub fn best(&self) -> &SearchRecord {
+        self.history
+            .iter()
+            .max_by(|a, b| a.reward.total_cmp(&b.reward))
+            .expect("non-empty search history")
+    }
+
+    /// The `n` highest-reward *distinct* design points (paper step 3
+    /// selects the top-10 promising candidates).
+    pub fn top_n(&self, n: usize) -> Vec<SearchRecord> {
+        let mut sorted: Vec<&SearchRecord> = self.history.iter().collect();
+        sorted.sort_by(|a, b| b.reward.total_cmp(&a.reward));
+        let mut out: Vec<SearchRecord> = Vec::with_capacity(n);
+        for r in sorted {
+            if out.iter().all(|o| o.point != r.point) {
+                out.push(*r);
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Running maximum of the reward (the Fig. 6(a) curve).
+    pub fn running_best_reward(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.history
+            .iter()
+            .map(|r| {
+                best = best.max(r.reward);
+                best
+            })
+            .collect()
+    }
+
+    /// Pareto-optimal records for a `(cost, quality)` projection: a record
+    /// is kept when no other record has lower cost *and* higher quality.
+    pub fn pareto_by(&self, project: impl Fn(&SearchRecord) -> (f64, f64)) -> Vec<SearchRecord> {
+        let pts: Vec<(f64, f64)> = self.history.iter().map(&project).collect();
+        let mut out = Vec::new();
+        for (i, r) in self.history.iter().enumerate() {
+            let (ci, qi) = pts[i];
+            let dominated = pts
+                .iter()
+                .enumerate()
+                .any(|(j, &(cj, qj))| j != i && cj <= ci && qj >= qi && (cj < ci || qj > qi));
+            if !dominated {
+                out.push(*r);
+            }
+        }
+        out
+    }
+}
+
+fn record(
+    evaluator: &dyn Evaluator,
+    reward_cfg: &RewardConfig,
+    iteration: usize,
+    point: DesignPoint,
+) -> SearchRecord {
+    let eval = evaluator.evaluate(&point);
+    let reward = reward_cfg.reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
+    SearchRecord {
+        iteration,
+        point,
+        eval,
+        reward,
+    }
+}
+
+/// RL-based search (paper step 2): the LSTM controller generates joint
+/// DNN + accelerator action sequences, the evaluator scores them, and
+/// REINFORCE steers the policy towards higher composite reward.
+pub fn rl_search(
+    evaluator: &dyn Evaluator,
+    reward_cfg: &RewardConfig,
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    let space = ActionSpace::new();
+    let mut ctrl_cfg = ControllerConfig::paper_default(space.vocab_sizes().to_vec());
+    ctrl_cfg.seed = cfg.seed;
+    let mut controller = Controller::new(ctrl_cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD);
+    let mut outcome = SearchOutcome::default();
+    let mut iteration = 0;
+    while iteration < cfg.iterations {
+        let batch_n = cfg.rollouts_per_update.min(cfg.iterations - iteration);
+        let mut batch: Vec<(Rollout, f64)> = Vec::with_capacity(batch_n);
+        for _ in 0..batch_n {
+            let rollout = controller.sample(&mut rng);
+            let point = space
+                .decode(&rollout.actions)
+                .expect("controller emits in-vocabulary actions");
+            let rec = record(evaluator, reward_cfg, iteration, point);
+            batch.push((rollout, rec.reward));
+            outcome.history.push(rec);
+            iteration += 1;
+        }
+        controller.update(&batch);
+    }
+    outcome
+}
+
+/// Regularized-evolution search (Real et al., the AmoebaNet method cited
+/// as \[9\]) over the joint space — an extra baseline beyond the paper's
+/// RL-vs-random comparison. Tournament selection over a sliding
+/// population with single-symbol mutation through the action codec.
+///
+/// # Panics
+///
+/// Panics if `population` or `tournament` is zero.
+pub fn evolution_search(
+    evaluator: &dyn Evaluator,
+    reward_cfg: &RewardConfig,
+    cfg: &SearchConfig,
+    population: usize,
+    tournament: usize,
+) -> SearchOutcome {
+    assert!(population > 0 && tournament > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0_5EED);
+    let mut outcome = SearchOutcome::default();
+    let mut pop: std::collections::VecDeque<SearchRecord> = std::collections::VecDeque::new();
+    for iteration in 0..cfg.iterations {
+        let rec = if pop.len() < population {
+            record(evaluator, reward_cfg, iteration, DesignPoint::random(&mut rng))
+        } else {
+            // Tournament: sample `tournament` members, mutate the fittest.
+            let parent = (0..tournament)
+                .map(|_| &pop[rand::RngExt::random_range(&mut rng, 0..pop.len())])
+                .max_by(|a, b| a.reward.total_cmp(&b.reward))
+                .expect("tournament > 0");
+            let child = parent.point.mutate(&mut rng);
+            record(evaluator, reward_cfg, iteration, child)
+        };
+        pop.push_back(rec);
+        if pop.len() > population {
+            pop.pop_front(); // regularization: age-based removal
+        }
+        outcome.history.push(rec);
+    }
+    outcome
+}
+
+/// Uniform random search over the joint space — the Fig. 6(a) baseline.
+pub fn random_search(
+    evaluator: &dyn Evaluator,
+    reward_cfg: &RewardConfig,
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
+    let mut outcome = SearchOutcome::default();
+    for iteration in 0..cfg.iterations {
+        let point = DesignPoint::random(&mut rng);
+        outcome
+            .history
+            .push(record(evaluator, reward_cfg, iteration, point));
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::SurrogateEvaluator;
+    use crate::reward::RewardConfig;
+    use yoso_arch::NetworkSkeleton;
+
+    fn setup() -> (SurrogateEvaluator, RewardConfig) {
+        let sk = NetworkSkeleton::tiny();
+        let ev = SurrogateEvaluator::new(sk.clone());
+        let cons = crate::evaluation::calibrate_constraints(&sk, 60, 0, 50.0);
+        (ev, RewardConfig::balanced(cons))
+    }
+
+    #[test]
+    fn rl_search_improves_over_iterations() {
+        let (ev, rc) = setup();
+        let cfg = SearchConfig {
+            iterations: 600,
+            rollouts_per_update: 8,
+            seed: 1,
+        };
+        let out = rl_search(&ev, &rc, &cfg);
+        assert_eq!(out.history.len(), 600);
+        // Mean reward of the last eighth beats the first eighth.
+        let k = out.history.len() / 8;
+        let first: f64 = out.history[..k].iter().map(|r| r.reward).sum::<f64>() / k as f64;
+        let last: f64 = out.history[out.history.len() - k..]
+            .iter()
+            .map(|r| r.reward)
+            .sum::<f64>()
+            / k as f64;
+        assert!(
+            last > first,
+            "RL did not improve: first {first:.4} last {last:.4}"
+        );
+    }
+
+    #[test]
+    fn rl_beats_random_on_average_tail() {
+        let (ev, rc) = setup();
+        let cfg = SearchConfig {
+            iterations: 600,
+            rollouts_per_update: 8,
+            seed: 2,
+        };
+        let rl = rl_search(&ev, &rc, &cfg);
+        let rnd = random_search(&ev, &rc, &cfg);
+        let tail = |o: &SearchOutcome| {
+            let k = o.history.len() / 4;
+            o.history[o.history.len() - k..]
+                .iter()
+                .map(|r| r.reward)
+                .sum::<f64>()
+                / k as f64
+        };
+        assert!(
+            tail(&rl) > tail(&rnd),
+            "rl tail {} vs random tail {}",
+            tail(&rl),
+            tail(&rnd)
+        );
+    }
+
+    #[test]
+    fn evolution_beats_random_tail() {
+        let (ev, rc) = setup();
+        let cfg = SearchConfig {
+            iterations: 600,
+            rollouts_per_update: 8,
+            seed: 9,
+        };
+        let evo = evolution_search(&ev, &rc, &cfg, 40, 8);
+        let rnd = random_search(&ev, &rc, &cfg);
+        assert_eq!(evo.history.len(), 600);
+        let tail = |o: &SearchOutcome| {
+            let k = o.history.len() / 4;
+            o.history[o.history.len() - k..]
+                .iter()
+                .map(|r| r.reward)
+                .sum::<f64>()
+                / k as f64
+        };
+        assert!(
+            tail(&evo) > tail(&rnd),
+            "evolution tail {} vs random tail {}",
+            tail(&evo),
+            tail(&rnd)
+        );
+    }
+
+    #[test]
+    fn evolution_deterministic() {
+        let (ev, rc) = setup();
+        let cfg = SearchConfig {
+            iterations: 60,
+            rollouts_per_update: 1,
+            seed: 10,
+        };
+        let a = evolution_search(&ev, &rc, &cfg, 16, 4);
+        let b = evolution_search(&ev, &rc, &cfg, 16, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_n_is_distinct_and_sorted() {
+        let (ev, rc) = setup();
+        let cfg = SearchConfig {
+            iterations: 100,
+            rollouts_per_update: 5,
+            seed: 3,
+        };
+        let out = random_search(&ev, &rc, &cfg);
+        let top = out.top_n(10);
+        assert_eq!(top.len(), 10);
+        for w in top.windows(2) {
+            assert!(w[0].reward >= w[1].reward);
+            assert_ne!(w[0].point, w[1].point);
+        }
+        assert_eq!(top[0].reward, out.best().reward);
+    }
+
+    #[test]
+    fn running_best_monotone() {
+        let (ev, rc) = setup();
+        let out = random_search(
+            &ev,
+            &rc,
+            &SearchConfig {
+                iterations: 50,
+                rollouts_per_update: 1,
+                seed: 4,
+            },
+        );
+        let rb = out.running_best_reward();
+        for w in rb.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated() {
+        let (ev, rc) = setup();
+        let out = random_search(
+            &ev,
+            &rc,
+            &SearchConfig {
+                iterations: 80,
+                rollouts_per_update: 1,
+                seed: 5,
+            },
+        );
+        let front = out.pareto_by(|r| (r.eval.energy_mj, r.eval.accuracy));
+        assert!(!front.is_empty());
+        for a in &front {
+            for b in &out.history {
+                let dominates = b.eval.energy_mj <= a.eval.energy_mj
+                    && b.eval.accuracy >= a.eval.accuracy
+                    && (b.eval.energy_mj < a.eval.energy_mj || b.eval.accuracy > a.eval.accuracy);
+                assert!(!dominates, "front member dominated");
+            }
+        }
+    }
+
+    #[test]
+    fn searches_are_deterministic() {
+        let (ev, rc) = setup();
+        let cfg = SearchConfig {
+            iterations: 40,
+            rollouts_per_update: 4,
+            seed: 6,
+        };
+        let a = rl_search(&ev, &rc, &cfg);
+        let b = rl_search(&ev, &rc, &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,478 @@
+//! # yoso-dataset
+//!
+//! **SynthCifar**: a procedurally generated, CIFAR-10-like image
+//! classification task used as the stand-in for CIFAR-10 in this offline
+//! reproduction (see DESIGN.md, substitution table).
+//!
+//! Ten classes are defined by structured visual factors — stripe
+//! orientation and frequency, checkerboards, radial rings, blob lattices
+//! and gradient textures, each in two hue variants — with per-sample
+//! jitter (phase, frequency, amplitude, global color shift, pixel noise)
+//! plus optional label noise. The task is deliberately *not* solvable from
+//! mean color alone, so convolutional feature extractors of different
+//! capacity reach measurably different accuracies — which is exactly the
+//! property the HyperNet-ranking and search experiments require.
+//!
+//! ## Example
+//!
+//! ```
+//! use yoso_dataset::{SynthCifar, SynthCifarConfig};
+//! let data = SynthCifar::generate(&SynthCifarConfig::tiny());
+//! assert_eq!(data.train.len(), 256);
+//! let (images, labels) = data.train.batch(&[0, 1, 2]);
+//! assert_eq!(images.shape(), &[3, 3, data.config.image_hw, data.config.image_hw]);
+//! assert_eq!(labels.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use yoso_tensor::Tensor;
+
+/// Generation parameters for [`SynthCifar`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthCifarConfig {
+    /// Square image size.
+    pub image_hw: usize,
+    /// Number of classes (≤ 10).
+    pub num_classes: usize,
+    /// Training split size.
+    pub train_count: usize,
+    /// Validation split size (used by the search reward).
+    pub val_count: usize,
+    /// Held-out test split size.
+    pub test_count: usize,
+    /// Standard deviation of additive pixel noise.
+    pub noise: f32,
+    /// Fraction of training labels randomly flipped.
+    pub label_noise: f64,
+    /// Master seed; every split derives its own stream.
+    pub seed: u64,
+}
+
+impl SynthCifarConfig {
+    /// Default CPU-scale dataset (paper: CIFAR-10 50k/10k at 32x32).
+    pub fn default_scale() -> Self {
+        SynthCifarConfig {
+            image_hw: 16,
+            num_classes: 10,
+            train_count: 2048,
+            val_count: 512,
+            test_count: 512,
+            noise: 0.3,
+            label_noise: 0.04,
+            seed: 0xC1FA5,
+        }
+    }
+
+    /// Mid-scale dataset matching `NetworkSkeleton::small()` (12x12).
+    pub fn small() -> Self {
+        SynthCifarConfig {
+            image_hw: 12,
+            num_classes: 10,
+            train_count: 1024,
+            val_count: 256,
+            test_count: 256,
+            noise: 0.3,
+            label_noise: 0.04,
+            seed: 0xC1FA5,
+        }
+    }
+
+    /// Tiny dataset for unit tests.
+    pub fn tiny() -> Self {
+        SynthCifarConfig {
+            image_hw: 8,
+            num_classes: 10,
+            train_count: 256,
+            val_count: 128,
+            test_count: 128,
+            noise: 0.05,
+            label_noise: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+impl Default for SynthCifarConfig {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+/// One split (train/val/test) of the dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    images: Vec<f32>,
+    labels: Vec<usize>,
+    hw: usize,
+}
+
+impl Split {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the split holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of example `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Gathers the given examples into an NCHW batch tensor plus labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let px = 3 * self.hw * self.hw;
+        let mut data = Vec::with_capacity(indices.len() * px);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.images[i * px..(i + 1) * px]);
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(&[indices.len(), 3, self.hw, self.hw], data),
+            labels,
+        )
+    }
+
+    /// Gathers a batch with random-crop (1-pixel pad) and horizontal-flip
+    /// augmentation, the CPU-scale analogue of the paper's "standard random
+    /// crop data augmentation".
+    pub fn batch_augmented<R: Rng + ?Sized>(
+        &self,
+        indices: &[usize],
+        rng: &mut R,
+    ) -> (Tensor, Vec<usize>) {
+        let hw = self.hw;
+        let px = 3 * hw * hw;
+        let mut out = vec![0.0f32; indices.len() * px];
+        let mut labels = Vec::with_capacity(indices.len());
+        for (bi, &i) in indices.iter().enumerate() {
+            labels.push(self.labels[i]);
+            let src = &self.images[i * px..(i + 1) * px];
+            let dy = rng.random_range(-1i32..=1);
+            let dx = rng.random_range(-1i32..=1);
+            let flip = rng.random_bool(0.5);
+            let dst = &mut out[bi * px..(bi + 1) * px];
+            for c in 0..3 {
+                for y in 0..hw {
+                    let sy = y as i32 + dy;
+                    for x in 0..hw {
+                        let sx0 = if flip { hw - 1 - x } else { x } as i32;
+                        let sx = sx0 + dx;
+                        let v = if sy >= 0 && sy < hw as i32 && sx >= 0 && sx < hw as i32 {
+                            src[c * hw * hw + sy as usize * hw + sx as usize]
+                        } else {
+                            0.0
+                        };
+                        dst[c * hw * hw + y * hw + x] = v;
+                    }
+                }
+            }
+        }
+        (
+            Tensor::from_vec(&[indices.len(), 3, hw, hw], out),
+            labels,
+        )
+    }
+
+    /// A shuffled epoch of minibatch index lists (trailing partial batch
+    /// dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn epoch_batches<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0);
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        // Fisher-Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+            .chunks(batch_size)
+            .filter(|c| c.len() == batch_size)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+}
+
+/// The generated dataset: train / validation / test splits.
+#[derive(Debug, Clone)]
+pub struct SynthCifar {
+    /// Generation parameters.
+    pub config: SynthCifarConfig,
+    /// Training split (label noise applied here only).
+    pub train: Split,
+    /// Validation split (drives the search reward, like the paper's
+    /// validation accuracy).
+    pub val: Split,
+    /// Held-out test split (final "test error" reporting).
+    pub test: Split,
+}
+
+impl SynthCifar {
+    /// Generates the dataset deterministically from `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is 0 or greater than 10.
+    pub fn generate(config: &SynthCifarConfig) -> Self {
+        assert!(
+            (1..=10).contains(&config.num_classes),
+            "num_classes must be 1..=10"
+        );
+        let train = generate_split(config, config.train_count, 1, config.label_noise);
+        let val = generate_split(config, config.val_count, 2, 0.0);
+        let test = generate_split(config, config.test_count, 3, 0.0);
+        SynthCifar {
+            config: config.clone(),
+            train,
+            val,
+            test,
+        }
+    }
+}
+
+fn generate_split(
+    config: &SynthCifarConfig,
+    count: usize,
+    stream: u64,
+    label_noise: f64,
+) -> Split {
+    let hw = config.image_hw;
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream));
+    let px = 3 * hw * hw;
+    let mut images = vec![0.0f32; count * px];
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % config.num_classes;
+        render_class_image(class, hw, config.noise, &mut rng, &mut images[i * px..(i + 1) * px]);
+        let label = if label_noise > 0.0 && rng.random_bool(label_noise) {
+            rng.random_range(0..config.num_classes)
+        } else {
+            class
+        };
+        labels.push(label);
+    }
+    Split { images, labels, hw }
+}
+
+/// Hue palettes: (r, g, b) weight triples per hue variant.
+const PALETTES: [[f32; 3]; 2] = [[1.0, 0.55, 0.25], [0.3, 0.6, 1.0]];
+
+/// Renders one image of `class` into `out` (`[3 * hw * hw]`, CHW).
+fn render_class_image<R: Rng + ?Sized>(
+    class: usize,
+    hw: usize,
+    noise: f32,
+    rng: &mut R,
+    out: &mut [f32],
+) {
+    let family = class % 5;
+    let palette = PALETTES[class / 5 % 2];
+    // Higher pixel noise also widens the structural jitter, so `noise`
+    // doubles as a task-difficulty knob: harder datasets spread the
+    // accuracies of different architectures apart (needed for the
+    // HyperNet ranking experiments).
+    let jit = 1.0 + 3.0 * noise;
+    let phase: f32 = rng.random_range(0.0..std::f32::consts::TAU);
+    let freq_jit: f32 = rng.random_range((1.0 - 0.15 * jit).max(0.4)..1.0 + 0.15 * jit);
+    let angle_jit: f32 = rng.random_range(-0.15 * jit..0.15 * jit);
+    let amp: f32 = rng.random_range((1.0 - 0.3 * jit).max(0.25)..1.0);
+    let color_shift: [f32; 3] = [
+        rng.random_range(-0.12 * jit..0.12 * jit),
+        rng.random_range(-0.12 * jit..0.12 * jit),
+        rng.random_range(-0.12 * jit..0.12 * jit),
+    ];
+    let n = hw as f32;
+    for y in 0..hw {
+        for x in 0..hw {
+            // Normalized coordinates in [-1, 1].
+            let u = 2.0 * (x as f32 + 0.5) / n - 1.0;
+            let v = 2.0 * (y as f32 + 0.5) / n - 1.0;
+            let p = match family {
+                // Oriented stripes at a class-specific angle.
+                0 => {
+                    let ang = 0.9 + angle_jit;
+                    let t = u * ang.cos() + v * ang.sin();
+                    (0.5 + 0.5 * (t * 6.0 * freq_jit + phase).sin()) * amp
+                }
+                // Checkerboard.
+                1 => {
+                    let fx = ((u * 3.0 * freq_jit + phase).sin() > 0.0) as u8;
+                    let fy = ((v * 3.0 * freq_jit + phase * 0.7).sin() > 0.0) as u8;
+                    ((fx ^ fy) as f32) * amp
+                }
+                // Radial rings.
+                2 => {
+                    let r = (u * u + v * v).sqrt();
+                    (0.5 + 0.5 * (r * 9.0 * freq_jit + phase).sin()) * amp
+                }
+                // Blob lattice (product of sinusoids; bright spots).
+                3 => {
+                    let b = (u * 4.0 * freq_jit + phase).sin() * (v * 4.0 * freq_jit + phase).sin();
+                    (b.max(0.0)) * amp
+                }
+                // Diagonal gradient with fine texture.
+                _ => {
+                    let g = 0.5 * (u + v) * 0.5 + 0.5;
+                    let tex = 0.25 * ((u * 11.0 + phase).sin() * (v * 11.0 - phase).cos());
+                    ((g + tex).clamp(0.0, 1.0)) * amp
+                }
+            };
+            for c in 0..3 {
+                let base = p * palette[c] + color_shift[c];
+                let jittered = base + noise * (rng.random::<f32>() - 0.5);
+                out[c * hw * hw + y * hw + x] = jittered.clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = SynthCifarConfig::tiny();
+        let a = SynthCifar::generate(&cfg);
+        let b = SynthCifar::generate(&cfg);
+        assert_eq!(a.train.images, b.train.images);
+        assert_eq!(a.train.labels, b.train.labels);
+        assert_eq!(a.test.labels, b.test.labels);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = SynthCifarConfig::tiny();
+        let a = SynthCifar::generate(&cfg);
+        cfg.seed = 8;
+        let b = SynthCifar::generate(&cfg);
+        assert_ne!(a.train.images, b.train.images);
+    }
+
+    #[test]
+    fn splits_have_requested_sizes_and_balanced_labels() {
+        let cfg = SynthCifarConfig::tiny();
+        let d = SynthCifar::generate(&cfg);
+        assert_eq!(d.train.len(), 256);
+        assert_eq!(d.val.len(), 128);
+        assert_eq!(d.test.len(), 128);
+        // Balanced by construction (round-robin classes, no label noise).
+        let mut counts = [0usize; 10];
+        for i in 0..d.val.len() {
+            counts[d.val.label(i)] += 1;
+        }
+        for c in counts {
+            assert!(c >= 12, "class count {c}");
+        }
+    }
+
+    #[test]
+    fn pixel_range_clamped() {
+        let d = SynthCifar::generate(&SynthCifarConfig::tiny());
+        let (imgs, _) = d.train.batch(&(0..64).collect::<Vec<_>>());
+        assert!(imgs.min() >= 0.0);
+        assert!(imgs.max() <= 1.0);
+    }
+
+    #[test]
+    fn batch_layout_nchw() {
+        let d = SynthCifar::generate(&SynthCifarConfig::tiny());
+        let (imgs, labels) = d.train.batch(&[5, 9]);
+        assert_eq!(imgs.shape(), &[2, 3, 8, 8]);
+        assert_eq!(labels, vec![d.train.label(5), d.train.label(9)]);
+    }
+
+    #[test]
+    fn augmented_batch_same_shape_and_range() {
+        let d = SynthCifar::generate(&SynthCifarConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(1);
+        let (imgs, labels) = d.train.batch_augmented(&[0, 1, 2, 3], &mut rng);
+        assert_eq!(imgs.shape(), &[4, 3, 8, 8]);
+        assert_eq!(labels.len(), 4);
+        assert!(imgs.min() >= 0.0 && imgs.max() <= 1.0);
+    }
+
+    #[test]
+    fn epoch_batches_cover_split_once() {
+        let d = SynthCifar::generate(&SynthCifarConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(2);
+        let batches = d.train.epoch_batches(32, &mut rng);
+        assert_eq!(batches.len(), 8);
+        let mut seen = vec![false; d.train.len()];
+        for b in &batches {
+            for &i in b {
+                assert!(!seen[i], "index {i} repeated");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn classes_statistically_distinct() {
+        // Images of two classes from different pattern families should have
+        // clearly different spatial-gradient statistics.
+        let d = SynthCifar::generate(&SynthCifarConfig::tiny());
+        let grad_energy = |cls: usize| -> f32 {
+            let idx: Vec<usize> = (0..d.train.len())
+                .filter(|&i| d.train.label(i) == cls)
+                .collect();
+            let (imgs, _) = d.train.batch(&idx);
+            let hw = 8usize;
+            let mut e = 0.0f32;
+            let data = imgs.data();
+            for img in 0..idx.len() {
+                for y in 0..hw {
+                    for x in 0..hw - 1 {
+                        let a = data[img * 3 * hw * hw + y * hw + x];
+                        let b = data[img * 3 * hw * hw + y * hw + x + 1];
+                        e += (a - b).abs();
+                    }
+                }
+            }
+            e / idx.len() as f32
+        };
+        let e0 = grad_energy(0); // stripes (high horizontal gradient)
+        let e4 = grad_energy(4); // smooth gradient family
+        assert!((e0 - e4).abs() > 0.1, "classes look identical: {e0} vs {e4}");
+    }
+
+    #[test]
+    fn label_noise_flips_some_labels() {
+        let mut cfg = SynthCifarConfig::tiny();
+        cfg.label_noise = 0.5;
+        let d = SynthCifar::generate(&cfg);
+        let flipped = (0..d.train.len())
+            .filter(|&i| d.train.label(i) != i % cfg.num_classes)
+            .count();
+        assert!(flipped > 50, "expected many flips, got {flipped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "num_classes")]
+    fn rejects_zero_classes() {
+        let mut cfg = SynthCifarConfig::tiny();
+        cfg.num_classes = 0;
+        let _ = SynthCifar::generate(&cfg);
+    }
+}

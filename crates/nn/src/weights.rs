@@ -1,0 +1,144 @@
+//! Weight containers and the provider abstraction shared by standalone
+//! networks and the weight-sharing HyperNet.
+
+use rand::Rng;
+use yoso_arch::Op;
+use yoso_tensor::{ParamId, ParamStore, Tensor};
+
+/// Weights of a conv + batch-norm block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvBn {
+    /// Convolution kernel `[cout, cin, k, k]`.
+    pub w: ParamId,
+    /// BN scale `[cout]`.
+    pub gamma: ParamId,
+    /// BN shift `[cout]`.
+    pub beta: ParamId,
+}
+
+impl ConvBn {
+    /// Allocates a conv+BN block with He init.
+    pub fn alloc<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        cin: usize,
+        cout: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Self {
+        ConvBn {
+            w: store.add(Tensor::he_normal(&[cout, cin, k, k], cin * k * k, rng)),
+            gamma: store.add(Tensor::ones(&[cout])),
+            beta: store.add(Tensor::zeros(&[cout])),
+        }
+    }
+}
+
+/// Weights of a depthwise-separable conv block (dw + pointwise + BN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SepConv {
+    /// Depthwise kernel `[c, k, k]`.
+    pub dw: ParamId,
+    /// Pointwise kernel `[c, c, 1, 1]`.
+    pub pw: ParamId,
+    /// BN scale `[c]`.
+    pub gamma: ParamId,
+    /// BN shift `[c]`.
+    pub beta: ParamId,
+}
+
+impl SepConv {
+    /// Allocates a separable-conv block with He init.
+    pub fn alloc<R: Rng + ?Sized>(store: &mut ParamStore, c: usize, k: usize, rng: &mut R) -> Self {
+        SepConv {
+            dw: store.add(Tensor::he_normal(&[c, k, k], k * k, rng)),
+            pw: store.add(Tensor::he_normal(&[c, c, 1, 1], c, rng)),
+            gamma: store.add(Tensor::ones(&[c])),
+            beta: store.add(Tensor::zeros(&[c])),
+        }
+    }
+}
+
+/// Weights of one candidate operation instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpWeights {
+    /// Dense convolution (3x3 / 5x5).
+    Conv(ConvBn),
+    /// Depthwise-separable convolution.
+    Sep(SepConv),
+    /// Pooling: no weights.
+    Pool,
+}
+
+impl OpWeights {
+    /// Allocates weights appropriate for `op` on `c` channels.
+    pub fn alloc<R: Rng + ?Sized>(store: &mut ParamStore, op: Op, c: usize, rng: &mut R) -> Self {
+        match op {
+            Op::Conv3 | Op::Conv5 => OpWeights::Conv(ConvBn::alloc(store, c, c, op.kernel(), rng)),
+            Op::DwConv3 | Op::DwConv5 => OpWeights::Sep(SepConv::alloc(store, c, op.kernel(), rng)),
+            Op::MaxPool | Op::AvgPool => OpWeights::Pool,
+        }
+    }
+}
+
+/// Classifier head weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Head {
+    /// Linear weight `[classes, c]`.
+    pub w: ParamId,
+    /// Linear bias `[classes]`.
+    pub b: ParamId,
+}
+
+/// Supplies weights for every slot the network forward pass needs.
+///
+/// The standalone [`CellNetwork`](crate::network::CellNetwork) allocates
+/// one weight set for its fixed genotype; the HyperNet supplies shared
+/// weights indexed by `(cell, node, source, op)` so that any sub-model
+/// inherits them.
+pub trait WeightProvider {
+    /// Stem conv + BN.
+    fn stem(&self) -> ConvBn;
+    /// Preprocessing 1x1 conv for cell `cell`, input `which` (0 or 1).
+    fn prep(&self, cell: usize, which: usize) -> ConvBn;
+    /// Weights of the op applied on the edge `src -> node` in `cell`.
+    fn op(&self, cell: usize, node: usize, src: usize, op: Op) -> OpWeights;
+    /// Classifier head.
+    fn head(&self) -> Head;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alloc_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cb = ConvBn::alloc(&mut store, 3, 8, 3, &mut rng);
+        assert_eq!(store.value(cb.w).shape(), &[8, 3, 3, 3]);
+        assert_eq!(store.value(cb.gamma).data(), &[1.0; 8]);
+        let sc = SepConv::alloc(&mut store, 4, 5, &mut rng);
+        assert_eq!(store.value(sc.dw).shape(), &[4, 5, 5]);
+        assert_eq!(store.value(sc.pw).shape(), &[4, 4, 1, 1]);
+    }
+
+    #[test]
+    fn op_weights_variants() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        assert!(matches!(
+            OpWeights::alloc(&mut store, Op::Conv5, 8, &mut rng),
+            OpWeights::Conv(_)
+        ));
+        assert!(matches!(
+            OpWeights::alloc(&mut store, Op::DwConv3, 8, &mut rng),
+            OpWeights::Sep(_)
+        ));
+        assert!(matches!(
+            OpWeights::alloc(&mut store, Op::MaxPool, 8, &mut rng),
+            OpWeights::Pool
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Feature extraction: design points → regression feature vectors.
+//!
+//! The paper feeds "the DNN model and configuration parameters" to the
+//! predictors; we use a compact, model-agnostic summary of the compiled
+//! network plus the raw hardware configuration.
+
+use yoso_arch::{Dataflow, DesignPoint, HwConfig, NetworkSkeleton, NetworkStats};
+
+/// Dimensionality of the feature vector produced by [`design_features`].
+pub const FEATURE_DIM: usize = 20;
+
+/// Features from precomputed network statistics and a hardware config.
+pub fn stats_features(stats: &NetworkStats, hw: &HwConfig, out_arities: (usize, usize)) -> Vec<f64> {
+    let ln = |v: f64| (v.max(1.0)).ln();
+    let total = stats.total_macs.max(1) as f64;
+    let mut f = vec![
+        ln(stats.total_macs as f64),
+        ln(stats.total_weights as f64),
+        stats.conv_macs as f64 / total,
+        stats.dw_macs as f64 / total,
+        stats.num_layers as f64,
+        stats.k5_layers as f64,
+        stats.pool_layers as f64,
+        ln(stats.act_elems as f64),
+        ln(stats.max_act_elems as f64),
+        hw.pe.rows as f64,
+        hw.pe.cols as f64,
+        ln(hw.pe.count() as f64),
+        ln(hw.gbuf_kb as f64),
+        ln(hw.rbuf_bytes as f64),
+    ];
+    for df in Dataflow::ALL {
+        f.push(if hw.dataflow == df { 1.0 } else { 0.0 });
+    }
+    f.push(out_arities.0 as f64);
+    f.push(out_arities.1 as f64);
+    debug_assert_eq!(f.len(), FEATURE_DIM);
+    f
+}
+
+/// Compiles `point` under `skeleton` and extracts its feature vector.
+pub fn design_features(point: &DesignPoint, skeleton: &NetworkSkeleton) -> Vec<f64> {
+    let plan = skeleton.compile(&point.genotype);
+    stats_features(
+        &plan.stats,
+        &point.hw,
+        (
+            point.genotype.normal.output_arity(),
+            point.genotype.reduction.output_arity(),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn feature_dim_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = DesignPoint::random(&mut rng);
+        let f = design_features(&p, &NetworkSkeleton::paper_default());
+        assert_eq!(f.len(), FEATURE_DIM);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn hw_changes_only_hw_features() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = DesignPoint::random(&mut rng);
+        let sk = NetworkSkeleton::paper_default();
+        let f1 = design_features(&p, &sk);
+        p.hw = yoso_arch::HwConfig::from_indices(0, 0, 0, 0);
+        let f2 = design_features(&p, &sk);
+        // Network summary (first 9 dims) unchanged.
+        assert_eq!(&f1[..9], &f2[..9]);
+        // Hardware dims changed.
+        assert_ne!(&f1[9..18], &f2[9..18]);
+    }
+
+    #[test]
+    fn dataflow_one_hot_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = DesignPoint::random(&mut rng);
+            let f = design_features(&p, &NetworkSkeleton::tiny());
+            let one_hot: f64 = f[14..18].iter().sum();
+            assert_eq!(one_hot, 1.0);
+        }
+    }
+
+    #[test]
+    fn macs_feature_monotone_in_network_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = DesignPoint::random(&mut rng);
+        let small = design_features(&p, &NetworkSkeleton::tiny());
+        let big = design_features(&p, &NetworkSkeleton::paper_default());
+        assert!(big[0] > small[0]);
+    }
+}

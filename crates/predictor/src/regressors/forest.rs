@@ -1,0 +1,132 @@
+//! Random forest regression (bagged CART trees with feature subsampling).
+
+use super::tree::DecisionTree;
+use super::{validate, FitError, Regressor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random forest: bootstrap-aggregated decision trees, each split
+/// considering a random `sqrt(d)`-sized feature subset.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    n_trees: usize,
+    max_depth: usize,
+    min_samples_split: usize,
+    seed: u64,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trees == 0`.
+    pub fn new(n_trees: usize, max_depth: usize, min_samples_split: usize, seed: u64) -> Self {
+        assert!(n_trees > 0);
+        RandomForest {
+            n_trees,
+            max_depth,
+            min_samples_split,
+            seed,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        let d = validate(x, y)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = x.len();
+        let n_feat = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
+        self.trees.clear();
+        for _ in 0..self.n_trees {
+            // Bootstrap sample.
+            let indices: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+            // Feature subset (without replacement).
+            let mut feats: Vec<usize> = (0..d).collect();
+            for i in (1..feats.len()).rev() {
+                let j = rng.random_range(0..=i);
+                feats.swap(i, j);
+            }
+            feats.truncate(n_feat);
+            let mut tree = DecisionTree::new(self.max_depth, self.min_samples_split);
+            tree.fit_indices(x, y, &indices, &feats);
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict_one(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomForest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    fn noisy_quadratic(seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x[0] * x[0] + 0.5 * x[1] + 0.05 * rng.random_range(-1.0..1.0))
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn forest_beats_mean_predictor() {
+        let (xs, ys) = noisy_quadratic(0);
+        let mut f = RandomForest::new(30, 8, 4, 42);
+        f.fit(&xs, &ys).unwrap();
+        let preds = f.predict(&xs);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mean_preds = vec![mean; ys.len()];
+        assert!(mse(&preds, &ys) < 0.3 * mse(&mean_preds, &ys));
+        assert_eq!(f.tree_count(), 30);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (xs, ys) = noisy_quadratic(1);
+        let mut a = RandomForest::new(10, 6, 4, 7);
+        let mut b = RandomForest::new(10, 6, 4, 7);
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&xs, &ys).unwrap();
+        assert_eq!(a.predict_one(&[0.3, -0.7]), b.predict_one(&[0.3, -0.7]));
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let (xs, ys) = noisy_quadratic(2);
+        let mut a = RandomForest::new(10, 6, 4, 1);
+        let mut b = RandomForest::new(10, 6, 4, 2);
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&xs, &ys).unwrap();
+        assert_ne!(a.predict_one(&[0.1, 0.1]), b.predict_one(&[0.1, 0.1]));
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let f = RandomForest::new(5, 4, 2, 0);
+        assert_eq!(f.predict_one(&[1.0]), 0.0);
+    }
+}

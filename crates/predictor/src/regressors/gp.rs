@@ -1,0 +1,278 @@
+//! Gaussian-process regression with an RBF kernel (Eq. 7–8 of the paper).
+//!
+//! This is the model the paper selects as its hardware performance
+//! predictor: `y = f(λ) + ε`, `f ~ GP(µ, K)` with the radial basis
+//! function kernel `K(λ, λ') = exp(-||λ - λ'||² / (2ℓ²))` and Gaussian
+//! observation noise. Hyper-parameters (lengthscale `ℓ`, noise variance)
+//! are chosen by maximizing the log marginal likelihood over a small grid
+//! on a training subsample.
+
+use super::{validate, FitError, Regressor};
+use crate::linalg::{sq_dist, Matrix};
+use crate::standardize::{ScalarStandardizer, Standardizer};
+
+/// RBF-kernel Gaussian-process regressor.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    lengthscale_factors: Vec<f64>,
+    noise_grid: Vec<f64>,
+    /// Cap on training points actually factorized (subsampled by stride).
+    max_train: usize,
+    /// Cap on subsample size used for hyper-parameter selection.
+    max_hyper: usize,
+    // Fitted state.
+    std: Standardizer,
+    ystd: Option<ScalarStandardizer>,
+    xs: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Option<Matrix>,
+    lengthscale: f64,
+    noise: f64,
+}
+
+impl GaussianProcess {
+    /// The default configuration used by the experiments.
+    pub fn default_rbf() -> Self {
+        GaussianProcess {
+            lengthscale_factors: vec![0.25, 0.5, 1.0, 2.0, 4.0],
+            noise_grid: vec![1e-4, 1e-3, 1e-2, 1e-1],
+            max_train: 2000,
+            max_hyper: 300,
+            std: Standardizer::default(),
+            ystd: None,
+            xs: Vec::new(),
+            alpha: Vec::new(),
+            chol: None,
+            lengthscale: 1.0,
+            noise: 1e-2,
+        }
+    }
+
+    /// Builds a GP with a fixed lengthscale/noise (no grid search).
+    pub fn with_hyperparams(lengthscale: f64, noise: f64) -> Self {
+        GaussianProcess {
+            lengthscale_factors: vec![],
+            noise_grid: vec![],
+            lengthscale,
+            noise,
+            ..Self::default_rbf()
+        }
+    }
+
+    /// Overrides the training-set cap (larger = slower, more accurate).
+    pub fn with_max_train(mut self, cap: usize) -> Self {
+        self.max_train = cap.max(2);
+        self
+    }
+
+    /// Fitted lengthscale.
+    pub fn lengthscale(&self) -> f64 {
+        self.lengthscale
+    }
+
+    /// Fitted noise variance.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        (-sq_dist(a, b) / (2.0 * self.lengthscale * self.lengthscale)).exp()
+    }
+
+    fn kernel_matrix(xs: &[Vec<f64>], ell: f64, noise: f64) -> Matrix {
+        let n = xs.len();
+        let mut k = Matrix::zeros(n, n);
+        let inv = 1.0 / (2.0 * ell * ell);
+        for i in 0..n {
+            k[(i, i)] = 1.0 + noise;
+            for j in 0..i {
+                let v = (-sq_dist(&xs[i], &xs[j]) * inv).exp();
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// Log marginal likelihood of `(xs, ys)` under `(ell, noise)`.
+    fn log_marginal(xs: &[Vec<f64>], ys: &[f64], ell: f64, noise: f64) -> f64 {
+        let k = Self::kernel_matrix(xs, ell, noise);
+        let Ok(l) = k.cholesky() else {
+            return f64::NEG_INFINITY;
+        };
+        let alpha = l.solve_lower_transpose(&l.solve_lower(ys));
+        let n = xs.len();
+        let data_fit: f64 = ys.iter().zip(&alpha).map(|(y, a)| y * a).sum::<f64>() * -0.5;
+        let log_det: f64 = (0..n).map(|i| l[(i, i)].ln()).sum();
+        data_fit - log_det - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Predictive mean and variance for one point (raw target space).
+    pub fn predict_with_variance(&self, x: &[f64]) -> (f64, f64) {
+        let Some(ystd) = self.ystd else {
+            return (0.0, 1.0);
+        };
+        let q = self.std.transform(x);
+        let kv: Vec<f64> = self.xs.iter().map(|xi| self.kernel(&q, xi)).collect();
+        let mean_z: f64 = kv.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let var_z = match &self.chol {
+            Some(l) => {
+                let v = l.solve_lower(&kv);
+                (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12)
+            }
+            None => 1.0,
+        };
+        // Variance scales by the square of the target std.
+        let scale = ystd.inverse(1.0) - ystd.inverse(0.0);
+        (ystd.inverse(mean_z), var_z * scale * scale)
+    }
+}
+
+impl Default for GaussianProcess {
+    fn default() -> Self {
+        Self::default_rbf()
+    }
+}
+
+fn stride_subsample<T: Clone>(v: &[T], cap: usize) -> Vec<T> {
+    if v.len() <= cap {
+        return v.to_vec();
+    }
+    let stride = v.len() as f64 / cap as f64;
+    (0..cap)
+        .map(|i| v[(i as f64 * stride) as usize].clone())
+        .collect()
+}
+
+impl Regressor for GaussianProcess {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        let d = validate(x, y)?;
+        self.std = Standardizer::fit(x);
+        let xs_full = self.std.transform_all(x);
+        let ystd = ScalarStandardizer::fit(y);
+        let ys_full: Vec<f64> = y.iter().map(|&v| ystd.transform(v)).collect();
+        self.ystd = Some(ystd);
+
+        // Hyper-parameter selection by log marginal likelihood on a
+        // subsample; the base lengthscale is sqrt(d) (typical pairwise
+        // distance after standardization).
+        if !self.lengthscale_factors.is_empty() {
+            let xs_h = stride_subsample(&xs_full, self.max_hyper);
+            let ys_h = stride_subsample(&ys_full, self.max_hyper);
+            let base = (d as f64).sqrt();
+            let mut best = f64::NEG_INFINITY;
+            for &lf in &self.lengthscale_factors {
+                for &nv in &self.noise_grid {
+                    let lml = Self::log_marginal(&xs_h, &ys_h, lf * base, nv);
+                    if lml > best {
+                        best = lml;
+                        self.lengthscale = lf * base;
+                        self.noise = nv;
+                    }
+                }
+            }
+            if best == f64::NEG_INFINITY {
+                return Err(FitError::Numerical(
+                    "no hyper-parameter candidate yielded an SPD kernel".into(),
+                ));
+            }
+        }
+
+        // Final factorization on (up to max_train) points.
+        let xs = stride_subsample(&xs_full, self.max_train);
+        let ys = stride_subsample(&ys_full, self.max_train);
+        let k = Self::kernel_matrix(&xs, self.lengthscale, self.noise.max(1e-6));
+        let l = k
+            .cholesky()
+            .map_err(|e| FitError::Numerical(e.to_string()))?;
+        self.alpha = l.solve_lower_transpose(&l.solve_lower(&ys));
+        self.chol = Some(l);
+        self.xs = xs;
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        self.predict_with_variance(x).0
+    }
+
+    fn name(&self) -> &'static str {
+        "GaussianProcess"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mse, r2};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn smooth_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0)])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (x[0]).sin() + 0.5 * (x[1] * 0.8).cos() + 0.3 * x[0])
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn gp_interpolates_smooth_function() {
+        let (xs, ys) = smooth_data(200, 0);
+        let mut gp = GaussianProcess::default_rbf();
+        gp.fit(&xs, &ys).unwrap();
+        let (tx, ty) = smooth_data(50, 1);
+        let preds = gp.predict(&tx);
+        assert!(r2(&preds, &ty) > 0.95, "r2 {}", r2(&preds, &ty));
+    }
+
+    #[test]
+    fn gp_beats_linear_on_nonlinear_target() {
+        let (xs, ys) = smooth_data(200, 2);
+        let (tx, ty) = smooth_data(80, 3);
+        let mut gp = GaussianProcess::default_rbf();
+        gp.fit(&xs, &ys).unwrap();
+        let mut lin = super::super::linear::LinearRegression::new();
+        lin.fit(&xs, &ys).unwrap();
+        assert!(mse(&gp.predict(&tx), &ty) < mse(&lin.predict(&tx), &ty));
+    }
+
+    #[test]
+    fn variance_small_at_training_points_larger_far_away() {
+        let (xs, ys) = smooth_data(100, 4);
+        let mut gp = GaussianProcess::default_rbf();
+        gp.fit(&xs, &ys).unwrap();
+        let (_, var_near) = gp.predict_with_variance(&xs[0]);
+        let (_, var_far) = gp.predict_with_variance(&[100.0, -100.0]);
+        assert!(var_far > var_near, "{var_far} !> {var_near}");
+    }
+
+    #[test]
+    fn fixed_hyperparams_skip_grid() {
+        let (xs, ys) = smooth_data(50, 5);
+        let mut gp = GaussianProcess::with_hyperparams(1.5, 1e-3);
+        gp.fit(&xs, &ys).unwrap();
+        assert_eq!(gp.lengthscale(), 1.5);
+        assert_eq!(gp.noise(), 1e-3);
+    }
+
+    #[test]
+    fn subsampling_caps_training_size() {
+        let (xs, ys) = smooth_data(300, 6);
+        let mut gp = GaussianProcess::default_rbf().with_max_train(64);
+        gp.fit(&xs, &ys).unwrap();
+        assert_eq!(gp.xs.len(), 64);
+        // Still a sensible predictor.
+        let preds = gp.predict(&xs);
+        assert!(r2(&preds, &ys) > 0.8);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let gp = GaussianProcess::default_rbf();
+        assert_eq!(gp.predict_one(&[1.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! k-nearest-neighbour regression.
+
+use super::{validate, FitError, Regressor};
+use crate::linalg::sq_dist;
+use crate::standardize::Standardizer;
+
+/// k-NN regressor with inverse-distance weighting over standardized
+/// features.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    std: Standardizer,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+}
+
+impl Knn {
+    /// Creates an unfitted k-NN model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Knn {
+            k,
+            std: Standardizer::default(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
+    }
+}
+
+impl Regressor for Knn {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        validate(x, y)?;
+        self.std = Standardizer::fit(x);
+        self.xs = self.std.transform_all(x);
+        self.ys = y.to_vec();
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let q = self.std.transform(x);
+        // Partial selection of the k nearest.
+        let mut dists: Vec<(f64, f64)> = self
+            .xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(xi, &yi)| (sq_dist(&q, xi), yi))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let neigh = &dists[..k];
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(d, y) in neigh {
+            let w = 1.0 / (d.sqrt() + 1e-9);
+            num += w * y;
+            den += w;
+        }
+        num / den
+    }
+
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_training_points() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| (i * i) as f64).collect();
+        let mut m = Knn::new(1);
+        m.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((m.predict_one(x) - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn interpolates_smoothly() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].sin()).collect();
+        let mut m = Knn::new(3);
+        m.fit(&xs, &ys).unwrap();
+        let p = m.predict_one(&[3.14]);
+        assert!((p - 3.14f64.sin()).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_ok() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0, 10.0];
+        let mut m = Knn::new(10);
+        m.fit(&xs, &ys).unwrap();
+        let p = m.predict_one(&[0.5]);
+        assert!(p > 0.0 && p < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = Knn::new(0);
+    }
+}

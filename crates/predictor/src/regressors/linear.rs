@@ -1,0 +1,166 @@
+//! Ordinary least squares and ridge regression (normal equations).
+
+use super::{validate, FitError, Regressor};
+use crate::linalg::Matrix;
+use crate::standardize::Standardizer;
+
+fn fit_normal_equations(
+    x: &[Vec<f64>],
+    y: &[f64],
+    lambda: f64,
+) -> Result<(Standardizer, Vec<f64>, f64), FitError> {
+    let d = validate(x, y)?;
+    let std = Standardizer::fit(x);
+    let xs = std.transform_all(x);
+    let n = xs.len();
+    // Design matrix with intercept column.
+    let mut data = Vec::with_capacity(n * (d + 1));
+    for row in &xs {
+        data.extend_from_slice(row);
+        data.push(1.0);
+    }
+    let design = Matrix::from_vec(n, d + 1, data);
+    let mut gram = design.gram();
+    // Ridge penalty (not applied to the intercept); a tiny jitter keeps
+    // plain OLS well-posed on collinear features.
+    let eff = lambda.max(1e-8);
+    for i in 0..d {
+        gram[(i, i)] += eff;
+    }
+    gram[(d, d)] += 1e-8;
+    let rhs = design.t_matvec(y);
+    let w = gram
+        .solve_spd(&rhs)
+        .map_err(|e| FitError::Numerical(e.to_string()))?;
+    let bias = w[d];
+    Ok((std, w[..d].to_vec(), bias))
+}
+
+/// Ordinary least-squares linear regression with intercept.
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    std: Standardizer,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fitted weights (standardized feature space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        let (std, w, b) = fit_normal_equations(x, y, 0.0)?;
+        self.std = std;
+        self.weights = w;
+        self.bias = b;
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let xs = self.std.transform(x);
+        xs.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>() + self.bias
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+}
+
+/// Ridge regression (L2-regularized linear model).
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    lambda: f64,
+    std: Standardizer,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl Ridge {
+    /// Creates an unfitted ridge model with penalty `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        Ridge {
+            lambda,
+            std: Standardizer::default(),
+            weights: Vec::new(),
+            bias: 0.0,
+        }
+    }
+}
+
+impl Regressor for Ridge {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        let (std, w, b) = fit_normal_equations(x, y, self.lambda)?;
+        self.std = std;
+        self.weights = w;
+        self.bias = b;
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let xs = self.std.transform(x);
+        xs.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>() + self.bias
+    }
+
+    fn name(&self) -> &'static str {
+        "Ridge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn ols_recovers_linear_function() {
+        let (xs, ys) = linear_data();
+        let mut m = LinearRegression::new();
+        m.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((m.predict_one(x) - y).abs() < 1e-6, "{} vs {}", m.predict_one(x), y);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_but_stays_close() {
+        let (xs, ys) = linear_data();
+        let mut m = Ridge::new(1.0);
+        m.fit(&xs, &ys).unwrap();
+        let preds = m.predict(&xs);
+        let err = crate::metrics::mse(&preds, &ys);
+        assert!(err < 25.0, "mse {err}");
+    }
+
+    #[test]
+    fn fit_on_empty_fails() {
+        let mut m = LinearRegression::new();
+        assert!(m.fit(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn handles_collinear_features() {
+        // x2 = 2*x1: OLS with jitter must not blow up.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&xs, &ys).unwrap();
+        let preds = m.predict(&xs);
+        assert!(crate::metrics::mse(&preds, &ys) < 1e-4);
+    }
+}

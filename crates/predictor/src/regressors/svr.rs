@@ -1,0 +1,129 @@
+//! Linear support-vector regression (ε-insensitive loss, SGD-trained).
+//!
+//! A seventh model family available for the Fig. 4 comparison; kept
+//! simple (linear kernel) since the paper does not name its exact six
+//! models beyond selecting the Gaussian process.
+
+use super::{validate, FitError, Regressor};
+use crate::standardize::{ScalarStandardizer, Standardizer};
+
+/// Linear ε-SVR trained with subgradient descent.
+#[derive(Debug, Clone)]
+pub struct LinearSvr {
+    epsilon: f64,
+    c: f64,
+    epochs: usize,
+    lr: f64,
+    std: Standardizer,
+    ystd: Option<ScalarStandardizer>,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvr {
+    /// Creates an unfitted SVR with tube width `epsilon` and box penalty
+    /// `c`.
+    pub fn new(epsilon: f64, c: f64) -> Self {
+        LinearSvr {
+            epsilon,
+            c,
+            epochs: 200,
+            lr: 0.05,
+            std: Standardizer::default(),
+            ystd: None,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
+    }
+}
+
+impl Regressor for LinearSvr {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        let d = validate(x, y)?;
+        self.std = Standardizer::fit(x);
+        let xs = self.std.transform_all(x);
+        let ystd = ScalarStandardizer::fit(y);
+        let ys: Vec<f64> = y.iter().map(|&v| ystd.transform(v)).collect();
+        self.ystd = Some(ystd);
+        let n = xs.len() as f64;
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let lambda = 1.0 / (self.c * n);
+        for epoch in 0..self.epochs {
+            let lr = self.lr / (1.0 + epoch as f64 * 0.05);
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (xi, &yi) in xs.iter().zip(&ys) {
+                let pred: f64 = xi.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + b;
+                let err = pred - yi;
+                let sg = if err > self.epsilon {
+                    1.0
+                } else if err < -self.epsilon {
+                    -1.0
+                } else {
+                    0.0
+                };
+                if sg != 0.0 {
+                    for (g, v) in gw.iter_mut().zip(xi) {
+                        *g += sg * v;
+                    }
+                    gb += sg;
+                }
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= lr * (g / n + lambda * *wi);
+            }
+            b -= lr * gb / n;
+        }
+        self.weights = w;
+        self.bias = b;
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        let xs = self.std.transform(x);
+        let z = xs.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>() + self.bias;
+        self.ystd.map_or(z, |s| s.inverse(z))
+    }
+
+    fn name(&self) -> &'static str {
+        "SVR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mse, r2};
+
+    #[test]
+    fn fits_linear_function_approximately() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - 1.0).collect();
+        let mut m = LinearSvr::new(0.01, 10.0);
+        m.fit(&xs, &ys).unwrap();
+        let preds = m.predict(&xs);
+        assert!(r2(&preds, &ys) > 0.95, "r2 {}", r2(&preds, &ys));
+    }
+
+    #[test]
+    fn robust_to_outliers_vs_ols_spirit() {
+        // ε-insensitive loss should not chase a single large outlier.
+        let mut xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0]).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        xs.push(vec![5.0]);
+        ys.push(500.0);
+        let mut m = LinearSvr::new(0.1, 1.0);
+        m.fit(&xs, &ys).unwrap();
+        // Inliers are still fit reasonably.
+        let inlier_preds: Vec<f64> = (0..50).map(|i| m.predict_one(&[i as f64 / 5.0])).collect();
+        let inlier_truth: Vec<f64> = (0..50).map(|i| i as f64 / 5.0).collect();
+        assert!(mse(&inlier_preds, &inlier_truth) < 500.0);
+    }
+
+    #[test]
+    fn empty_fit_errors() {
+        let mut m = LinearSvr::new(0.1, 1.0);
+        assert!(m.fit(&[], &[]).is_err());
+    }
+}

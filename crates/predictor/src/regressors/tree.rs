@@ -1,0 +1,230 @@
+//! CART regression tree (variance-reduction splits).
+
+use super::{validate, FitError, Regressor};
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    max_depth: usize,
+    min_samples_split: usize,
+    root: Option<Node>,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree.
+    pub fn new(max_depth: usize, min_samples_split: usize) -> Self {
+        DecisionTree {
+            max_depth,
+            min_samples_split: min_samples_split.max(2),
+            root: None,
+        }
+    }
+
+    /// Depth of the fitted tree (0 when unfitted or a single leaf).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        self.root.as_ref().map_or(0, d)
+    }
+
+    /// Fits on index subsets with an optional feature mask — used directly
+    /// by the random forest.
+    pub(crate) fn fit_indices(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        features: &[usize],
+    ) {
+        self.root = Some(build(
+            x,
+            y,
+            indices,
+            features,
+            self.max_depth,
+            self.min_samples_split,
+        ));
+    }
+}
+
+fn mean(y: &[f64], idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+}
+
+fn build(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    features: &[usize],
+    depth: usize,
+    min_split: usize,
+) -> Node {
+    if depth == 0 || indices.len() < min_split {
+        return Node::Leaf {
+            value: mean(y, indices),
+        };
+    }
+    // Find the split minimizing weighted child variance.
+    let parent_mean = mean(y, indices);
+    let parent_sse: f64 = indices
+        .iter()
+        .map(|&i| (y[i] - parent_mean) * (y[i] - parent_mean))
+        .sum();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    let mut sorted = indices.to_vec();
+    for &f in features {
+        sorted.sort_by(|&a, &b| {
+            x[a][f]
+                .partial_cmp(&x[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Prefix sums over the sorted order for O(n) split evaluation.
+        let n = sorted.len();
+        let mut pre_sum = 0.0;
+        let mut pre_sq = 0.0;
+        let total_sum: f64 = sorted.iter().map(|&i| y[i]).sum();
+        let total_sq: f64 = sorted.iter().map(|&i| y[i] * y[i]).sum();
+        for split in 1..n {
+            let i = sorted[split - 1];
+            pre_sum += y[i];
+            pre_sq += y[i] * y[i];
+            // Skip non-separating thresholds (equal feature values).
+            if x[sorted[split - 1]][f] == x[sorted[split]][f] {
+                continue;
+            }
+            let nl = split as f64;
+            let nr = (n - split) as f64;
+            let sse_l = pre_sq - pre_sum * pre_sum / nl;
+            let suf_sum = total_sum - pre_sum;
+            let suf_sq = total_sq - pre_sq;
+            let sse_r = suf_sq - suf_sum * suf_sum / nr;
+            let sse = sse_l + sse_r;
+            if best.as_ref().is_none_or(|b| sse < b.2) {
+                let thr = 0.5 * (x[sorted[split - 1]][f] + x[sorted[split]][f]);
+                best = Some((f, thr, sse));
+            }
+        }
+    }
+    match best {
+        Some((f, thr, sse)) if sse < parent_sse - 1e-12 => {
+            let (l, r): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| x[i][f] <= thr);
+            if l.is_empty() || r.is_empty() {
+                return Node::Leaf {
+                    value: parent_mean,
+                };
+            }
+            Node::Split {
+                feature: f,
+                threshold: thr,
+                left: Box::new(build(x, y, &l, features, depth - 1, min_split)),
+                right: Box::new(build(x, y, &r, features, depth - 1, min_split)),
+            }
+        }
+        _ => Node::Leaf {
+            value: parent_mean,
+        },
+    }
+}
+
+fn eval(node: &Node, x: &[f64]) -> f64 {
+    match node {
+        Node::Leaf { value } => *value,
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if x[*feature] <= *threshold {
+                eval(left, x)
+            } else {
+                eval(right, x)
+            }
+        }
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        let d = validate(x, y)?;
+        let indices: Vec<usize> = (0..x.len()).collect();
+        let features: Vec<usize> = (0..d).collect();
+        self.fit_indices(x, y, &indices, &features);
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        self.root.as_ref().map_or(0.0, |r| eval(r, x))
+    }
+
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
+        let mut t = DecisionTree::new(3, 2);
+        t.fit(&xs, &ys).unwrap();
+        assert_eq!(t.predict_one(&[5.0]), 1.0);
+        assert_eq!(t.predict_one(&[30.0]), 5.0);
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn respects_max_depth_zero() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut t = DecisionTree::new(0, 2);
+        t.fit(&xs, &ys).unwrap();
+        assert_eq!(t.depth(), 0);
+        assert!((t.predict_one(&[0.0]) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_targets_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![3.0; 10];
+        let mut t = DecisionTree::new(5, 2);
+        t.fit(&xs, &ys).unwrap();
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict_one(&[100.0]), 3.0);
+    }
+
+    #[test]
+    fn multifeature_split() {
+        // y depends only on feature 1.
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 7) as f64, (i / 20) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[1] * 10.0).collect();
+        let mut t = DecisionTree::new(4, 2);
+        t.fit(&xs, &ys).unwrap();
+        assert!((t.predict_one(&[3.0, 0.0]) - 0.0).abs() < 1e-9);
+        assert!((t.predict_one(&[3.0, 1.0]) - 10.0).abs() < 1e-9);
+    }
+}

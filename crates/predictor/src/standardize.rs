@@ -1,0 +1,135 @@
+//! Feature / target standardization (zero mean, unit variance).
+
+/// Per-dimension standardizer for feature vectors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits mean and standard deviation per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or rows have inconsistent lengths.
+    pub fn fit(xs: &[Vec<f64>]) -> Self {
+        assert!(!xs.is_empty(), "cannot standardize an empty set");
+        let d = xs[0].len();
+        let n = xs.len() as f64;
+        let mut mean = vec![0.0; d];
+        for x in xs {
+            assert_eq!(x.len(), d, "inconsistent feature dimension");
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; d];
+        for x in xs {
+            for ((s, v), m) in std.iter_mut().zip(x).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centered at zero
+            }
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Number of feature dimensions.
+    pub fn dims(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardizes one vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension differs from the fitted one.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len());
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a batch.
+    pub fn transform_all(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+}
+
+/// Scalar standardizer for regression targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarStandardizer {
+    mean: f64,
+    std: f64,
+}
+
+impl ScalarStandardizer {
+    /// Fits on the targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is empty.
+    pub fn fit(y: &[f64]) -> Self {
+        assert!(!y.is_empty());
+        let n = y.len() as f64;
+        let mean = y.iter().sum::<f64>() / n;
+        let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-12);
+        ScalarStandardizer { mean, std }
+    }
+
+    /// Maps a raw target to standardized space.
+    pub fn transform(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    /// Maps a standardized prediction back to raw space.
+    pub fn inverse(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let xs = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let s = Standardizer::fit(&xs);
+        let t = s.transform_all(&xs);
+        for d in 0..2 {
+            let m: f64 = t.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let v: f64 = t.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(m.abs() < 1e-12);
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let xs = vec![vec![7.0], vec![7.0]];
+        let s = Standardizer::fit(&xs);
+        assert_eq!(s.transform(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let y = [2.0, 4.0, 6.0];
+        let s = ScalarStandardizer::fit(&y);
+        for v in y {
+            assert!((s.inverse(s.transform(v)) - v).abs() < 1e-12);
+        }
+    }
+}

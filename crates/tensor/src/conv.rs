@@ -1,0 +1,627 @@
+//! Convolution and pooling kernels (NCHW layout).
+//!
+//! These are free functions on raw [`Tensor`]s; the autograd
+//! [`Graph`](crate::graph::Graph) wraps them into differentiable nodes.
+
+#![allow(clippy::too_many_arguments)]
+#![allow(clippy::needless_range_loop)]
+
+use crate::matmul::{sgemm, sgemm_a_bt_acc, sgemm_at_b_acc};
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution / pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Square kernel size.
+    pub k: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Creates a geometry descriptor.
+    pub fn new(k: usize, stride: usize, pad: usize) -> Self {
+        ConvGeom { k, stride, pad }
+    }
+
+    /// Geometry preserving spatial size at stride 1 (`pad = k/2`).
+    pub fn same(k: usize, stride: usize) -> Self {
+        ConvGeom {
+            k,
+            stride,
+            pad: k / 2,
+        }
+    }
+
+    /// Output spatial extent for an input extent `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit (`h + 2*pad < k`).
+    pub fn out_dim(&self, h: usize) -> usize {
+        assert!(h + 2 * self.pad >= self.k, "window larger than padded input");
+        (h + 2 * self.pad - self.k) / self.stride + 1
+    }
+}
+
+/// Lowers one sample `x[c, h, w]` into a column matrix `[c*k*k, hout*wout]`.
+fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    g: ConvGeom,
+    hout: usize,
+    wout: usize,
+    col: &mut [f32],
+) {
+    let k = g.k;
+    debug_assert_eq!(col.len(), c * k * k * hout * wout);
+    let hw_out = hout * wout;
+    for ch in 0..c {
+        let xc = &x[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = ((ch * k + ky) * k + kx) * hw_out;
+                for oy in 0..hout {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    let dst = &mut col[row + oy * wout..row + (oy + 1) * wout];
+                    if iy < 0 || iy >= h as isize {
+                        for v in dst.iter_mut() {
+                            *v = 0.0;
+                        }
+                        continue;
+                    }
+                    let xrow = &xc[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, v) in dst.iter_mut().enumerate() {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        *v = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            xrow[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a column-matrix gradient back to the input gradient (adjoint of
+/// [`im2col`]): `dx[c, h, w] += col2im(dcol)`.
+fn col2im_acc(
+    dcol: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    g: ConvGeom,
+    hout: usize,
+    wout: usize,
+    dx: &mut [f32],
+) {
+    let k = g.k;
+    let hw_out = hout * wout;
+    for ch in 0..c {
+        let dxc = &mut dx[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = ((ch * k + ky) * k + kx) * hw_out;
+                for oy in 0..hout {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src = &dcol[row + oy * wout..row + (oy + 1) * wout];
+                    let drow = &mut dxc[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, v) in src.iter().enumerate() {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix >= 0 && (ix as usize) < w {
+                            drow[ix as usize] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// `x` is `[n, cin, h, w]`, `weight` is `[cout, cin, k, k]`; returns
+/// `[n, cout, hout, wout]` along with the cached im2col buffers used by
+/// the backward pass.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `geom`.
+pub fn conv2d_forward(x: &Tensor, weight: &Tensor, geom: ConvGeom) -> (Tensor, Vec<f32>) {
+    let (n, cin, h, w) = shape4(x);
+    let ws = weight.shape();
+    assert_eq!(ws.len(), 4, "conv weight must be 4-D");
+    assert_eq!(ws[1], cin, "cin mismatch: weight {:?} input cin {}", ws, cin);
+    assert_eq!(ws[2], geom.k);
+    assert_eq!(ws[3], geom.k);
+    let cout = ws[0];
+    let hout = geom.out_dim(h);
+    let wout = geom.out_dim(w);
+    let ckk = cin * geom.k * geom.k;
+    let hw_out = hout * wout;
+    let mut cols = vec![0.0; n * ckk * hw_out];
+    let mut out = Tensor::zeros(&[n, cout, hout, wout]);
+    for i in 0..n {
+        let col = &mut cols[i * ckk * hw_out..(i + 1) * ckk * hw_out];
+        im2col(
+            &x.data()[i * cin * h * w..(i + 1) * cin * h * w],
+            cin,
+            h,
+            w,
+            geom,
+            hout,
+            wout,
+            col,
+        );
+        sgemm(
+            cout,
+            ckk,
+            hw_out,
+            weight.data(),
+            col,
+            &mut out.data_mut()[i * cout * hw_out..(i + 1) * cout * hw_out],
+        );
+    }
+    (out, cols)
+}
+
+/// Backward 2-D convolution. Returns `(dx, dweight)`.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    geom: ConvGeom,
+    cols: &[f32],
+    dout: &Tensor,
+) -> (Tensor, Tensor) {
+    let (n, cin, h, w) = shape4(x);
+    let cout = weight.shape()[0];
+    let hout = geom.out_dim(h);
+    let wout = geom.out_dim(w);
+    let ckk = cin * geom.k * geom.k;
+    let hw_out = hout * wout;
+    let mut dx = Tensor::zeros(x.shape());
+    let mut dw = Tensor::zeros(weight.shape());
+    let mut dcol = vec![0.0; ckk * hw_out];
+    for i in 0..n {
+        let col = &cols[i * ckk * hw_out..(i + 1) * ckk * hw_out];
+        let doi = &dout.data()[i * cout * hw_out..(i + 1) * cout * hw_out];
+        // dW += dout_i (cout x hw) * col_i^T (hw x ckk)
+        sgemm_a_bt_acc(cout, hw_out, ckk, doi, col, dw.data_mut());
+        // dcol = W^T (ckk x cout) * dout_i (cout x hw)
+        for v in dcol.iter_mut() {
+            *v = 0.0;
+        }
+        sgemm_at_b_acc(ckk, cout, hw_out, weight.data(), doi, &mut dcol);
+        col2im_acc(
+            &dcol,
+            cin,
+            h,
+            w,
+            geom,
+            hout,
+            wout,
+            &mut dx.data_mut()[i * cin * h * w..(i + 1) * cin * h * w],
+        );
+    }
+    (dx, dw)
+}
+
+/// Forward depthwise convolution: `x` `[n, c, h, w]`, `weight` `[c, k, k]`.
+pub fn dwconv2d_forward(x: &Tensor, weight: &Tensor, geom: ConvGeom) -> Tensor {
+    let (n, c, h, w) = shape4(x);
+    let ws = weight.shape();
+    assert_eq!(ws, &[c, geom.k, geom.k], "dwconv weight shape");
+    let hout = geom.out_dim(h);
+    let wout = geom.out_dim(w);
+    let mut out = Tensor::zeros(&[n, c, hout, wout]);
+    let k = geom.k;
+    for i in 0..n {
+        for ch in 0..c {
+            let xc = &x.data()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+            let wc = &weight.data()[ch * k * k..(ch + 1) * k * k];
+            let oc = &mut out.data_mut()[(i * c + ch) * hout * wout..(i * c + ch + 1) * hout * wout];
+            for oy in 0..hout {
+                for ox in 0..wout {
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += wc[ky * k + kx] * xc[iy as usize * w + ix as usize];
+                        }
+                    }
+                    oc[oy * wout + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward depthwise convolution. Returns `(dx, dweight)`.
+pub fn dwconv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    geom: ConvGeom,
+    dout: &Tensor,
+) -> (Tensor, Tensor) {
+    let (n, c, h, w) = shape4(x);
+    let k = geom.k;
+    let hout = geom.out_dim(h);
+    let wout = geom.out_dim(w);
+    let mut dx = Tensor::zeros(x.shape());
+    let mut dw = Tensor::zeros(weight.shape());
+    for i in 0..n {
+        for ch in 0..c {
+            let xc = &x.data()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
+            let wc = &weight.data()[ch * k * k..(ch + 1) * k * k];
+            let doc = &dout.data()[(i * c + ch) * hout * wout..(i * c + ch + 1) * hout * wout];
+            // Split borrows: accumulate into temporary per-channel buffers.
+            let mut dxc = vec![0.0f32; h * w];
+            let mut dwc = vec![0.0f32; k * k];
+            for oy in 0..hout {
+                for ox in 0..wout {
+                    let g = doc[oy * wout + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let xi = iy as usize * w + ix as usize;
+                            dxc[xi] += g * wc[ky * k + kx];
+                            dwc[ky * k + kx] += g * xc[xi];
+                        }
+                    }
+                }
+            }
+            for (d, v) in dx.data_mut()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w]
+                .iter_mut()
+                .zip(&dxc)
+            {
+                *d += v;
+            }
+            for (d, v) in dw.data_mut()[ch * k * k..(ch + 1) * k * k]
+                .iter_mut()
+                .zip(&dwc)
+            {
+                *d += v;
+            }
+        }
+    }
+    (dx, dw)
+}
+
+/// Forward max pooling; returns the output and the argmax index (into the
+/// flattened per-sample input) for each output element, used by backward.
+pub fn maxpool_forward(x: &Tensor, geom: ConvGeom) -> (Tensor, Vec<u32>) {
+    let (n, c, h, w) = shape4(x);
+    let hout = geom.out_dim(h);
+    let wout = geom.out_dim(w);
+    let mut out = Tensor::zeros(&[n, c, hout, wout]);
+    let mut arg = vec![0u32; n * c * hout * wout];
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            let xc = &x.data()[base..base + h * w];
+            let obase = (i * c + ch) * hout * wout;
+            for oy in 0..hout {
+                for ox in 0..wout {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut bi = 0usize;
+                    for ky in 0..geom.k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..geom.k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = iy as usize * w + ix as usize;
+                            if xc[idx] > best {
+                                best = xc[idx];
+                                bi = idx;
+                            }
+                        }
+                    }
+                    out.data_mut()[obase + oy * wout + ox] = best;
+                    arg[obase + oy * wout + ox] = bi as u32;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward max pooling.
+pub fn maxpool_backward(x_shape: &[usize], geom: ConvGeom, arg: &[u32], dout: &Tensor) -> Tensor {
+    let (n, c, h, w) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
+    let hout = geom.out_dim(h);
+    let wout = geom.out_dim(w);
+    let mut dx = Tensor::zeros(x_shape);
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            let obase = (i * c + ch) * hout * wout;
+            for o in 0..hout * wout {
+                dx.data_mut()[base + arg[obase + o] as usize] += dout.data()[obase + o];
+            }
+        }
+    }
+    dx
+}
+
+/// Forward average pooling (padding excluded from the divisor, matching
+/// `count_include_pad=False`).
+pub fn avgpool_forward(x: &Tensor, geom: ConvGeom) -> Tensor {
+    let (n, c, h, w) = shape4(x);
+    let hout = geom.out_dim(h);
+    let wout = geom.out_dim(w);
+    let mut out = Tensor::zeros(&[n, c, hout, wout]);
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            let xc = &x.data()[base..base + h * w];
+            let obase = (i * c + ch) * hout * wout;
+            for oy in 0..hout {
+                for ox in 0..wout {
+                    let (mut acc, mut cnt) = (0.0f32, 0u32);
+                    for ky in 0..geom.k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..geom.k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += xc[iy as usize * w + ix as usize];
+                            cnt += 1;
+                        }
+                    }
+                    out.data_mut()[obase + oy * wout + ox] = acc / cnt.max(1) as f32;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward average pooling.
+pub fn avgpool_backward(x_shape: &[usize], geom: ConvGeom, dout: &Tensor) -> Tensor {
+    let (n, c, h, w) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
+    let hout = geom.out_dim(h);
+    let wout = geom.out_dim(w);
+    let mut dx = Tensor::zeros(x_shape);
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            let obase = (i * c + ch) * hout * wout;
+            for oy in 0..hout {
+                for ox in 0..wout {
+                    // Recompute the valid-count (cheap) to divide gradient.
+                    let mut cnt = 0u32;
+                    for ky in 0..geom.k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..geom.k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix >= 0 && (ix as usize) < w {
+                                cnt += 1;
+                            }
+                        }
+                    }
+                    let g = dout.data()[obase + oy * wout + ox] / cnt.max(1) as f32;
+                    for ky in 0..geom.k {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..geom.k {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix >= 0 && (ix as usize) < w {
+                                dx.data_mut()[base + iy as usize * w + ix as usize] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Extracts `(n, c, h, w)` from a 4-D tensor.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D.
+pub fn shape4(x: &Tensor) -> (usize, usize, usize, usize) {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "expected NCHW tensor, got {:?}", s);
+    (s[0], s[1], s[2], s[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geom_out_dims() {
+        assert_eq!(ConvGeom::same(3, 1).out_dim(16), 16);
+        assert_eq!(ConvGeom::same(3, 2).out_dim(16), 8);
+        assert_eq!(ConvGeom::same(5, 1).out_dim(16), 16);
+        assert_eq!(ConvGeom::new(2, 2, 0).out_dim(16), 8);
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 conv with identity weight reproduces the input.
+        let x = Tensor::from_vec(&[1, 2, 2, 2], (0..8).map(|v| v as f32).collect());
+        let mut w = Tensor::zeros(&[2, 2, 1, 1]);
+        w.data_mut()[0] = 1.0; // out0 <- in0
+        w.data_mut()[3] = 1.0; // out1 <- in1
+        let (y, _) = conv2d_forward(&x, &w, ConvGeom::new(1, 1, 0));
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 3x3 all-ones kernel over a constant image = count of valid pixels.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let (y, _) = conv2d_forward(&x, &w, ConvGeom::same(3, 1));
+        // Center sees 9 pixels; corners see 4; edges see 6.
+        assert_eq!(y.data()[4], 9.0);
+        assert_eq!(y.data()[0], 4.0);
+        assert_eq!(y.data()[1], 6.0);
+    }
+
+    #[test]
+    fn conv_stride_two_shape() {
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.1, &mut rng);
+        let (y, _) = conv2d_forward(&x, &w, ConvGeom::same(3, 2));
+        assert_eq!(y.shape(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn dwconv_matches_grouped_conv_semantics() {
+        // Depthwise with a kernel that is identity at center = input.
+        let x = Tensor::from_vec(&[1, 2, 3, 3], (0..18).map(|v| v as f32).collect());
+        let mut w = Tensor::zeros(&[2, 3, 3]);
+        w.data_mut()[4] = 1.0;
+        w.data_mut()[9 + 4] = 1.0;
+        let y = dwconv2d_forward(&x, &w, ConvGeom::same(3, 1));
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn maxpool_simple() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let (y, arg) = maxpool_forward(&x, ConvGeom::new(2, 2, 0));
+        assert_eq!(y.data(), &[5.0]);
+        assert_eq!(arg, vec![1]);
+        let dx = maxpool_backward(&[1, 1, 2, 2], ConvGeom::new(2, 2, 0), &arg, &Tensor::ones(&[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_excludes_padding() {
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = avgpool_forward(&x, ConvGeom::same(3, 1));
+        // All outputs must be exactly 1.0 because padding is excluded.
+        for v in y.data() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn avgpool_backward_distributes() {
+        let shape = [1, 1, 2, 2];
+        let dout = Tensor::ones(&[1, 1, 1, 1]);
+        let dx = avgpool_backward(&shape, ConvGeom::new(2, 2, 0), &dout);
+        for v in dx.data() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    /// Finite-difference check of the full conv2d backward pass.
+    #[test]
+    fn conv_backward_finite_difference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor::randn(&[2, 3, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+        let g = ConvGeom::same(3, 2);
+        let loss = |x: &Tensor, w: &Tensor| conv2d_forward(x, w, g).0.sum();
+        let (y, cols) = conv2d_forward(&x, &w, g);
+        let dout = Tensor::ones(y.shape());
+        let (dx, dw) = conv2d_backward(&x, &w, g, &cols, &dout);
+        let eps = 1e-2;
+        for idx in [0usize, 7, 33, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "dx[{idx}]: fd {num} vs {}",
+                dx.data()[idx]
+            );
+        }
+        for idx in [0usize, 5, w.len() - 1] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!(
+                (num - dw.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "dw[{idx}]: fd {num} vs {}",
+                dw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn dwconv_backward_finite_difference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn(&[2, 3, 3], 0.5, &mut rng);
+        let g = ConvGeom::same(3, 1);
+        let y = dwconv2d_forward(&x, &w, g);
+        let dout = Tensor::ones(y.shape());
+        let (dx, dw) = dwconv2d_backward(&x, &w, g, &dout);
+        let loss = |x: &Tensor, w: &Tensor| dwconv2d_forward(x, w, g).sum();
+        let eps = 1e-2;
+        for idx in [0usize, 9, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((num - dx.data()[idx]).abs() < 0.05 * (1.0 + num.abs()));
+        }
+        for idx in [0usize, 8, w.len() - 1] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - dw.data()[idx]).abs() < 0.05 * (1.0 + num.abs()));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Small blocked SGEMM kernels.
+//!
+//! These are deliberately dependency-free: a register-blocked `ikj` loop
+//! order that LLVM auto-vectorizes well at the sizes YOSO uses (im2col
+//! panels of a few hundred rows/columns).
+
+/// Computes `c += a * b` for row-major matrices:
+/// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if slice lengths do not match the given
+/// dimensions.
+pub fn sgemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    // Block over k to keep the b panel in cache for consecutive rows of a.
+    const KB: usize = 64;
+    let mut k0 = 0;
+    while k0 < k {
+        let k1 = (k0 + KB).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for kk in k0..k1 {
+                let aik = arow[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        k0 = k1;
+    }
+}
+
+/// Computes `c = a * b` (overwriting `c`).
+pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for v in c.iter_mut() {
+        *v = 0.0;
+    }
+    sgemm_acc(m, k, n, a, b, c);
+}
+
+/// Computes `c += a^T * b` where `a` is `k x m` (so `a^T` is `m x k`),
+/// `b` is `k x n`, `c` is `m x n`.
+pub fn sgemm_at_b_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for kk in 0..k {
+        let arow = &a[kk * m..(kk + 1) * m];
+        let brow = &b[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let aik = arow[i];
+            if aik == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// Computes `c += a * b^T` where `a` is `m x k`, `b` is `n x k`
+/// (so `b^T` is `k x n`), `c` is `m x n`.
+pub fn sgemm_a_bt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (av, bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            crow[j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect()
+    }
+
+    #[test]
+    fn sgemm_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (17, 65, 9), (8, 128, 8)] {
+            let a = seq(m * k);
+            let b = seq(k * n);
+            let mut c = vec![0.0; m * n];
+            sgemm(m, k, n, &a, &b, &mut c);
+            assert_eq!(c, naive(m, k, n, &a, &b), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn sgemm_acc_accumulates() {
+        let a = seq(6);
+        let b = seq(6);
+        let mut c = vec![1.0; 4];
+        sgemm_acc(2, 3, 2, &a, &b, &mut c);
+        let expected: Vec<f32> = naive(2, 3, 2, &a, &b).iter().map(|v| v + 1.0).collect();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn at_b_matches_naive_transpose() {
+        let (m, k, n) = (4, 6, 5);
+        let a = seq(k * m); // k x m
+        let b = seq(k * n);
+        let mut at = vec![0.0; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                at[i * k + kk] = a[kk * m + i];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        sgemm_at_b_acc(m, k, n, &a, &b, &mut c1);
+        assert_eq!(c1, naive(m, k, n, &at, &b));
+    }
+
+    #[test]
+    fn a_bt_matches_naive_transpose() {
+        let (m, k, n) = (3, 5, 4);
+        let a = seq(m * k);
+        let b = seq(n * k); // n x k
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                bt[kk * n + j] = b[j * k + kk];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        sgemm_a_bt_acc(m, k, n, &a, &b, &mut c1);
+        assert_eq!(c1, naive(m, k, n, &a, &bt));
+    }
+}

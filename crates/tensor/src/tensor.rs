@@ -1,0 +1,367 @@
+//! Dense row-major `f32` tensor used throughout the YOSO stack.
+
+use rand::{Rng, RngExt};
+use std::fmt;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is deliberately simple: shapes are dynamic (`Vec<usize>`), data
+/// is always contiguous, and all operations are eager. It is the storage
+/// type underneath the autograd [`Graph`](crate::graph::Graph).
+///
+/// # Examples
+///
+/// ```
+/// use yoso_tensor::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a zero-sized dimension product overflow.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor of the given shape filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
+    }
+
+    /// Builds a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {:?} implies {} elements, got {}",
+            shape,
+            n,
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Samples a tensor with i.i.d. entries from `N(0, std^2)`.
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> Self {
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        // Box-Muller transform; avoids a rand_distr dependency.
+        let mut cached: Option<f32> = None;
+        for _ in 0..n {
+            let z = if let Some(v) = cached.take() {
+                v
+            } else {
+                let u1: f32 = rng.random::<f32>().max(1e-12);
+                let u2: f32 = rng.random::<f32>();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f32::consts::PI * u2;
+                cached = Some(r * theta.sin());
+                r * theta.cos()
+            };
+            data.push(z * std);
+        }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Samples a tensor with i.i.d. entries uniform in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// He (Kaiming) normal initialization for a weight tensor with the given
+    /// fan-in, appropriate for ReLU networks.
+    pub fn he_normal<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Self::randn(shape, std, rng)
+    }
+
+    /// Returns the shape slice.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element at a 2-D index `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        assert_eq!(self.ndim(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// In-place scaling by a constant.
+    pub fn scale_in_place(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// In-place elementwise accumulation `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_in_place(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_in_place shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place fused multiply-add `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy_in_place(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy_in_place shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sets all elements to zero.
+    pub fn fill_zero(&mut self) {
+        for v in &mut self.data {
+            *v = 0.0;
+        }
+    }
+
+    /// Returns `true` if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, .., {:.4}] (n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor {
+            shape: vec![0],
+            data: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_shape_and_len() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.sum(), 0.0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.at2(1, 0), 3.0);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[10000], 2.0, &mut rng);
+        let m = t.mean();
+        let var = t.data().iter().map(|v| (v - m) * (v - m)).sum::<f32>() / 10000.0;
+        assert!(m.abs() < 0.1, "mean {m}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn rand_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_uniform(&[1000], -1.0, 1.0, &mut rng);
+        assert!(t.max() < 1.0);
+        assert!(t.min() >= -1.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        a.axpy_in_place(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+        a.scale_in_place(2.0);
+        assert_eq!(a.data(), &[3.0, 4.0, 5.0]);
+        a.fill_zero();
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let r = t.reshaped(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.at2(2, 1), 5.0);
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Tensor::he_normal(&[10000], 50, &mut rng);
+        let var = t.sq_norm() / 10000.0;
+        assert!((var - 2.0 / 50.0).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn min_max_finite() {
+        let t = Tensor::from_vec(&[4], vec![-2.0, 7.0, 0.5, 3.0]);
+        assert_eq!(t.max(), 7.0);
+        assert_eq!(t.min(), -2.0);
+        assert!(t.all_finite());
+        let bad = Tensor::from_vec(&[2], vec![f32::NAN, 1.0]);
+        assert!(!bad.all_finite());
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        let t = Tensor::zeros(&[0]);
+        assert!(!format!("{t:?}").is_empty());
+        let d = Tensor::default();
+        assert!(!format!("{d:?}").is_empty());
+    }
+}

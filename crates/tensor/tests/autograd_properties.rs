@@ -1,0 +1,159 @@
+//! Property-based tests of the autograd engine: analytic gradients match
+//! finite differences on randomized shapes and data, and algebraic
+//! identities hold.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yoso_tensor::{ConvGeom, Graph, ParamStore, Tensor};
+
+/// Builds the scalar loss sum(relu(conv(x, w))) and returns it.
+fn conv_relu_loss(
+    store: &ParamStore,
+    w: yoso_tensor::ParamId,
+    x_data: &Tensor,
+    geom: ConvGeom,
+) -> (Graph, yoso_tensor::Var) {
+    let mut g = Graph::new();
+    let x = g.input(x_data.clone());
+    let wv = g.param(store, w);
+    let c = g.conv2d(x, wv, geom);
+    let r = g.relu(c);
+    let p = g.global_avg_pool(r);
+    let ones = g.input(Tensor::ones(&[g.value(p).shape()[1], 1]));
+    let s = g.matmul(p, ones);
+    (g, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Finite-difference gradient check for conv+relu+pool chains on
+    /// random shapes, seeds and strides.
+    #[test]
+    fn conv_chain_gradcheck(
+        seed in 0u64..1000,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        hw in 4usize..7,
+        stride in 1usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let w = store.add(Tensor::randn(&[cout, cin, 3, 3], 0.5, &mut rng));
+        let x = Tensor::randn(&[1, cin, hw, hw], 1.0, &mut rng);
+        let geom = ConvGeom::same(3, stride);
+
+        let (g, loss) = conv_relu_loss(&store, w, &x, geom);
+        store.zero_grads();
+        g.backward(loss, &mut store);
+        let analytic = store.grad(w).clone();
+
+        let eps = 1e-2f32;
+        // Probe three indices.
+        for idx in [0, analytic.len() / 2, analytic.len() - 1] {
+            let orig = store.value(w).data()[idx];
+            store.value_mut(w).data_mut()[idx] = orig + eps;
+            let (g1, l1) = conv_relu_loss(&store, w, &x, geom);
+            let f1 = g1.value(l1).data()[0];
+            store.value_mut(w).data_mut()[idx] = orig - eps;
+            let (g2, l2) = conv_relu_loss(&store, w, &x, geom);
+            let f2 = g2.value(l2).data()[0];
+            store.value_mut(w).data_mut()[idx] = orig;
+            let num = (f1 - f2) / (2.0 * eps);
+            let ana = analytic.data()[idx];
+            // ReLU kinks can perturb FD slightly; tolerate 5%.
+            prop_assert!(
+                (num - ana).abs() <= 0.05 * (1.0 + num.abs().max(ana.abs())),
+                "idx {}: fd {} vs analytic {}", idx, num, ana
+            );
+        }
+    }
+
+    /// Softmax cross-entropy is minimized (to ~0) by a one-hot-favoring
+    /// logit and equals ln(k) for uniform logits.
+    #[test]
+    fn softmax_ce_bounds(k in 2usize..8, label in 0usize..8) {
+        let label = label % k;
+        let mut g = Graph::new();
+        let uniform = g.input(Tensor::zeros(&[1, k]));
+        let l_uniform = g.softmax_cross_entropy(uniform, &[label]);
+        prop_assert!((g.value(l_uniform).data()[0] - (k as f32).ln()).abs() < 1e-5);
+
+        let mut g2 = Graph::new();
+        let mut data = vec![-20.0f32; k];
+        data[label] = 20.0;
+        let peaked = g2.input(Tensor::from_vec(&[1, k], data));
+        let l_peaked = g2.softmax_cross_entropy(peaked, &[label]);
+        prop_assert!(g2.value(l_peaked).data()[0] < 1e-3);
+    }
+
+    /// concat(channels) then global pool equals channel-wise pooling of
+    /// the parts (linearity of pooling).
+    #[test]
+    fn concat_pool_consistency(seed in 0u64..500, c1 in 1usize..4, c2 in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[1, c1, 4, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[1, c2, 4, 4], 1.0, &mut rng);
+        let mut g = Graph::new();
+        let va = g.input(a.clone());
+        let vb = g.input(b.clone());
+        let cat = g.concat_channels(&[va, vb]);
+        let pooled = g.global_avg_pool(cat);
+        let out = g.value(pooled);
+        prop_assert_eq!(out.shape(), &[1, c1 + c2]);
+        // First channel of the concat equals first channel mean of `a`.
+        let mean_a0: f32 = a.data()[..16].iter().sum::<f32>() / 16.0;
+        prop_assert!((out.data()[0] - mean_a0).abs() < 1e-5);
+        let mean_b0: f32 = b.data()[..16].iter().sum::<f32>() / 16.0;
+        prop_assert!((out.data()[c1] - mean_b0).abs() < 1e-5);
+    }
+
+    /// Batch norm output has (near) zero mean and unit variance per
+    /// channel when gamma=1, beta=0.
+    #[test]
+    fn batchnorm_normalizes(seed in 0u64..500, c in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let gamma = store.add(Tensor::ones(&[c]));
+        let beta = store.add(Tensor::zeros(&[c]));
+        let x = Tensor::randn(&[4, c, 5, 5], 3.0, &mut rng);
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let gv = g.param(&store, gamma);
+        let bv = g.param(&store, beta);
+        let y = g.batch_norm(xv, gv, bv);
+        let out = g.value(y);
+        let per = 4 * 25;
+        for ch in 0..c {
+            let mut vals = Vec::with_capacity(per);
+            for n in 0..4 {
+                let base = (n * c + ch) * 25;
+                vals.extend_from_slice(&out.data()[base..base + 25]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / per as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / per as f32;
+            prop_assert!(mean.abs() < 1e-4, "mean {}", mean);
+            prop_assert!((var - 1.0).abs() < 1e-2, "var {}", var);
+        }
+    }
+
+    /// Matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributive(seed in 0u64..500, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let c = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let mut g = Graph::new();
+        let (va, vb, vc) = (g.input(a), g.input(b), g.input(c));
+        let sum = g.add(va, vb);
+        let left = g.matmul(sum, vc);
+        let ac = g.matmul(va, vc);
+        let bc = g.matmul(vb, vc);
+        let right = g.add(ac, bc);
+        for (l, r) in g.value(left).data().iter().zip(g.value(right).data()) {
+            prop_assert!((l - r).abs() < 1e-4 * (1.0 + l.abs()));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Searcher bake-off on the joint co-design space: the paper's RL
+//! controller vs regularized evolution (extension) vs random search,
+//! under identical evaluation budgets and the same composite reward.
+//!
+//! Run with: `cargo run --release --example evolution_vs_rl`
+
+use yoso::arch::NetworkSkeleton;
+use yoso::core::evaluation::{calibrate_constraints, SurrogateEvaluator};
+use yoso::core::reward::RewardConfig;
+use yoso::core::{evolution_search, random_search, rl_search, SearchConfig, SearchOutcome};
+
+fn tail_mean(o: &SearchOutcome) -> f64 {
+    let k = (o.history.len() / 4).max(1);
+    o.history[o.history.len() - k..]
+        .iter()
+        .map(|r| r.reward)
+        .sum::<f64>()
+        / k as f64
+}
+
+fn main() {
+    let skeleton = NetworkSkeleton::paper_default();
+    let evaluator = SurrogateEvaluator::new(skeleton.clone());
+    let constraints = calibrate_constraints(&skeleton, 200, 0, 40.0);
+    let reward = RewardConfig::balanced(constraints);
+    let cfg = SearchConfig {
+        iterations: 1000,
+        rollouts_per_update: 10,
+        seed: 0,
+    };
+
+    println!("searching {} candidates with each strategy ...\n", cfg.iterations);
+    let rl = rl_search(&evaluator, &reward, &cfg);
+    let evo = evolution_search(&evaluator, &reward, &cfg, 50, 10);
+    let rnd = random_search(&evaluator, &reward, &cfg);
+
+    println!("{:<22} {:>10} {:>14}", "strategy", "best", "tail-qtr mean");
+    for (name, o) in [("RL (paper)", &rl), ("regularized evolution", &evo), ("random", &rnd)] {
+        println!("{:<22} {:>10.4} {:>14.4}", name, o.best().reward, tail_mean(o));
+    }
+
+    let champion = [&rl, &evo, &rnd]
+        .into_iter()
+        .max_by(|a, b| a.best().reward.total_cmp(&b.best().reward))
+        .expect("three searchers");
+    let best = champion.best();
+    println!(
+        "\nchampion: acc {:.3}, {:.4} ms, {:.4} mJ on {}",
+        best.eval.accuracy, best.eval.latency_ms, best.eval.energy_mj, best.point.hw
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: sample a joint DNN/accelerator design point, round-trip it
+//! through the 44-symbol action codec, compile it to a layer workload,
+//! simulate it on the systolic-array model, and score it with the
+//! composite reward.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yoso::accel::Simulator;
+use yoso::arch::{cardinality, ActionSpace, DesignPoint, NetworkSkeleton};
+use yoso::core::evaluation::{calibrate_constraints, SurrogateEvaluator};
+use yoso::core::reward::RewardConfig;
+use yoso::core::Evaluator;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. The joint search space.
+    let card = cardinality();
+    println!("Joint search space: 10^{:.1} networks x {} accelerator configs = 10^{:.1} candidates",
+        card.log10_networks, card.hw_configs, card.log10_combined);
+
+    // 2. Sample a candidate and round-trip the action encoding.
+    let point = DesignPoint::random(&mut rng);
+    let space = ActionSpace::new();
+    let actions = space.encode(&point);
+    assert_eq!(space.decode(&actions).unwrap(), point);
+    println!("\nSampled candidate (as {} actions): {:?}", actions.len(), actions);
+    println!("  hardware: {}", point.hw);
+
+    // 3. Compile the genotype into a concrete layer workload.
+    let skeleton = NetworkSkeleton::paper_default();
+    let plan = skeleton.compile(&point.genotype);
+    println!(
+        "\nCompiled network: {} layers, {:.1} MMACs, {:.1}k weights",
+        plan.layers.len(),
+        plan.stats.total_macs as f64 / 1e6,
+        plan.stats.total_weights as f64 / 1e3
+    );
+
+    // 4. Simulate it on the configured accelerator.
+    let report = Simulator::exact().simulate_plan(&plan, &point.hw);
+    println!("Simulated on {}: {report}", point.hw);
+    let e = &report.energy_breakdown;
+    println!(
+        "  energy split: compute {:.1}% | rbuf {:.1}% | noc {:.1}% | gbuf {:.1}% | dram {:.1}%",
+        100.0 * e.compute_pj / e.total_pj(),
+        100.0 * e.rbuf_pj / e.total_pj(),
+        100.0 * e.noc_pj / e.total_pj(),
+        100.0 * e.gbuf_pj / e.total_pj(),
+        100.0 * e.dram_pj / e.total_pj()
+    );
+
+    // 5. Score it with the paper's composite reward (Eq. 2).
+    let constraints = calibrate_constraints(&skeleton, 200, 7, 40.0);
+    println!(
+        "\nCalibrated constraints (40th pct of random designs): t_lat {:.4} ms, t_eer {:.4} mJ",
+        constraints.t_lat_ms, constraints.t_eer_mj
+    );
+    let reward_cfg = RewardConfig::balanced(constraints);
+    let evaluator = SurrogateEvaluator::new(skeleton);
+    let eval = evaluator.evaluate(&point);
+    let reward = reward_cfg.reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
+    println!(
+        "Evaluation: accuracy {:.3}, latency {:.4} ms, energy {:.4} mJ -> reward {reward:.4}",
+        eval.accuracy, eval.latency_ms, eval.energy_mj
+    );
+}

@@ -1,0 +1,55 @@
+//! Builds the Gaussian-process hardware performance predictor from
+//! simulator samples (paper §III-E), reports its held-out error, and
+//! measures how much faster prediction is than exact simulation.
+//!
+//! Run with: `cargo run --release --example train_predictor`
+
+use std::time::Instant;
+use yoso::accel::Simulator;
+use yoso::arch::{DesignPoint, NetworkSkeleton};
+use yoso::predictor::perf::{collect_samples, PerfPredictor};
+
+fn main() {
+    let skeleton = NetworkSkeleton::paper_default();
+    let sim = Simulator::exact();
+
+    println!("collecting simulator samples ...");
+    let t0 = Instant::now();
+    let train = collect_samples(&skeleton, &sim, 600, 0);
+    let test = collect_samples(&skeleton, &sim, 150, 1);
+    println!("  {} train + {} test samples in {:.1?}", train.len(), test.len(), t0.elapsed());
+
+    println!("fitting latency & energy GPs ...");
+    let t1 = Instant::now();
+    let predictor = PerfPredictor::train(&skeleton, &train).expect("training samples present");
+    println!("  fitted in {:.1?}", t1.elapsed());
+
+    let (lat_mape, eer_mape) = predictor.evaluate(&test);
+    println!(
+        "held-out error: latency MAPE {:.2}%, energy MAPE {:.2}% (paper: <4% at 3000 samples)",
+        lat_mape * 100.0,
+        eer_mape * 100.0
+    );
+
+    // Speed comparison: GP prediction vs exact simulation.
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2);
+    let probes: Vec<DesignPoint> = (0..50).map(|_| DesignPoint::random(&mut rng)).collect();
+    let t_sim = Instant::now();
+    for p in &probes {
+        let plan = skeleton.compile(&p.genotype);
+        let _ = sim.simulate_plan(&plan, &p.hw);
+    }
+    let sim_time = t_sim.elapsed();
+    let t_gp = Instant::now();
+    for p in &probes {
+        let _ = predictor.predict(p);
+    }
+    let gp_time = t_gp.elapsed();
+    println!(
+        "speed: exact simulation {:.2?}/candidate, GP prediction {:.2?}/candidate ({:.0}x faster)",
+        sim_time / probes.len() as u32,
+        gp_time / probes.len() as u32,
+        sim_time.as_secs_f64() / gp_time.as_secs_f64().max(1e-12)
+    );
+}

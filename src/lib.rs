@@ -1,0 +1,34 @@
+//! # yoso
+//!
+//! Facade crate for the YOSO reproduction — *"You Only Search Once: A
+//! Fast Automation Framework for Single-Stage DNN/Accelerator Co-design"*
+//! (Chen et al., DATE 2020).
+//!
+//! Each subsystem lives in its own crate and is re-exported here:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`tensor`] | `yoso-tensor` | CPU tensor + autograd engine |
+//! | [`dataset`] | `yoso-dataset` | SynthCifar procedural dataset |
+//! | [`arch`] | `yoso-arch` | joint search space + action codec |
+//! | [`nn`] | `yoso-nn` | trainable cell networks |
+//! | [`accel`] | `yoso-accel` | systolic-array simulator |
+//! | [`predictor`] | `yoso-predictor` | GP & friends performance predictors |
+//! | [`controller`] | `yoso-controller` | LSTM + REINFORCE agent |
+//! | [`hypernet`] | `yoso-hypernet` | one-shot weight-sharing supernet |
+//! | [`core`] | `yoso-core` | rewards, evaluators, search, baselines |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use yoso_accel as accel;
+pub use yoso_arch as arch;
+pub use yoso_controller as controller;
+pub use yoso_core as core;
+pub use yoso_dataset as dataset;
+pub use yoso_hypernet as hypernet;
+pub use yoso_nn as nn;
+pub use yoso_predictor as predictor;
+pub use yoso_tensor as tensor;

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: every subsystem wired together the way
+//! the paper's flow uses them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yoso::accel::Simulator;
+use yoso::arch::{ActionSpace, DesignPoint, NetworkSkeleton};
+use yoso::core::evaluation::{calibrate_constraints, FastEvaluator, SurrogateEvaluator};
+use yoso::core::reward::RewardConfig;
+use yoso::core::search::{random_search, rl_search, SearchConfig};
+use yoso::core::{
+    best_hw_for, finalize, reference_models, AccurateEvaluator, Evaluator, OptimizationTarget,
+};
+use yoso::dataset::{SynthCifar, SynthCifarConfig};
+use yoso::hypernet::HyperTrainConfig;
+use yoso::nn::TrainConfig;
+use yoso::predictor::perf::{collect_samples, PerfPredictor};
+
+/// Action sequence -> design point -> plan -> simulation -> features ->
+/// prediction: the whole data path used inside the search loop.
+#[test]
+fn codec_to_prediction_data_path() {
+    let skeleton = NetworkSkeleton::tiny();
+    let sim = Simulator::exact();
+    let train = collect_samples(&skeleton, &sim, 150, 0);
+    let predictor = PerfPredictor::train(&skeleton, &train).unwrap();
+
+    let space = ActionSpace::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..10 {
+        let point = DesignPoint::random(&mut rng);
+        let actions = space.encode(&point);
+        let decoded = space.decode(&actions).unwrap();
+        assert_eq!(decoded, point);
+        let plan = skeleton.compile(&decoded.genotype);
+        let truth = sim.simulate_plan(&plan, &decoded.hw);
+        let (pl, pe) = predictor.predict(&decoded);
+        // The GP should land within a factor of two on unseen points.
+        assert!(pl > truth.latency_ms / 2.0 && pl < truth.latency_ms * 2.0);
+        assert!(pe > truth.energy_mj / 2.0 && pe < truth.energy_mj * 2.0);
+    }
+}
+
+/// The paper's three steps end-to-end at miniature scale.
+#[test]
+fn full_pipeline_three_steps() {
+    let skeleton = NetworkSkeleton::tiny();
+    let mut data_cfg = SynthCifarConfig::tiny();
+    data_cfg.train_count = 128;
+    let data = SynthCifar::generate(&data_cfg);
+    // Step 1: fast evaluator construction.
+    let hyper_cfg = HyperTrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        augment: false,
+        ..Default::default()
+    };
+    let fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 120, 0);
+    // Step 2: RL search.
+    let constraints = calibrate_constraints(&skeleton, 60, 0, 50.0);
+    let rc = RewardConfig::balanced(constraints);
+    let outcome = rl_search(
+        &fast,
+        &rc,
+        &SearchConfig {
+            iterations: 40,
+            rollouts_per_update: 8,
+            seed: 0,
+        },
+    );
+    assert_eq!(outcome.history.len(), 40);
+    // Step 3: accurate top-N rerank.
+    let mut train_cfg = TrainConfig::fast_test();
+    train_cfg.epochs = 1;
+    let accurate = AccurateEvaluator::new(skeleton, data, train_cfg);
+    let finalists = finalize(&outcome, 2, &accurate, &rc);
+    assert_eq!(finalists.len(), 2);
+    assert!(finalists[0].accurate_reward >= finalists[1].accurate_reward);
+    assert!(finalists[0].accurate_eval.accuracy > 0.0);
+}
+
+/// The joint search can find designs at least as good as the two-stage
+/// flow under the same budget and evaluator (smoke-level check of the
+/// paper's central claim).
+#[test]
+fn single_stage_not_worse_than_two_stage_smoke() {
+    let skeleton = NetworkSkeleton::paper_default();
+    let evaluator = SurrogateEvaluator::new(skeleton.clone());
+    let constraints = calibrate_constraints(&skeleton, 150, 0, 40.0);
+    let rc = RewardConfig::balanced(constraints);
+    // Two-stage: reference genotypes + exhaustive hardware enumeration.
+    let sim = Simulator::fast();
+    let mut best_two_stage = f64::NEG_INFINITY;
+    for m in reference_models() {
+        let best = best_hw_for(&m.genotype, &skeleton, &sim, &constraints, OptimizationTarget::Energy);
+        let eval = evaluator.evaluate(&DesignPoint {
+            genotype: m.genotype,
+            hw: best.hw,
+        });
+        best_two_stage = best_two_stage.max(rc.reward(eval.accuracy, eval.latency_ms, eval.energy_mj));
+    }
+    // Single stage under a modest budget.
+    let outcome = rl_search(
+        &evaluator,
+        &rc,
+        &SearchConfig {
+            iterations: 800,
+            rollouts_per_update: 10,
+            seed: 0,
+        },
+    );
+    let best_single = outcome.best().reward;
+    assert!(
+        best_single > best_two_stage * 0.95,
+        "single-stage {best_single:.4} much worse than two-stage {best_two_stage:.4}"
+    );
+}
+
+/// Searches with different seeds explore different candidates but the
+/// same seed reproduces exactly (cross-crate determinism).
+#[test]
+fn cross_crate_determinism() {
+    let skeleton = NetworkSkeleton::tiny();
+    let ev = SurrogateEvaluator::new(skeleton.clone());
+    let constraints = calibrate_constraints(&skeleton, 50, 0, 50.0);
+    let rc = RewardConfig::latency_focused(constraints);
+    let cfg = SearchConfig {
+        iterations: 30,
+        rollouts_per_update: 5,
+        seed: 11,
+    };
+    let a = rl_search(&ev, &rc, &cfg);
+    let b = rl_search(&ev, &rc, &cfg);
+    assert_eq!(a, b);
+    let mut cfg2 = cfg.clone();
+    cfg2.seed = 12;
+    let c = rl_search(&ev, &rc, &cfg2);
+    assert_ne!(a.history[0].point, c.history[0].point);
+}
+
+/// Random search must cover hardware configurations broadly (sanity check
+/// that the codec exposes the whole hardware space to the search).
+#[test]
+fn search_covers_hardware_space() {
+    let skeleton = NetworkSkeleton::tiny();
+    let ev = SurrogateEvaluator::new(skeleton.clone());
+    let constraints = calibrate_constraints(&skeleton, 50, 0, 50.0);
+    let rc = RewardConfig::balanced(constraints);
+    let out = random_search(
+        &ev,
+        &rc,
+        &SearchConfig {
+            iterations: 400,
+            rollouts_per_update: 1,
+            seed: 0,
+        },
+    );
+    let dataflows: std::collections::HashSet<_> =
+        out.history.iter().map(|r| r.point.hw.dataflow).collect();
+    assert_eq!(dataflows.len(), 4, "all four dataflows sampled");
+    let pes: std::collections::HashSet<_> = out.history.iter().map(|r| r.point.hw.pe).collect();
+    assert!(pes.len() >= 8, "PE menu explored: {}", pes.len());
+}

@@ -1,0 +1,120 @@
+//! Property-based invariants over the core data structures, spanning the
+//! codec, compiler, simulator and reward.
+
+use proptest::prelude::*;
+use yoso::accel::Simulator;
+use yoso::arch::{
+    ActionSpace, DesignPoint, Genotype, HwConfig, LayerKind, NetworkSkeleton, SEQUENCE_LEN,
+};
+use yoso::core::reward::{Constraints, RewardConfig};
+
+/// Strategy: an arbitrary in-vocabulary action sequence.
+fn action_seq() -> impl Strategy<Value = Vec<usize>> {
+    let space = ActionSpace::new();
+    let vocab: Vec<usize> = space.vocab_sizes().to_vec();
+    vocab
+        .into_iter()
+        .map(|v| (0..v).boxed())
+        .collect::<Vec<_>>()
+        .prop_map(|v| v)
+}
+
+/// Strategy: a random design point via its seed.
+fn design_point() -> impl Strategy<Value = DesignPoint> {
+    any::<u64>().prop_map(|seed| {
+        use rand::{rngs::StdRng, SeedableRng};
+        DesignPoint::random(&mut StdRng::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every in-vocabulary sequence decodes to a valid design point and
+    /// re-encodes to itself (the codec is a bijection on its domain).
+    #[test]
+    fn codec_bijection(seq in action_seq()) {
+        let space = ActionSpace::new();
+        prop_assert_eq!(seq.len(), SEQUENCE_LEN);
+        let point = space.decode(&seq).unwrap();
+        prop_assert!(point.is_valid());
+        prop_assert_eq!(space.encode(&point), seq);
+    }
+
+    /// Compilation invariants: spatial chain consistency and stats
+    /// consistency for arbitrary genotypes.
+    #[test]
+    fn compile_invariants(point in design_point()) {
+        let plan = NetworkSkeleton::paper_default().compile(&point.genotype);
+        let mut macs = 0u64;
+        for l in &plan.layers {
+            match l.kind {
+                LayerKind::Conv { stride, .. }
+                | LayerKind::DwConv { stride, .. }
+                | LayerKind::Pool { stride, .. } => {
+                    prop_assert_eq!(l.h_in / stride, l.h_out);
+                }
+                _ => {}
+            }
+            macs += l.macs();
+        }
+        prop_assert_eq!(macs, plan.stats.total_macs);
+        prop_assert!(plan.stats.total_weights > 0);
+    }
+
+    /// Simulator sanity on arbitrary points: positive finite outputs,
+    /// utilization in [0,1], breakdown sums to the reported energy.
+    #[test]
+    fn simulator_outputs_sane(point in design_point()) {
+        let plan = NetworkSkeleton::tiny().compile(&point.genotype);
+        let rep = Simulator::exact().simulate_plan(&plan, &point.hw);
+        prop_assert!(rep.latency_ms.is_finite() && rep.latency_ms > 0.0);
+        prop_assert!(rep.energy_mj.is_finite() && rep.energy_mj > 0.0);
+        prop_assert!((0.0..=1.0).contains(&rep.utilization));
+        let sum: f64 = rep.layers.iter().map(|l| l.energy.total_pj()).sum();
+        prop_assert!((sum * 1e-9 - rep.energy_mj).abs() <= rep.energy_mj * 1e-9 + 1e-15);
+    }
+
+    /// Growing only the global buffer never increases DRAM traffic
+    /// (capacity monotonicity of the tiling search).
+    #[test]
+    fn gbuf_monotonicity(point in design_point(), which in 0usize..5) {
+        let plan = NetworkSkeleton::tiny().compile(&point.genotype);
+        let sim = Simulator::exact();
+        let gbufs = yoso::arch::GBUF_MENU_KB;
+        let small_hw = HwConfig { gbuf_kb: gbufs[which], ..point.hw };
+        let big_hw = HwConfig { gbuf_kb: gbufs[which + 1], ..point.hw };
+        let small = sim.simulate_plan(&plan, &small_hw);
+        let big = sim.simulate_plan(&plan, &big_hw);
+        prop_assert!(
+            big.dram_words <= small.dram_words + 1.0,
+            "gbuf {} -> {} increased dram {} -> {}",
+            small_hw.gbuf_kb, big_hw.gbuf_kb, small.dram_words, big.dram_words
+        );
+    }
+
+    /// Reward monotonicity: strictly increasing in accuracy, weakly
+    /// decreasing in latency and energy (for negative exponents).
+    #[test]
+    fn reward_monotonicity(
+        acc in 0.05f64..0.95,
+        lat in 0.01f64..10.0,
+        eer in 0.01f64..10.0,
+        d in 0.01f64..1.0,
+    ) {
+        let rc = RewardConfig::balanced(Constraints { t_lat_ms: 1.0, t_eer_mj: 1.0 });
+        prop_assert!(rc.reward(acc + 0.01, lat, eer) > rc.reward(acc, lat, eer));
+        prop_assert!(rc.reward(acc, lat + d, eer) <= rc.reward(acc, lat, eer));
+        prop_assert!(rc.reward(acc, lat, eer + d) <= rc.reward(acc, lat, eer));
+    }
+
+    /// Genotype sampling is always valid and output arity in 1..=5.
+    #[test]
+    fn genotype_sampling_valid(seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let g = Genotype::random(&mut StdRng::seed_from_u64(seed));
+        prop_assert!(g.is_valid());
+        let arity = g.normal.output_arity();
+        prop_assert!((1..=5).contains(&arity));
+    }
+}

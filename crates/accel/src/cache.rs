@@ -1,0 +1,367 @@
+//! Layer-level simulation memoization.
+//!
+//! The same `(layer, hardware)` pairs recur constantly across the
+//! pipeline: every exhaustive stage-2 sweep re-simulates one network on
+//! ~10^3 configurations, predictor sample collection re-simulates shared
+//! skeleton layers (stems, pools, classifiers) across thousands of
+//! random points, and the RL search revisits promising regions. A layer
+//! simulation is a pure function of the inputs below, so its
+//! [`LayerReport`] is cached process-wide and returned bit-identically
+//! on every subsequent hit — skipping the exact-fidelity exhaustive
+//! tiling search, by far the hottest loop in the evaluation path.
+//!
+//! The cache is sharded: each shard is an independent `RwLock`-guarded
+//! map selected by key hash, so concurrent pool workers rarely contend
+//! on the same lock. Hits take a read lock only.
+//!
+//! # Key / invalidation
+//!
+//! A cache entry is keyed by the *complete* input of
+//! [`crate::Simulator::simulate_layer`]: the [`LayerSpec`] (including
+//! its name — the report echoes it), the [`HwConfig`], the
+//! [`Fidelity`], both on-chip residency flags, and the full
+//! [`CostModel`] quantized to its IEEE-754 bit patterns (f64 `Hash`/`Eq`
+//! doesn't exist; bit equality is stricter than `==`, which only means a
+//! cost model that differs in any bit — even `-0.0` vs `0.0` — misses
+//! rather than aliasing). There is no other hidden input, so entries
+//! never need invalidation; [`clear`] exists for tests and for bounding
+//! memory, and a full shard past [`SHARD_CAPACITY`] entries is dropped
+//! wholesale (crude epoch eviction) before inserting.
+
+use crate::cost::CostModel;
+use crate::report::LayerReport;
+use crate::sim::Fidelity;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use yoso_arch::{HwConfig, LayerSpec};
+
+/// Number of independent lock-sharded maps (power of two).
+const SHARDS: usize = 16;
+
+/// Entries per shard before the shard is dropped wholesale.
+pub const SHARD_CAPACITY: usize = 65_536;
+
+/// The full input of a layer simulation, quantized for hashing.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    layer: LayerSpec,
+    hw: HwConfig,
+    fidelity: Fidelity,
+    input_onchip: bool,
+    output_onchip: bool,
+    cost_bits: [u64; 11],
+}
+
+fn cost_bits(c: &CostModel) -> [u64; 11] {
+    [
+        c.word_bytes.to_bits(),
+        c.e_mac.to_bits(),
+        c.e_rbuf.to_bits(),
+        c.e_noc.to_bits(),
+        c.e_gbuf.to_bits(),
+        c.e_dram.to_bits(),
+        c.e_vector.to_bits(),
+        c.clock_ghz.to_bits(),
+        c.dram_words_per_cycle.to_bits(),
+        c.gbuf_words_per_cycle.to_bits(),
+        c.vector_lanes.to_bits(),
+    ]
+}
+
+/// Hit / miss / occupancy counters of the global cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the simulation.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sim cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.entries
+        )
+    }
+}
+
+/// A sharded memoization map for layer simulations. One process-global
+/// instance backs [`crate::Simulator`]; independent instances exist only
+/// in tests.
+struct SimCache {
+    shards: Vec<RwLock<HashMap<CacheKey, LayerReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    fn new() -> Self {
+        SimCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(key: &CacheKey) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+
+    fn lookup_or_simulate(
+        &self,
+        key: CacheKey,
+        simulate: impl FnOnce() -> LayerReport,
+    ) -> LayerReport {
+        let shard = &self.shards[Self::shard_of(&key)];
+        if let Some(report) = shard.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return report.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = simulate();
+        let mut map = shard.write();
+        if map.len() >= SHARD_CAPACITY {
+            map.clear();
+        }
+        // A racing worker may have inserted meanwhile; both computed the
+        // same pure function, so either value is identical.
+        map.insert(key, report.clone());
+        report
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.read().len()).sum(),
+        }
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+fn global() -> &'static SimCache {
+    static CACHE: OnceLock<SimCache> = OnceLock::new();
+    CACHE.get_or_init(SimCache::new)
+}
+
+/// Returns the cached report for this exact simulation input, or runs
+/// `simulate` and caches its result. Hits are bit-identical to what
+/// `simulate` returned on the miss.
+pub(crate) fn lookup_or_simulate(
+    cost: &CostModel,
+    fidelity: Fidelity,
+    layer: &LayerSpec,
+    hw: &HwConfig,
+    input_onchip: bool,
+    output_onchip: bool,
+    simulate: impl FnOnce() -> LayerReport,
+) -> LayerReport {
+    let key = CacheKey {
+        layer: layer.clone(),
+        hw: *hw,
+        fidelity,
+        input_onchip,
+        output_onchip,
+        cost_bits: cost_bits(cost),
+    };
+    global().lookup_or_simulate(key, simulate)
+}
+
+/// Snapshot of the global cache counters.
+pub fn stats() -> CacheStats {
+    global().stats()
+}
+
+/// Empties the global cache and zeroes its counters.
+pub fn clear() {
+    global().clear()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use yoso_arch::{Dataflow, LayerKind, PeArray};
+
+    fn test_layer(name: &str, cout: usize) -> LayerSpec {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Conv {
+                k: 3,
+                stride: 1,
+                cin: 16,
+                cout,
+            },
+            h_in: 8,
+            w_in: 8,
+            h_out: 8,
+            w_out: 8,
+        }
+    }
+
+    fn test_hw() -> HwConfig {
+        HwConfig {
+            pe: PeArray { rows: 8, cols: 8 },
+            gbuf_kb: 64,
+            rbuf_bytes: 256,
+            dataflow: Dataflow::Ws,
+        }
+    }
+
+    fn key_for(sim: &Simulator, layer: &LayerSpec, hw: &HwConfig) -> CacheKey {
+        CacheKey {
+            layer: layer.clone(),
+            hw: *hw,
+            fidelity: sim.fidelity,
+            input_onchip: false,
+            output_onchip: false,
+            cost_bits: cost_bits(&sim.cost),
+        }
+    }
+
+    // Exact counter semantics are asserted on a private instance: the
+    // global cache is shared with every other concurrently running test.
+    #[test]
+    fn instance_counts_hits_misses_entries() {
+        let cache = SimCache::new();
+        let sim = Simulator::exact();
+        let layer = test_layer("l0", 32);
+        let hw = test_hw();
+        let compute = || sim.simulate_layer(&layer, &hw, false, false);
+        let miss = cache.lookup_or_simulate(key_for(&sim, &layer, &hw), compute);
+        let hit = cache.lookup_or_simulate(key_for(&sim, &layer, &hw), compute);
+        assert_eq!(miss, hit);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn distinct_inputs_do_not_alias() {
+        let cache = SimCache::new();
+        let exact = Simulator::exact();
+        let hw = test_hw();
+        let la = test_layer("a", 32);
+        let lb = test_layer("a", 48);
+        let a = cache.lookup_or_simulate(key_for(&exact, &la, &hw), || {
+            exact.simulate_layer(&la, &hw, false, false)
+        });
+        let b = cache.lookup_or_simulate(key_for(&exact, &lb, &hw), || {
+            exact.simulate_layer(&lb, &hw, false, false)
+        });
+        assert_ne!(a, b);
+        // Same layer under a different fidelity is a different key.
+        let fast = Simulator::fast();
+        cache.lookup_or_simulate(key_for(&fast, &la, &hw), || {
+            fast.simulate_layer(&la, &hw, false, false)
+        });
+        assert_eq!(cache.stats().misses, 3);
+        // The cost model participates in the key.
+        let mut dear_dram = Simulator::exact();
+        dear_dram.cost.e_dram *= 2.0;
+        let c = cache.lookup_or_simulate(key_for(&dear_dram, &la, &hw), || {
+            dear_dram.simulate_layer(&la, &hw, false, false)
+        });
+        assert!(c.energy.total_pj() > a.energy.total_pj());
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().entries, 4);
+    }
+
+    #[test]
+    fn instance_clear_resets_everything() {
+        let cache = SimCache::new();
+        let sim = Simulator::fast();
+        let layer = test_layer("x", 8);
+        let hw = test_hw();
+        cache.lookup_or_simulate(key_for(&sim, &layer, &hw), || {
+            sim.simulate_layer(&layer, &hw, false, false)
+        });
+        assert_eq!(cache.stats().entries, 1);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn capacity_overflow_drops_shard() {
+        let cache = SimCache::new();
+        let sim = Simulator::fast();
+        let hw = test_hw();
+        let layer = test_layer("cap", 8);
+        let report = sim.simulate_layer(&layer, &hw, false, false);
+        // Force one shard to the brink, then insert into it again.
+        let key = key_for(&sim, &layer, &hw);
+        let shard_idx = SimCache::shard_of(&key);
+        cache.shards[shard_idx]
+            .write()
+            .extend((0..SHARD_CAPACITY).map(|i| {
+                let mut k = key.clone();
+                k.layer.name = format!("filler-{i}");
+                (k, report.clone())
+            }));
+        cache.lookup_or_simulate(key, || report.clone());
+        assert!(cache.stats().entries <= SHARD_CAPACITY);
+    }
+
+    // The global path: delta-based assertions only (other tests in this
+    // binary hit the same process-wide cache concurrently, but only add).
+    #[test]
+    fn global_cache_serves_simulate_layers() {
+        let sim = Simulator::exact();
+        let layer = test_layer("global-cache-probe-layer", 24);
+        let hw = test_hw();
+        let before = stats();
+        let miss = sim.simulate_layers(std::slice::from_ref(&layer), &hw);
+        let hit = sim.simulate_layers(std::slice::from_ref(&layer), &hw);
+        assert_eq!(miss, hit);
+        let after = stats();
+        assert!(after.misses > before.misses);
+        assert!(after.hits > before.hits);
+        assert!(after.entries >= 1);
+    }
+
+    #[test]
+    fn stats_display_is_readable() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        };
+        assert_eq!(
+            s.to_string(),
+            "sim cache: 3 hits / 1 misses (75.0% hit rate), 1 entries"
+        );
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cost;
 pub mod report;
 pub mod sim;
 
+pub use cache::CacheStats;
 pub use cost::CostModel;
 pub use report::{EnergyBreakdown, LayerReport, PerfReport};
 pub use sim::{Fidelity, Simulator};

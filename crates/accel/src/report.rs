@@ -137,7 +137,10 @@ mod tests {
 
     #[test]
     fn aggregate_sums() {
-        let r = PerfReport::from_layers(vec![layer(100, 1000.0, 0.5, 1e6), layer(300, 3000.0, 1.0, 3e6)], 1.0);
+        let r = PerfReport::from_layers(
+            vec![layer(100, 1000.0, 0.5, 1e6), layer(300, 3000.0, 1.0, 3e6)],
+            1.0,
+        );
         assert!((r.latency_ms - 4e3 / 1e9 * 1e3).abs() < 1e-12);
         assert!((r.energy_mj - 4e6 * 1e-9).abs() < 1e-12);
         assert!((r.utilization - (0.5 * 100.0 + 1.0 * 300.0) / 400.0).abs() < 1e-12);

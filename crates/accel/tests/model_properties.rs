@@ -116,8 +116,16 @@ fn regression_anchor() {
     let rep = Simulator::new(CostModel::default(), Fidelity::Exact).simulate_plan(&plan, &hw);
     // Loose envelope (20%) so cost-constant tweaks don't break the build,
     // while structural regressions (double counting, dropped layers) do.
-    assert!(rep.energy_mj > 0.01 && rep.energy_mj < 10.0, "energy {}", rep.energy_mj);
-    assert!(rep.latency_ms > 0.005 && rep.latency_ms < 50.0, "latency {}", rep.latency_ms);
+    assert!(
+        rep.energy_mj > 0.01 && rep.energy_mj < 10.0,
+        "energy {}",
+        rep.energy_mj
+    );
+    assert!(
+        rep.latency_ms > 0.005 && rep.latency_ms < 50.0,
+        "latency {}",
+        rep.latency_ms
+    );
     assert!(rep.utilization > 0.05, "utilization {}", rep.utilization);
 }
 
@@ -133,8 +141,14 @@ fn flexible_dataflow_dominates_fixed() {
         let best_fixed = Dataflow::ALL
             .iter()
             .map(|&df| {
-                sim.simulate_plan(&plan, &HwConfig { dataflow: df, ..p.hw })
-                    .energy_mj
+                sim.simulate_plan(
+                    &plan,
+                    &HwConfig {
+                        dataflow: df,
+                        ..p.hw
+                    },
+                )
+                .energy_mj
             })
             .fold(f64::INFINITY, f64::min);
         assert!(

@@ -45,8 +45,15 @@ impl fmt::Display for DecodeActionError {
             DecodeActionError::WrongLength { got } => {
                 write!(f, "expected {SEQUENCE_LEN} actions, got {got}")
             }
-            DecodeActionError::OutOfVocab { step, action, vocab } => {
-                write!(f, "action {action} at step {step} exceeds vocabulary {vocab}")
+            DecodeActionError::OutOfVocab {
+                step,
+                action,
+                vocab,
+            } => {
+                write!(
+                    f,
+                    "action {action} at step {step} exceeds vocabulary {vocab}"
+                )
             }
         }
     }
@@ -136,7 +143,11 @@ impl ActionSpace {
         }
         for (step, (&a, &v)) in actions.iter().zip(&self.vocab).enumerate() {
             if a >= v {
-                return Err(DecodeActionError::OutOfVocab { step, action: a, vocab: v });
+                return Err(DecodeActionError::OutOfVocab {
+                    step,
+                    action: a,
+                    vocab: v,
+                });
             }
         }
         let decode_cell = |base: usize| -> CellGenotype {
@@ -223,7 +234,11 @@ mod tests {
         let mut seq = vec![0usize; SEQUENCE_LEN];
         seq[1] = 6; // op index beyond Op::COUNT
         match sp.decode(&seq) {
-            Err(DecodeActionError::OutOfVocab { step: 1, action: 6, vocab: 6 }) => {}
+            Err(DecodeActionError::OutOfVocab {
+                step: 1,
+                action: 6,
+                vocab: 6,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -251,8 +266,14 @@ mod tests {
         // exact combinatorics land within a few orders of magnitude.
         let sp = ActionSpace::new();
         let log10 = sp.log10_cardinality();
-        assert!(log10 > 15.0, "combined space should exceed 1e15, got 1e{log10:.1}");
-        let err_msg = format!("error display: {}", DecodeActionError::WrongLength { got: 3 });
+        assert!(
+            log10 > 15.0,
+            "combined space should exceed 1e15, got 1e{log10:.1}"
+        );
+        let err_msg = format!(
+            "error display: {}",
+            DecodeActionError::WrongLength { got: 3 }
+        );
         assert!(err_msg.contains("44"));
     }
 }

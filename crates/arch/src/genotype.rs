@@ -110,15 +110,7 @@ impl fmt::Display for CellGenotype {
             if i > 0 {
                 f.write_str(" | ")?;
             }
-            write!(
-                f,
-                "n{}=({}<-{}, {}<-{})",
-                i + 2,
-                g.op1,
-                g.in1,
-                g.op2,
-                g.in2
-            )?;
+            write!(f, "n{}=({}<-{}, {}<-{})", i + 2, g.op1, g.in1, g.op2, g.in2)?;
         }
         Ok(())
     }
@@ -183,7 +175,10 @@ mod tests {
             let c = CellGenotype::random(&mut rng);
             let out = c.output_nodes();
             assert!(!out.is_empty());
-            assert!(out.contains(&(NODES_PER_CELL - 1)), "last node is never an input");
+            assert!(
+                out.contains(&(NODES_PER_CELL - 1)),
+                "last node is never an input"
+            );
             assert!(out.len() <= INTERNAL_NODES);
         }
     }

@@ -28,7 +28,10 @@ impl Dataflow {
 
     /// Canonical index in [`Dataflow::ALL`].
     pub fn index(self) -> usize {
-        Dataflow::ALL.iter().position(|&d| d == self).expect("in ALL")
+        Dataflow::ALL
+            .iter()
+            .position(|&d| d == self)
+            .expect("in ALL")
     }
 
     /// Dataflow for a canonical index.
@@ -210,7 +213,10 @@ mod tests {
             (16, 32, 512, 128),
         ] {
             let cfg = HwConfig {
-                pe: PeArray { rows: pe_r, cols: pe_c },
+                pe: PeArray {
+                    rows: pe_r,
+                    cols: pe_c,
+                },
                 gbuf_kb: gbuf,
                 rbuf_bytes: rbuf,
                 dataflow: Dataflow::Os,

@@ -224,7 +224,12 @@ mod tests {
     fn conv(k: usize, stride: usize, cin: usize, cout: usize, h: usize) -> LayerSpec {
         LayerSpec {
             name: "t".into(),
-            kind: LayerKind::Conv { k, stride, cin, cout },
+            kind: LayerKind::Conv {
+                k,
+                stride,
+                cin,
+                cout,
+            },
             h_in: h,
             w_in: h,
             h_out: h / stride,
@@ -245,7 +250,11 @@ mod tests {
     fn dwconv_macs_smaller_than_conv() {
         let d = LayerSpec {
             name: "d".into(),
-            kind: LayerKind::DwConv { k: 3, stride: 1, c: 16 },
+            kind: LayerKind::DwConv {
+                k: 3,
+                stride: 1,
+                c: 16,
+            },
             h_in: 8,
             w_in: 8,
             h_out: 8,
@@ -259,7 +268,12 @@ mod tests {
     fn pool_has_no_weights() {
         let p = LayerSpec {
             name: "p".into(),
-            kind: LayerKind::Pool { k: 3, stride: 2, c: 8, pooling: PoolKind::Max },
+            kind: LayerKind::Pool {
+                k: 3,
+                stride: 2,
+                c: 8,
+                pooling: PoolKind::Max,
+            },
             h_in: 8,
             w_in: 8,
             h_out: 4,

@@ -366,7 +366,9 @@ pub struct NetworkPlan {
 impl NetworkPlan {
     /// Channels of the tensor feeding the classifier.
     pub fn final_channels(&self) -> usize {
-        self.cells.last().map_or(self.skeleton.init_channels, |c| c.out_channels)
+        self.cells
+            .last()
+            .map_or(self.skeleton.init_channels, |c| c.out_channels)
     }
 }
 
@@ -455,27 +457,83 @@ mod tests {
         use crate::op::Op;
         let chain = CellGenotype {
             nodes: [
-                NodeGene { in1: 0, op1: Op::Conv3, in2: 1, op2: Op::Conv3 },
-                NodeGene { in1: 2, op1: Op::Conv3, in2: 0, op2: Op::Conv3 },
-                NodeGene { in1: 3, op1: Op::Conv3, in2: 0, op2: Op::Conv3 },
-                NodeGene { in1: 4, op1: Op::Conv3, in2: 0, op2: Op::Conv3 },
-                NodeGene { in1: 5, op1: Op::Conv3, in2: 0, op2: Op::Conv3 },
+                NodeGene {
+                    in1: 0,
+                    op1: Op::Conv3,
+                    in2: 1,
+                    op2: Op::Conv3,
+                },
+                NodeGene {
+                    in1: 2,
+                    op1: Op::Conv3,
+                    in2: 0,
+                    op2: Op::Conv3,
+                },
+                NodeGene {
+                    in1: 3,
+                    op1: Op::Conv3,
+                    in2: 0,
+                    op2: Op::Conv3,
+                },
+                NodeGene {
+                    in1: 4,
+                    op1: Op::Conv3,
+                    in2: 0,
+                    op2: Op::Conv3,
+                },
+                NodeGene {
+                    in1: 5,
+                    op1: Op::Conv3,
+                    in2: 0,
+                    op2: Op::Conv3,
+                },
             ],
         };
         let star = CellGenotype {
             nodes: [
-                NodeGene { in1: 0, op1: Op::Conv3, in2: 1, op2: Op::Conv3 },
-                NodeGene { in1: 0, op1: Op::Conv3, in2: 1, op2: Op::Conv3 },
-                NodeGene { in1: 0, op1: Op::Conv3, in2: 1, op2: Op::Conv3 },
-                NodeGene { in1: 0, op1: Op::Conv3, in2: 1, op2: Op::Conv3 },
-                NodeGene { in1: 0, op1: Op::Conv3, in2: 1, op2: Op::Conv3 },
+                NodeGene {
+                    in1: 0,
+                    op1: Op::Conv3,
+                    in2: 1,
+                    op2: Op::Conv3,
+                },
+                NodeGene {
+                    in1: 0,
+                    op1: Op::Conv3,
+                    in2: 1,
+                    op2: Op::Conv3,
+                },
+                NodeGene {
+                    in1: 0,
+                    op1: Op::Conv3,
+                    in2: 1,
+                    op2: Op::Conv3,
+                },
+                NodeGene {
+                    in1: 0,
+                    op1: Op::Conv3,
+                    in2: 1,
+                    op2: Op::Conv3,
+                },
+                NodeGene {
+                    in1: 0,
+                    op1: Op::Conv3,
+                    in2: 1,
+                    op2: Op::Conv3,
+                },
             ],
         };
         assert_eq!(chain.output_arity(), 1);
         assert_eq!(star.output_arity(), 5);
         let sk = NetworkSkeleton::tiny();
-        let g_chain = Genotype { normal: chain, reduction: chain };
-        let g_star = Genotype { normal: star, reduction: star };
+        let g_chain = Genotype {
+            normal: chain,
+            reduction: chain,
+        };
+        let g_star = Genotype {
+            normal: star,
+            reduction: star,
+        };
         let p_chain = sk.compile(&g_chain);
         let p_star = sk.compile(&g_star);
         assert!(p_star.final_channels() > p_chain.final_channels());

@@ -104,7 +104,11 @@ mod tests {
     fn cardinality_magnitudes() {
         let c = cardinality();
         // One cell: prod_{i=2..6} 36 i^2 = 36^5 * (720)^2 ≈ 3.1e13.
-        assert!((c.log10_cell - 13.5).abs() < 0.5, "log10 cell {}", c.log10_cell);
+        assert!(
+            (c.log10_cell - 13.5).abs() < 0.5,
+            "log10 cell {}",
+            c.log10_cell
+        );
         // The paper quotes ~5e11 networks with a coarser counting
         // convention; our exact ordered-pair count is larger. What matters
         // for the method is that the space is far beyond enumeration.

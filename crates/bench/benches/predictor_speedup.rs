@@ -20,7 +20,10 @@ fn bench_predictor_speedup(c: &mut Criterion) {
     let predictor = PerfPredictor::train(&skeleton, &train).expect("fit");
     let mut rng = StdRng::seed_from_u64(1);
     let points: Vec<DesignPoint> = (0..32).map(|_| DesignPoint::random(&mut rng)).collect();
-    let plans: Vec<_> = points.iter().map(|p| skeleton.compile(&p.genotype)).collect();
+    let plans: Vec<_> = points
+        .iter()
+        .map(|p| skeleton.compile(&p.genotype))
+        .collect();
 
     let mut group = c.benchmark_group("perf_oracle");
     group.bench_function("exact_simulation", |b| {

@@ -12,7 +12,7 @@
 //!    dataflow gap.
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin ablations --
-//!   [--which 1,2,3,4,5,6]`
+//!   [--which 1,2,3,4,5,6] [--threads 0]`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,6 +33,7 @@ fn wants(which: &str, id: char) -> bool {
 }
 
 fn main() {
+    println!("worker pool: {} threads", yoso_bench::configure_threads());
     let which = arg_value("--which").unwrap_or_else(|| "123456".into());
 
     if wants(&which, '1') {
@@ -195,7 +196,11 @@ fn ablation_rl_seeds() {
         let rnd = random_search(&ev, &rc, &cfg);
         let tail = |o: &yoso_core::SearchOutcome| {
             let k = o.history.len() / 4;
-            o.history[o.history.len() - k..].iter().map(|r| r.reward).sum::<f64>() / k as f64
+            o.history[o.history.len() - k..]
+                .iter()
+                .map(|r| r.reward)
+                .sum::<f64>()
+                / k as f64
         };
         if tail(&rl) > tail(&rnd) {
             rl_wins += 1;
@@ -223,9 +228,17 @@ fn ablation_hw_isolation() {
     sk.init_channels = 24;
     use yoso_arch::{CellGenotype, NodeGene, Op};
     let star = CellGenotype {
-        nodes: [NodeGene { in1: 0, op1: Op::Conv5, in2: 1, op2: Op::Conv5 }; 5],
+        nodes: [NodeGene {
+            in1: 0,
+            op1: Op::Conv5,
+            in2: 1,
+            op2: Op::Conv5,
+        }; 5],
     };
-    let plan = sk.compile(&Genotype { normal: star, reduction: star });
+    let plan = sk.compile(&Genotype {
+        normal: star,
+        reduction: star,
+    });
     let sim = Simulator::exact();
     let base = HwConfig {
         pe: PeArray { rows: 16, cols: 16 },
@@ -244,14 +257,56 @@ fn ablation_hw_isolation() {
         ]);
     };
     push("base 16*16/256KB/256b/WS".into(), base);
-    push("PE -> 8*8".into(), HwConfig { pe: PeArray { rows: 8, cols: 8 }, ..base });
-    push("PE -> 16*32".into(), HwConfig { pe: PeArray { rows: 16, cols: 32 }, ..base });
-    push("gbuf -> 108KB".into(), HwConfig { gbuf_kb: 108, ..base });
-    push("gbuf -> 1024KB".into(), HwConfig { gbuf_kb: 1024, ..base });
-    push("rbuf -> 64b".into(), HwConfig { rbuf_bytes: 64, ..base });
-    push("rbuf -> 1024b".into(), HwConfig { rbuf_bytes: 1024, ..base });
+    push(
+        "PE -> 8*8".into(),
+        HwConfig {
+            pe: PeArray { rows: 8, cols: 8 },
+            ..base
+        },
+    );
+    push(
+        "PE -> 16*32".into(),
+        HwConfig {
+            pe: PeArray { rows: 16, cols: 32 },
+            ..base
+        },
+    );
+    push(
+        "gbuf -> 108KB".into(),
+        HwConfig {
+            gbuf_kb: 108,
+            ..base
+        },
+    );
+    push(
+        "gbuf -> 1024KB".into(),
+        HwConfig {
+            gbuf_kb: 1024,
+            ..base
+        },
+    );
+    push(
+        "rbuf -> 64b".into(),
+        HwConfig {
+            rbuf_bytes: 64,
+            ..base
+        },
+    );
+    push(
+        "rbuf -> 1024b".into(),
+        HwConfig {
+            rbuf_bytes: 1024,
+            ..base
+        },
+    );
     for df in Dataflow::ALL {
-        push(format!("dataflow -> {df}"), HwConfig { dataflow: df, ..base });
+        push(
+            format!("dataflow -> {df}"),
+            HwConfig {
+                dataflow: df,
+                ..base
+            },
+        );
     }
     println!("{table}");
 }
@@ -273,7 +328,16 @@ fn ablation_flexible_dataflow() {
         };
         let best_fixed = Dataflow::ALL
             .iter()
-            .map(|&df| sim.simulate_plan(&plan, &HwConfig { dataflow: df, ..base }).energy_mj)
+            .map(|&df| {
+                sim.simulate_plan(
+                    &plan,
+                    &HwConfig {
+                        dataflow: df,
+                        ..base
+                    },
+                )
+                .energy_mj
+            })
             .fold(f64::INFINITY, f64::min);
         let flex = sim.simulate_plan_flexible(&plan, &base).energy_mj;
         table.row(vec![

@@ -4,9 +4,11 @@
 //! its lowest MSE.
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin fig4_regressors --
-//!   [--train 1000] [--test 300] [--seed 0] [--paper]`
+//!   [--train 1000] [--test 300] [--seed 0] [--threads 0] [--paper]`
 //!
 //! `--paper` uses the paper's exact sample counts (3000 / 600).
+//! `--threads 0` (default) uses all cores; sampling is deterministic and
+//! the output CSVs are byte-identical at any thread count.
 
 use std::time::Instant;
 use yoso_accel::Simulator;
@@ -24,6 +26,7 @@ fn main() {
         (arg_usize("--train", 1000), arg_usize("--test", 300))
     };
     let seed = arg_u64("--seed", 0);
+    println!("worker pool: {} threads", yoso_bench::configure_threads());
     let skeleton = NetworkSkeleton::paper_default();
     let sim = Simulator::exact();
 
@@ -38,8 +41,14 @@ fn main() {
     let x_test: Vec<Vec<f64>> = test.iter().map(xf).collect();
 
     for (target, pick) in [
-        ("energy", Box::new(|s: &yoso_predictor::PerfSample| s.energy_mj) as Box<dyn Fn(_) -> f64>),
-        ("latency", Box::new(|s: &yoso_predictor::PerfSample| s.latency_ms)),
+        (
+            "energy",
+            Box::new(|s: &yoso_predictor::PerfSample| s.energy_mj) as Box<dyn Fn(_) -> f64>,
+        ),
+        (
+            "latency",
+            Box::new(|s: &yoso_predictor::PerfSample| s.latency_ms),
+        ),
     ] {
         let y_train: Vec<f64> = train.iter().map(&pick).collect();
         let y_test: Vec<f64> = test.iter().map(pick).collect();
@@ -88,7 +97,12 @@ fn main() {
             "lowest MSE: {} ({:.5}) — paper selects GaussianProcess",
             best.0, best.1
         );
-        let path = write_csv(&format!("fig4_{target}.csv"), &["target", "model", "mse", "mae", "r2"], &csv_rows);
+        let path = write_csv(
+            &format!("fig4_{target}.csv"),
+            &["target", "model", "mse", "mae", "r2"],
+            &csv_rows,
+        );
         println!("written {}", path.display());
     }
+    println!("{}", yoso_accel::cache::stats());
 }

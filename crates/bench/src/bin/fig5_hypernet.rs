@@ -14,6 +14,8 @@
 //! fully-trained accuracies of different architectures apart, which is
 //! what part (b)'s ranking correlation needs.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 use yoso_arch::{Genotype, NetworkSkeleton};
 use yoso_bench::{arg_u64, arg_usize, arg_value, write_csv, Table};
@@ -21,8 +23,6 @@ use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::{HyperNet, HyperTrainConfig};
 use yoso_nn::{CellNetwork, TrainConfig};
 use yoso_predictor::metrics::{kendall_tau, pearson, spearman};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn scale() -> (NetworkSkeleton, SynthCifarConfig) {
     match arg_value("--scale").as_deref() {
@@ -81,7 +81,11 @@ fn main() {
             ]);
         }
         println!("{table}");
-        let p = write_csv("fig5a_training.csv", &["epoch", "train_loss", "sampled_val_acc"], &rows);
+        let p = write_csv(
+            "fig5a_training.csv",
+            &["epoch", "train_loss", "sampled_val_acc"],
+            &rows,
+        );
         println!("written {}", p.display());
     }
 
@@ -126,7 +130,11 @@ fn main() {
             kendall_tau(&inherited, &full)
         );
         println!("(the paper reports that inherited accuracy correlates with stand-alone accuracy, Fig. 5(b))");
-        let p = write_csv("fig5b_correlation.csv", &["model", "inherited_acc", "full_acc"], &rows);
+        let p = write_csv(
+            "fig5b_correlation.csv",
+            &["model", "inherited_acc", "full_acc"],
+            &rows,
+        );
         println!("written {}", p.display());
     }
 }

@@ -90,7 +90,11 @@ fn main() {
                 ]
             })
             .collect();
-        let p = write_csv("fig6a_rl_vs_random.csv", &["iteration", "rl_reward", "random_reward"], &rows);
+        let p = write_csv(
+            "fig6a_rl_vs_random.csv",
+            &["iteration", "rl_reward", "random_reward"],
+            &rows,
+        );
         println!(
             "tail-quarter mean reward: RL {:.4} vs random {:.4}  (best: RL {:.4} vs random {:.4})",
             tail_mean(&rl, 4),
@@ -158,7 +162,8 @@ fn main() {
         };
         let k = out.history.len() / 4;
         let head: Vec<&yoso_core::SearchRecord> = out.history[..k].iter().collect();
-        let tail: Vec<&yoso_core::SearchRecord> = out.history[out.history.len() - k..].iter().collect();
+        let tail: Vec<&yoso_core::SearchRecord> =
+            out.history[out.history.len() - k..].iter().collect();
         let mean = |v: &[&yoso_core::SearchRecord], f: &dyn Fn(&yoso_core::SearchRecord) -> f64| {
             v.iter().map(|r| f(r)).sum::<f64>() / v.len() as f64
         };

@@ -60,7 +60,11 @@ fn main() {
         println!("{name:>12} energy  | {}", bar(e / e_min, max_norm));
         println!("{:>12} latency | {}", "", bar(l / l_min, max_norm));
     }
-    let p = write_csv("fig7_normalized.csv", &["model", "energy_norm", "latency_norm"], &csv);
+    let p = write_csv(
+        "fig7_normalized.csv",
+        &["model", "energy_norm", "latency_norm"],
+        &csv,
+    );
     println!("\nwritten {}", p.display());
 
     // The winners should be YOSO designs, as in the paper's Fig. 7.

@@ -12,17 +12,20 @@
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin table2_comparison --
 //!   [--iterations 600] [--topn 5] [--hyper-epochs 6] [--full-epochs 6]
-//!   [--seed 0]`
+//!   [--seed 0] [--threads 0]`
+//!
+//! `--threads 0` (default) uses all cores for sampling, hardware
+//! enumeration and reranking.
 
 use std::time::Instant;
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, Genotype, NetworkSkeleton};
 use yoso_bench::{arg_u64, arg_usize, write_csv, Table};
 use yoso_core::evaluation::{calibrate_constraints, FastEvaluator};
+use yoso_core::parallel_map;
 use yoso_core::reward::RewardConfig;
 use yoso_core::search::{rl_search, SearchConfig};
 use yoso_core::twostage::{best_hw_for, reference_models, OptimizationTarget};
-use yoso_core::parallel_map;
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::HyperTrainConfig;
 use yoso_nn::{CellNetwork, TrainConfig};
@@ -61,6 +64,7 @@ fn main() {
     let hyper_epochs = arg_usize("--hyper-epochs", 6);
     let full_epochs = arg_usize("--full-epochs", 6);
     let seed = arg_u64("--seed", 0);
+    println!("worker pool: {} threads", yoso_bench::configure_threads());
 
     let skeleton = NetworkSkeleton::small();
     let data = SynthCifar::generate(&SynthCifarConfig::small());
@@ -76,7 +80,13 @@ fn main() {
     let models = reference_models();
     let t0 = Instant::now();
     let accs: Vec<f64> = parallel_map(models.len(), models.len(), |i| {
-        train_full(&skeleton, &data, &models[i].genotype, full_epochs, seed + i as u64)
+        train_full(
+            &skeleton,
+            &data,
+            &models[i].genotype,
+            full_epochs,
+            seed + i as u64,
+        )
     });
     println!("  trained in {:.1?}", t0.elapsed());
     let mut rows: Vec<Row> = Vec::new();
@@ -85,7 +95,13 @@ fn main() {
         // paper picks the best configuration per network; we optimize the
         // composite objective's dominant metric (energy, matching the
         // ordering used in Table 2's energy column).
-        let best = best_hw_for(&m.genotype, &skeleton, &sim, &constraints, OptimizationTarget::Energy);
+        let best = best_hw_for(
+            &m.genotype,
+            &skeleton,
+            &sim,
+            &constraints,
+            OptimizationTarget::Energy,
+        );
         rows.push(Row {
             name: m.name.to_string(),
             search_cost: format!("{} (orig.)", m.search_cost_gpu_days),
@@ -139,7 +155,11 @@ fn main() {
             .max_by(|a, b| a.4.total_cmp(&b.4))
             .expect("finalists present");
         let minutes = (t1.elapsed().as_secs_f64() + t2.elapsed().as_secs_f64()) / 60.0;
-        println!("  done in {:.1?} (champion reward {:.4})", t2.elapsed(), champ.4);
+        println!(
+            "  done in {:.1?} (champion reward {:.4})",
+            t2.elapsed(),
+            champ.4
+        );
         rows.push(Row {
             name: label.to_string(),
             search_cost: format!("{minutes:.1} min"),
@@ -182,7 +202,14 @@ fn main() {
     println!("{table}");
     let p = write_csv(
         "table2.csv",
-        &["model", "search_cost", "test_error_pct", "energy_mj", "latency_ms", "config"],
+        &[
+            "model",
+            "search_cost",
+            "test_error_pct",
+            "energy_mj",
+            "latency_ms",
+            "config",
+        ],
         &csv,
     );
     println!("written {}", p.display());
@@ -190,9 +217,18 @@ fn main() {
     // ---- headline ratios (the 1.42x–2.29x / 1.79x–3.07x claims) ----------
     let yoso_eer = rows.iter().find(|r| r.name == "Yoso_eer").expect("row");
     let yoso_lat = rows.iter().find(|r| r.name == "Yoso_lat").expect("row");
-    let two_stage: Vec<&Row> = rows.iter().filter(|r| !r.name.starts_with("Yoso")).collect();
-    let e_ratios: Vec<f64> = two_stage.iter().map(|r| r.energy_mj / yoso_eer.energy_mj).collect();
-    let l_ratios: Vec<f64> = two_stage.iter().map(|r| r.latency_ms / yoso_lat.latency_ms).collect();
+    let two_stage: Vec<&Row> = rows
+        .iter()
+        .filter(|r| !r.name.starts_with("Yoso"))
+        .collect();
+    let e_ratios: Vec<f64> = two_stage
+        .iter()
+        .map(|r| r.energy_mj / yoso_eer.energy_mj)
+        .collect();
+    let l_ratios: Vec<f64> = two_stage
+        .iter()
+        .map(|r| r.latency_ms / yoso_lat.latency_ms)
+        .collect();
     let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
     let max = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     println!(
@@ -205,4 +241,5 @@ fn main() {
         min(&l_ratios),
         max(&l_ratios)
     );
+    println!("{}", yoso_accel::cache::stats());
 }

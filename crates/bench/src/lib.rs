@@ -100,6 +100,14 @@ pub fn arg_present(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Applies the shared `--threads <n>` flag to the global worker pool and
+/// returns the resolved worker count. `0` or an absent flag means "all
+/// cores" ([`yoso_pool::set_num_threads`] treats 0 as auto).
+pub fn configure_threads() -> usize {
+    yoso_pool::set_num_threads(arg_usize("--threads", 0));
+    yoso_pool::num_threads()
+}
+
 /// Minimal aligned-column table printer for experiment output.
 #[derive(Debug, Default)]
 pub struct Table {

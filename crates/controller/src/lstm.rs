@@ -45,7 +45,11 @@ pub struct LstmShape {
 impl LstmParams {
     /// Allocates LSTM parameters in `store` with small random init and a
     /// forget-gate bias of 1.
-    pub fn init<R: rand::Rng + ?Sized>(shape: LstmShape, store: &mut ParamStore, rng: &mut R) -> Self {
+    pub fn init<R: rand::Rng + ?Sized>(
+        shape: LstmShape,
+        store: &mut ParamStore,
+        rng: &mut R,
+    ) -> Self {
         let (h, e) = (shape.hidden, shape.input);
         let w_ih = store.add(Tensor::randn(&[4 * h, e], 0.1, rng));
         let w_hh = store.add(Tensor::randn(&[4 * h, h], 0.1, rng));
@@ -198,7 +202,10 @@ mod tests {
 
     fn setup() -> (ParamStore, LstmParams, LstmShape) {
         let mut rng = StdRng::seed_from_u64(0);
-        let shape = LstmShape { hidden: 6, input: 4 };
+        let shape = LstmShape {
+            hidden: 6,
+            input: 4,
+        };
         let mut store = ParamStore::new();
         let p = LstmParams::init(shape, &mut store, &mut rng);
         (store, p, shape)

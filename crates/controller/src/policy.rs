@@ -121,7 +121,11 @@ impl Controller {
         let mut emb = Vec::with_capacity(cfg.vocab_sizes.len());
         emb.push(store.add(Tensor::randn(&[1, cfg.embed], 0.1, &mut rng)));
         for s in 1..cfg.vocab_sizes.len() {
-            emb.push(store.add(Tensor::randn(&[cfg.vocab_sizes[s - 1], cfg.embed], 0.1, &mut rng)));
+            emb.push(store.add(Tensor::randn(
+                &[cfg.vocab_sizes[s - 1], cfg.embed],
+                0.1,
+                &mut rng,
+            )));
         }
         let heads = cfg
             .vocab_sizes
@@ -227,7 +231,13 @@ impl Controller {
             log_prob += (probs[action].max(1e-12) as f64).ln();
             entropy += -probs
                 .iter()
-                .map(|&p| if p > 0.0 { (p as f64) * (p as f64).ln() } else { 0.0 })
+                .map(|&p| {
+                    if p > 0.0 {
+                        (p as f64) * (p as f64).ln()
+                    } else {
+                        0.0
+                    }
+                })
                 .sum::<f64>();
             h = cache.h.clone();
             c = cache.c.clone();
@@ -265,9 +275,7 @@ impl Controller {
         let mean_reward = batch.iter().map(|(_, r)| r).sum::<f64>() / batch.len() as f64;
         let baseline = match self.baseline {
             None => mean_reward,
-            Some(b) => {
-                self.cfg.baseline_decay * b + (1.0 - self.cfg.baseline_decay) * mean_reward
-            }
+            Some(b) => self.cfg.baseline_decay * b + (1.0 - self.cfg.baseline_decay) * mean_reward,
         };
         self.baseline = Some(baseline);
         self.store.zero_grads();
@@ -443,7 +451,11 @@ mod tests {
             let batch: Vec<(Rollout, f64)> = (0..8)
                 .map(|_| {
                     let r = ctrl.sample(&mut rng);
-                    let reward = if r.actions[1] == r.actions[0] + 1 { 1.0 } else { 0.0 };
+                    let reward = if r.actions[1] == r.actions[0] + 1 {
+                        1.0
+                    } else {
+                        0.0
+                    };
                     (r, reward)
                 })
                 .collect();

@@ -79,5 +79,8 @@ fn initial_policy_explores() {
     for _ in 0..200 {
         seen[ctrl.sample(&mut rng).actions[0]] = true;
     }
-    assert!(seen.iter().all(|&s| s), "degenerate initial policy: {seen:?}");
+    assert!(
+        seen.iter().all(|&s| s),
+        "degenerate initial policy: {seen:?}"
+    );
 }

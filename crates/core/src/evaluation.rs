@@ -29,6 +29,16 @@ pub struct Evaluation {
 pub trait Evaluator: Send + Sync {
     /// Evaluates one candidate.
     fn evaluate(&self, point: &DesignPoint) -> Evaluation;
+
+    /// Evaluates a batch of candidates.
+    ///
+    /// Must return exactly what per-point [`evaluate`](Self::evaluate)
+    /// would — implementations override this only to score the batch
+    /// more cheaply (e.g. one batched GP pass), never to change values.
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        points.iter().map(|p| self.evaluate(p)).collect()
+    }
+
     /// Short name for logs.
     fn name(&self) -> &'static str;
 }
@@ -58,6 +68,9 @@ pub fn calibrate_constraints(
     }
 }
 
+/// Cached compiled-network summary: statistics + cell output arities.
+type StatsEntry = (yoso_arch::NetworkStats, (usize, usize));
+
 /// The paper's fast evaluator: accuracy from the trained HyperNet
 /// (weight inheritance, single test run) and latency/energy from the
 /// Gaussian-process predictors.
@@ -70,7 +83,7 @@ pub struct FastEvaluator {
     /// Evaluation batch size.
     pub eval_batch: usize,
     acc_cache: RwLock<HashMap<Genotype, f64>>,
-    stats_cache: RwLock<HashMap<Genotype, (yoso_arch::NetworkStats, (usize, usize))>>,
+    stats_cache: RwLock<HashMap<Genotype, StatsEntry>>,
 }
 
 impl FastEvaluator {
@@ -142,36 +155,66 @@ impl FastEvaluator {
         self.acc_cache.write().insert(*genotype, acc);
         acc
     }
+
+    /// Compiled network statistics + cell output arities, cached per
+    /// genotype so hardware sweeps recompile nothing.
+    fn stats_arities_of(&self, point: &DesignPoint) -> StatsEntry {
+        if let Some(&v) = self.stats_cache.read().get(&point.genotype) {
+            return v;
+        }
+        let plan = self.hyper.skeleton().compile(&point.genotype);
+        let v = (
+            plan.stats,
+            (
+                point.genotype.normal.output_arity(),
+                point.genotype.reduction.output_arity(),
+            ),
+        );
+        self.stats_cache.write().insert(point.genotype, v);
+        v
+    }
 }
 
 impl Evaluator for FastEvaluator {
     fn evaluate(&self, point: &DesignPoint) -> Evaluation {
         let accuracy = self.accuracy_of(&point.genotype);
-        // Reuse the compiled network statistics across hardware sweeps.
-        let cached = self.stats_cache.read().get(&point.genotype).copied();
-        let (stats, arities) = match cached {
-            Some(v) => v,
-            None => {
-                let plan = self.hyper.skeleton().compile(&point.genotype);
-                let v = (
-                    plan.stats,
-                    (
-                        point.genotype.normal.output_arity(),
-                        point.genotype.reduction.output_arity(),
-                    ),
-                );
-                self.stats_cache.write().insert(point.genotype, v);
-                v
-            }
-        };
-        let (latency_ms, energy_mj) =
-            self.predictor
-                .predict_from_stats(&stats, &point.hw, arities);
+        let (stats, arities) = self.stats_arities_of(point);
+        let (latency_ms, energy_mj) = self
+            .predictor
+            .predict_from_stats(&stats, &point.hw, arities);
         Evaluation {
             accuracy,
             latency_ms,
             energy_mj,
         }
+    }
+
+    /// Batched scoring: accuracies come from the per-genotype cache as
+    /// usual (rollout batches repeat genotypes often), while both GPs
+    /// score the whole batch in one cross-kernel pass each via
+    /// [`PerfPredictor::predict_batch_from_features`]. Bit-identical to
+    /// per-point [`evaluate`](Evaluator::evaluate).
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+        let accs: Vec<f64> = points
+            .iter()
+            .map(|p| self.accuracy_of(&p.genotype))
+            .collect();
+        let xs: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| {
+                let (stats, arities) = self.stats_arities_of(p);
+                yoso_predictor::stats_features(&stats, &p.hw, arities)
+            })
+            .collect();
+        let perf = self.predictor.predict_batch_from_features(&xs);
+        accs.into_iter()
+            .zip(perf)
+            .map(|(accuracy, (latency_ms, energy_mj))| Evaluation {
+                accuracy,
+                latency_ms,
+                energy_mj,
+            })
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -335,6 +378,26 @@ mod tests {
     }
 
     #[test]
+    fn fast_evaluator_batch_matches_per_point() {
+        use yoso_dataset::SynthCifarConfig;
+        let sk = NetworkSkeleton::tiny();
+        let data = SynthCifar::generate(&SynthCifarConfig::tiny());
+        // Untrained HyperNet keeps this cheap; the batch/per-point
+        // equivalence being tested is independent of training.
+        let hyper = HyperNet::new(sk.clone(), 0);
+        let samples = collect_samples(&sk, &Simulator::fast(), 80, 11);
+        let predictor = PerfPredictor::train(&sk, &samples).unwrap();
+        let ev = FastEvaluator::from_parts(hyper, predictor, data);
+        let mut rng = StdRng::seed_from_u64(12);
+        let points: Vec<DesignPoint> = (0..9).map(|_| DesignPoint::random(&mut rng)).collect();
+        let batch = ev.evaluate_batch(&points);
+        assert_eq!(batch.len(), points.len());
+        for (p, b) in points.iter().zip(&batch) {
+            assert_eq!(ev.evaluate(p), *b);
+        }
+    }
+
+    #[test]
     fn calibrated_constraints_are_interior() {
         let sk = NetworkSkeleton::tiny();
         let c = calibrate_constraints(&sk, 50, 0, 40.0);
@@ -342,7 +405,10 @@ mod tests {
         // Roughly 40% of random designs should satisfy each threshold.
         let sim = Simulator::fast();
         let samples = collect_samples(&sk, &sim, 50, 0);
-        let ok_lat = samples.iter().filter(|s| s.latency_ms <= c.t_lat_ms).count();
+        let ok_lat = samples
+            .iter()
+            .filter(|s| s.latency_ms <= c.t_lat_ms)
+            .count();
         assert!((10..=30).contains(&ok_lat), "{ok_lat}");
     }
 }

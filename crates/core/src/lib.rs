@@ -51,7 +51,9 @@ pub use evaluation::{
 pub use parallel::parallel_map;
 pub use pipeline::{finalize, run_search_and_finalize, Finalist, YosoResult};
 pub use reward::{Constraints, RewardConfig, RewardForm};
-pub use search::{evolution_search, random_search, rl_search, SearchConfig, SearchOutcome, SearchRecord};
+pub use search::{
+    evolution_search, random_search, rl_search, SearchConfig, SearchOutcome, SearchRecord,
+};
 pub use twostage::{
     best_hw_for, reference_models, run_two_stage, BestHw, OptimizationTarget, ReferenceModel,
     TwoStageResult,

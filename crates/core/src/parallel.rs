@@ -1,36 +1,15 @@
-//! Scoped-thread parallel map over an index range (crossbeam-based),
-//! used by the exhaustive hardware sweeps and benchmark drivers.
+//! Parallel execution primitives, re-exported from [`yoso_pool`].
+//!
+//! The pool self-schedules items off an atomic counter (single-queue
+//! work sharing), replacing the old fixed-chunk splitting that let
+//! threads with cheap chunks go idle. See the `yoso-pool` crate docs for
+//! the determinism guarantees (`parallel_map_seeded` output is invariant
+//! to thread count).
 
-/// Applies `f` to `0..n` across up to `threads` worker threads and
-/// returns results in index order.
-///
-/// # Panics
-///
-/// Propagates panics from `f`.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.clamp(1, n.max(1));
-    if threads == 1 {
-        return (0..n).map(f).collect();
-    }
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (t, slots) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (i, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(f(t * chunk + i));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|v| v.expect("filled")).collect()
-}
+pub use yoso_pool::{
+    derive_seed, for_each_chunk_mut, num_threads, parallel_map, parallel_map_seeded,
+    set_num_threads,
+};
 
 #[cfg(test)]
 mod tests {
@@ -45,13 +24,30 @@ mod tests {
     }
 
     #[test]
-    fn single_thread_and_empty() {
-        assert_eq!(parallel_map(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
-        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+    fn reexports_cover_pool_surface() {
+        assert!(num_threads() >= 1);
+        let a = parallel_map_seeded(8, 1, 7, |i, _| i);
+        assert_eq!(a, (0..8).collect::<Vec<_>>());
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
     }
 
-    #[test]
-    fn more_threads_than_items() {
-        assert_eq!(parallel_map(3, 64, |i| i + 1), vec![1, 2, 3]);
+    proptest::proptest! {
+        /// The seeded map's output — including every value drawn from the
+        /// per-item RNGs — is invariant to the worker count.
+        #[test]
+        fn seeded_map_invariant_to_thread_count(
+            seed in proptest::prelude::any::<u64>(),
+            n in 0usize..64,
+        ) {
+            let run = |threads: usize| {
+                parallel_map_seeded(n, threads, seed, |i, rng| {
+                    (i, rand::RngExt::random::<u64>(rng), rand::RngExt::random_range(rng, 0.0f64..1.0))
+                })
+            };
+            let serial = run(1);
+            proptest::prop_assert_eq!(&run(2), &serial);
+            proptest::prop_assert_eq!(&run(8), &serial);
+        }
     }
 }

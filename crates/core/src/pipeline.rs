@@ -51,6 +51,9 @@ impl YosoResult {
 
 /// Paper step 3: accurately re-evaluates the top-N candidates and returns
 /// them sorted by accurate reward (best first).
+///
+/// Each finalist's full training + exact simulation is independent, so
+/// the rerank fans out over the worker pool.
 pub fn finalize(
     outcome: &SearchOutcome,
     top_n: usize,
@@ -58,22 +61,20 @@ pub fn finalize(
     reward_cfg: &RewardConfig,
 ) -> Vec<Finalist> {
     let top: Vec<SearchRecord> = outcome.top_n(top_n);
-    let mut finalists: Vec<Finalist> = top
-        .into_iter()
-        .map(|rec| {
-            let accurate_eval = accurate.evaluate(&rec.point);
-            Finalist {
-                point: rec.point,
-                fast_eval: rec.eval,
-                accurate_eval,
-                accurate_reward: reward_cfg.reward(
-                    accurate_eval.accuracy,
-                    accurate_eval.latency_ms,
-                    accurate_eval.energy_mj,
-                ),
-            }
-        })
-        .collect();
+    let mut finalists: Vec<Finalist> = crate::parallel::parallel_map(top.len(), 0, |i| {
+        let rec = &top[i];
+        let accurate_eval = accurate.evaluate(&rec.point);
+        Finalist {
+            point: rec.point,
+            fast_eval: rec.eval,
+            accurate_eval,
+            accurate_reward: reward_cfg.reward(
+                accurate_eval.accuracy,
+                accurate_eval.latency_ms,
+                accurate_eval.energy_mj,
+            ),
+        }
+    });
     finalists.sort_by(|a, b| b.accurate_reward.total_cmp(&a.accurate_reward));
     finalists
 }

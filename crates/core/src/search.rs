@@ -130,6 +130,11 @@ fn record(
 /// RL-based search (paper step 2): the LSTM controller generates joint
 /// DNN + accelerator action sequences, the evaluator scores them, and
 /// REINFORCE steers the policy towards higher composite reward.
+///
+/// Each update batch of rollouts is scored through
+/// [`Evaluator::evaluate_batch`], so evaluators with a batched path
+/// (the GP-backed [`crate::evaluation::FastEvaluator`]) amortize
+/// prediction over the whole batch.
 pub fn rl_search(
     evaluator: &dyn Evaluator,
     reward_cfg: &RewardConfig,
@@ -144,15 +149,26 @@ pub fn rl_search(
     let mut iteration = 0;
     while iteration < cfg.iterations {
         let batch_n = cfg.rollouts_per_update.min(cfg.iterations - iteration);
+        let rollouts: Vec<Rollout> = (0..batch_n).map(|_| controller.sample(&mut rng)).collect();
+        let points: Vec<DesignPoint> = rollouts
+            .iter()
+            .map(|r| {
+                space
+                    .decode(&r.actions)
+                    .expect("controller emits in-vocabulary actions")
+            })
+            .collect();
+        let evals = evaluator.evaluate_batch(&points);
         let mut batch: Vec<(Rollout, f64)> = Vec::with_capacity(batch_n);
-        for _ in 0..batch_n {
-            let rollout = controller.sample(&mut rng);
-            let point = space
-                .decode(&rollout.actions)
-                .expect("controller emits in-vocabulary actions");
-            let rec = record(evaluator, reward_cfg, iteration, point);
-            batch.push((rollout, rec.reward));
-            outcome.history.push(rec);
+        for (rollout, (point, eval)) in rollouts.into_iter().zip(points.into_iter().zip(evals)) {
+            let reward = reward_cfg.reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
+            batch.push((rollout, reward));
+            outcome.history.push(SearchRecord {
+                iteration,
+                point,
+                eval,
+                reward,
+            });
             iteration += 1;
         }
         controller.update(&batch);
@@ -181,7 +197,12 @@ pub fn evolution_search(
     let mut pop: std::collections::VecDeque<SearchRecord> = std::collections::VecDeque::new();
     for iteration in 0..cfg.iterations {
         let rec = if pop.len() < population {
-            record(evaluator, reward_cfg, iteration, DesignPoint::random(&mut rng))
+            record(
+                evaluator,
+                reward_cfg,
+                iteration,
+                DesignPoint::random(&mut rng),
+            )
         } else {
             // Tournament: sample `tournament` members, mutate the fittest.
             let parent = (0..tournament)

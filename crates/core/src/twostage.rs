@@ -151,12 +151,36 @@ pub fn reference_models() -> Vec<ReferenceModel> {
         },
     };
     vec![
-        ReferenceModel { name: "NasNet-A", search_cost_gpu_days: 1800.0, genotype: nasnet },
-        ReferenceModel { name: "Darts_v1", search_cost_gpu_days: 0.38, genotype: darts_v1 },
-        ReferenceModel { name: "Darts_v2", search_cost_gpu_days: 1.0, genotype: darts_v2 },
-        ReferenceModel { name: "AmoebaNet-A", search_cost_gpu_days: 3150.0, genotype: amoeba },
-        ReferenceModel { name: "EnasNet", search_cost_gpu_days: 1.0, genotype: enas },
-        ReferenceModel { name: "PnasNet", search_cost_gpu_days: 150.0, genotype: pnas },
+        ReferenceModel {
+            name: "NasNet-A",
+            search_cost_gpu_days: 1800.0,
+            genotype: nasnet,
+        },
+        ReferenceModel {
+            name: "Darts_v1",
+            search_cost_gpu_days: 0.38,
+            genotype: darts_v1,
+        },
+        ReferenceModel {
+            name: "Darts_v2",
+            search_cost_gpu_days: 1.0,
+            genotype: darts_v2,
+        },
+        ReferenceModel {
+            name: "AmoebaNet-A",
+            search_cost_gpu_days: 3150.0,
+            genotype: amoeba,
+        },
+        ReferenceModel {
+            name: "EnasNet",
+            search_cost_gpu_days: 1.0,
+            genotype: enas,
+        },
+        ReferenceModel {
+            name: "PnasNet",
+            search_cost_gpu_days: 150.0,
+            genotype: pnas,
+        },
     ]
 }
 
@@ -184,6 +208,10 @@ pub struct BestHw {
 /// Enumerates every hardware configuration for a fixed genotype and
 /// returns the best under `target`, preferring constraint-satisfying
 /// configurations.
+///
+/// The ~10^3 simulations fan out over the worker pool; the reduction
+/// walks results in enumeration order, so the winner (including
+/// tie-breaking on equal metrics) is identical to a serial sweep.
 pub fn best_hw_for(
     genotype: &Genotype,
     skeleton: &NetworkSkeleton,
@@ -192,13 +220,22 @@ pub fn best_hw_for(
     target: OptimizationTarget,
 ) -> BestHw {
     let plan = skeleton.compile(genotype);
-    let mut best: Option<BestHw> = None;
-    for hw in HwConfig::enumerate_all() {
+    let configs: Vec<HwConfig> = HwConfig::enumerate_all().collect();
+    let candidates = crate::parallel::parallel_map(configs.len(), 0, |i| {
+        let hw = configs[i];
         let report = sim.simulate_plan(&plan, &hw);
         let feasible = constraints.satisfied(report.latency_ms, report.energy_mj);
+        BestHw {
+            hw,
+            report,
+            feasible,
+        }
+    });
+    let mut best: Option<BestHw> = None;
+    for cand in candidates {
         let metric = match target {
-            OptimizationTarget::Energy => report.energy_mj,
-            OptimizationTarget::Latency => report.latency_ms,
+            OptimizationTarget::Energy => cand.report.energy_mj,
+            OptimizationTarget::Latency => cand.report.latency_ms,
         };
         let better = match &best {
             None => true,
@@ -207,15 +244,11 @@ pub fn best_hw_for(
                     OptimizationTarget::Energy => b.report.energy_mj,
                     OptimizationTarget::Latency => b.report.latency_ms,
                 };
-                (feasible && !b.feasible) || (feasible == b.feasible && metric < b_metric)
+                (cand.feasible && !b.feasible) || (cand.feasible == b.feasible && metric < b_metric)
             }
         };
         if better {
-            best = Some(BestHw {
-                hw,
-                report,
-                feasible,
-            });
+            best = Some(cand);
         }
     }
     best.expect("hardware space is non-empty")
@@ -309,8 +342,20 @@ mod tests {
             t_lat_ms: f64::INFINITY,
             t_eer_mj: f64::INFINITY,
         };
-        let best_e = best_hw_for(&models[0].genotype, &sk, &sim, &cons, OptimizationTarget::Energy);
-        let best_l = best_hw_for(&models[0].genotype, &sk, &sim, &cons, OptimizationTarget::Latency);
+        let best_e = best_hw_for(
+            &models[0].genotype,
+            &sk,
+            &sim,
+            &cons,
+            OptimizationTarget::Energy,
+        );
+        let best_l = best_hw_for(
+            &models[0].genotype,
+            &sk,
+            &sim,
+            &cons,
+            OptimizationTarget::Latency,
+        );
         assert!(best_e.feasible && best_l.feasible);
         // Energy-best is no worse in energy than latency-best, and vice versa.
         assert!(best_e.report.energy_mj <= best_l.report.energy_mj);
@@ -330,7 +375,13 @@ mod tests {
             t_lat_ms: 1e-12,
             t_eer_mj: 1e-12,
         };
-        let best = best_hw_for(&models[1].genotype, &sk, &sim, &cons, OptimizationTarget::Energy);
+        let best = best_hw_for(
+            &models[1].genotype,
+            &sk,
+            &sim,
+            &cons,
+            OptimizationTarget::Energy,
+        );
         assert!(!best.feasible);
     }
 

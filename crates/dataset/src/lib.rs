@@ -185,10 +185,7 @@ impl Split {
                 }
             }
         }
-        (
-            Tensor::from_vec(&[indices.len(), 3, hw, hw], out),
-            labels,
-        )
+        (Tensor::from_vec(&[indices.len(), 3, hw, hw], out), labels)
     }
 
     /// A shuffled epoch of minibatch index lists (trailing partial batch
@@ -197,7 +194,11 @@ impl Split {
     /// # Panics
     ///
     /// Panics if `batch_size` is zero.
-    pub fn epoch_batches<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    pub fn epoch_batches<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<usize>> {
         assert!(batch_size > 0);
         let mut order: Vec<usize> = (0..self.len()).collect();
         // Fisher-Yates shuffle.
@@ -250,12 +251,7 @@ impl SynthCifar {
     }
 }
 
-fn generate_split(
-    config: &SynthCifarConfig,
-    count: usize,
-    stream: u64,
-    label_noise: f64,
-) -> Split {
+fn generate_split(config: &SynthCifarConfig, count: usize, stream: u64, label_noise: f64) -> Split {
     let hw = config.image_hw;
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream));
     let px = 3 * hw * hw;
@@ -263,7 +259,13 @@ fn generate_split(
     let mut labels = Vec::with_capacity(count);
     for i in 0..count {
         let class = i % config.num_classes;
-        render_class_image(class, hw, config.noise, &mut rng, &mut images[i * px..(i + 1) * px]);
+        render_class_image(
+            class,
+            hw,
+            config.noise,
+            &mut rng,
+            &mut images[i * px..(i + 1) * px],
+        );
         let label = if label_noise > 0.0 && rng.random_bool(label_noise) {
             rng.random_range(0..config.num_classes)
         } else {
@@ -454,7 +456,10 @@ mod tests {
         };
         let e0 = grad_energy(0); // stripes (high horizontal gradient)
         let e4 = grad_energy(4); // smooth gradient family
-        assert!((e0 - e4).abs() > 0.1, "classes look identical: {e0} vs {e4}");
+        assert!(
+            (e0 - e4).abs() > 0.1,
+            "classes look identical: {e0} vs {e4}"
+        );
     }
 
     #[test]

@@ -126,13 +126,7 @@ impl CellNetwork {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let sk = &plan.skeleton;
-        let stem = ConvBn::alloc(
-            &mut store,
-            sk.input_channels,
-            sk.init_channels,
-            3,
-            &mut rng,
-        );
+        let stem = ConvBn::alloc(&mut store, sk.input_channels, sk.init_channels, 3, &mut rng);
         let mut preps = Vec::with_capacity(plan.cells.len());
         let mut ops = HashMap::new();
         for cell in &plan.cells {
@@ -150,7 +144,11 @@ impl CellNetwork {
         }
         let c_last = plan.final_channels();
         let head = Head {
-            w: store.add(Tensor::he_normal(&[sk.num_classes, c_last], c_last, &mut rng)),
+            w: store.add(Tensor::he_normal(
+                &[sk.num_classes, c_last],
+                c_last,
+                &mut rng,
+            )),
             b: store.add(Tensor::zeros(&[sk.num_classes])),
         };
         let provider = StandaloneProvider {

@@ -1,0 +1,233 @@
+//! Work-sharing thread pool underpinning every parallel stage of the
+//! pipeline: exhaustive hardware sweeps, predictor sample collection,
+//! top-N reranking and the blocked GEMM kernels.
+//!
+//! # Design
+//!
+//! Workers self-schedule off a shared atomic index counter — the
+//! single-queue equivalent of work stealing: an idle worker always grabs
+//! the next unclaimed item, so imbalanced items (e.g. exact tiling
+//! searches whose cost varies with layer shape) never leave threads idle
+//! the way the previous fixed-chunk splitting did. Threads are scoped
+//! (`std::thread::scope`), which is what lets closures borrow from the
+//! caller under `#![forbid(unsafe_code)]`; spawning an OS thread costs
+//! ~10 µs, noise next to the millisecond-scale items these maps carry.
+//!
+//! # Determinism
+//!
+//! [`parallel_map`] returns results in index order regardless of which
+//! worker computed what. [`parallel_map_seeded`] additionally hands each
+//! item an RNG derived from `(seed, index)` alone, so results are
+//! invariant to the thread count: 1 thread and 64 threads produce
+//! byte-identical output. [`for_each_chunk_mut`] statically partitions a
+//! contiguous buffer, leaving per-element operation order untouched —
+//! the parallel GEMM built on it is bit-exact at any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global default worker count: 0 means "auto" (one worker per
+/// available hardware thread).
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the global default worker count used when a map is called
+/// with `threads == 0`. Passing 0 restores the auto default.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The global default worker count: the [`set_num_threads`] override if
+/// set, otherwise `std::thread::available_parallelism()`.
+pub fn num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+fn resolve(threads: usize, n: usize) -> usize {
+    let threads = if threads == 0 { num_threads() } else { threads };
+    threads.clamp(1, n.max(1))
+}
+
+/// Applies `f` to `0..n` across worker threads and returns results in
+/// index order. `threads == 0` uses the global default
+/// ([`num_threads`]); otherwise exactly the requested count (clamped to
+/// `n`) is used.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve(threads, n);
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, v) in handle.join().expect("worker thread panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    out.into_iter().map(|v| v.expect("filled")).collect()
+}
+
+/// Derives the per-item RNG seed used by [`parallel_map_seeded`]:
+/// a SplitMix64 hash of `(seed, index)`, so streams for different items
+/// are independent and depend only on the pair.
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut state = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    rand::split_mix_64(&mut state)
+}
+
+/// Like [`parallel_map`], but hands `f` a deterministic per-item RNG
+/// seeded from `(seed, index)` only — the output is identical for any
+/// thread count, including 1.
+pub fn parallel_map_seeded<T, F>(n: usize, threads: usize, seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut StdRng) -> T + Sync,
+{
+    parallel_map(n, threads, |i| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+        f(i, &mut rng)
+    })
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` elements and
+/// applies `f(chunk_index, chunk)` to each, distributing chunks across
+/// workers in contiguous runs (static partitioning: uniform-cost chunks
+/// like GEMM row blocks need no stealing). Element order within a chunk
+/// is untouched, so element-wise computations are bit-exact regardless
+/// of `threads`.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`; propagates panics from `f`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = resolve(threads, n_chunks);
+    if threads == 1 || n_chunks <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let mut chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let per_worker = n_chunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for group in chunks.chunks_mut(per_worker) {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, chunk) in group.iter_mut() {
+                    f(*i, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn preserves_order() {
+        let v = parallel_map(100, 8, |i| i * i);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn single_thread_and_empty() {
+        assert_eq!(parallel_map(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(parallel_map(3, 64, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        assert_eq!(parallel_map(4, 0, |i| i * 2), vec![0, 2, 4, 6]);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn seeded_map_is_thread_count_invariant() {
+        let draw = |_i: usize, rng: &mut StdRng| rng.random_range(0u64..1_000_000);
+        let one = parallel_map_seeded(64, 1, 42, draw);
+        let two = parallel_map_seeded(64, 2, 42, draw);
+        let eight = parallel_map_seeded(64, 8, 42, draw);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+        let other_seed = parallel_map_seeded(64, 8, 43, draw);
+        assert_ne!(one, other_seed);
+    }
+
+    #[test]
+    fn chunked_mutation_covers_all() {
+        let mut data: Vec<u64> = vec![0; 103];
+        for_each_chunk_mut(&mut data, 10, 4, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 10 + j) as u64 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn chunked_mutation_matches_serial() {
+        let mut serial: Vec<f64> = (0..97).map(|i| i as f64).collect();
+        let mut parallel: Vec<f64> = serial.clone();
+        let body = |ci: usize, chunk: &mut [f64]| {
+            for v in chunk.iter_mut() {
+                *v = v.sin() * (ci as f64 + 1.0);
+            }
+        };
+        for_each_chunk_mut(&mut serial, 8, 1, body);
+        for_each_chunk_mut(&mut parallel, 8, 5, body);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -10,7 +10,11 @@ use yoso_arch::{Dataflow, DesignPoint, HwConfig, NetworkSkeleton, NetworkStats};
 pub const FEATURE_DIM: usize = 20;
 
 /// Features from precomputed network statistics and a hardware config.
-pub fn stats_features(stats: &NetworkStats, hw: &HwConfig, out_arities: (usize, usize)) -> Vec<f64> {
+pub fn stats_features(
+    stats: &NetworkStats,
+    hw: &HwConfig,
+    out_arities: (usize, usize),
+) -> Vec<f64> {
     let ln = |v: f64| (v.max(1.0)).ln();
     let total = stats.total_macs.max(1) as f64;
     let mut f = vec![

@@ -123,7 +123,10 @@ impl Matrix {
                 }
                 if i == j {
                     if sum <= 0.0 {
-                        return Err(NotPositiveDefiniteError { pivot: i, value: sum });
+                        return Err(NotPositiveDefiniteError {
+                            pivot: i,
+                            value: sum,
+                        });
                     }
                     l[(i, j)] = sum.sqrt();
                 } else {

@@ -90,8 +90,8 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|x| x[0].sin()).collect();
         let mut m = Knn::new(3);
         m.fit(&xs, &ys).unwrap();
-        let p = m.predict_one(&[3.14]);
-        assert!((p - 3.14f64.sin()).abs() < 0.05, "{p}");
+        let p = m.predict_one(&[1.3]);
+        assert!((p - 1.3f64.sin()).abs() < 0.05, "{p}");
     }
 
     #[test]

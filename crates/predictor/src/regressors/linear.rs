@@ -67,7 +67,11 @@ impl Regressor for LinearRegression {
 
     fn predict_one(&self, x: &[f64]) -> f64 {
         let xs = self.std.transform(x);
-        xs.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>() + self.bias
+        xs.iter()
+            .zip(&self.weights)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.bias
     }
 
     fn name(&self) -> &'static str {
@@ -107,7 +111,11 @@ impl Regressor for Ridge {
 
     fn predict_one(&self, x: &[f64]) -> f64 {
         let xs = self.std.transform(x);
-        xs.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>() + self.bias
+        xs.iter()
+            .zip(&self.weights)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.bias
     }
 
     fn name(&self) -> &'static str {
@@ -133,7 +141,12 @@ mod tests {
         let mut m = LinearRegression::new();
         m.fit(&xs, &ys).unwrap();
         for (x, y) in xs.iter().zip(&ys) {
-            assert!((m.predict_one(x) - y).abs() < 1e-6, "{} vs {}", m.predict_one(x), y);
+            assert!(
+                (m.predict_one(x) - y).abs() < 1e-6,
+                "{} vs {}",
+                m.predict_one(x),
+                y
+            );
         }
     }
 

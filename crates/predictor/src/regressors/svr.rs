@@ -82,7 +82,12 @@ impl Regressor for LinearSvr {
 
     fn predict_one(&self, x: &[f64]) -> f64 {
         let xs = self.std.transform(x);
-        let z = xs.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>() + self.bias;
+        let z = xs
+            .iter()
+            .zip(&self.weights)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.bias;
         self.ystd.map_or(z, |s| s.inverse(z))
     }
 

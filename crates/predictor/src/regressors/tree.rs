@@ -124,12 +124,9 @@ fn build(
     }
     match best {
         Some((f, thr, sse)) if sse < parent_sse - 1e-12 => {
-            let (l, r): (Vec<usize>, Vec<usize>) =
-                indices.iter().partition(|&&i| x[i][f] <= thr);
+            let (l, r): (Vec<usize>, Vec<usize>) = indices.iter().partition(|&&i| x[i][f] <= thr);
             if l.is_empty() || r.is_empty() {
-                return Node::Leaf {
-                    value: parent_mean,
-                };
+                return Node::Leaf { value: parent_mean };
             }
             Node::Split {
                 feature: f,
@@ -138,9 +135,7 @@ fn build(
                 right: Box::new(build(x, y, &r, features, depth - 1, min_split)),
             }
         }
-        _ => Node::Leaf {
-            value: parent_mean,
-        },
+        _ => Node::Leaf { value: parent_mean },
     }
 }
 

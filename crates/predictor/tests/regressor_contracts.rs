@@ -34,7 +34,9 @@ fn all_models_beat_mean_predictor() {
     let mean = ys.iter().sum::<f64>() / ys.len() as f64;
     let baseline = mse(&vec![mean; ys.len()], &ys);
     for mut model in fig4_models(0) {
-        model.fit(&xs, &ys).unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+        model
+            .fit(&xs, &ys)
+            .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
         let preds = model.predict(&xs);
         assert!(preds.iter().all(|p| p.is_finite()), "{}", model.name());
         let err = mse(&preds, &ys);

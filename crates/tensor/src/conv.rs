@@ -41,7 +41,10 @@ impl ConvGeom {
     ///
     /// Panics if the window does not fit (`h + 2*pad < k`).
     pub fn out_dim(&self, h: usize) -> usize {
-        assert!(h + 2 * self.pad >= self.k, "window larger than padded input");
+        assert!(
+            h + 2 * self.pad >= self.k,
+            "window larger than padded input"
+        );
         (h + 2 * self.pad - self.k) / self.stride + 1
     }
 }
@@ -140,7 +143,11 @@ pub fn conv2d_forward(x: &Tensor, weight: &Tensor, geom: ConvGeom) -> (Tensor, V
     let (n, cin, h, w) = shape4(x);
     let ws = weight.shape();
     assert_eq!(ws.len(), 4, "conv weight must be 4-D");
-    assert_eq!(ws[1], cin, "cin mismatch: weight {:?} input cin {}", ws, cin);
+    assert_eq!(
+        ws[1], cin,
+        "cin mismatch: weight {:?} input cin {}",
+        ws, cin
+    );
     assert_eq!(ws[2], geom.k);
     assert_eq!(ws[3], geom.k);
     let cout = ws[0];
@@ -228,7 +235,8 @@ pub fn dwconv2d_forward(x: &Tensor, weight: &Tensor, geom: ConvGeom) -> Tensor {
         for ch in 0..c {
             let xc = &x.data()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
             let wc = &weight.data()[ch * k * k..(ch + 1) * k * k];
-            let oc = &mut out.data_mut()[(i * c + ch) * hout * wout..(i * c + ch + 1) * hout * wout];
+            let oc =
+                &mut out.data_mut()[(i * c + ch) * hout * wout..(i * c + ch + 1) * hout * wout];
             for oy in 0..hout {
                 for ox in 0..wout {
                     let mut acc = 0.0;
@@ -530,7 +538,12 @@ mod tests {
         let (y, arg) = maxpool_forward(&x, ConvGeom::new(2, 2, 0));
         assert_eq!(y.data(), &[5.0]);
         assert_eq!(arg, vec![1]);
-        let dx = maxpool_backward(&[1, 1, 2, 2], ConvGeom::new(2, 2, 0), &arg, &Tensor::ones(&[1, 1, 1, 1]));
+        let dx = maxpool_backward(
+            &[1, 1, 2, 2],
+            ConvGeom::new(2, 2, 0),
+            &arg,
+            &Tensor::ones(&[1, 1, 1, 1]),
+        );
         assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0]);
     }
 

@@ -269,7 +269,9 @@ impl Graph {
         for i in 0..n {
             for ch in 0..c {
                 let base = (i * c + ch) * h * w;
-                let s: f32 = self.nodes[x.0].value.data()[base..base + h * w].iter().sum();
+                let s: f32 = self.nodes[x.0].value.data()[base..base + h * w]
+                    .iter()
+                    .sum();
                 out.data_mut()[i * c + ch] = s * inv;
             }
         }
@@ -311,7 +313,10 @@ impl Graph {
                 }
             }
         }
-        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v / m + self.bn_eps).sqrt()).collect();
+        let inv_std: Vec<f32> = var
+            .iter()
+            .map(|v| 1.0 / (v / m + self.bn_eps).sqrt())
+            .collect();
         let gdat = self.nodes[gamma.0].value.data().to_vec();
         let bdat = self.nodes[beta.0].value.data().to_vec();
         let mut out = Tensor::zeros(&[n, c, h, w]);
@@ -321,7 +326,10 @@ impl Graph {
                 for ch in 0..c {
                     let base = (i * c + ch) * h * w;
                     let (mu, is, ga, be) = (mean[ch], inv_std[ch], gdat[ch], bdat[ch]);
-                    for (o, v) in od[base..base + h * w].iter_mut().zip(&xs[base..base + h * w]) {
+                    for (o, v) in od[base..base + h * w]
+                        .iter_mut()
+                        .zip(&xs[base..base + h * w])
+                    {
                         *o = ga * (v - mu) * is + be;
                     }
                 }
@@ -508,7 +516,11 @@ impl Graph {
                     );
                     let mut db = Tensor::zeros(&[dout]);
                     for row in 0..n {
-                        for (dv, gv) in db.data_mut().iter_mut().zip(&g.data()[row * dout..(row + 1) * dout]) {
+                        for (dv, gv) in db
+                            .data_mut()
+                            .iter_mut()
+                            .zip(&g.data()[row * dout..(row + 1) * dout])
+                        {
                             *dv += gv;
                         }
                     }
@@ -528,12 +540,8 @@ impl Graph {
                     self.accumulate(w, dw);
                 }
                 OpRecord::DwConv2d { x, w, geom } => {
-                    let (dx, dw) = dwconv2d_backward(
-                        &self.nodes[x.0].value,
-                        &self.nodes[w.0].value,
-                        geom,
-                        &g,
-                    );
+                    let (dx, dw) =
+                        dwconv2d_backward(&self.nodes[x.0].value, &self.nodes[w.0].value, geom, &g);
                     self.accumulate(x, dx);
                     self.accumulate(w, dw);
                 }
@@ -603,9 +611,7 @@ impl Graph {
                                 for j in 0..h * w {
                                     let xhat = (xs[base + j] - mu) * is;
                                     dxd[base + j] = coef
-                                        * (m * gs[base + j]
-                                            - sum_dy[ch]
-                                            - xhat * sum_dy_xhat[ch]);
+                                        * (m * gs[base + j] - sum_dy[ch] - xhat * sum_dy_xhat[ch]);
                                 }
                             }
                         }
@@ -860,10 +866,11 @@ mod tests {
                         let lit = if cls == 0 { x < 3 } else { x >= 3 };
                         let base = i * 36 + y * 6 + x;
                         xs.data_mut()[base] = if lit { 1.0 } else { 0.0 }
-                            + 0.1 * ({
-                                use rand::RngExt;
-                                rng.random::<f32>()
-                            } - 0.5);
+                            + 0.1
+                                * ({
+                                    use rand::RngExt;
+                                    rng.random::<f32>()
+                                } - 0.5);
                     }
                 }
             }

@@ -49,6 +49,7 @@ pub mod tensor;
 
 pub use conv::ConvGeom;
 pub use graph::{accuracy, Graph, Var};
+pub use matmul::{num_threads as matmul_threads, set_num_threads as set_matmul_threads};
 pub use optim::{Adam, CosineLr, Sgd};
 pub use param::{ParamId, ParamStore};
 pub use tensor::Tensor;

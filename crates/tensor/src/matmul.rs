@@ -3,6 +3,49 @@
 //! These are deliberately dependency-free: a register-blocked `ikj` loop
 //! order that LLVM auto-vectorizes well at the sizes YOSO uses (im2col
 //! panels of a few hundred rows/columns).
+//!
+//! The kernels can fan the M dimension (rows of `c`) out over the worker
+//! pool: each worker owns a contiguous slab of `c` rows and runs the
+//! unchanged serial kernel on it, so every output element accumulates its
+//! terms in exactly the serial order and results are **bit-exact at any
+//! thread count**. Threading is off by default ([`set_num_threads`]\(1\))
+//! because the training workloads here multiply small panels where a
+//! fork/join per GEMM costs more than it saves; benches and large
+//! workloads opt in explicitly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count for the M-dimension fan-out. `1` = serial (default);
+/// `0` = follow the pool-wide default ([`yoso_pool::num_threads`]).
+static MATMUL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Minimum `m * k * n` before threading is worth a fork/join.
+const PAR_MIN_FLOPS: usize = 1 << 16;
+
+/// Sets the worker count for the SGEMM kernels in this module.
+///
+/// `1` (the default) keeps every kernel serial; `0` defers to the
+/// pool-wide default. Results are bit-exact at any setting.
+pub fn set_num_threads(n: usize) {
+    MATMUL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The configured SGEMM worker count (resolving `0` to the pool default).
+pub fn num_threads() -> usize {
+    match MATMUL_THREADS.load(Ordering::Relaxed) {
+        0 => yoso_pool::num_threads(),
+        n => n,
+    }
+}
+
+/// Workers actually used for an `m x k x n` product: the knob, capped by
+/// rows and floored at 1, with small products kept serial.
+fn resolve_threads(m: usize, k: usize, n: usize) -> usize {
+    if m.saturating_mul(k).saturating_mul(n) < PAR_MIN_FLOPS {
+        return 1;
+    }
+    num_threads().clamp(1, m.max(1))
+}
 
 /// Computes `c += a * b` for row-major matrices:
 /// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`.
@@ -15,6 +58,21 @@ pub fn sgemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let threads = resolve_threads(m, k, n);
+    if threads <= 1 {
+        sgemm_acc_slab(m, k, n, a, b, c);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    yoso_pool::for_each_chunk_mut(c, rows_per * n, threads, |ci, c_slab| {
+        let r0 = ci * rows_per;
+        let rows = c_slab.len() / n;
+        sgemm_acc_slab(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_slab);
+    });
+}
+
+/// Serial kernel over a contiguous slab of `m` rows.
+fn sgemm_acc_slab(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     // Block over k to keep the b panel in cache for consecutive rows of a.
     const KB: usize = 64;
     let mut k0 = 0;
@@ -52,15 +110,42 @@ pub fn sgemm_at_b_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mu
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let threads = resolve_threads(m, k, n);
+    if threads <= 1 {
+        sgemm_at_b_acc_slab(0, m, k, n, a, b, c);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    yoso_pool::for_each_chunk_mut(c, rows_per * n, threads, |ci, c_slab| {
+        sgemm_at_b_acc_slab(ci * rows_per, m, k, n, a, b, c_slab);
+    });
+}
+
+/// Serial `a^T * b` kernel for the `c_slab.len() / n` rows of `c`
+/// starting at row `r0` (`a` stays the full `k x m` matrix; `c_slab`
+/// holds just those rows).
+fn sgemm_at_b_acc_slab(
+    r0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_slab: &mut [f32],
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = c_slab.len() / n;
     for kk in 0..k {
         let arow = &a[kk * m..(kk + 1) * m];
         let brow = &b[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let aik = arow[i];
+        for i in 0..rows {
+            let aik = arow[r0 + i];
             if aik == 0.0 {
                 continue;
             }
-            let crow = &mut c[i * n..(i + 1) * n];
+            let crow = &mut c_slab[i * n..(i + 1) * n];
             for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
                 *cv += aik * bv;
             }
@@ -74,6 +159,21 @@ pub fn sgemm_a_bt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mu
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    let threads = resolve_threads(m, k, n);
+    if threads <= 1 {
+        sgemm_a_bt_acc_slab(m, k, n, a, b, c);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    yoso_pool::for_each_chunk_mut(c, rows_per * n, threads, |ci, c_slab| {
+        let r0 = ci * rows_per;
+        let rows = c_slab.len() / n;
+        sgemm_a_bt_acc_slab(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_slab);
+    });
+}
+
+/// Serial `a * b^T` kernel over a contiguous slab of `m` rows.
+fn sgemm_a_bt_acc_slab(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -159,5 +259,33 @@ mod tests {
         let mut c1 = vec![0.0; m * n];
         sgemm_a_bt_acc(m, k, n, &a, &b, &mut c1);
         assert_eq!(c1, naive(m, k, n, &a, &bt));
+    }
+
+    /// All three kernels, at sizes past the serial cutoff, produce
+    /// bit-identical output at 1, 2, 3 and 8 workers: each worker's slab
+    /// accumulates every element's terms in the serial order.
+    #[test]
+    fn parallel_sgemm_bit_exact_across_thread_counts() {
+        let (m, k, n) = (37, 48, 50); // m*k*n > PAR_MIN_FLOPS, m not divisible
+        assert!(m * k * n >= PAR_MIN_FLOPS);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let a_km = seq(k * m);
+        let b_nk = seq(n * k);
+        let run = |threads: usize| {
+            set_num_threads(threads);
+            let mut c1 = vec![0.5; m * n];
+            sgemm_acc(m, k, n, &a, &b, &mut c1);
+            let mut c2 = vec![0.5; m * n];
+            sgemm_at_b_acc(m, k, n, &a_km, &b, &mut c2);
+            let mut c3 = vec![0.5; m * n];
+            sgemm_a_bt_acc(m, k, n, &a, &b_nk, &mut c3);
+            (c1, c2, c3)
+        };
+        let serial = run(1);
+        for t in [2, 3, 8] {
+            assert_eq!(run(t), serial, "threads={t}");
+        }
+        set_num_threads(1);
     }
 }

@@ -50,12 +50,7 @@ impl Sgd {
                 velocity[i] = Tensor::zeros(value.shape());
             }
             let v = &mut velocity[i];
-            for ((vv, g), w) in v
-                .data_mut()
-                .iter_mut()
-                .zip(grad.data())
-                .zip(value.data())
-            {
+            for ((vv, g), w) in v.data_mut().iter_mut().zip(grad.data()).zip(value.data()) {
                 *vv = mu * *vv + g + wd * w;
             }
             value.axpy_in_place(-lr, v);
@@ -164,8 +159,7 @@ impl CosineLr {
             return self.lr_max;
         }
         let t = step.min(self.total_steps) as f32 / self.total_steps as f32;
-        self.lr_min
-            + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 }
 

@@ -45,7 +45,10 @@ fn main() {
 
     // PE-array scaling at fixed buffers/dataflow.
     println!("\nPE-array scaling (512KB gbuf, 512B rbuf, WS):");
-    println!("{:<8} {:>8} {:>14} {:>14} {:>8}", "array", "PEs", "energy(mJ)", "latency(ms)", "util%");
+    println!(
+        "{:<8} {:>8} {:>14} {:>14} {:>8}",
+        "array", "PEs", "energy(mJ)", "latency(ms)", "util%"
+    );
     for pe in PE_MENU {
         let hw = HwConfig {
             pe,
@@ -69,8 +72,26 @@ fn main() {
         t_lat_ms: f64::INFINITY,
         t_eer_mj: f64::INFINITY,
     };
-    let best_e = best_hw_for(&model.genotype, &skeleton, &sim, &constraints, OptimizationTarget::Energy);
-    let best_l = best_hw_for(&model.genotype, &skeleton, &sim, &constraints, OptimizationTarget::Latency);
-    println!("\nenergy-optimal config: {}  ({:.4} mJ, {:.4} ms)", best_e.hw, best_e.report.energy_mj, best_e.report.latency_ms);
-    println!("latency-optimal config: {}  ({:.4} mJ, {:.4} ms)", best_l.hw, best_l.report.energy_mj, best_l.report.latency_ms);
+    let best_e = best_hw_for(
+        &model.genotype,
+        &skeleton,
+        &sim,
+        &constraints,
+        OptimizationTarget::Energy,
+    );
+    let best_l = best_hw_for(
+        &model.genotype,
+        &skeleton,
+        &sim,
+        &constraints,
+        OptimizationTarget::Latency,
+    );
+    println!(
+        "\nenergy-optimal config: {}  ({:.4} mJ, {:.4} ms)",
+        best_e.hw, best_e.report.energy_mj, best_e.report.latency_ms
+    );
+    println!(
+        "latency-optimal config: {}  ({:.4} mJ, {:.4} ms)",
+        best_l.hw, best_l.report.energy_mj, best_l.report.latency_ms
+    );
 }

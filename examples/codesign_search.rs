@@ -55,7 +55,10 @@ fn main() {
         rb[99.min(rb.len() - 1)]
     );
     println!("\nfinalists (accurate metrics):");
-    println!("{:<4} {:>8} {:>12} {:>12} {:>10}  configuration", "#", "acc", "latency(ms)", "energy(mJ)", "reward");
+    println!(
+        "{:<4} {:>8} {:>12} {:>12} {:>10}  configuration",
+        "#", "acc", "latency(ms)", "energy(mJ)", "reward"
+    );
     for (i, f) in result.finalists.iter().enumerate() {
         println!(
             "{:<4} {:>8.3} {:>12.4} {:>12.4} {:>10.4}  {}",

@@ -29,14 +29,26 @@ fn main() {
         seed: 0,
     };
 
-    println!("searching {} candidates with each strategy ...\n", cfg.iterations);
+    println!(
+        "searching {} candidates with each strategy ...\n",
+        cfg.iterations
+    );
     let rl = rl_search(&evaluator, &reward, &cfg);
     let evo = evolution_search(&evaluator, &reward, &cfg, 50, 10);
     let rnd = random_search(&evaluator, &reward, &cfg);
 
     println!("{:<22} {:>10} {:>14}", "strategy", "best", "tail-qtr mean");
-    for (name, o) in [("RL (paper)", &rl), ("regularized evolution", &evo), ("random", &rnd)] {
-        println!("{:<22} {:>10.4} {:>14.4}", name, o.best().reward, tail_mean(o));
+    for (name, o) in [
+        ("RL (paper)", &rl),
+        ("regularized evolution", &evo),
+        ("random", &rnd),
+    ] {
+        println!(
+            "{:<22} {:>10.4} {:>14.4}",
+            name,
+            o.best().reward,
+            tail_mean(o)
+        );
     }
 
     let champion = [&rl, &evo, &rnd]

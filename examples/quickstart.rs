@@ -18,15 +18,21 @@ fn main() {
 
     // 1. The joint search space.
     let card = cardinality();
-    println!("Joint search space: 10^{:.1} networks x {} accelerator configs = 10^{:.1} candidates",
-        card.log10_networks, card.hw_configs, card.log10_combined);
+    println!(
+        "Joint search space: 10^{:.1} networks x {} accelerator configs = 10^{:.1} candidates",
+        card.log10_networks, card.hw_configs, card.log10_combined
+    );
 
     // 2. Sample a candidate and round-trip the action encoding.
     let point = DesignPoint::random(&mut rng);
     let space = ActionSpace::new();
     let actions = space.encode(&point);
     assert_eq!(space.decode(&actions).unwrap(), point);
-    println!("\nSampled candidate (as {} actions): {:?}", actions.len(), actions);
+    println!(
+        "\nSampled candidate (as {} actions): {:?}",
+        actions.len(),
+        actions
+    );
     println!("  hardware: {}", point.hw);
 
     // 3. Compile the genotype into a concrete layer workload.

@@ -17,7 +17,12 @@ fn main() {
     let t0 = Instant::now();
     let train = collect_samples(&skeleton, &sim, 600, 0);
     let test = collect_samples(&skeleton, &sim, 150, 1);
-    println!("  {} train + {} test samples in {:.1?}", train.len(), test.len(), t0.elapsed());
+    println!(
+        "  {} train + {} test samples in {:.1?}",
+        train.len(),
+        test.len(),
+        t0.elapsed()
+    );
 
     println!("fitting latency & energy GPs ...");
     let t1 = Instant::now();

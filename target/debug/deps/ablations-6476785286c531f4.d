@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6476785286c531f4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-6476785286c531f4: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a6d9c0b9cf277c54.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-a6d9c0b9cf277c54: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

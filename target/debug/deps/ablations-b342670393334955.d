@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b342670393334955.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b342670393334955: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

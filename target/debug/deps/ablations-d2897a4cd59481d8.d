@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d2897a4cd59481d8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-d2897a4cd59481d8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autograd_properties-82ccb817ca02f55c.d: crates/tensor/tests/autograd_properties.rs
+
+/root/repo/target/debug/deps/autograd_properties-82ccb817ca02f55c: crates/tensor/tests/autograd_properties.rs
+
+crates/tensor/tests/autograd_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/autograd_properties-8313f430edf1bf11.d: crates/tensor/tests/autograd_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautograd_properties-8313f430edf1bf11.rmeta: crates/tensor/tests/autograd_properties.rs Cargo.toml
+
+crates/tensor/tests/autograd_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

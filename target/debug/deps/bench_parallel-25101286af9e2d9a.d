@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_parallel-25101286af9e2d9a.d: crates/bench/src/bin/bench_parallel.rs
+
+/root/repo/target/debug/deps/bench_parallel-25101286af9e2d9a: crates/bench/src/bin/bench_parallel.rs
+
+crates/bench/src/bin/bench_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_parallel-6cc77ea4dd2efae8.d: crates/bench/src/bin/bench_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_parallel-6cc77ea4dd2efae8.rmeta: crates/bench/src/bin/bench_parallel.rs Cargo.toml
+
+crates/bench/src/bin/bench_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/controller_step-9561691304367e2b.d: crates/bench/benches/controller_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontroller_step-9561691304367e2b.rmeta: crates/bench/benches/controller_step.rs Cargo.toml
+
+crates/bench/benches/controller_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-506c251fd675f46d.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-506c251fd675f46d: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-6b64e22535784c67.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6b64e22535784c67.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6b64e22535784c67.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

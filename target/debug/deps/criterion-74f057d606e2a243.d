@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-74f057d606e2a243.d: third_party/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-74f057d606e2a243.rmeta: third_party/criterion/src/lib.rs Cargo.toml
+
+third_party/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f0d3d414ecf91297.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f0d3d414ecf91297.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f0d3d414ecf91297.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_regressors-28e17cd9474db02a.d: crates/bench/src/bin/fig4_regressors.rs
+
+/root/repo/target/debug/deps/fig4_regressors-28e17cd9474db02a: crates/bench/src/bin/fig4_regressors.rs
+
+crates/bench/src/bin/fig4_regressors.rs:

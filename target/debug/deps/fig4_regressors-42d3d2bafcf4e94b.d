@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_regressors-42d3d2bafcf4e94b.d: crates/bench/src/bin/fig4_regressors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_regressors-42d3d2bafcf4e94b.rmeta: crates/bench/src/bin/fig4_regressors.rs Cargo.toml
+
+crates/bench/src/bin/fig4_regressors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_regressors-58d34c1db8f0aa32.d: crates/bench/src/bin/fig4_regressors.rs
+
+/root/repo/target/debug/deps/fig4_regressors-58d34c1db8f0aa32: crates/bench/src/bin/fig4_regressors.rs
+
+crates/bench/src/bin/fig4_regressors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_regressors-67bd5c026665f856.d: crates/bench/src/bin/fig4_regressors.rs
+
+/root/repo/target/debug/deps/fig4_regressors-67bd5c026665f856: crates/bench/src/bin/fig4_regressors.rs
+
+crates/bench/src/bin/fig4_regressors.rs:

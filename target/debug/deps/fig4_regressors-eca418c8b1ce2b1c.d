@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_regressors-eca418c8b1ce2b1c.d: crates/bench/src/bin/fig4_regressors.rs
+
+/root/repo/target/debug/deps/fig4_regressors-eca418c8b1ce2b1c: crates/bench/src/bin/fig4_regressors.rs
+
+crates/bench/src/bin/fig4_regressors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_hypernet-77a20e12e2db59a2.d: crates/bench/src/bin/fig5_hypernet.rs
+
+/root/repo/target/debug/deps/fig5_hypernet-77a20e12e2db59a2: crates/bench/src/bin/fig5_hypernet.rs
+
+crates/bench/src/bin/fig5_hypernet.rs:

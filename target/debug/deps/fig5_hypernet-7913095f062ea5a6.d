@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_hypernet-7913095f062ea5a6.d: crates/bench/src/bin/fig5_hypernet.rs
+
+/root/repo/target/debug/deps/fig5_hypernet-7913095f062ea5a6: crates/bench/src/bin/fig5_hypernet.rs
+
+crates/bench/src/bin/fig5_hypernet.rs:

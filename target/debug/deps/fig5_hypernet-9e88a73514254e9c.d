@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_hypernet-9e88a73514254e9c.d: crates/bench/src/bin/fig5_hypernet.rs
+
+/root/repo/target/debug/deps/fig5_hypernet-9e88a73514254e9c: crates/bench/src/bin/fig5_hypernet.rs
+
+crates/bench/src/bin/fig5_hypernet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_hypernet-b1219f970daad908.d: crates/bench/src/bin/fig5_hypernet.rs
+
+/root/repo/target/debug/deps/fig5_hypernet-b1219f970daad908: crates/bench/src/bin/fig5_hypernet.rs
+
+crates/bench/src/bin/fig5_hypernet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_search-8ed240948cf82503.d: crates/bench/src/bin/fig6_search.rs
+
+/root/repo/target/debug/deps/fig6_search-8ed240948cf82503: crates/bench/src/bin/fig6_search.rs
+
+crates/bench/src/bin/fig6_search.rs:

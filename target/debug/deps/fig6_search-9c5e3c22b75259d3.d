@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_search-9c5e3c22b75259d3.d: crates/bench/src/bin/fig6_search.rs
+
+/root/repo/target/debug/deps/fig6_search-9c5e3c22b75259d3: crates/bench/src/bin/fig6_search.rs
+
+crates/bench/src/bin/fig6_search.rs:

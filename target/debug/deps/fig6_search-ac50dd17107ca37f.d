@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_search-ac50dd17107ca37f.d: crates/bench/src/bin/fig6_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_search-ac50dd17107ca37f.rmeta: crates/bench/src/bin/fig6_search.rs Cargo.toml
+
+crates/bench/src/bin/fig6_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_search-c9a4dc0361714da1.d: crates/bench/src/bin/fig6_search.rs
+
+/root/repo/target/debug/deps/fig6_search-c9a4dc0361714da1: crates/bench/src/bin/fig6_search.rs
+
+crates/bench/src/bin/fig6_search.rs:

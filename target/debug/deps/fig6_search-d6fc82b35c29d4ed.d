@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_search-d6fc82b35c29d4ed.d: crates/bench/src/bin/fig6_search.rs
+
+/root/repo/target/debug/deps/fig6_search-d6fc82b35c29d4ed: crates/bench/src/bin/fig6_search.rs
+
+crates/bench/src/bin/fig6_search.rs:

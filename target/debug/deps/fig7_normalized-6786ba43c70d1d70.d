@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_normalized-6786ba43c70d1d70.d: crates/bench/src/bin/fig7_normalized.rs
+
+/root/repo/target/debug/deps/fig7_normalized-6786ba43c70d1d70: crates/bench/src/bin/fig7_normalized.rs
+
+crates/bench/src/bin/fig7_normalized.rs:

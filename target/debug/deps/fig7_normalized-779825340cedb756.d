@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_normalized-779825340cedb756.d: crates/bench/src/bin/fig7_normalized.rs
+
+/root/repo/target/debug/deps/fig7_normalized-779825340cedb756: crates/bench/src/bin/fig7_normalized.rs
+
+crates/bench/src/bin/fig7_normalized.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_normalized-77b865cda1dd395b.d: crates/bench/src/bin/fig7_normalized.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_normalized-77b865cda1dd395b.rmeta: crates/bench/src/bin/fig7_normalized.rs Cargo.toml
+
+crates/bench/src/bin/fig7_normalized.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_normalized-97a77ab2206a65bf.d: crates/bench/src/bin/fig7_normalized.rs
+
+/root/repo/target/debug/deps/fig7_normalized-97a77ab2206a65bf: crates/bench/src/bin/fig7_normalized.rs
+
+crates/bench/src/bin/fig7_normalized.rs:

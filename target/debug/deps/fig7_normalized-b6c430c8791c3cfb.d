@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_normalized-b6c430c8791c3cfb.d: crates/bench/src/bin/fig7_normalized.rs
+
+/root/repo/target/debug/deps/fig7_normalized-b6c430c8791c3cfb: crates/bench/src/bin/fig7_normalized.rs
+
+crates/bench/src/bin/fig7_normalized.rs:

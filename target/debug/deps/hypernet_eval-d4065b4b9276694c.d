@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernet_eval-d4065b4b9276694c.d: crates/bench/benches/hypernet_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernet_eval-d4065b4b9276694c.rmeta: crates/bench/benches/hypernet_eval.rs Cargo.toml
+
+crates/bench/benches/hypernet_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-0ee670cd44beaac7.d: crates/accel/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-0ee670cd44beaac7: crates/accel/tests/model_properties.rs
+
+crates/accel/tests/model_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-8a4274fc43b37dcc.d: crates/accel/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-8a4274fc43b37dcc.rmeta: crates/accel/tests/model_properties.rs Cargo.toml
+
+crates/accel/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-d6e306639494a388.d: crates/accel/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-d6e306639494a388: crates/accel/tests/model_properties.rs
+
+crates/accel/tests/model_properties.rs:

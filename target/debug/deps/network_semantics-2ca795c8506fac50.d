@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network_semantics-2ca795c8506fac50.d: crates/nn/tests/network_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork_semantics-2ca795c8506fac50.rmeta: crates/nn/tests/network_semantics.rs Cargo.toml
+
+crates/nn/tests/network_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_semantics-851054821ed2bc71.d: crates/nn/tests/network_semantics.rs
+
+/root/repo/target/debug/deps/network_semantics-851054821ed2bc71: crates/nn/tests/network_semantics.rs
+
+crates/nn/tests/network_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_scaling-c9d74e4667e0da06.d: crates/bench/benches/parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_scaling-c9d74e4667e0da06.rmeta: crates/bench/benches/parallel_scaling.rs Cargo.toml
+
+crates/bench/benches/parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-1690635fd0cfc7bb.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-1690635fd0cfc7bb.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-1690635fd0cfc7bb.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

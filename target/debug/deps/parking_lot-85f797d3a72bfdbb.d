@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-85f797d3a72bfdbb.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-85f797d3a72bfdbb: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-c9f239c5489056ca.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c9f239c5489056ca.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c9f239c5489056ca.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-f59dcf6fb0fcfb74.d: third_party/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-f59dcf6fb0fcfb74.rmeta: third_party/parking_lot/src/lib.rs Cargo.toml
+
+third_party/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

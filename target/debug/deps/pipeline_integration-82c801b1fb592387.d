@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-82c801b1fb592387.d: tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-82c801b1fb592387: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-9db85eb5dedcfcdb.d: tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-9db85eb5dedcfcdb: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

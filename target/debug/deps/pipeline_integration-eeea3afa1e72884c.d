@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_integration-eeea3afa1e72884c.d: tests/pipeline_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_integration-eeea3afa1e72884c.rmeta: tests/pipeline_integration.rs Cargo.toml
+
+tests/pipeline_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

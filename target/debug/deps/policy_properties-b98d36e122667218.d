@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_properties-b98d36e122667218.d: crates/controller/tests/policy_properties.rs
+
+/root/repo/target/debug/deps/policy_properties-b98d36e122667218: crates/controller/tests/policy_properties.rs
+
+crates/controller/tests/policy_properties.rs:

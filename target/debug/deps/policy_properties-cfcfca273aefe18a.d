@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_properties-cfcfca273aefe18a.d: crates/controller/tests/policy_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_properties-cfcfca273aefe18a.rmeta: crates/controller/tests/policy_properties.rs Cargo.toml
+
+crates/controller/tests/policy_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

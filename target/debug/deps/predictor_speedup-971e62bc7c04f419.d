@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictor_speedup-971e62bc7c04f419.d: crates/bench/benches/predictor_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictor_speedup-971e62bc7c04f419.rmeta: crates/bench/benches/predictor_speedup.rs Cargo.toml
+
+crates/bench/benches/predictor_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-473560022a900352.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-473560022a900352: tests/property_invariants.rs
+
+tests/property_invariants.rs:

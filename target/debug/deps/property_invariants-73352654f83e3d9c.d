@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-73352654f83e3d9c.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-73352654f83e3d9c: tests/property_invariants.rs
+
+tests/property_invariants.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0bd1fa7fca878e31.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0bd1fa7fca878e31.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0bd1fa7fca878e31.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-349f35e2104739c2.d: third_party/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-349f35e2104739c2.rmeta: third_party/proptest/src/lib.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-4882ce6bf2356475.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4882ce6bf2356475.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4882ce6bf2356475.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

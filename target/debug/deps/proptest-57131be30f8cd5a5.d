@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-57131be30f8cd5a5.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-57131be30f8cd5a5: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-f3a36ad83dc16e6d.d: third_party/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-f3a36ad83dc16e6d.rmeta: third_party/proptest/src/lib.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-15555920f18361ed.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-15555920f18361ed.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-15555920f18361ed.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-69d1cecbd600078b.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-69d1cecbd600078b: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-a5cd21d712a11da9.d: third_party/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-a5cd21d712a11da9.rmeta: third_party/rand/src/lib.rs Cargo.toml
+
+third_party/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

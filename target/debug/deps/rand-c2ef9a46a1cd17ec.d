@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c2ef9a46a1cd17ec.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c2ef9a46a1cd17ec.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c2ef9a46a1cd17ec.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regressor_contracts-00e3255a06e9bb91.d: crates/predictor/tests/regressor_contracts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregressor_contracts-00e3255a06e9bb91.rmeta: crates/predictor/tests/regressor_contracts.rs Cargo.toml
+
+crates/predictor/tests/regressor_contracts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regressor_contracts-39757086314bc792.d: crates/predictor/tests/regressor_contracts.rs
+
+/root/repo/target/debug/deps/regressor_contracts-39757086314bc792: crates/predictor/tests/regressor_contracts.rs
+
+crates/predictor/tests/regressor_contracts.rs:

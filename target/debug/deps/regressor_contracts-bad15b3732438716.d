@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regressor_contracts-bad15b3732438716.d: crates/predictor/tests/regressor_contracts.rs
+
+/root/repo/target/debug/deps/regressor_contracts-bad15b3732438716: crates/predictor/tests/regressor_contracts.rs
+
+crates/predictor/tests/regressor_contracts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regressor_contracts-d75a80f1653662f6.d: crates/predictor/tests/regressor_contracts.rs
+
+/root/repo/target/debug/deps/regressor_contracts-d75a80f1653662f6: crates/predictor/tests/regressor_contracts.rs
+
+crates/predictor/tests/regressor_contracts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9d5bbc3a5c5e6a8b.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-9d5bbc3a5c5e6a8b: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

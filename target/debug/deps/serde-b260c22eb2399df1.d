@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b260c22eb2399df1.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b260c22eb2399df1.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b260c22eb2399df1.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-dc47317771f63343.d: third_party/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-dc47317771f63343.rmeta: third_party/serde/src/lib.rs Cargo.toml
+
+third_party/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

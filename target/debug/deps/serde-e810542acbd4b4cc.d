@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-e810542acbd4b4cc.d: third_party/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-e810542acbd4b4cc.rmeta: third_party/serde/src/lib.rs Cargo.toml
+
+third_party/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-eebb889877639eae.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-eebb889877639eae.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-eebb889877639eae.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

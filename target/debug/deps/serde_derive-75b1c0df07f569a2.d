@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-75b1c0df07f569a2.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-75b1c0df07f569a2: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-8675ff4e2ab74548.d: third_party/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-8675ff4e2ab74548.so: third_party/serde_derive/src/lib.rs Cargo.toml
+
+third_party/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

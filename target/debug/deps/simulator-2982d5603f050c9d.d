@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-2982d5603f050c9d.d: crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-2982d5603f050c9d.rmeta: crates/bench/benches/simulator.rs Cargo.toml
+
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

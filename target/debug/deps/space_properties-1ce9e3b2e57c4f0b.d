@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/space_properties-1ce9e3b2e57c4f0b.d: crates/arch/tests/space_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspace_properties-1ce9e3b2e57c4f0b.rmeta: crates/arch/tests/space_properties.rs Cargo.toml
+
+crates/arch/tests/space_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_properties-598892dabb7b04b9.d: crates/arch/tests/space_properties.rs
+
+/root/repo/target/debug/deps/space_properties-598892dabb7b04b9: crates/arch/tests/space_properties.rs
+
+crates/arch/tests/space_properties.rs:

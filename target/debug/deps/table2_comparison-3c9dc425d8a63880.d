@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_comparison-3c9dc425d8a63880.d: crates/bench/src/bin/table2_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_comparison-3c9dc425d8a63880.rmeta: crates/bench/src/bin/table2_comparison.rs Cargo.toml
+
+crates/bench/src/bin/table2_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_comparison-557a44a27900494a.d: crates/bench/src/bin/table2_comparison.rs
+
+/root/repo/target/debug/deps/table2_comparison-557a44a27900494a: crates/bench/src/bin/table2_comparison.rs
+
+crates/bench/src/bin/table2_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_comparison-9aca63a9d0e6821b.d: crates/bench/src/bin/table2_comparison.rs
+
+/root/repo/target/debug/deps/table2_comparison-9aca63a9d0e6821b: crates/bench/src/bin/table2_comparison.rs
+
+crates/bench/src/bin/table2_comparison.rs:

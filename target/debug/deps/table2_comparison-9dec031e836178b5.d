@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_comparison-9dec031e836178b5.d: crates/bench/src/bin/table2_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_comparison-9dec031e836178b5.rmeta: crates/bench/src/bin/table2_comparison.rs Cargo.toml
+
+crates/bench/src/bin/table2_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

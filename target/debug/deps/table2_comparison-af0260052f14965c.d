@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_comparison-af0260052f14965c.d: crates/bench/src/bin/table2_comparison.rs
+
+/root/repo/target/debug/deps/table2_comparison-af0260052f14965c: crates/bench/src/bin/table2_comparison.rs
+
+crates/bench/src/bin/table2_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_comparison-f11656fc826ebec3.d: crates/bench/src/bin/table2_comparison.rs
+
+/root/repo/target/debug/deps/table2_comparison-f11656fc826ebec3: crates/bench/src/bin/table2_comparison.rs
+
+crates/bench/src/bin/table2_comparison.rs:

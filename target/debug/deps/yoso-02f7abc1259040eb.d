@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yoso-02f7abc1259040eb.d: src/lib.rs
+
+/root/repo/target/debug/deps/yoso-02f7abc1259040eb: src/lib.rs
+
+src/lib.rs:

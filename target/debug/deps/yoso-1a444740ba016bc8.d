@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso-1a444740ba016bc8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libyoso-1a444740ba016bc8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libyoso-1a444740ba016bc8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso-2a42473400c12fe4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libyoso-2a42473400c12fe4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libyoso-2a42473400c12fe4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso-952fa45b1ca1e433.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso-952fa45b1ca1e433.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

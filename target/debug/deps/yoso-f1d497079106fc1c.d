@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso-f1d497079106fc1c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libyoso-f1d497079106fc1c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libyoso-f1d497079106fc1c.rmeta: src/lib.rs
+
+src/lib.rs:

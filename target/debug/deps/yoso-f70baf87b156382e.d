@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso-f70baf87b156382e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libyoso-f70baf87b156382e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libyoso-f70baf87b156382e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yoso-fef935073a9869da.d: src/lib.rs
+
+/root/repo/target/debug/deps/yoso-fef935073a9869da: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/yoso_accel-492e319c5f7e94c4.d: crates/accel/src/lib.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libyoso_accel-492e319c5f7e94c4.rlib: crates/accel/src/lib.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libyoso_accel-492e319c5f7e94c4.rmeta: crates/accel/src/lib.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/report.rs:
+crates/accel/src/sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/yoso_accel-54b014036cb3c2a6.d: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libyoso_accel-54b014036cb3c2a6.rlib: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libyoso_accel-54b014036cb3c2a6.rmeta: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cache.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/report.rs:
+crates/accel/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/yoso_accel-6fad5b03498b5d87.d: crates/accel/src/lib.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libyoso_accel-6fad5b03498b5d87.rlib: crates/accel/src/lib.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libyoso_accel-6fad5b03498b5d87.rmeta: crates/accel/src/lib.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/report.rs:
+crates/accel/src/sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/yoso_accel-9ba7c54fb75656e1.d: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libyoso_accel-9ba7c54fb75656e1.rlib: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/libyoso_accel-9ba7c54fb75656e1.rmeta: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cache.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/report.rs:
+crates/accel/src/sim.rs:

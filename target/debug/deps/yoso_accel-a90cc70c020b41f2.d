@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso_accel-a90cc70c020b41f2.d: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/yoso_accel-a90cc70c020b41f2: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cache.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/report.rs:
+crates/accel/src/sim.rs:

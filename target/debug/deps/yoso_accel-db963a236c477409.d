@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/yoso_accel-db963a236c477409.d: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_accel-db963a236c477409.rmeta: crates/accel/src/lib.rs crates/accel/src/cache.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/cache.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/report.rs:
+crates/accel/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/yoso_accel-f065ecf8ae2300a2.d: crates/accel/src/lib.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+/root/repo/target/debug/deps/yoso_accel-f065ecf8ae2300a2: crates/accel/src/lib.rs crates/accel/src/cost.rs crates/accel/src/report.rs crates/accel/src/sim.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/report.rs:
+crates/accel/src/sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/yoso_arch-496630a2ba3bc9d8.d: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs
+
+/root/repo/target/debug/deps/yoso_arch-496630a2ba3bc9d8: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/codec.rs:
+crates/arch/src/genotype.rs:
+crates/arch/src/hw.rs:
+crates/arch/src/layer.rs:
+crates/arch/src/op.rs:
+crates/arch/src/skeleton.rs:
+crates/arch/src/space.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/yoso_arch-901f0efaa33e73a9.d: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_arch-901f0efaa33e73a9.rmeta: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/codec.rs:
+crates/arch/src/genotype.rs:
+crates/arch/src/hw.rs:
+crates/arch/src/layer.rs:
+crates/arch/src/op.rs:
+crates/arch/src/skeleton.rs:
+crates/arch/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/yoso_arch-c36aff7b9e19ad3f.d: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs
+
+/root/repo/target/debug/deps/libyoso_arch-c36aff7b9e19ad3f.rlib: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs
+
+/root/repo/target/debug/deps/libyoso_arch-c36aff7b9e19ad3f.rmeta: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/codec.rs:
+crates/arch/src/genotype.rs:
+crates/arch/src/hw.rs:
+crates/arch/src/layer.rs:
+crates/arch/src/op.rs:
+crates/arch/src/skeleton.rs:
+crates/arch/src/space.rs:

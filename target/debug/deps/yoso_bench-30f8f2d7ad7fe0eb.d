@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yoso_bench-30f8f2d7ad7fe0eb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/yoso_bench-30f8f2d7ad7fe0eb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yoso_bench-55aa998546d153c7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/yoso_bench-55aa998546d153c7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_bench-5fa7722e55f5c41f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_bench-5fa7722e55f5c41f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_bench-5fa7722e55f5c41f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

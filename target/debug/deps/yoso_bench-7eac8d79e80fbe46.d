@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_bench-7eac8d79e80fbe46.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_bench-7eac8d79e80fbe46.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_bench-7eac8d79e80fbe46.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_bench-91e9781972a7fc27.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_bench-91e9781972a7fc27.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_bench-91e9781972a7fc27.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

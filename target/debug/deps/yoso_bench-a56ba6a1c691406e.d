@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_bench-a56ba6a1c691406e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_bench-a56ba6a1c691406e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_bench-a56ba6a1c691406e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso_bench-b890c3d851ed64b0.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_bench-b890c3d851ed64b0.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

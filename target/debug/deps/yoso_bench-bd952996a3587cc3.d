@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso_bench-bd952996a3587cc3.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_bench-bd952996a3587cc3.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

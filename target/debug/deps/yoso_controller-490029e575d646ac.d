@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/yoso_controller-490029e575d646ac.d: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_controller-490029e575d646ac.rmeta: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs Cargo.toml
+
+crates/controller/src/lib.rs:
+crates/controller/src/lstm.rs:
+crates/controller/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_controller-77a9054cff5cf0e1.d: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+/root/repo/target/debug/deps/yoso_controller-77a9054cff5cf0e1: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/lstm.rs:
+crates/controller/src/policy.rs:

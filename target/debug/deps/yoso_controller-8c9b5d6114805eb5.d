@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso_controller-8c9b5d6114805eb5.d: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+/root/repo/target/debug/deps/libyoso_controller-8c9b5d6114805eb5.rlib: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+/root/repo/target/debug/deps/libyoso_controller-8c9b5d6114805eb5.rmeta: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/lstm.rs:
+crates/controller/src/policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso_controller-9f6024ca90530a20.d: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+/root/repo/target/debug/deps/libyoso_controller-9f6024ca90530a20.rlib: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+/root/repo/target/debug/deps/libyoso_controller-9f6024ca90530a20.rmeta: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/lstm.rs:
+crates/controller/src/policy.rs:

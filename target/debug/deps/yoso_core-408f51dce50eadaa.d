@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/yoso_core-408f51dce50eadaa.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+/root/repo/target/debug/deps/yoso_core-408f51dce50eadaa: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/twostage.rs:

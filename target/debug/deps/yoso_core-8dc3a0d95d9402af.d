@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/yoso_core-8dc3a0d95d9402af.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+/root/repo/target/debug/deps/libyoso_core-8dc3a0d95d9402af.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+/root/repo/target/debug/deps/libyoso_core-8dc3a0d95d9402af.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/twostage.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/yoso_core-92b44575cfd4c233.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_core-92b44575cfd4c233.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/twostage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/yoso_core-f8dfa282a9c0ebcb.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+/root/repo/target/debug/deps/yoso_core-f8dfa282a9c0ebcb: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/twostage.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_dataset-303e3d74593548d9.d: crates/dataset/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_dataset-303e3d74593548d9.rlib: crates/dataset/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_dataset-303e3d74593548d9.rmeta: crates/dataset/src/lib.rs
+
+crates/dataset/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_dataset-4dbbf3be94bc07a6.d: crates/dataset/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_dataset-4dbbf3be94bc07a6.rlib: crates/dataset/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_dataset-4dbbf3be94bc07a6.rmeta: crates/dataset/src/lib.rs
+
+crates/dataset/src/lib.rs:

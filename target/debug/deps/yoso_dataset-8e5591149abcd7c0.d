@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso_dataset-8e5591149abcd7c0.d: crates/dataset/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_dataset-8e5591149abcd7c0.rmeta: crates/dataset/src/lib.rs Cargo.toml
+
+crates/dataset/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yoso_dataset-ebbdfb0f2c5c6e8c.d: crates/dataset/src/lib.rs
+
+/root/repo/target/debug/deps/yoso_dataset-ebbdfb0f2c5c6e8c: crates/dataset/src/lib.rs
+
+crates/dataset/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_hypernet-059b7fdeec62e6fc.d: crates/hypernet/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_hypernet-059b7fdeec62e6fc.rlib: crates/hypernet/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_hypernet-059b7fdeec62e6fc.rmeta: crates/hypernet/src/lib.rs
+
+crates/hypernet/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yoso_hypernet-22f9d0c8689a7ff6.d: crates/hypernet/src/lib.rs
+
+/root/repo/target/debug/deps/yoso_hypernet-22f9d0c8689a7ff6: crates/hypernet/src/lib.rs
+
+crates/hypernet/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso_hypernet-5fe04aaf138458b8.d: crates/hypernet/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_hypernet-5fe04aaf138458b8.rmeta: crates/hypernet/src/lib.rs Cargo.toml
+
+crates/hypernet/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_hypernet-80d5143ba2036625.d: crates/hypernet/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_hypernet-80d5143ba2036625.rlib: crates/hypernet/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_hypernet-80d5143ba2036625.rmeta: crates/hypernet/src/lib.rs
+
+crates/hypernet/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/yoso_nn-093fdb7b64d9a3f9.d: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs
+
+/root/repo/target/debug/deps/yoso_nn-093fdb7b64d9a3f9: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/forward.rs:
+crates/nn/src/network.rs:
+crates/nn/src/weights.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/yoso_nn-33ed3c7d004eb14f.d: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_nn-33ed3c7d004eb14f.rmeta: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/forward.rs:
+crates/nn/src/network.rs:
+crates/nn/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/yoso_nn-b9deda7f9568bd05.d: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs
+
+/root/repo/target/debug/deps/libyoso_nn-b9deda7f9568bd05.rlib: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs
+
+/root/repo/target/debug/deps/libyoso_nn-b9deda7f9568bd05.rmeta: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/forward.rs:
+crates/nn/src/network.rs:
+crates/nn/src/weights.rs:

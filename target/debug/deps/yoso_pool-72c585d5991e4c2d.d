@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso_pool-72c585d5991e4c2d.d: crates/pool/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_pool-72c585d5991e4c2d.rmeta: crates/pool/src/lib.rs Cargo.toml
+
+crates/pool/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_pool-9380ff677ca28a47.d: crates/pool/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_pool-9380ff677ca28a47.rlib: crates/pool/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_pool-9380ff677ca28a47.rmeta: crates/pool/src/lib.rs
+
+crates/pool/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/yoso_pool-a9b2c725c67dc4fe.d: crates/pool/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_pool-a9b2c725c67dc4fe.rlib: crates/pool/src/lib.rs
+
+/root/repo/target/debug/deps/libyoso_pool-a9b2c725c67dc4fe.rmeta: crates/pool/src/lib.rs
+
+crates/pool/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yoso_pool-b6a0647c0a367616.d: crates/pool/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_pool-b6a0647c0a367616.rmeta: crates/pool/src/lib.rs Cargo.toml
+
+crates/pool/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yoso_pool-c2655403ee6b85a0.d: crates/pool/src/lib.rs
+
+/root/repo/target/debug/deps/yoso_pool-c2655403ee6b85a0: crates/pool/src/lib.rs
+
+crates/pool/src/lib.rs:

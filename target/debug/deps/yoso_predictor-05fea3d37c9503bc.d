@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/yoso_predictor-05fea3d37c9503bc.d: crates/predictor/src/lib.rs crates/predictor/src/features.rs crates/predictor/src/linalg.rs crates/predictor/src/metrics.rs crates/predictor/src/perf.rs crates/predictor/src/regressors/mod.rs crates/predictor/src/regressors/forest.rs crates/predictor/src/regressors/gp.rs crates/predictor/src/regressors/knn.rs crates/predictor/src/regressors/linear.rs crates/predictor/src/regressors/svr.rs crates/predictor/src/regressors/tree.rs crates/predictor/src/standardize.rs
+
+/root/repo/target/debug/deps/libyoso_predictor-05fea3d37c9503bc.rlib: crates/predictor/src/lib.rs crates/predictor/src/features.rs crates/predictor/src/linalg.rs crates/predictor/src/metrics.rs crates/predictor/src/perf.rs crates/predictor/src/regressors/mod.rs crates/predictor/src/regressors/forest.rs crates/predictor/src/regressors/gp.rs crates/predictor/src/regressors/knn.rs crates/predictor/src/regressors/linear.rs crates/predictor/src/regressors/svr.rs crates/predictor/src/regressors/tree.rs crates/predictor/src/standardize.rs
+
+/root/repo/target/debug/deps/libyoso_predictor-05fea3d37c9503bc.rmeta: crates/predictor/src/lib.rs crates/predictor/src/features.rs crates/predictor/src/linalg.rs crates/predictor/src/metrics.rs crates/predictor/src/perf.rs crates/predictor/src/regressors/mod.rs crates/predictor/src/regressors/forest.rs crates/predictor/src/regressors/gp.rs crates/predictor/src/regressors/knn.rs crates/predictor/src/regressors/linear.rs crates/predictor/src/regressors/svr.rs crates/predictor/src/regressors/tree.rs crates/predictor/src/standardize.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/features.rs:
+crates/predictor/src/linalg.rs:
+crates/predictor/src/metrics.rs:
+crates/predictor/src/perf.rs:
+crates/predictor/src/regressors/mod.rs:
+crates/predictor/src/regressors/forest.rs:
+crates/predictor/src/regressors/gp.rs:
+crates/predictor/src/regressors/knn.rs:
+crates/predictor/src/regressors/linear.rs:
+crates/predictor/src/regressors/svr.rs:
+crates/predictor/src/regressors/tree.rs:
+crates/predictor/src/standardize.rs:

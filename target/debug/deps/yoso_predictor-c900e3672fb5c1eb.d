@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/yoso_predictor-c900e3672fb5c1eb.d: crates/predictor/src/lib.rs crates/predictor/src/features.rs crates/predictor/src/linalg.rs crates/predictor/src/metrics.rs crates/predictor/src/perf.rs crates/predictor/src/regressors/mod.rs crates/predictor/src/regressors/forest.rs crates/predictor/src/regressors/gp.rs crates/predictor/src/regressors/knn.rs crates/predictor/src/regressors/linear.rs crates/predictor/src/regressors/svr.rs crates/predictor/src/regressors/tree.rs crates/predictor/src/standardize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_predictor-c900e3672fb5c1eb.rmeta: crates/predictor/src/lib.rs crates/predictor/src/features.rs crates/predictor/src/linalg.rs crates/predictor/src/metrics.rs crates/predictor/src/perf.rs crates/predictor/src/regressors/mod.rs crates/predictor/src/regressors/forest.rs crates/predictor/src/regressors/gp.rs crates/predictor/src/regressors/knn.rs crates/predictor/src/regressors/linear.rs crates/predictor/src/regressors/svr.rs crates/predictor/src/regressors/tree.rs crates/predictor/src/standardize.rs Cargo.toml
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/features.rs:
+crates/predictor/src/linalg.rs:
+crates/predictor/src/metrics.rs:
+crates/predictor/src/perf.rs:
+crates/predictor/src/regressors/mod.rs:
+crates/predictor/src/regressors/forest.rs:
+crates/predictor/src/regressors/gp.rs:
+crates/predictor/src/regressors/knn.rs:
+crates/predictor/src/regressors/linear.rs:
+crates/predictor/src/regressors/svr.rs:
+crates/predictor/src/regressors/tree.rs:
+crates/predictor/src/standardize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

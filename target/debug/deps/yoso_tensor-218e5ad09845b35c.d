@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/yoso_tensor-218e5ad09845b35c.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libyoso_tensor-218e5ad09845b35c.rlib: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libyoso_tensor-218e5ad09845b35c.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/tensor.rs:

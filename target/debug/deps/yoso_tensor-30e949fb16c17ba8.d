@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/yoso_tensor-30e949fb16c17ba8.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/yoso_tensor-30e949fb16c17ba8: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/tensor.rs:

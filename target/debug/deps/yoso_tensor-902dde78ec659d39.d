@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/yoso_tensor-902dde78ec659d39.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyoso_tensor-902dde78ec659d39.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accelerator_explore-16692356b3de2ae0.d: examples/accelerator_explore.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccelerator_explore-16692356b3de2ae0.rmeta: examples/accelerator_explore.rs Cargo.toml
+
+examples/accelerator_explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

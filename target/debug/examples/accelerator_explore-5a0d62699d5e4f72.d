@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_explore-5a0d62699d5e4f72.d: examples/accelerator_explore.rs
+
+/root/repo/target/debug/examples/accelerator_explore-5a0d62699d5e4f72: examples/accelerator_explore.rs
+
+examples/accelerator_explore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_explore-feef2bc68a903f31.d: examples/accelerator_explore.rs
+
+/root/repo/target/debug/examples/accelerator_explore-feef2bc68a903f31: examples/accelerator_explore.rs
+
+examples/accelerator_explore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/codesign_search-0b1681348a303a68.d: examples/codesign_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcodesign_search-0b1681348a303a68.rmeta: examples/codesign_search.rs Cargo.toml
+
+examples/codesign_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codesign_search-4f6e59652ba20993.d: examples/codesign_search.rs
+
+/root/repo/target/debug/examples/codesign_search-4f6e59652ba20993: examples/codesign_search.rs
+
+examples/codesign_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codesign_search-a145901dfd7e2f65.d: examples/codesign_search.rs
+
+/root/repo/target/debug/examples/codesign_search-a145901dfd7e2f65: examples/codesign_search.rs
+
+examples/codesign_search.rs:

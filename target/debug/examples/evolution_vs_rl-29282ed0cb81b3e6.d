@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/evolution_vs_rl-29282ed0cb81b3e6.d: examples/evolution_vs_rl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevolution_vs_rl-29282ed0cb81b3e6.rmeta: examples/evolution_vs_rl.rs Cargo.toml
+
+examples/evolution_vs_rl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evolution_vs_rl-368c0a91ca5a4557.d: examples/evolution_vs_rl.rs
+
+/root/repo/target/debug/examples/evolution_vs_rl-368c0a91ca5a4557: examples/evolution_vs_rl.rs
+
+examples/evolution_vs_rl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evolution_vs_rl-69eab972e8056a1c.d: examples/evolution_vs_rl.rs
+
+/root/repo/target/debug/examples/evolution_vs_rl-69eab972e8056a1c: examples/evolution_vs_rl.rs
+
+examples/evolution_vs_rl.rs:

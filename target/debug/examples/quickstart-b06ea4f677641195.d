@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b06ea4f677641195.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b06ea4f677641195: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-b276262716aa76ed.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-b276262716aa76ed.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

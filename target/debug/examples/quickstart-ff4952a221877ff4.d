@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ff4952a221877ff4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ff4952a221877ff4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_predictor-0e586a7ac8ecc850.d: examples/train_predictor.rs
+
+/root/repo/target/debug/examples/train_predictor-0e586a7ac8ecc850: examples/train_predictor.rs
+
+examples/train_predictor.rs:

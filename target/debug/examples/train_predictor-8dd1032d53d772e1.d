@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_predictor-8dd1032d53d772e1.d: examples/train_predictor.rs
+
+/root/repo/target/debug/examples/train_predictor-8dd1032d53d772e1: examples/train_predictor.rs
+
+examples/train_predictor.rs:

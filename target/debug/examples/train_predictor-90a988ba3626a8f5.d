@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_predictor-90a988ba3626a8f5.d: examples/train_predictor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_predictor-90a988ba3626a8f5.rmeta: examples/train_predictor.rs Cargo.toml
+
+examples/train_predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

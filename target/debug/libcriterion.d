@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcriterion.rlib: /root/repo/third_party/criterion/src/lib.rs

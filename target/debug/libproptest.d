@@ -1,0 +1,1 @@
+/root/repo/target/debug/libproptest.rlib: /root/repo/third_party/proptest/src/lib.rs /root/repo/third_party/rand/src/lib.rs

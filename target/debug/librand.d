@@ -1,0 +1,1 @@
+/root/repo/target/debug/librand.rlib: /root/repo/third_party/rand/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde.rlib: /root/repo/third_party/serde/src/lib.rs /root/repo/third_party/serde_derive/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libyoso_pool.rlib: /root/repo/crates/pool/src/lib.rs /root/repo/third_party/rand/src/lib.rs

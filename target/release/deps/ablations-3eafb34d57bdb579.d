@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-3eafb34d57bdb579.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-3eafb34d57bdb579: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

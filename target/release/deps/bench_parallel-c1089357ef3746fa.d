@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_parallel-c1089357ef3746fa.d: crates/bench/src/bin/bench_parallel.rs
+
+/root/repo/target/release/deps/bench_parallel-c1089357ef3746fa: crates/bench/src/bin/bench_parallel.rs
+
+crates/bench/src/bin/bench_parallel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3c5b28f7f9756194.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3c5b28f7f9756194.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3c5b28f7f9756194.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

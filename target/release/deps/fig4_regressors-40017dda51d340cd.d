@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_regressors-40017dda51d340cd.d: crates/bench/src/bin/fig4_regressors.rs
+
+/root/repo/target/release/deps/fig4_regressors-40017dda51d340cd: crates/bench/src/bin/fig4_regressors.rs
+
+crates/bench/src/bin/fig4_regressors.rs:

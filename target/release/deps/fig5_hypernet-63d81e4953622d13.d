@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_hypernet-63d81e4953622d13.d: crates/bench/src/bin/fig5_hypernet.rs
+
+/root/repo/target/release/deps/fig5_hypernet-63d81e4953622d13: crates/bench/src/bin/fig5_hypernet.rs
+
+crates/bench/src/bin/fig5_hypernet.rs:

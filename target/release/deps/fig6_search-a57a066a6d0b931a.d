@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_search-a57a066a6d0b931a.d: crates/bench/src/bin/fig6_search.rs
+
+/root/repo/target/release/deps/fig6_search-a57a066a6d0b931a: crates/bench/src/bin/fig6_search.rs
+
+crates/bench/src/bin/fig6_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_normalized-2e3cab891e354847.d: crates/bench/src/bin/fig7_normalized.rs
+
+/root/repo/target/release/deps/fig7_normalized-2e3cab891e354847: crates/bench/src/bin/fig7_normalized.rs
+
+crates/bench/src/bin/fig7_normalized.rs:

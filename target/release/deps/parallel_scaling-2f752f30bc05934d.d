@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-2f752f30bc05934d.d: crates/bench/benches/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-2f752f30bc05934d: crates/bench/benches/parallel_scaling.rs
+
+crates/bench/benches/parallel_scaling.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-1ef51f77f423fdde.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1ef51f77f423fdde.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1ef51f77f423fdde.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b66702bbe3fd2a20.d: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b66702bbe3fd2a20.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b66702bbe3fd2a20.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-cc1ca362830a0ef4.d: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cc1ca362830a0ef4.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cc1ca362830a0ef4.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2265ef8ccd3a9d1b.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2265ef8ccd3a9d1b.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_comparison-56f8cb4d9a1d0012.d: crates/bench/src/bin/table2_comparison.rs
+
+/root/repo/target/release/deps/table2_comparison-56f8cb4d9a1d0012: crates/bench/src/bin/table2_comparison.rs
+
+crates/bench/src/bin/table2_comparison.rs:

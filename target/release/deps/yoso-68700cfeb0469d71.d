@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/yoso-68700cfeb0469d71.d: src/lib.rs
+
+/root/repo/target/release/deps/libyoso-68700cfeb0469d71.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libyoso-68700cfeb0469d71.rmeta: src/lib.rs
+
+src/lib.rs:

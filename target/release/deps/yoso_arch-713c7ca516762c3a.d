@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/yoso_arch-713c7ca516762c3a.d: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs
+
+/root/repo/target/release/deps/libyoso_arch-713c7ca516762c3a.rlib: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs
+
+/root/repo/target/release/deps/libyoso_arch-713c7ca516762c3a.rmeta: crates/arch/src/lib.rs crates/arch/src/codec.rs crates/arch/src/genotype.rs crates/arch/src/hw.rs crates/arch/src/layer.rs crates/arch/src/op.rs crates/arch/src/skeleton.rs crates/arch/src/space.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/codec.rs:
+crates/arch/src/genotype.rs:
+crates/arch/src/hw.rs:
+crates/arch/src/layer.rs:
+crates/arch/src/op.rs:
+crates/arch/src/skeleton.rs:
+crates/arch/src/space.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/yoso_bench-95a82615c1854361.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libyoso_bench-95a82615c1854361.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libyoso_bench-95a82615c1854361.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/yoso_controller-a5b8c1259b86f0a4.d: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+/root/repo/target/release/deps/libyoso_controller-a5b8c1259b86f0a4.rlib: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+/root/repo/target/release/deps/libyoso_controller-a5b8c1259b86f0a4.rmeta: crates/controller/src/lib.rs crates/controller/src/lstm.rs crates/controller/src/policy.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/lstm.rs:
+crates/controller/src/policy.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/yoso_core-c6b47979937f6613.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+/root/repo/target/release/deps/libyoso_core-c6b47979937f6613.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+/root/repo/target/release/deps/libyoso_core-c6b47979937f6613.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/evaluation.rs crates/core/src/parallel.rs crates/core/src/pipeline.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/twostage.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/twostage.rs:

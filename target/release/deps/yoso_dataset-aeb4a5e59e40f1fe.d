@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/yoso_dataset-aeb4a5e59e40f1fe.d: crates/dataset/src/lib.rs
+
+/root/repo/target/release/deps/libyoso_dataset-aeb4a5e59e40f1fe.rlib: crates/dataset/src/lib.rs
+
+/root/repo/target/release/deps/libyoso_dataset-aeb4a5e59e40f1fe.rmeta: crates/dataset/src/lib.rs
+
+crates/dataset/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/yoso_hypernet-c35c59ba1f7f8b97.d: crates/hypernet/src/lib.rs
+
+/root/repo/target/release/deps/libyoso_hypernet-c35c59ba1f7f8b97.rlib: crates/hypernet/src/lib.rs
+
+/root/repo/target/release/deps/libyoso_hypernet-c35c59ba1f7f8b97.rmeta: crates/hypernet/src/lib.rs
+
+crates/hypernet/src/lib.rs:

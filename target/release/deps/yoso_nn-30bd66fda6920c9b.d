@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/yoso_nn-30bd66fda6920c9b.d: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs
+
+/root/repo/target/release/deps/libyoso_nn-30bd66fda6920c9b.rlib: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs
+
+/root/repo/target/release/deps/libyoso_nn-30bd66fda6920c9b.rmeta: crates/nn/src/lib.rs crates/nn/src/forward.rs crates/nn/src/network.rs crates/nn/src/weights.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/forward.rs:
+crates/nn/src/network.rs:
+crates/nn/src/weights.rs:

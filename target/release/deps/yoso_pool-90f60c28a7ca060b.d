@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/yoso_pool-90f60c28a7ca060b.d: crates/pool/src/lib.rs
+
+/root/repo/target/release/deps/libyoso_pool-90f60c28a7ca060b.rlib: crates/pool/src/lib.rs
+
+/root/repo/target/release/deps/libyoso_pool-90f60c28a7ca060b.rmeta: crates/pool/src/lib.rs
+
+crates/pool/src/lib.rs:

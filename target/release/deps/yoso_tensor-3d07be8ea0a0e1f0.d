@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/yoso_tensor-3d07be8ea0a0e1f0.d: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libyoso_tensor-3d07be8ea0a0e1f0.rlib: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libyoso_tensor-3d07be8ea0a0e1f0.rmeta: crates/tensor/src/lib.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/matmul.rs crates/tensor/src/optim.rs crates/tensor/src/param.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/param.rs:
+crates/tensor/src/tensor.rs:

@@ -92,12 +92,19 @@ fn single_stage_not_worse_than_two_stage_smoke() {
     let sim = Simulator::fast();
     let mut best_two_stage = f64::NEG_INFINITY;
     for m in reference_models() {
-        let best = best_hw_for(&m.genotype, &skeleton, &sim, &constraints, OptimizationTarget::Energy);
+        let best = best_hw_for(
+            &m.genotype,
+            &skeleton,
+            &sim,
+            &constraints,
+            OptimizationTarget::Energy,
+        );
         let eval = evaluator.evaluate(&DesignPoint {
             genotype: m.genotype,
             hw: best.hw,
         });
-        best_two_stage = best_two_stage.max(rc.reward(eval.accuracy, eval.latency_ms, eval.energy_mj));
+        best_two_stage =
+            best_two_stage.max(rc.reward(eval.accuracy, eval.latency_ms, eval.energy_mj));
     }
     // Single stage under a modest budget.
     let outcome = rl_search(

@@ -1,0 +1,322 @@
+//! Offline stand-in for the `rand` crate (see `third_party/README.md`).
+//!
+//! Implements the subset of the rand 0.10 API this workspace uses:
+//! [`TryRng`] / [`Rng`] / [`RngExt`] / [`SeedableRng`] and
+//! [`rngs::StdRng`]. `StdRng` is a SplitMix64-seeded xoshiro256++
+//! generator — deterministic per seed, but its stream differs from
+//! upstream rand's ChaCha12-based `StdRng`.
+
+#![forbid(unsafe_code)]
+
+use std::convert::Infallible;
+use std::ops::{Range, RangeInclusive};
+
+/// A fallible random number generator (upstream `rand::TryRngCore`).
+pub trait TryRng {
+    /// Error produced on generation failure.
+    type Error;
+    /// Next `u32`, fallibly.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+    /// Next `u64`, fallibly.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Fills `dst` with random bytes, fallibly.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random number generator core.
+pub trait Rng {
+    /// Next `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Next `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+// `Rng` is blanket-implemented for every `TryRng<Error = Infallible>`.
+impl<T: TryRng<Error = Infallible> + ?Sized> Rng for T {
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        match self.try_fill_bytes(dst) {
+            Ok(()) => (),
+            Err(e) => match e {},
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait StandardUniform: Sized {
+    /// Draws a value from the type's standard distribution
+    /// (`[0, 1)` for floats, full range for integers).
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for u32 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardUniform for u64 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardUniform for f32 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> [0, 1) with full f32 mantissa precision.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+impl StandardUniform for f64 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl StandardUniform for bool {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`hi` inclusive when `inclusive`).
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "cannot sample from empty range");
+                // Lemire-style unbiased-enough widening multiply.
+                let x = rng.next_u64() as u128;
+                let off = ((x * span as u128) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(lo <= hi, "cannot sample from empty range");
+                let u: $t = StandardUniform::standard(rng);
+                let v = lo + (hi - lo) * u;
+                if !inclusive && v >= hi && lo < hi {
+                    // Rounding pushed us onto the excluded endpoint.
+                    hi.next_down().max(lo)
+                } else {
+                    v.min(hi)
+                }
+            }
+        }
+    };
+}
+impl_sample_uniform_float!(f32);
+impl_sample_uniform_float!(f64);
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience sampling methods (upstream `rand::Rng` extension surface).
+pub trait RngExt: Rng {
+    /// A value from the type's standard distribution.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// A uniform value from `range`.
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The SplitMix64 mixing function (public so callers can derive
+/// independent per-item seeds deterministically).
+pub fn split_mix_64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Provided generators.
+pub mod rngs {
+    use super::{split_mix_64, SeedableRng, TryRng};
+    use std::convert::Infallible;
+
+    /// The standard deterministic generator: xoshiro256++ seeded through
+    /// SplitMix64. (Upstream `StdRng` is ChaCha12; streams differ but all
+    /// workspace code only relies on seed-determinism.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for v in &mut s {
+                *v = split_mix_64(&mut sm);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl TryRng for StdRng {
+        type Error = Infallible;
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.next() >> 32) as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            Ok(self.next())
+        }
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+            for chunk in dst.chunks_mut(8) {
+                let bytes = self.next().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(-3.0..3.0);
+            assert!((-3.0..3.0).contains(&v));
+            let u: f32 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v: i32 = rng.random_range(-1i32..=1);
+            assert!((-1..=1).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2500..3500).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn fill_bytes_varies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        rng.fill_bytes(&mut a);
+        rng.fill_bytes(&mut b);
+        assert_ne!(a, b);
+    }
+}

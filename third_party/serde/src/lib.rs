@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde` (see `third_party/README.md`).
+//!
+//! Exposes the `Serialize` / `Deserialize` names in both the trait and
+//! derive-macro namespaces. The derives are no-ops and the traits are
+//! item-less markers: the workspace never serializes through serde (all
+//! experiment output is hand-rolled CSV/JSON).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive` (see `third_party/README.md`).
+//!
+//! Nothing in the workspace actually serializes through serde — the
+//! derives exist so data structures advertise serializability for future
+//! consumers. Until a real serde is available these derives expand to
+//! nothing (the marker traits in the `serde` stub have no items).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

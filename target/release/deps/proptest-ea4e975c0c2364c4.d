@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-ea4e975c0c2364c4.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ea4e975c0c2364c4.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ea4e975c0c2364c4.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/regressor_contracts-8ecf5f4d8911086c.d: crates/predictor/tests/regressor_contracts.rs
+
+/root/repo/target/release/deps/regressor_contracts-8ecf5f4d8911086c: crates/predictor/tests/regressor_contracts.rs
+
+crates/predictor/tests/regressor_contracts.rs:

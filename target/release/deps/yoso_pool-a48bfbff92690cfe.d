@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/yoso_pool-a48bfbff92690cfe.d: crates/pool/src/lib.rs
+
+/root/repo/target/release/deps/yoso_pool-a48bfbff92690cfe: crates/pool/src/lib.rs
+
+crates/pool/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/yoso_predictor-2b25c942d80d1357.d: crates/predictor/src/lib.rs crates/predictor/src/features.rs crates/predictor/src/linalg.rs crates/predictor/src/metrics.rs crates/predictor/src/perf.rs crates/predictor/src/regressors/mod.rs crates/predictor/src/regressors/forest.rs crates/predictor/src/regressors/gp.rs crates/predictor/src/regressors/knn.rs crates/predictor/src/regressors/linear.rs crates/predictor/src/regressors/svr.rs crates/predictor/src/regressors/tree.rs crates/predictor/src/standardize.rs
+
+/root/repo/target/release/deps/yoso_predictor-2b25c942d80d1357: crates/predictor/src/lib.rs crates/predictor/src/features.rs crates/predictor/src/linalg.rs crates/predictor/src/metrics.rs crates/predictor/src/perf.rs crates/predictor/src/regressors/mod.rs crates/predictor/src/regressors/forest.rs crates/predictor/src/regressors/gp.rs crates/predictor/src/regressors/knn.rs crates/predictor/src/regressors/linear.rs crates/predictor/src/regressors/svr.rs crates/predictor/src/regressors/tree.rs crates/predictor/src/standardize.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/features.rs:
+crates/predictor/src/linalg.rs:
+crates/predictor/src/metrics.rs:
+crates/predictor/src/perf.rs:
+crates/predictor/src/regressors/mod.rs:
+crates/predictor/src/regressors/forest.rs:
+crates/predictor/src/regressors/gp.rs:
+crates/predictor/src/regressors/knn.rs:
+crates/predictor/src/regressors/linear.rs:
+crates/predictor/src/regressors/svr.rs:
+crates/predictor/src/regressors/tree.rs:
+crates/predictor/src/standardize.rs:

@@ -71,7 +71,7 @@ fn cost_bits(c: &CostModel) -> [u64; 11] {
     ]
 }
 
-/// Hit / miss / occupancy counters of the global cache.
+/// Hit / miss / occupancy / contention counters of the global cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -80,6 +80,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Read-lock acquisitions that found their shard lock held.
+    pub contended_reads: u64,
+    /// Write-lock acquisitions that found their shard lock held.
+    pub contended_writes: u64,
 }
 
 impl CacheStats {
@@ -98,11 +102,12 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "sim cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+            "sim cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} contended locks",
             self.hits,
             self.misses,
             100.0 * self.hit_rate(),
-            self.entries
+            self.entries,
+            self.contended_reads + self.contended_writes
         )
     }
 }
@@ -114,6 +119,8 @@ struct SimCache {
     shards: Vec<RwLock<HashMap<CacheKey, LayerReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    contended_reads: AtomicU64,
+    contended_writes: AtomicU64,
 }
 
 impl SimCache {
@@ -122,6 +129,8 @@ impl SimCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            contended_reads: AtomicU64::new(0),
+            contended_writes: AtomicU64::new(0),
         }
     }
 
@@ -137,13 +146,23 @@ impl SimCache {
         simulate: impl FnOnce() -> LayerReport,
     ) -> LayerReport {
         let shard = &self.shards[Self::shard_of(&key)];
-        if let Some(report) = shard.read().get(&key) {
+        // Fast path tries the lock first so shard contention is observable
+        // (a failed try is counted, then we block as before).
+        let guard = shard.try_read().unwrap_or_else(|| {
+            self.contended_reads.fetch_add(1, Ordering::Relaxed);
+            shard.read()
+        });
+        if let Some(report) = guard.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return report.clone();
         }
+        drop(guard);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let report = simulate();
-        let mut map = shard.write();
+        let mut map = shard.try_write().unwrap_or_else(|| {
+            self.contended_writes.fetch_add(1, Ordering::Relaxed);
+            shard.write()
+        });
         if map.len() >= SHARD_CAPACITY {
             map.clear();
         }
@@ -158,6 +177,8 @@ impl SimCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.read().len()).sum(),
+            contended_reads: self.contended_reads.load(Ordering::Relaxed),
+            contended_writes: self.contended_writes.load(Ordering::Relaxed),
         }
     }
 
@@ -167,6 +188,8 @@ impl SimCache {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.contended_reads.store(0, Ordering::Relaxed);
+        self.contended_writes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -357,10 +380,12 @@ mod tests {
             hits: 3,
             misses: 1,
             entries: 1,
+            contended_reads: 2,
+            contended_writes: 1,
         };
         assert_eq!(
             s.to_string(),
-            "sim cache: 3 hits / 1 misses (75.0% hit rate), 1 entries"
+            "sim cache: 3 hits / 1 misses (75.0% hit rate), 1 entries, 3 contended locks"
         );
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }

@@ -34,6 +34,7 @@ fn wants(which: &str, id: char) -> bool {
 
 fn main() {
     println!("worker pool: {} threads", yoso_bench::configure_threads());
+    let trace = yoso_bench::configure_trace();
     let which = arg_value("--which").unwrap_or_else(|| "123456".into());
 
     if wants(&which, '1') {
@@ -54,6 +55,7 @@ fn main() {
     if wants(&which, '6') {
         ablation_flexible_dataflow();
     }
+    yoso_bench::finish_trace(&trace);
 }
 
 /// 1. Uniform vs biased path sampling: which HyperNet ranks sub-models
@@ -119,6 +121,7 @@ fn ablation_reward_form() {
         iterations: 800,
         rollouts_per_update: 10,
         seed: 0,
+        ..SearchConfig::default()
     };
     let mut table = Table::new(&["form", "best_acc", "best_lat(ms)", "best_eer(mJ)"]);
     for form in [RewardForm::WeightedProduct, RewardForm::Additive] {
@@ -190,9 +193,10 @@ fn ablation_rl_seeds() {
             iterations: 600,
             rollouts_per_update: 10,
             seed,
+            ..SearchConfig::default()
         };
         let rl = rl_search(&ev, &rc, &cfg);
-        let evo = evolution_search(&ev, &rc, &cfg, 50, 10);
+        let evo = evolution_search(&ev, &rc, &cfg);
         let rnd = random_search(&ev, &rc, &cfg);
         let tail = |o: &yoso_core::SearchOutcome| {
             let k = o.history.len() / 4;

@@ -7,12 +7,13 @@
 //! * per-point vs batched GP prediction over a rollout-sized batch.
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin bench_parallel --
-//!   [--samples 1000] [--batch 256] [--seed 0] [--out BENCH_parallel.json]`
+//!   [--samples 1000] [--batch 256] [--seed 0] [--out BENCH_parallel.json]
+//!   [--trace-out trace.jsonl]`
 
 use std::time::Instant;
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, NetworkSkeleton};
-use yoso_bench::{arg_u64, arg_usize, arg_value};
+use yoso_bench::{arg_u64, arg_usize, arg_value, configure_trace, finish_trace};
 use yoso_predictor::perf::{collect_samples, PerfPredictor};
 
 fn time_ms(f: impl FnOnce()) -> f64 {
@@ -26,6 +27,7 @@ fn main() {
     let batch = arg_usize("--batch", 256);
     let seed = arg_u64("--seed", 0);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_parallel.json".into());
+    let trace = configure_trace();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let skeleton = NetworkSkeleton::paper_default();
     let sim = Simulator::exact();
@@ -79,6 +81,7 @@ fn main() {
     );
     std::fs::write(&out, json).expect("write bench json");
     println!("written {out}");
+    finish_trace(&trace);
     assert!(
         cache_speedup >= 2.0,
         "warm-cache speedup {cache_speedup:.2}x below the 2x target"

@@ -27,6 +27,7 @@ fn main() {
     };
     let seed = arg_u64("--seed", 0);
     println!("worker pool: {} threads", yoso_bench::configure_threads());
+    let trace = yoso_bench::configure_trace();
     let skeleton = NetworkSkeleton::paper_default();
     let sim = Simulator::exact();
 
@@ -105,4 +106,5 @@ fn main() {
         println!("written {}", path.display());
     }
     println!("{}", yoso_accel::cache::stats());
+    yoso_bench::finish_trace(&trace);
 }

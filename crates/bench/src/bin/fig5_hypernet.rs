@@ -38,6 +38,7 @@ fn scale() -> (NetworkSkeleton, SynthCifarConfig) {
 fn main() {
     let part = arg_value("--part").unwrap_or_else(|| "both".into());
     let seed = arg_u64("--seed", 0);
+    let trace = yoso_bench::configure_trace();
     let (skeleton, mut data_cfg) = scale();
     if let Some(n) = arg_value("--noise").and_then(|v| v.parse::<f32>().ok()) {
         data_cfg.noise = n;
@@ -137,4 +138,5 @@ fn main() {
         );
         println!("written {}", p.display());
     }
+    yoso_bench::finish_trace(&trace);
 }

@@ -12,14 +12,22 @@
 //! in the paper (slower).
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin fig6_search --
-//!   [--part a|b|c|all] [--iterations 2000] [--seed 0] [--fast-evaluator]`
+//!   [--part a|b|c|all] [--iterations 2000] [--seed 0] [--fast-evaluator]
+//!   [--trace-out trace.jsonl]`
+//!
+//! With `--trace-out` every search emits one `search_iter` JSONL event
+//! per candidate plus start/summary and subsystem events; the run ends
+//! with an aligned telemetry table.
 
 use std::time::Instant;
 use yoso_arch::NetworkSkeleton;
-use yoso_bench::{arg_present, arg_u64, arg_usize, arg_value, write_csv};
+use yoso_bench::{
+    arg_present, arg_u64, arg_usize, arg_value, configure_trace, finish_trace, write_csv,
+};
 use yoso_core::evaluation::{calibrate_constraints, Evaluator, FastEvaluator, SurrogateEvaluator};
 use yoso_core::reward::RewardConfig;
-use yoso_core::search::{random_search, rl_search, SearchConfig, SearchOutcome};
+use yoso_core::search::{SearchConfig, SearchOutcome};
+use yoso_core::session::{SearchSession, Strategy};
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::HyperTrainConfig;
 
@@ -57,6 +65,7 @@ fn main() {
     } else {
         NetworkSkeleton::paper_default()
     };
+    let trace = configure_trace();
     let evaluator = build_evaluator(&skeleton, seed);
     let constraints = calibrate_constraints(&skeleton, 300, seed, 40.0);
     println!(
@@ -67,14 +76,24 @@ fn main() {
         iterations,
         rollouts_per_update: 10,
         seed,
+        ..SearchConfig::default()
     };
 
     if part == "a" || part == "all" {
         println!("\n=== Fig. 6(a): RL vs random search ({iterations} iterations) ===");
         let rc = RewardConfig::balanced(constraints);
         let t0 = Instant::now();
-        let rl = rl_search(evaluator.as_ref(), &rc, &search_cfg);
-        let rnd = random_search(evaluator.as_ref(), &rc, &search_cfg);
+        let session = |strategy| {
+            SearchSession::builder()
+                .evaluator(evaluator.as_ref())
+                .reward(rc)
+                .config(search_cfg.clone())
+                .strategy(strategy)
+                .trace(trace.clone())
+                .run()
+        };
+        let rl = session(Strategy::Rl);
+        let rnd = session(Strategy::Random);
         println!("both searches done in {:.1?}", t0.elapsed());
         // Every 10th sample, as in the paper.
         let rows: Vec<Vec<String>> = rl
@@ -129,7 +148,13 @@ fn main() {
         let mut rc = rc;
         rc.saturate_below_threshold = true;
         println!("\n=== Fig. 6({tag}): trade-off between accuracy and {label} ===");
-        let out = rl_search(evaluator.as_ref(), &rc, &search_cfg);
+        let out = SearchSession::builder()
+            .evaluator(evaluator.as_ref())
+            .reward(rc)
+            .config(search_cfg.clone())
+            .strategy(Strategy::Rl)
+            .trace(trace.clone())
+            .run();
         // Every 20th sample, as in the paper.
         let rows: Vec<Vec<String>> = out
             .history
@@ -195,4 +220,6 @@ fn main() {
         );
         println!("written {}", p.display());
     }
+
+    finish_trace(&trace);
 }

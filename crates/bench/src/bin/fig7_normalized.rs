@@ -14,6 +14,7 @@ fn bar(v: f64, scale: f64) -> String {
 }
 
 fn main() {
+    let trace = yoso_bench::configure_trace();
     let (_, rows) = match read_csv("table2.csv") {
         Ok(v) => v,
         Err(_) => {
@@ -77,4 +78,5 @@ fn main() {
         .min_by(|a, b| a.2.total_cmp(&b.2))
         .expect("rows");
     println!("lowest energy: {} | lowest latency: {}", best_e.0, best_l.0);
+    yoso_bench::finish_trace(&trace);
 }

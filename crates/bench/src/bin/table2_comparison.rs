@@ -24,7 +24,8 @@ use yoso_bench::{arg_u64, arg_usize, write_csv, Table};
 use yoso_core::evaluation::{calibrate_constraints, FastEvaluator};
 use yoso_core::parallel_map;
 use yoso_core::reward::RewardConfig;
-use yoso_core::search::{rl_search, SearchConfig};
+use yoso_core::search::SearchConfig;
+use yoso_core::session::{SearchSession, Strategy};
 use yoso_core::twostage::{best_hw_for, reference_models, OptimizationTarget};
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::HyperTrainConfig;
@@ -65,6 +66,7 @@ fn main() {
     let full_epochs = arg_usize("--full-epochs", 6);
     let seed = arg_u64("--seed", 0);
     println!("worker pool: {} threads", yoso_bench::configure_threads());
+    let trace = yoso_bench::configure_trace();
 
     let skeleton = NetworkSkeleton::small();
     let data = SynthCifar::generate(&SynthCifarConfig::small());
@@ -130,15 +132,18 @@ fn main() {
     ] {
         println!("\n[yoso] {label}: RL search ({iterations} iterations) + top-{top_n} rerank ...");
         let t2 = Instant::now();
-        let outcome = rl_search(
-            &fast,
-            &reward_cfg,
-            &SearchConfig {
+        let outcome = SearchSession::builder()
+            .evaluator(&fast)
+            .reward(reward_cfg)
+            .config(SearchConfig {
                 iterations,
                 rollouts_per_update: 10,
                 seed,
-            },
-        );
+                ..SearchConfig::default()
+            })
+            .strategy(Strategy::Rl)
+            .trace(trace.clone())
+            .run();
         // Accurate rerank: full training + exact simulation per finalist.
         let finalists = outcome.top_n(top_n);
         let reranked: Vec<(DesignPoint, f64, f64, f64, f64)> =
@@ -242,4 +247,5 @@ fn main() {
         max(&l_ratios)
     );
     println!("{}", yoso_accel::cache::stats());
+    yoso_bench::finish_trace(&trace);
 }

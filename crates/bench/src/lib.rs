@@ -108,6 +108,153 @@ pub fn configure_threads() -> usize {
     yoso_pool::num_threads()
 }
 
+/// Applies the shared `--trace-out <path>` flag: when present, switches
+/// global telemetry collection on and opens a JSONL file sink at the
+/// given path; otherwise returns [`yoso_trace::Trace::disabled`] and
+/// leaves telemetry off (the near-no-op default).
+///
+/// Pair with [`finish_trace`] at the end of the run.
+pub fn configure_trace() -> yoso_trace::Trace {
+    let Some(path) = arg_value("--trace-out") else {
+        return yoso_trace::Trace::disabled();
+    };
+    match yoso_trace::Trace::to_path(&path) {
+        Ok(trace) => {
+            yoso_trace::set_enabled(true);
+            eprintln!("[trace] writing JSONL events to {path}");
+            trace
+        }
+        Err(e) => {
+            eprintln!("[trace] cannot open {path}: {e}; tracing disabled");
+            yoso_trace::Trace::disabled()
+        }
+    }
+}
+
+/// End-of-run telemetry: appends the subsystem summary events
+/// (`cache_summary`, `gp_summary`, `pool_summary`, `controller_summary`
+/// — process-cumulative totals) to `trace`, prints an aligned summary
+/// table to stdout, and flushes the sink. No-op for a disabled trace.
+pub fn finish_trace(trace: &yoso_trace::Trace) {
+    if !trace.is_enabled() {
+        return;
+    }
+    use yoso_trace::Event;
+    let cs = yoso_accel::cache::stats();
+    let reg = yoso_trace::snapshot();
+    let hist = |name: &str| -> (u64, f64) {
+        reg.histogram(name)
+            .map_or((0, 0.0), |h| (h.count(), h.sum() as f64 / 1e6))
+    };
+    trace.emit(
+        Event::new("cache_summary")
+            .with_u64("hits", cs.hits)
+            .with_u64("misses", cs.misses)
+            .with_u64("contended_reads", cs.contended_reads)
+            .with_u64("contended_writes", cs.contended_writes)
+            .with_u64("entries", cs.entries as u64),
+    );
+    let (gp_calls, gp_ms) = hist("gp.predict_batch");
+    trace.emit(
+        Event::new("gp_summary")
+            .with_u64("batches", reg.counter("gp.batches"))
+            .with_u64("points", reg.counter("gp.points"))
+            .with_u64("timed_calls", gp_calls)
+            .with_f64("total_ms", gp_ms),
+    );
+    let busy_ns = reg.counter("pool.busy_ns");
+    let thread_ns = reg.counter("pool.thread_ns");
+    let utilization = if thread_ns == 0 {
+        0.0
+    } else {
+        busy_ns as f64 / thread_ns as f64
+    };
+    trace.emit(
+        Event::new("pool_summary")
+            .with_u64("maps", reg.counter("pool.maps"))
+            .with_u64("items", reg.counter("pool.items"))
+            .with_f64("busy_ms", busy_ns as f64 / 1e6)
+            .with_f64("thread_ms", thread_ns as f64 / 1e6)
+            .with_f64("utilization", utilization),
+    );
+    let (samples, sample_ms) = hist("controller.sample");
+    let (updates, update_ms) = hist("controller.update");
+    trace.emit(
+        Event::new("controller_summary")
+            .with_u64("samples", samples)
+            .with_f64("sample_ms", sample_ms)
+            .with_u64("updates", updates)
+            .with_f64("update_ms", update_ms),
+    );
+    let mut t = Table::new(&["subsystem", "metric", "value"]);
+    let mut push = |sub: &str, metric: &str, value: String| {
+        t.row(vec![sub.to_string(), metric.to_string(), value]);
+    };
+    push(
+        "sim cache",
+        "hits / misses",
+        format!("{} / {}", cs.hits, cs.misses),
+    );
+    push(
+        "sim cache",
+        "hit rate",
+        format!("{:.1}%", 100.0 * cs.hit_rate()),
+    );
+    push("sim cache", "entries", cs.entries.to_string());
+    push(
+        "sim cache",
+        "contended locks",
+        (cs.contended_reads + cs.contended_writes).to_string(),
+    );
+    push(
+        "gp",
+        "predict batches",
+        reg.counter("gp.batches").to_string(),
+    );
+    push(
+        "gp",
+        "predicted points",
+        reg.counter("gp.points").to_string(),
+    );
+    push("gp", "predict time", format!("{gp_ms:.1} ms"));
+    push(
+        "pool",
+        "maps / items",
+        format!(
+            "{} / {}",
+            reg.counter("pool.maps"),
+            reg.counter("pool.items")
+        ),
+    );
+    push(
+        "pool",
+        "busy / thread time",
+        format!(
+            "{:.1} / {:.1} ms",
+            busy_ns as f64 / 1e6,
+            thread_ns as f64 / 1e6
+        ),
+    );
+    push(
+        "pool",
+        "utilization",
+        format!("{:.1}%", 100.0 * utilization),
+    );
+    push(
+        "controller",
+        "samples",
+        format!("{samples} ({sample_ms:.1} ms)"),
+    );
+    push(
+        "controller",
+        "updates",
+        format!("{updates} ({update_ms:.1} ms)"),
+    );
+    println!("\n=== telemetry summary (cumulative) ===\n{t}");
+    println!("events emitted: {}", trace.events_emitted());
+    trace.flush();
+}
+
 /// Minimal aligned-column table printer for experiment output.
 #[derive(Debug, Default)]
 pub struct Table {

@@ -254,6 +254,7 @@ impl Controller {
 
     /// Samples one action sequence from the current policy.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Rollout {
+        let _span = yoso_trace::span("controller.sample");
         let (caches, log_prob, entropy) = self.run(rng, None);
         Rollout {
             actions: caches.iter().map(|c| c.action).collect(),
@@ -271,6 +272,7 @@ impl Controller {
     /// length.
     pub fn update(&mut self, batch: &[(Rollout, f64)]) -> UpdateStats {
         assert!(!batch.is_empty(), "empty update batch");
+        let _span = yoso_trace::span("controller.update");
         let t_len = self.cfg.vocab_sizes.len();
         let mean_reward = batch.iter().map(|(_, r)| r).sum::<f64>() / batch.len() as f64;
         let baseline = match self.baseline {

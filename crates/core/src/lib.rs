@@ -8,8 +8,12 @@
 //! * [`evaluation`] — the fast evaluator (HyperNet accuracy + GP
 //!   performance predictors), the accurate evaluator (full training +
 //!   exact simulation) and a deterministic surrogate;
-//! * [`search`] — the RL search loop (LSTM + REINFORCE over the 44-symbol
-//!   joint action space) and the random-search baseline;
+//! * [`search`] — search configuration, history bookkeeping and the
+//!   classic free-function entry points;
+//! * [`session`] — the unified [`SearchSession`] entry point that runs
+//!   the RL loop (LSTM + REINFORCE over the 44-symbol joint action
+//!   space), regularized evolution or random search, with optional
+//!   structured telemetry;
 //! * [`twostage`] — the two-stage baseline flow with representative
 //!   reference models (Table 2);
 //! * [`pipeline`] — the three-step YOSO flow ending in top-N accurate
@@ -20,15 +24,20 @@
 //! ```
 //! use yoso_core::evaluation::{calibrate_constraints, SurrogateEvaluator};
 //! use yoso_core::reward::RewardConfig;
-//! use yoso_core::search::{rl_search, SearchConfig};
+//! use yoso_core::search::SearchConfig;
+//! use yoso_core::session::{SearchSession, Strategy};
 //! use yoso_arch::NetworkSkeleton;
 //!
 //! let sk = NetworkSkeleton::tiny();
 //! let evaluator = SurrogateEvaluator::new(sk.clone());
 //! let constraints = calibrate_constraints(&sk, 30, 0, 50.0);
 //! let reward = RewardConfig::balanced(constraints);
-//! let cfg = SearchConfig { iterations: 20, rollouts_per_update: 4, seed: 0 };
-//! let outcome = rl_search(&evaluator, &reward, &cfg);
+//! let outcome = SearchSession::builder()
+//!     .evaluator(&evaluator)
+//!     .reward(reward)
+//!     .strategy(Strategy::Rl)
+//!     .config(SearchConfig::builder().iterations(20).rollouts_per_update(4).build())
+//!     .run();
 //! assert_eq!(outcome.history.len(), 20);
 //! ```
 
@@ -41,6 +50,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod reward;
 pub mod search;
+pub mod session;
 pub mod twostage;
 
 pub use analysis::{feasible, hypervolume, save_history_csv, summarize, EvalSummary};
@@ -52,8 +62,10 @@ pub use parallel::parallel_map;
 pub use pipeline::{finalize, run_search_and_finalize, Finalist, YosoResult};
 pub use reward::{Constraints, RewardConfig, RewardForm};
 pub use search::{
-    evolution_search, random_search, rl_search, SearchConfig, SearchOutcome, SearchRecord,
+    evolution_search, random_search, rl_search, SearchConfig, SearchConfigBuilder, SearchOutcome,
+    SearchRecord,
 };
+pub use session::{SearchEvent, SearchSession, SearchSessionBuilder, Strategy};
 pub use twostage::{
     best_hw_for, reference_models, run_two_stage, BestHw, OptimizationTarget, ReferenceModel,
     TwoStageResult,

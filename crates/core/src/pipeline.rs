@@ -114,6 +114,7 @@ mod tests {
                 iterations: 30,
                 rollouts_per_update: 1,
                 seed: 0,
+                ..SearchConfig::default()
             },
         );
         let data = SynthCifar::generate(&SynthCifarConfig::tiny());

@@ -1,15 +1,19 @@
-//! Design-space search: the RL engine (paper step 2) and the random-search
-//! baseline of Fig. 6(a), plus history bookkeeping, top-N selection and
-//! Pareto-front extraction.
+//! Design-space search: configuration, history bookkeeping, top-N
+//! selection and Pareto-front extraction, plus the three historical
+//! free-function entry points (`rl_search`, `evolution_search`,
+//! `random_search`) — now thin wrappers over
+//! [`SearchSession`], which owns the
+//! actual loops and the telemetry hooks.
 
 use crate::evaluation::{Evaluation, Evaluator};
 use crate::reward::RewardConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use yoso_arch::{ActionSpace, DesignPoint};
-use yoso_controller::{Controller, ControllerConfig, Rollout};
+use crate::session::{SearchSession, Strategy};
+use yoso_arch::DesignPoint;
 
-/// Search-loop parameters.
+/// Search-loop parameters, shared by every [`Strategy`].
+///
+/// Construct with [`SearchConfig::builder`] (or a struct literal with
+/// `..SearchConfig::default()`); the defaults are the paper's settings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchConfig {
     /// Total candidate evaluations.
@@ -18,6 +22,10 @@ pub struct SearchConfig {
     pub rollouts_per_update: usize,
     /// RNG / controller-init seed.
     pub seed: u64,
+    /// Sliding-population size (evolution only).
+    pub population: usize,
+    /// Tournament size for parent selection (evolution only).
+    pub tournament: usize,
 }
 
 impl Default for SearchConfig {
@@ -26,7 +34,71 @@ impl Default for SearchConfig {
             iterations: 2000,
             rollouts_per_update: 8,
             seed: 0,
+            population: 50,
+            tournament: 10,
         }
+    }
+}
+
+impl SearchConfig {
+    /// Starts a builder seeded with the paper defaults.
+    pub fn builder() -> SearchConfigBuilder {
+        SearchConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SearchConfig`]; every field starts at the paper default.
+///
+/// ```
+/// use yoso_core::search::SearchConfig;
+/// let cfg = SearchConfig::builder().iterations(500).seed(7).build();
+/// assert_eq!(cfg.iterations, 500);
+/// assert_eq!(cfg.rollouts_per_update, 8); // paper default kept
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SearchConfigBuilder {
+    config: SearchConfig,
+}
+
+impl SearchConfigBuilder {
+    /// Total candidate evaluations.
+    #[must_use]
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.config.iterations = n;
+        self
+    }
+
+    /// Rollouts per controller update (RL only).
+    #[must_use]
+    pub fn rollouts_per_update(mut self, n: usize) -> Self {
+        self.config.rollouts_per_update = n;
+        self
+    }
+
+    /// RNG / controller-init seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sliding-population size (evolution only).
+    #[must_use]
+    pub fn population(mut self, n: usize) -> Self {
+        self.config.population = n;
+        self
+    }
+
+    /// Tournament size for parent selection (evolution only).
+    #[must_use]
+    pub fn tournament(mut self, n: usize) -> Self {
+        self.config.tournament = n;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SearchConfig {
+        self.config
     }
 }
 
@@ -111,131 +183,62 @@ impl SearchOutcome {
     }
 }
 
-fn record(
+fn run(
     evaluator: &dyn Evaluator,
     reward_cfg: &RewardConfig,
-    iteration: usize,
-    point: DesignPoint,
-) -> SearchRecord {
-    let eval = evaluator.evaluate(&point);
-    let reward = reward_cfg.reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
-    SearchRecord {
-        iteration,
-        point,
-        eval,
-        reward,
-    }
+    cfg: &SearchConfig,
+    strategy: Strategy,
+) -> SearchOutcome {
+    SearchSession::builder()
+        .evaluator(evaluator)
+        .reward(*reward_cfg)
+        .config(cfg.clone())
+        .strategy(strategy)
+        .run()
 }
 
 /// RL-based search (paper step 2): the LSTM controller generates joint
 /// DNN + accelerator action sequences, the evaluator scores them, and
 /// REINFORCE steers the policy towards higher composite reward.
 ///
-/// Each update batch of rollouts is scored through
-/// [`Evaluator::evaluate_batch`], so evaluators with a batched path
-/// (the GP-backed [`crate::evaluation::FastEvaluator`]) amortize
-/// prediction over the whole batch.
+/// Equivalent to a [`SearchSession`] with [`Strategy::Rl`] and no trace.
 pub fn rl_search(
     evaluator: &dyn Evaluator,
     reward_cfg: &RewardConfig,
     cfg: &SearchConfig,
 ) -> SearchOutcome {
-    let space = ActionSpace::new();
-    let mut ctrl_cfg = ControllerConfig::paper_default(space.vocab_sizes().to_vec());
-    ctrl_cfg.seed = cfg.seed;
-    let mut controller = Controller::new(ctrl_cfg);
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD);
-    let mut outcome = SearchOutcome::default();
-    let mut iteration = 0;
-    while iteration < cfg.iterations {
-        let batch_n = cfg.rollouts_per_update.min(cfg.iterations - iteration);
-        let rollouts: Vec<Rollout> = (0..batch_n).map(|_| controller.sample(&mut rng)).collect();
-        let points: Vec<DesignPoint> = rollouts
-            .iter()
-            .map(|r| {
-                space
-                    .decode(&r.actions)
-                    .expect("controller emits in-vocabulary actions")
-            })
-            .collect();
-        let evals = evaluator.evaluate_batch(&points);
-        let mut batch: Vec<(Rollout, f64)> = Vec::with_capacity(batch_n);
-        for (rollout, (point, eval)) in rollouts.into_iter().zip(points.into_iter().zip(evals)) {
-            let reward = reward_cfg.reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
-            batch.push((rollout, reward));
-            outcome.history.push(SearchRecord {
-                iteration,
-                point,
-                eval,
-                reward,
-            });
-            iteration += 1;
-        }
-        controller.update(&batch);
-    }
-    outcome
+    run(evaluator, reward_cfg, cfg, Strategy::Rl)
 }
 
 /// Regularized-evolution search (Real et al., the AmoebaNet method cited
 /// as \[9\]) over the joint space — an extra baseline beyond the paper's
-/// RL-vs-random comparison. Tournament selection over a sliding
-/// population with single-symbol mutation through the action codec.
+/// RL-vs-random comparison. Population and tournament sizes come from
+/// [`SearchConfig::population`] / [`SearchConfig::tournament`].
+///
+/// Equivalent to a [`SearchSession`] with [`Strategy::Evolution`] and no
+/// trace.
 ///
 /// # Panics
 ///
-/// Panics if `population` or `tournament` is zero.
+/// Panics if `cfg.population` or `cfg.tournament` is zero.
 pub fn evolution_search(
     evaluator: &dyn Evaluator,
     reward_cfg: &RewardConfig,
     cfg: &SearchConfig,
-    population: usize,
-    tournament: usize,
 ) -> SearchOutcome {
-    assert!(population > 0 && tournament > 0);
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0_5EED);
-    let mut outcome = SearchOutcome::default();
-    let mut pop: std::collections::VecDeque<SearchRecord> = std::collections::VecDeque::new();
-    for iteration in 0..cfg.iterations {
-        let rec = if pop.len() < population {
-            record(
-                evaluator,
-                reward_cfg,
-                iteration,
-                DesignPoint::random(&mut rng),
-            )
-        } else {
-            // Tournament: sample `tournament` members, mutate the fittest.
-            let parent = (0..tournament)
-                .map(|_| &pop[rand::RngExt::random_range(&mut rng, 0..pop.len())])
-                .max_by(|a, b| a.reward.total_cmp(&b.reward))
-                .expect("tournament > 0");
-            let child = parent.point.mutate(&mut rng);
-            record(evaluator, reward_cfg, iteration, child)
-        };
-        pop.push_back(rec);
-        if pop.len() > population {
-            pop.pop_front(); // regularization: age-based removal
-        }
-        outcome.history.push(rec);
-    }
-    outcome
+    run(evaluator, reward_cfg, cfg, Strategy::Evolution)
 }
 
 /// Uniform random search over the joint space — the Fig. 6(a) baseline.
+///
+/// Equivalent to a [`SearchSession`] with [`Strategy::Random`] and no
+/// trace.
 pub fn random_search(
     evaluator: &dyn Evaluator,
     reward_cfg: &RewardConfig,
     cfg: &SearchConfig,
 ) -> SearchOutcome {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
-    let mut outcome = SearchOutcome::default();
-    for iteration in 0..cfg.iterations {
-        let point = DesignPoint::random(&mut rng);
-        outcome
-            .history
-            .push(record(evaluator, reward_cfg, iteration, point));
-    }
-    outcome
+    run(evaluator, reward_cfg, cfg, Strategy::Random)
 }
 
 #[cfg(test)]
@@ -253,12 +256,30 @@ mod tests {
     }
 
     #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(SearchConfig::builder().build(), SearchConfig::default());
+        let cfg = SearchConfig::builder()
+            .iterations(10)
+            .rollouts_per_update(2)
+            .seed(42)
+            .population(20)
+            .tournament(5)
+            .build();
+        assert_eq!(cfg.iterations, 10);
+        assert_eq!(cfg.rollouts_per_update, 2);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.population, 20);
+        assert_eq!(cfg.tournament, 5);
+    }
+
+    #[test]
     fn rl_search_improves_over_iterations() {
         let (ev, rc) = setup();
         let cfg = SearchConfig {
             iterations: 600,
             rollouts_per_update: 8,
             seed: 1,
+            ..SearchConfig::default()
         };
         let out = rl_search(&ev, &rc, &cfg);
         assert_eq!(out.history.len(), 600);
@@ -283,6 +304,7 @@ mod tests {
             iterations: 600,
             rollouts_per_update: 8,
             seed: 2,
+            ..SearchConfig::default()
         };
         let rl = rl_search(&ev, &rc, &cfg);
         let rnd = random_search(&ev, &rc, &cfg);
@@ -305,12 +327,13 @@ mod tests {
     #[test]
     fn evolution_beats_random_tail() {
         let (ev, rc) = setup();
-        let cfg = SearchConfig {
-            iterations: 600,
-            rollouts_per_update: 8,
-            seed: 9,
-        };
-        let evo = evolution_search(&ev, &rc, &cfg, 40, 8);
+        let cfg = SearchConfig::builder()
+            .iterations(600)
+            .seed(9)
+            .population(40)
+            .tournament(8)
+            .build();
+        let evo = evolution_search(&ev, &rc, &cfg);
         let rnd = random_search(&ev, &rc, &cfg);
         assert_eq!(evo.history.len(), 600);
         let tail = |o: &SearchOutcome| {
@@ -332,13 +355,15 @@ mod tests {
     #[test]
     fn evolution_deterministic() {
         let (ev, rc) = setup();
-        let cfg = SearchConfig {
-            iterations: 60,
-            rollouts_per_update: 1,
-            seed: 10,
-        };
-        let a = evolution_search(&ev, &rc, &cfg, 16, 4);
-        let b = evolution_search(&ev, &rc, &cfg, 16, 4);
+        let cfg = SearchConfig::builder()
+            .iterations(60)
+            .rollouts_per_update(1)
+            .seed(10)
+            .population(16)
+            .tournament(4)
+            .build();
+        let a = evolution_search(&ev, &rc, &cfg);
+        let b = evolution_search(&ev, &rc, &cfg);
         assert_eq!(a, b);
     }
 
@@ -349,6 +374,7 @@ mod tests {
             iterations: 100,
             rollouts_per_update: 5,
             seed: 3,
+            ..SearchConfig::default()
         };
         let out = random_search(&ev, &rc, &cfg);
         let top = out.top_n(10);
@@ -370,6 +396,7 @@ mod tests {
                 iterations: 50,
                 rollouts_per_update: 1,
                 seed: 4,
+                ..SearchConfig::default()
             },
         );
         let rb = out.running_best_reward();
@@ -388,6 +415,7 @@ mod tests {
                 iterations: 80,
                 rollouts_per_update: 1,
                 seed: 5,
+                ..SearchConfig::default()
             },
         );
         let front = out.pareto_by(|r| (r.eval.energy_mj, r.eval.accuracy));
@@ -409,6 +437,7 @@ mod tests {
             iterations: 40,
             rollouts_per_update: 4,
             seed: 6,
+            ..SearchConfig::default()
         };
         let a = rl_search(&ev, &rc, &cfg);
         let b = rl_search(&ev, &rc, &cfg);

@@ -1,0 +1,699 @@
+//! The unified search entry point: [`SearchSession`] and its builder.
+//!
+//! A session bundles everything one co-design search needs — an
+//! evaluator, a reward, a [`SearchConfig`] and a [`Strategy`] — behind
+//! one builder, subsuming the three historical free functions and their
+//! inconsistent signatures (`evolution_search` used to take trailing
+//! positional `population, tournament` arguments; those now live in
+//! [`SearchConfig`]). It is also where the observability layer hooks in:
+//! give the builder a [`Trace`] sink and the session emits
+//!
+//! * one [`SearchEvent`] (`"search_iter"`) per evaluated candidate —
+//!   reward, accuracy, latency, energy and (for RL) controller entropy;
+//! * a `"controller_update"` event per REINFORCE batch (RL only);
+//! * `"search_start"` / `"search_summary"` bracketing events; and
+//! * `"cache_summary"`, `"gp_summary"`, `"pool_summary"` and
+//!   `"controller_summary"` events describing what the simulator cache,
+//!   the batched GP predictor, the worker pool and the controller
+//!   contributed during this run (deltas against the run start).
+//!
+//! The per-iteration stream is a pure function of the seed: two sessions
+//! with identical configs produce byte-identical `search_iter` lines at
+//! any worker-pool thread count. Summary events carry wall-clock times
+//! and are *not* deterministic.
+//!
+//! With the default [`Trace::disabled`] sink every emission site reduces
+//! to a single pointer check, so searches pay nothing for the layer.
+//!
+//! # Example
+//!
+//! ```
+//! use yoso_core::evaluation::{calibrate_constraints, SurrogateEvaluator};
+//! use yoso_core::reward::RewardConfig;
+//! use yoso_core::search::SearchConfig;
+//! use yoso_core::session::{SearchSession, Strategy};
+//! use yoso_trace::Trace;
+//!
+//! let sk = yoso_arch::NetworkSkeleton::tiny();
+//! let evaluator = SurrogateEvaluator::new(sk.clone());
+//! let reward = RewardConfig::balanced(calibrate_constraints(&sk, 30, 0, 50.0));
+//! let trace = Trace::memory();
+//! let outcome = SearchSession::builder()
+//!     .evaluator(&evaluator)
+//!     .reward(reward)
+//!     .strategy(Strategy::Rl)
+//!     .config(SearchConfig::builder().iterations(20).rollouts_per_update(4).build())
+//!     .trace(trace.clone())
+//!     .run();
+//! assert_eq!(outcome.history.len(), 20);
+//! // One search_iter event per iteration, plus start/summary events.
+//! let iters = trace.lines().iter().filter(|l| l.contains("\"search_iter\"")).count();
+//! assert_eq!(iters, 20);
+//! ```
+
+use crate::evaluation::Evaluator;
+use crate::reward::RewardConfig;
+use crate::search::{SearchConfig, SearchOutcome, SearchRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use yoso_arch::{ActionSpace, DesignPoint};
+use yoso_controller::{Controller, ControllerConfig, Rollout};
+use yoso_trace::{Event, Trace};
+
+/// Which search algorithm a [`SearchSession`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The paper's LSTM + REINFORCE controller (default).
+    #[default]
+    Rl,
+    /// Regularized evolution over the joint space; population and
+    /// tournament sizes come from [`SearchConfig`].
+    Evolution,
+    /// Uniform random search (the Fig. 6(a) baseline).
+    Random,
+}
+
+impl Strategy {
+    /// Stable lowercase name used in trace events and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Rl => "rl",
+            Strategy::Evolution => "evolution",
+            Strategy::Random => "random",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The per-iteration telemetry record: one evaluated candidate.
+///
+/// Serialized as the `"search_iter"` JSONL event; [`SearchEvent::parse`]
+/// reads a line back. For identical seeds and configs the stream of
+/// these events is identical at any worker-pool thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchEvent {
+    /// Candidate index (0-based).
+    pub iteration: u64,
+    /// Composite reward under the session's [`RewardConfig`].
+    pub reward: f64,
+    /// Predicted validation accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Predicted latency in ms.
+    pub latency_ms: f64,
+    /// Predicted energy in mJ.
+    pub energy_mj: f64,
+    /// Summed controller softmax entropy of the rollout that produced
+    /// this candidate (RL only; `None` for evolution/random).
+    pub entropy: Option<f64>,
+}
+
+impl SearchEvent {
+    /// The JSONL event kind.
+    pub const KIND: &'static str = "search_iter";
+
+    /// Builds the event for one search record.
+    pub fn from_record(rec: &SearchRecord, entropy: Option<f64>) -> Self {
+        SearchEvent {
+            iteration: rec.iteration as u64,
+            reward: rec.reward,
+            accuracy: rec.eval.accuracy,
+            latency_ms: rec.eval.latency_ms,
+            energy_mj: rec.eval.energy_mj,
+            entropy,
+        }
+    }
+
+    /// Converts to a generic trace [`Event`].
+    pub fn to_event(&self) -> Event {
+        let mut e = Event::new(Self::KIND)
+            .with_u64("iteration", self.iteration)
+            .with_f64("reward", self.reward)
+            .with_f64("accuracy", self.accuracy)
+            .with_f64("latency_ms", self.latency_ms)
+            .with_f64("energy_mj", self.energy_mj);
+        if let Some(h) = self.entropy {
+            e = e.with_f64("entropy", h);
+        }
+        e
+    }
+
+    /// Reads a `"search_iter"` [`Event`] back; `None` when the kind or a
+    /// required field does not match.
+    pub fn from_event(event: &Event) -> Option<Self> {
+        if event.kind != Self::KIND {
+            return None;
+        }
+        Some(SearchEvent {
+            iteration: event.get_u64("iteration")?,
+            reward: event.get_f64("reward")?,
+            accuracy: event.get_f64("accuracy")?,
+            latency_ms: event.get_f64("latency_ms")?,
+            energy_mj: event.get_f64("energy_mj")?,
+            entropy: event.get_f64("entropy"),
+        })
+    }
+
+    /// One JSONL line.
+    pub fn to_json(&self) -> String {
+        self.to_event().to_json()
+    }
+
+    /// Parses a JSONL line produced by [`SearchEvent::to_json`].
+    pub fn parse(line: &str) -> Option<Self> {
+        Self::from_event(&Event::parse(line).ok()?)
+    }
+}
+
+/// A fully configured search, ready to [`run`](SearchSession::run).
+///
+/// Construct with [`SearchSession::builder`]; see the [module
+/// docs](self) for what the session emits when given a trace sink.
+pub struct SearchSession<'a> {
+    evaluator: &'a dyn Evaluator,
+    reward: RewardConfig,
+    config: SearchConfig,
+    strategy: Strategy,
+    trace: Trace,
+}
+
+/// Builder for [`SearchSession`]; see the [module docs](self) example.
+pub struct SearchSessionBuilder<'a> {
+    evaluator: Option<&'a dyn Evaluator>,
+    reward: Option<RewardConfig>,
+    config: SearchConfig,
+    strategy: Strategy,
+    trace: Trace,
+}
+
+impl<'a> SearchSessionBuilder<'a> {
+    /// The candidate evaluator (required).
+    #[must_use]
+    pub fn evaluator(mut self, evaluator: &'a dyn Evaluator) -> Self {
+        self.evaluator = Some(evaluator);
+        self
+    }
+
+    /// The reward configuration (required).
+    #[must_use]
+    pub fn reward(mut self, reward: RewardConfig) -> Self {
+        self.reward = Some(reward);
+        self
+    }
+
+    /// Search-loop parameters (defaults to [`SearchConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The search algorithm (defaults to [`Strategy::Rl`]).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The telemetry sink (defaults to [`Trace::disabled`], which makes
+    /// every emission a no-op).
+    #[must_use]
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Finalizes the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no evaluator or no reward was supplied, or if the
+    /// config's `population`/`tournament` is zero.
+    pub fn build(self) -> SearchSession<'a> {
+        let config = self.config;
+        assert!(
+            config.population > 0 && config.tournament > 0,
+            "population and tournament must be positive"
+        );
+        SearchSession {
+            evaluator: self
+                .evaluator
+                .expect("SearchSession requires .evaluator(..)"),
+            reward: self.reward.expect("SearchSession requires .reward(..)"),
+            config,
+            strategy: self.strategy,
+            trace: self.trace,
+        }
+    }
+
+    /// [`build`](Self::build)s and [`run`](SearchSession::run)s in one
+    /// call.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](Self::build).
+    pub fn run(self) -> SearchOutcome {
+        self.build().run()
+    }
+}
+
+impl<'a> SearchSession<'a> {
+    /// Starts an empty builder.
+    pub fn builder() -> SearchSessionBuilder<'a> {
+        SearchSessionBuilder {
+            evaluator: None,
+            reward: None,
+            config: SearchConfig::default(),
+            strategy: Strategy::default(),
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured search parameters.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the search to completion and returns the full history.
+    ///
+    /// When a trace sink is attached, global telemetry collection
+    /// ([`yoso_trace::set_enabled`]) is switched on for the duration so
+    /// the pool/GP/controller instrumentation feeds the end-of-run
+    /// summary events.
+    pub fn run(&self) -> SearchOutcome {
+        let traced = self.trace.is_enabled();
+        if traced {
+            yoso_trace::set_enabled(true);
+        }
+        let cache_before = yoso_accel::cache::stats();
+        let reg_before = yoso_trace::snapshot();
+        if traced {
+            self.trace.emit(
+                Event::new("search_start")
+                    .with_str("strategy", self.strategy.name())
+                    .with_u64("iterations", self.config.iterations as u64)
+                    .with_u64(
+                        "rollouts_per_update",
+                        self.config.rollouts_per_update as u64,
+                    )
+                    .with_u64("population", self.config.population as u64)
+                    .with_u64("tournament", self.config.tournament as u64)
+                    .with_u64("seed", self.config.seed),
+            );
+        }
+        let t0 = Instant::now();
+        let outcome = match self.strategy {
+            Strategy::Rl => self.run_rl(),
+            Strategy::Evolution => self.run_evolution(),
+            Strategy::Random => self.run_random(),
+        };
+        if traced {
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut summary = Event::new("search_summary")
+                .with_str("strategy", self.strategy.name())
+                .with_u64("iterations", outcome.history.len() as u64)
+                .with_f64("wall_ms", wall_ms)
+                .with_str("evaluator", self.evaluator.name());
+            if !outcome.history.is_empty() {
+                let best = outcome.best();
+                summary = summary
+                    .with_f64("best_reward", best.reward)
+                    .with_f64("best_accuracy", best.eval.accuracy)
+                    .with_f64("best_latency_ms", best.eval.latency_ms)
+                    .with_f64("best_energy_mj", best.eval.energy_mj);
+            }
+            self.trace.emit(summary);
+            self.emit_subsystem_summaries(&cache_before, &reg_before);
+            self.trace.flush();
+        }
+        outcome
+    }
+
+    /// Emits the cache / GP / pool / controller summary events as deltas
+    /// between the run's start and now.
+    fn emit_subsystem_summaries(
+        &self,
+        cache_before: &yoso_accel::cache::CacheStats,
+        reg_before: &yoso_trace::RegistrySnapshot,
+    ) {
+        let cs = yoso_accel::cache::stats();
+        self.trace.emit(
+            Event::new("cache_summary")
+                .with_u64("hits", cs.hits.saturating_sub(cache_before.hits))
+                .with_u64("misses", cs.misses.saturating_sub(cache_before.misses))
+                .with_u64(
+                    "contended_reads",
+                    cs.contended_reads
+                        .saturating_sub(cache_before.contended_reads),
+                )
+                .with_u64(
+                    "contended_writes",
+                    cs.contended_writes
+                        .saturating_sub(cache_before.contended_writes),
+                )
+                .with_u64("entries", cs.entries as u64),
+        );
+        let reg = yoso_trace::snapshot();
+        let delta = |name: &str| reg.counter(name).saturating_sub(reg_before.counter(name));
+        let hist_delta = |name: &str| -> (u64, f64) {
+            let after = reg.histogram(name).map_or((0, 0), |h| (h.count(), h.sum()));
+            let before = reg_before
+                .histogram(name)
+                .map_or((0, 0), |h| (h.count(), h.sum()));
+            (
+                after.0.saturating_sub(before.0),
+                after.1.saturating_sub(before.1) as f64 / 1e6,
+            )
+        };
+        let (gp_calls, gp_ms) = hist_delta("gp.predict_batch");
+        self.trace.emit(
+            Event::new("gp_summary")
+                .with_u64("batches", delta("gp.batches"))
+                .with_u64("points", delta("gp.points"))
+                .with_u64("timed_calls", gp_calls)
+                .with_f64("total_ms", gp_ms),
+        );
+        let busy_ns = delta("pool.busy_ns");
+        let thread_ns = delta("pool.thread_ns");
+        self.trace.emit(
+            Event::new("pool_summary")
+                .with_u64("maps", delta("pool.maps"))
+                .with_u64("items", delta("pool.items"))
+                .with_f64("busy_ms", busy_ns as f64 / 1e6)
+                .with_f64("thread_ms", thread_ns as f64 / 1e6)
+                .with_f64(
+                    "utilization",
+                    if thread_ns == 0 {
+                        0.0
+                    } else {
+                        busy_ns as f64 / thread_ns as f64
+                    },
+                ),
+        );
+        let (samples, sample_ms) = hist_delta("controller.sample");
+        let (updates, update_ms) = hist_delta("controller.update");
+        self.trace.emit(
+            Event::new("controller_summary")
+                .with_u64("samples", samples)
+                .with_f64("sample_ms", sample_ms)
+                .with_u64("updates", updates)
+                .with_f64("update_ms", update_ms),
+        );
+    }
+
+    fn emit_iter(&self, rec: &SearchRecord, entropy: Option<f64>) {
+        if self.trace.is_enabled() {
+            self.trace
+                .emit(SearchEvent::from_record(rec, entropy).to_event());
+        }
+    }
+
+    fn record(&self, iteration: usize, point: DesignPoint) -> SearchRecord {
+        let eval = self.evaluator.evaluate(&point);
+        let reward = self
+            .reward
+            .reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
+        SearchRecord {
+            iteration,
+            point,
+            eval,
+            reward,
+        }
+    }
+
+    /// RL-based search (paper step 2): the LSTM controller generates
+    /// joint DNN + accelerator action sequences, the evaluator scores
+    /// them in batches, and REINFORCE steers the policy towards higher
+    /// composite reward.
+    fn run_rl(&self) -> SearchOutcome {
+        let cfg = &self.config;
+        let space = ActionSpace::new();
+        let mut ctrl_cfg = ControllerConfig::paper_default(space.vocab_sizes().to_vec());
+        ctrl_cfg.seed = cfg.seed;
+        let mut controller = Controller::new(ctrl_cfg);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD);
+        let mut outcome = SearchOutcome::default();
+        let mut iteration = 0;
+        let mut update_index = 0u64;
+        while iteration < cfg.iterations {
+            let batch_n = cfg.rollouts_per_update.min(cfg.iterations - iteration);
+            let rollouts: Vec<Rollout> =
+                (0..batch_n).map(|_| controller.sample(&mut rng)).collect();
+            let points: Vec<DesignPoint> = rollouts
+                .iter()
+                .map(|r| {
+                    space
+                        .decode(&r.actions)
+                        .expect("controller emits in-vocabulary actions")
+                })
+                .collect();
+            let evals = self.evaluator.evaluate_batch(&points);
+            let mut batch: Vec<(Rollout, f64)> = Vec::with_capacity(batch_n);
+            for (rollout, (point, eval)) in rollouts.into_iter().zip(points.into_iter().zip(evals))
+            {
+                let reward = self
+                    .reward
+                    .reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
+                let rec = SearchRecord {
+                    iteration,
+                    point,
+                    eval,
+                    reward,
+                };
+                self.emit_iter(&rec, Some(rollout.entropy));
+                batch.push((rollout, reward));
+                outcome.history.push(rec);
+                iteration += 1;
+            }
+            let stats = controller.update(&batch);
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    Event::new("controller_update")
+                        .with_u64("update", update_index)
+                        .with_u64("iteration", iteration as u64)
+                        .with_f64("mean_reward", stats.mean_reward)
+                        .with_f64("baseline", stats.baseline)
+                        .with_f64("grad_norm", stats.grad_norm as f64)
+                        .with_f64("mean_entropy", stats.mean_entropy),
+                );
+            }
+            update_index += 1;
+        }
+        outcome
+    }
+
+    /// Regularized-evolution search (Real et al., the AmoebaNet method
+    /// cited as \[9\]): tournament selection over a sliding population
+    /// with single-symbol mutation through the action codec.
+    fn run_evolution(&self) -> SearchOutcome {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0_5EED);
+        let mut outcome = SearchOutcome::default();
+        let mut pop: std::collections::VecDeque<SearchRecord> = std::collections::VecDeque::new();
+        for iteration in 0..cfg.iterations {
+            let rec = if pop.len() < cfg.population {
+                self.record(iteration, DesignPoint::random(&mut rng))
+            } else {
+                // Tournament: sample `tournament` members, mutate the fittest.
+                let parent = (0..cfg.tournament)
+                    .map(|_| &pop[rand::RngExt::random_range(&mut rng, 0..pop.len())])
+                    .max_by(|a, b| a.reward.total_cmp(&b.reward))
+                    .expect("tournament > 0");
+                let child = parent.point.mutate(&mut rng);
+                self.record(iteration, child)
+            };
+            self.emit_iter(&rec, None);
+            pop.push_back(rec);
+            if pop.len() > cfg.population {
+                pop.pop_front(); // regularization: age-based removal
+            }
+            outcome.history.push(rec);
+        }
+        outcome
+    }
+
+    /// Uniform random search over the joint space.
+    fn run_random(&self) -> SearchOutcome {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
+        let mut outcome = SearchOutcome::default();
+        for iteration in 0..cfg.iterations {
+            let rec = self.record(iteration, DesignPoint::random(&mut rng));
+            self.emit_iter(&rec, None);
+            outcome.history.push(rec);
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{calibrate_constraints, SurrogateEvaluator};
+    use yoso_arch::NetworkSkeleton;
+
+    fn setup() -> (SurrogateEvaluator, RewardConfig) {
+        let sk = NetworkSkeleton::tiny();
+        let ev = SurrogateEvaluator::new(sk.clone());
+        let cons = calibrate_constraints(&sk, 60, 0, 50.0);
+        (ev, RewardConfig::balanced(cons))
+    }
+
+    #[test]
+    fn session_matches_free_functions() {
+        let (ev, rc) = setup();
+        let cfg = SearchConfig::builder()
+            .iterations(40)
+            .rollouts_per_update(4)
+            .seed(6)
+            .population(16)
+            .tournament(4)
+            .build();
+        for (strategy, reference) in [
+            (Strategy::Rl, crate::search::rl_search(&ev, &rc, &cfg)),
+            (
+                Strategy::Evolution,
+                crate::search::evolution_search(&ev, &rc, &cfg),
+            ),
+            (
+                Strategy::Random,
+                crate::search::random_search(&ev, &rc, &cfg),
+            ),
+        ] {
+            let out = SearchSession::builder()
+                .evaluator(&ev)
+                .reward(rc)
+                .config(cfg.clone())
+                .strategy(strategy)
+                .run();
+            assert_eq!(out, reference, "{strategy} diverged");
+        }
+    }
+
+    #[test]
+    fn traced_session_emits_one_event_per_iteration() {
+        let (ev, rc) = setup();
+        let trace = Trace::memory();
+        let out = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(
+                SearchConfig::builder()
+                    .iterations(25)
+                    .rollouts_per_update(5)
+                    .build(),
+            )
+            .strategy(Strategy::Rl)
+            .trace(trace.clone())
+            .run();
+        let lines = trace.lines();
+        let iters: Vec<SearchEvent> = lines.iter().filter_map(|l| SearchEvent::parse(l)).collect();
+        assert_eq!(iters.len(), 25);
+        for (i, (e, rec)) in iters.iter().zip(&out.history).enumerate() {
+            assert_eq!(e.iteration, i as u64);
+            assert_eq!(e.reward, rec.reward);
+            assert_eq!(e.accuracy, rec.eval.accuracy);
+            assert!(e.entropy.is_some(), "RL events carry entropy");
+        }
+        // Bracketing + subsystem summaries all present and parseable.
+        for kind in [
+            "search_start",
+            "search_summary",
+            "cache_summary",
+            "gp_summary",
+            "pool_summary",
+            "controller_summary",
+            "controller_update",
+        ] {
+            assert!(
+                lines
+                    .iter()
+                    .filter_map(|l| Event::parse(l).ok())
+                    .any(|e| e.kind == kind),
+                "missing {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_iter_stream_is_thread_count_invariant() {
+        let (ev, rc) = setup();
+        let run_with = |threads: usize| {
+            yoso_pool::set_num_threads(threads);
+            let trace = Trace::memory();
+            SearchSession::builder()
+                .evaluator(&ev)
+                .reward(rc)
+                .config(
+                    SearchConfig::builder()
+                        .iterations(30)
+                        .rollouts_per_update(6)
+                        .seed(3)
+                        .build(),
+                )
+                .strategy(Strategy::Rl)
+                .trace(trace.clone())
+                .run();
+            yoso_pool::set_num_threads(0);
+            trace
+                .lines()
+                .into_iter()
+                .filter(|l| l.contains("\"search_iter\""))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_with(1), run_with(8));
+    }
+
+    #[test]
+    fn untraced_session_emits_nothing() {
+        let (ev, rc) = setup();
+        let out = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(SearchConfig::builder().iterations(10).build())
+            .strategy(Strategy::Random)
+            .run();
+        assert_eq!(out.history.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires .evaluator")]
+    fn builder_panics_without_evaluator() {
+        let _ = SearchSession::builder().reward(setup().1).build();
+    }
+
+    #[test]
+    fn search_event_roundtrips_via_json() {
+        let e = SearchEvent {
+            iteration: 12,
+            reward: 0.7312,
+            accuracy: 0.915,
+            latency_ms: 0.4431,
+            energy_mj: 3.02,
+            entropy: Some(11.92),
+        };
+        assert_eq!(SearchEvent::parse(&e.to_json()), Some(e));
+        let no_entropy = SearchEvent { entropy: None, ..e };
+        assert_eq!(SearchEvent::parse(&no_entropy.to_json()), Some(no_entropy));
+        // Wrong kind is rejected.
+        assert_eq!(SearchEvent::from_event(&Event::new("other")), None);
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(Strategy::Rl.to_string(), "rl");
+        assert_eq!(Strategy::Evolution.to_string(), "evolution");
+        assert_eq!(Strategy::Random.to_string(), "random");
+        assert_eq!(Strategy::default(), Strategy::Rl);
+    }
+}

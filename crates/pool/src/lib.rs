@@ -29,6 +29,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Saturating nanoseconds since `t0`.
+fn nanos_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Global default worker count: 0 means "auto" (one worker per
 /// available hardware thread).
@@ -61,6 +67,14 @@ fn resolve(threads: usize, n: usize) -> usize {
 /// ([`num_threads`]); otherwise exactly the requested count (clamped to
 /// `n`) is used.
 ///
+/// When global telemetry is on ([`yoso_trace::enabled`]) each map
+/// records `pool.maps` / `pool.items` counters, a `pool.map_wall` span,
+/// and `pool.busy_ns` / `pool.thread_ns` — total worker-loop time vs.
+/// total thread-time allocated, whose ratio is the pool utilization
+/// (below 1.0 when the tail of the join leaves finished workers idle).
+/// With telemetry off (the default) the only cost is one relaxed atomic
+/// load.
+///
 /// # Panics
 ///
 /// Propagates panics from `f`.
@@ -70,9 +84,23 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = resolve(threads, n);
-    if threads == 1 || n <= 1 {
-        return (0..n).map(f).collect();
+    let traced = yoso_trace::enabled();
+    let _map_span = traced.then(|| yoso_trace::span("pool.map_wall"));
+    if traced {
+        yoso_trace::counter_add("pool.maps", 1);
+        yoso_trace::counter_add("pool.items", n as u64);
     }
+    if threads == 1 || n <= 1 {
+        let t0 = traced.then(Instant::now);
+        let out = (0..n).map(f).collect();
+        if let Some(t0) = t0 {
+            let elapsed = nanos_since(t0);
+            yoso_trace::counter_add("pool.busy_ns", elapsed);
+            yoso_trace::counter_add("pool.thread_ns", elapsed);
+        }
+        return out;
+    }
+    let t_map = traced.then(Instant::now);
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -81,6 +109,7 @@ where
                 let next = &next;
                 let f = &f;
                 scope.spawn(move || {
+                    let t0 = traced.then(Instant::now);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -88,6 +117,9 @@ where
                             break;
                         }
                         local.push((i, f(i)));
+                    }
+                    if let Some(t0) = t0 {
+                        yoso_trace::counter_add("pool.busy_ns", nanos_since(t0));
                     }
                     local
                 })
@@ -99,6 +131,12 @@ where
             }
         }
     });
+    if let Some(t_map) = t_map {
+        yoso_trace::counter_add(
+            "pool.thread_ns",
+            nanos_since(t_map).saturating_mul(threads as u64),
+        );
+    }
     out.into_iter().map(|v| v.expect("filled")).collect()
 }
 
@@ -215,6 +253,33 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i as u64 + 1);
         }
+    }
+
+    // One test owns the global telemetry flag: concurrent tests in this
+    // binary run maps too, so enabled-phase deltas are lower bounds and
+    // the disabled phase runs while the flag is known off.
+    #[test]
+    fn telemetry_gating_on_maps() {
+        yoso_trace::set_enabled(false);
+        let before = yoso_trace::snapshot();
+        parallel_map(16, 4, |i| i);
+        let mid = yoso_trace::snapshot();
+        assert_eq!(mid.counter("pool.maps"), before.counter("pool.maps"));
+
+        yoso_trace::set_enabled(true);
+        parallel_map(32, 4, |i| i * 3);
+        parallel_map(8, 1, |i| i + 1);
+        let after = yoso_trace::snapshot();
+        yoso_trace::set_enabled(false);
+        let d = |name: &str| after.counter(name) - mid.counter(name);
+        assert!(d("pool.maps") >= 2);
+        assert!(d("pool.items") >= 40);
+        assert!(d("pool.busy_ns") > 0);
+        assert!(d("pool.thread_ns") >= d("pool.busy_ns"));
+        let walls = |s: &yoso_trace::RegistrySnapshot| {
+            s.histogram("pool.map_wall").map_or(0, |h| h.count())
+        };
+        assert!(walls(&after) - walls(&mid) >= 2);
     }
 
     #[test]

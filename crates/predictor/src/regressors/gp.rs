@@ -143,6 +143,13 @@ impl GaussianProcess {
         let Some(ystd) = self.ystd else {
             return vec![0.0; xs.len()];
         };
+        // Batch-size and latency telemetry (`gp.points / gp.batches` is
+        // the mean batch size); one atomic load when tracing is off.
+        let _span = yoso_trace::span("gp.predict_batch");
+        if yoso_trace::enabled() {
+            yoso_trace::counter_add("gp.batches", 1);
+            yoso_trace::counter_add("gp.points", xs.len() as u64);
+        }
         let qs: Vec<Vec<f64>> = xs.iter().map(|x| self.std.transform(x)).collect();
         let mut mean_z = vec![0.0f64; xs.len()];
         for (qb, mb) in qs.chunks(Q_BLOCK).zip(mean_z.chunks_mut(Q_BLOCK)) {

@@ -1,0 +1,510 @@
+//! Flat structured events with hand-rolled JSONL serialization.
+//!
+//! An [`Event`] is a kind tag plus an ordered list of scalar fields.
+//! [`Event::to_json`] emits exactly one line of standard JSON (the kind
+//! under the reserved `"event"` key, fields in insertion order);
+//! [`Event::parse`] reads that line back. The pair round-trips: for any
+//! event with finite floats, `parse(to_json(e)) == e`, including f64 bit
+//! patterns (floats are printed with Rust's shortest-round-trip
+//! formatter). Non-finite floats serialize as the strings `"NaN"`,
+//! `"Infinity"` and `"-Infinity"` — valid JSON, at the cost of becoming
+//! [`Value::Str`] on re-parse.
+
+/// One scalar field value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A float (serialized with a decimal point or exponent so it
+    /// re-parses as a float).
+    F64(f64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A negative integer (non-negative integers parse as [`Value::U64`]).
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl PartialEq for Value {
+    /// Bit-pattern equality for floats (so `NaN == NaN` and
+    /// `-0.0 != 0.0`), structural equality elsewhere — exactly what an
+    /// exact round-trip test needs.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::F64(v) => {
+                if !v.is_finite() {
+                    // Bare NaN/Infinity are not JSON; ship them as strings.
+                    out.push('"');
+                    if v.is_nan() {
+                        out.push_str("NaN");
+                    } else if *v > 0.0 {
+                        out.push_str("Infinity");
+                    } else {
+                        out.push_str("-Infinity");
+                    }
+                    out.push('"');
+                    return;
+                }
+                let s = format!("{v}");
+                out.push_str(&s);
+                // `{}` prints 1.0 as "1"; force a float marker so the
+                // parser maps it back to F64.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(v) => write_json_string(v, out),
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One structured telemetry event: a kind tag plus ordered scalar fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Event {
+    /// The event kind (serialized under the reserved `"event"` key).
+    pub kind: String,
+    /// Fields in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Creates an empty event of the given kind.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Event {
+            kind: kind.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a float field.
+    #[must_use]
+    pub fn with_f64(mut self, name: impl Into<String>, v: f64) -> Self {
+        self.fields.push((name.into(), Value::F64(v)));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    #[must_use]
+    pub fn with_u64(mut self, name: impl Into<String>, v: u64) -> Self {
+        self.fields.push((name.into(), Value::U64(v)));
+        self
+    }
+
+    /// Appends a boolean field.
+    #[must_use]
+    pub fn with_bool(mut self, name: impl Into<String>, v: bool) -> Self {
+        self.fields.push((name.into(), Value::Bool(v)));
+        self
+    }
+
+    /// Appends a string field.
+    #[must_use]
+    pub fn with_str(mut self, name: impl Into<String>, v: impl Into<String>) -> Self {
+        self.fields.push((name.into(), Value::Str(v.into())));
+        self
+    }
+
+    /// The first field with this name, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Numeric field as f64 (floats and integers both coerce).
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer field.
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String field.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        match self.get(name)? {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes to one line of JSON (no trailing newline):
+    /// `{"event":"kind","field":value,...}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.fields.len() * 16);
+        out.push_str("{\"event\":");
+        write_json_string(&self.kind, &mut out);
+        for (name, value) in &self.fields {
+            out.push(',');
+            write_json_string(name, &mut out);
+            out.push(':');
+            value.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line produced by [`Event::to_json`] (a flat JSON
+    /// object of scalars; the `"event"` key becomes [`Event::kind`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on malformed JSON, nested values, `null`,
+    /// or a missing/non-string `"event"` key.
+    pub fn parse(line: &str) -> Result<Event, ParseError> {
+        Parser::new(line).object()
+    }
+}
+
+/// Error from [`Event::parse`] with a byte offset into the input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Minimal recursive-descent parser for the flat-object subset of JSON
+/// that [`Event::to_json`] emits.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn object(&mut self) -> Result<Event, ParseError> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut kind: Option<String> = None;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                if key == "event" {
+                    match self.value()? {
+                        Value::Str(s) if kind.is_none() => kind = Some(s),
+                        Value::Str(_) => return self.err("duplicate \"event\" key"),
+                        _ => return self.err("\"event\" must be a string"),
+                    }
+                } else {
+                    fields.push((key, self.value()?));
+                }
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return self.err("expected ',' or '}'"),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return self.err("trailing input after object");
+        }
+        let Some(kind) = kind else {
+            return self.err("missing \"event\" key");
+        };
+        Ok(Event { kind, fields })
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'{') | Some(b'[') => self.err("nested values are not supported"),
+            Some(b'n') => self.err("null is not supported"),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(v) => Ok(Value::F64(v)),
+                Err(_) => self.err(format!("invalid float '{text}'")),
+            }
+        } else if let Ok(v) = text.parse::<u64>() {
+            Ok(Value::U64(v))
+        } else if let Ok(v) = text.parse::<i64>() {
+            Ok(Value::I64(v))
+        } else {
+            self.err(format!("invalid integer '{text}'"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("invalid \\u escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // continuation bytes are always well-formed).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).expect("input was a &str");
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_scalar_kinds() {
+        let e = Event::new("probe")
+            .with_u64("iteration", 17)
+            .with_f64("reward", 0.123456789)
+            .with_f64("whole", 4.0)
+            .with_bool("ok", true)
+            .with_str("name", "gp \"batch\"\n\ttab");
+        let parsed = Event::parse(&e.to_json()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for v in [
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            -0.0,
+            1e-300,
+            123_456_789.123_456_79,
+            f64::MAX,
+        ] {
+            let e = Event::new("f").with_f64("v", v);
+            let parsed = Event::parse(&e.to_json()).unwrap();
+            assert_eq!(parsed, e, "value {v:e}");
+        }
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let line = Event::new("f").with_f64("v", 2.0).to_json();
+        assert!(line.contains("2.0"), "{line}");
+        assert_eq!(
+            Event::parse(&line).unwrap().get("v"),
+            Some(&Value::F64(2.0))
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_become_strings() {
+        let line = Event::new("f")
+            .with_f64("nan", f64::NAN)
+            .with_f64("inf", f64::INFINITY)
+            .with_f64("ninf", f64::NEG_INFINITY)
+            .to_json();
+        let parsed = Event::parse(&line).unwrap();
+        assert_eq!(parsed.get_str("nan"), Some("NaN"));
+        assert_eq!(parsed.get_str("inf"), Some("Infinity"));
+        assert_eq!(parsed.get_str("ninf"), Some("-Infinity"));
+    }
+
+    #[test]
+    fn negative_integers_parse_as_i64() {
+        let parsed = Event::parse(r#"{"event":"x","v":-3}"#).unwrap();
+        assert_eq!(parsed.get("v"), Some(&Value::I64(-3)));
+        assert_eq!(parsed.get_f64("v"), Some(-3.0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            r#"{"event":"x""#,
+            r#"{"event":"x","a":}"#,
+            r#"{"event":"x","a":null}"#,
+            r#"{"event":"x","a":[1]}"#,
+            r#"{"event":"x","a":{"b":1}}"#,
+            r#"{"a":1}"#,
+            r#"{"event":1}"#,
+            r#"{"event":"x"} trailing"#,
+        ] {
+            assert!(Event::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn field_accessors() {
+        let e = Event::new("k").with_u64("n", 5).with_str("s", "v");
+        assert_eq!(e.get_u64("n"), Some(5));
+        assert_eq!(e.get_f64("n"), Some(5.0));
+        assert_eq!(e.get_str("s"), Some("v"));
+        assert_eq!(e.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_error_is_positioned() {
+        let err = Event::parse(r#"{"event":"x","a":}"#).unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.to_string().contains("at byte"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixed-footprint latency histograms.
+//!
+//! Values (nanoseconds by convention) land in log₂ buckets: bucket `b`
+//! covers `[2^(b-1), 2^b)`, so 64 buckets span the entire `u64` range
+//! with a worst-case quantile error of 2x — plenty for "where does the
+//! time go" telemetry, at 600 bytes per histogram and O(1) record cost.
+
+use crate::event::Event;
+
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (nanoseconds by convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper edge of the bucket
+    /// holding the `ceil(q * count)`-th smallest sample, clamped to the
+    /// observed `[min, max]`. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if b >= 64 { u64::MAX } else { 1u64 << b };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Renders this histogram as a summary [`Event`] of the given kind,
+    /// tagged with `name`. Durations are reported in milliseconds under
+    /// the nanosecond convention.
+    pub fn summary_event(&self, kind: &str, name: &str) -> Event {
+        Event::new(kind)
+            .with_str("name", name)
+            .with_u64("count", self.count())
+            .with_f64("total_ms", self.sum() as f64 / 1e6)
+            .with_f64("mean_ms", self.mean() / 1e6)
+            .with_f64("min_ms", self.min() as f64 / 1e6)
+            .with_f64("p50_ms", self.quantile(0.5) as f64 / 1e6)
+            .with_f64("p95_ms", self.quantile(0.95) as f64 / 1e6)
+            .with_f64("max_ms", self.max() as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn records_track_exact_moments() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_within_a_bucket() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        // True median 500; bucket edges guarantee at most 2x error.
+        assert!((256..=1024).contains(&p50), "p50 {p50}");
+        assert!(h.quantile(1.0) <= 1000);
+        assert!(h.quantile(0.0) >= 1);
+        // Quantiles never decrease.
+        assert!(h.quantile(0.95) >= p50);
+    }
+
+    #[test]
+    fn merge_equals_recording_all() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 50, 500] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [7u64, 70, 70_000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn zero_sample_is_representable() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn summary_event_roundtrips() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        h.record(3_000_000);
+        let e = h.summary_event("span_summary", "gp.predict_batch");
+        let parsed = crate::Event::parse(&e.to_json()).unwrap();
+        assert_eq!(parsed.get_str("name"), Some("gp.predict_batch"));
+        assert_eq!(parsed.get_u64("count"), Some(2));
+        assert_eq!(parsed.get_f64("total_ms"), Some(4.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! # yoso-trace
+//!
+//! Zero-dependency structured telemetry for the co-design pipeline.
+//!
+//! YOSO's whole claim is speed — one supernet pass plus a GP lookup
+//! instead of per-candidate training — so the pipeline needs a way to see
+//! *where* time and reward go during a run: controller sampling vs GP
+//! batches vs simulator-cache misses vs worker-pool stalls. This crate
+//! provides the four building blocks and nothing else:
+//!
+//! * [`Event`] / [`Value`] — flat structured events with hand-rolled,
+//!   round-trippable JSON serialization ([`Event::to_json`] /
+//!   [`Event::parse`]);
+//! * [`Histogram`] — fixed-footprint log₂-bucketed latency histograms
+//!   with approximate quantiles;
+//! * [`span`] / [`Span`] — RAII timers recording into the global
+//!   registry on drop;
+//! * [`Trace`] — a cloneable handle over a buffered JSONL sink (file or
+//!   in-memory), plus [`Trace::disabled`] which makes every emit a no-op.
+//!
+//! ## The global registry and the enabled flag
+//!
+//! Subsystems too deep to thread a [`Trace`] handle through (the worker
+//! pool, the GP predictor, the RL controller) record into a process-wide
+//! registry of named counters and histograms via [`counter_add`] and
+//! [`record_duration_ns`]. Every registry entry point first checks a
+//! single relaxed atomic flag ([`enabled`]); when tracing is off —
+//! the default — instrumentation compiles down to one load and a
+//! predictable branch, so hot paths are unaffected. Turn collection on
+//! with [`set_enabled`]; snapshot with [`snapshot`].
+//!
+//! ## Example
+//!
+//! ```
+//! use yoso_trace::{Event, Trace};
+//!
+//! let trace = Trace::memory();
+//! trace.emit(Event::new("search_iter").with_u64("iteration", 1).with_f64("reward", 0.71));
+//! let line = trace.lines().pop().unwrap();
+//! assert_eq!(Event::parse(&line).unwrap().get_f64("reward"), Some(0.71));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod hist;
+mod registry;
+mod sink;
+
+pub use event::{Event, ParseError, Value};
+pub use hist::Histogram;
+pub use registry::{
+    counter_add, enabled, record_duration_ns, reset, set_enabled, snapshot, span, RegistrySnapshot,
+    Span,
+};
+pub use sink::Trace;

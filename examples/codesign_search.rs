@@ -38,6 +38,7 @@ fn main() {
         iterations: 300,
         rollouts_per_update: 8,
         seed: 0,
+        ..SearchConfig::default()
     };
 
     // Step 3: accurate top-N reranking.

@@ -27,6 +27,7 @@ fn main() {
         iterations: 1000,
         rollouts_per_update: 10,
         seed: 0,
+        ..SearchConfig::default()
     };
 
     println!(
@@ -34,7 +35,7 @@ fn main() {
         cfg.iterations
     );
     let rl = rl_search(&evaluator, &reward, &cfg);
-    let evo = evolution_search(&evaluator, &reward, &cfg, 50, 10);
+    let evo = evolution_search(&evaluator, &reward, &cfg);
     let rnd = random_search(&evaluator, &reward, &cfg);
 
     println!("{:<22} {:>10} {:>14}", "strategy", "best", "tail-qtr mean");

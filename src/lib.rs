@@ -8,6 +8,8 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`trace`] | `yoso-trace` | zero-dep structured telemetry |
+//! | [`pool`] | `yoso-pool` | deterministic work-sharing thread pool |
 //! | [`tensor`] | `yoso-tensor` | CPU tensor + autograd engine |
 //! | [`dataset`] | `yoso-dataset` | SynthCifar procedural dataset |
 //! | [`arch`] | `yoso-arch` | joint search space + action codec |
@@ -17,6 +19,26 @@
 //! | [`controller`] | `yoso-controller` | LSTM + REINFORCE agent |
 //! | [`hypernet`] | `yoso-hypernet` | one-shot weight-sharing supernet |
 //! | [`core`] | `yoso-core` | rewards, evaluators, search, baselines |
+//!
+//! The common entry points are gathered in [`prelude`]:
+//!
+//! ```
+//! use yoso::prelude::*;
+//!
+//! let sk = yoso::arch::NetworkSkeleton::tiny();
+//! let evaluator = SurrogateEvaluator::new(sk.clone());
+//! let reward = RewardConfig::balanced(calibrate_constraints(&sk, 30, 0, 50.0));
+//! let trace = Trace::memory();
+//! let outcome = SearchSession::builder()
+//!     .evaluator(&evaluator)
+//!     .reward(reward)
+//!     .strategy(Strategy::Rl)
+//!     .config(SearchConfig::builder().iterations(20).rollouts_per_update(4).build())
+//!     .trace(trace.clone())
+//!     .run();
+//! assert_eq!(outcome.history.len(), 20);
+//! assert!(trace.events_emitted() > 20);
+//! ```
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the experiment index.
@@ -30,5 +52,26 @@ pub use yoso_core as core;
 pub use yoso_dataset as dataset;
 pub use yoso_hypernet as hypernet;
 pub use yoso_nn as nn;
+pub use yoso_pool as pool;
 pub use yoso_predictor as predictor;
 pub use yoso_tensor as tensor;
+pub use yoso_trace as trace;
+
+/// One-import surface for the co-design flow: the
+/// [`SearchSession`](yoso_core::session::SearchSession) builder and its
+/// inputs (evaluators, rewards, config), plus the telemetry handle
+/// ([`Trace`](yoso_trace::Trace)) and event type
+/// ([`Event`](yoso_trace::Event)) it emits.
+pub mod prelude {
+    pub use yoso_core::evaluation::{
+        calibrate_constraints, AccurateEvaluator, Evaluation, Evaluator, FastEvaluator,
+        SurrogateEvaluator,
+    };
+    pub use yoso_core::reward::{Constraints, RewardConfig, RewardForm};
+    pub use yoso_core::search::{
+        evolution_search, random_search, rl_search, SearchConfig, SearchConfigBuilder,
+        SearchOutcome, SearchRecord,
+    };
+    pub use yoso_core::session::{SearchEvent, SearchSession, SearchSessionBuilder, Strategy};
+    pub use yoso_trace::{Event, Trace};
+}

@@ -66,6 +66,7 @@ fn full_pipeline_three_steps() {
             iterations: 40,
             rollouts_per_update: 8,
             seed: 0,
+            ..SearchConfig::default()
         },
     );
     assert_eq!(outcome.history.len(), 40);
@@ -114,6 +115,7 @@ fn single_stage_not_worse_than_two_stage_smoke() {
             iterations: 800,
             rollouts_per_update: 10,
             seed: 0,
+            ..SearchConfig::default()
         },
     );
     let best_single = outcome.best().reward;
@@ -135,6 +137,7 @@ fn cross_crate_determinism() {
         iterations: 30,
         rollouts_per_update: 5,
         seed: 11,
+        ..SearchConfig::default()
     };
     let a = rl_search(&ev, &rc, &cfg);
     let b = rl_search(&ev, &rc, &cfg);
@@ -160,6 +163,7 @@ fn search_covers_hardware_space() {
             iterations: 400,
             rollouts_per_update: 1,
             seed: 0,
+            ..SearchConfig::default()
         },
     );
     let dataflows: std::collections::HashSet<_> =

@@ -1,0 +1,98 @@
+//! Cross-crate observability guarantees: the JSONL trace round-trips
+//! bit-exactly through a file, and the per-iteration `search_iter`
+//! stream is a pure function of the seed — identical at any worker-pool
+//! thread count.
+
+use yoso::prelude::*;
+
+fn setup() -> (SurrogateEvaluator, RewardConfig) {
+    let sk = yoso::arch::NetworkSkeleton::tiny();
+    let ev = SurrogateEvaluator::new(sk.clone());
+    let cons = calibrate_constraints(&sk, 60, 0, 50.0);
+    (ev, RewardConfig::balanced(cons))
+}
+
+fn run_traced(ev: &SurrogateEvaluator, rc: RewardConfig, strategy: Strategy, trace: Trace) {
+    SearchSession::builder()
+        .evaluator(ev)
+        .reward(rc)
+        .strategy(strategy)
+        .config(
+            SearchConfig::builder()
+                .iterations(30)
+                .rollouts_per_update(6)
+                .seed(17)
+                .population(12)
+                .tournament(3)
+                .build(),
+        )
+        .trace(trace)
+        .run();
+}
+
+/// Every line a traced session writes to disk parses back into an
+/// [`Event`] that re-serializes to the identical string, and the
+/// `search_iter` events round-trip through the typed [`SearchEvent`].
+#[test]
+fn trace_file_roundtrips_bit_exactly() {
+    let path = std::env::temp_dir().join("yoso_trace_roundtrip_test.jsonl");
+    let trace = Trace::to_path(&path).unwrap();
+    let (ev, rc) = setup();
+    run_traced(&ev, rc, Strategy::Rl, trace.clone());
+    drop(trace); // flush
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    // search_start + 30 search_iter + controller_updates + summaries.
+    assert!(lines.len() > 31, "only {} lines", lines.len());
+    let mut iters = 0;
+    for line in &lines {
+        let event = Event::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        assert_eq!(&event.to_json(), line, "re-serialization diverged");
+        if event.kind == SearchEvent::KIND {
+            let se = SearchEvent::parse(line).expect("typed parse");
+            assert_eq!(se.iteration, iters);
+            assert_eq!(SearchEvent::parse(&se.to_json()), Some(se));
+            iters += 1;
+        }
+    }
+    assert_eq!(iters, 30);
+    for kind in [
+        "search_start",
+        "search_summary",
+        "cache_summary",
+        "pool_summary",
+    ] {
+        assert!(
+            lines.iter().any(|l| l.contains(&format!("\"{kind}\""))),
+            "missing {kind}"
+        );
+    }
+}
+
+/// The `search_iter` stream for a fixed seed is byte-identical whether
+/// the worker pool runs 1 thread or 8 — evaluation parallelism must not
+/// leak into the search trajectory. Summary events carry wall times and
+/// are excluded.
+#[test]
+fn search_iter_stream_is_identical_across_thread_counts() {
+    let (ev, rc) = setup();
+    let iter_lines = |threads: usize, strategy: Strategy| {
+        yoso::pool::set_num_threads(threads);
+        let trace = Trace::memory();
+        run_traced(&ev, rc, strategy, trace.clone());
+        yoso::pool::set_num_threads(0);
+        trace
+            .lines()
+            .into_iter()
+            .filter(|l| l.contains("\"search_iter\""))
+            .collect::<Vec<_>>()
+    };
+    for strategy in [Strategy::Rl, Strategy::Evolution, Strategy::Random] {
+        let one = iter_lines(1, strategy);
+        let eight = iter_lines(8, strategy);
+        assert_eq!(one.len(), 30, "{strategy}: wrong event count");
+        assert_eq!(one, eight, "{strategy}: stream depends on thread count");
+    }
+}

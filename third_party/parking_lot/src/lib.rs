@@ -43,6 +43,24 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Attempts to acquire a shared read guard without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire an exclusive write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -71,6 +89,15 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -88,6 +115,29 @@ mod tests {
         *l.write() += 1;
         assert_eq!(*l.read(), 2);
         assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_locks_report_contention() {
+        let l = RwLock::new(0);
+        {
+            let _r = l.read();
+            assert!(l.try_read().is_some(), "readers share");
+            assert!(l.try_write().is_none(), "writer blocked by reader");
+        }
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none(), "reader blocked by writer");
+            assert!(l.try_write().is_none(), "writer blocked by writer");
+        }
+        assert!(l.try_write().is_some(), "uncontended after guards drop");
+
+        let m = Mutex::new(());
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        assert!(m.try_lock().is_some());
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use yoso_arch::{HwConfig, LayerSpec};
+use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
 
 /// Number of independent lock-sharded maps (power of two).
 const SHARDS: usize = 16;
@@ -69,6 +70,37 @@ fn cost_bits(c: &CostModel) -> [u64; 11] {
         c.gbuf_words_per_cycle.to_bits(),
         c.vector_lanes.to_bits(),
     ]
+}
+
+impl Snapshot for CacheKey {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        self.layer.snapshot(w);
+        self.hw.snapshot(w);
+        self.fidelity.snapshot(w);
+        w.put_bool(self.input_onchip);
+        w.put_bool(self.output_onchip);
+        w.put_u64s(&self.cost_bits);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let layer = LayerSpec::restore(r)?;
+        let hw = HwConfig::restore(r)?;
+        let fidelity = crate::sim::Fidelity::restore(r)?;
+        let input_onchip = r.take_bool()?;
+        let output_onchip = r.take_bool()?;
+        let bits = r.take_u64s()?;
+        let cost_bits: [u64; 11] = bits
+            .try_into()
+            .map_err(|v: Vec<u64>| PersistError::Malformed(format!("cost bits: {}", v.len())))?;
+        Ok(CacheKey {
+            layer,
+            hw,
+            fidelity,
+            input_onchip,
+            output_onchip,
+            cost_bits,
+        })
+    }
 }
 
 /// Hit / miss / occupancy / contention counters of the global cache.
@@ -191,6 +223,41 @@ impl SimCache {
         self.contended_reads.store(0, Ordering::Relaxed);
         self.contended_writes.store(0, Ordering::Relaxed);
     }
+
+    fn export(&self, w: &mut ByteWriter) {
+        let entries: Vec<(CacheKey, LayerReport)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        w.put_usize(entries.len());
+        for (key, report) in &entries {
+            key.snapshot(w);
+            report.snapshot(w);
+        }
+    }
+
+    fn import(&self, r: &mut ByteReader<'_>) -> Result<usize, PersistError> {
+        let n = r.take_usize()?;
+        let mut inserted = 0;
+        for _ in 0..n {
+            let key = CacheKey::restore(r)?;
+            let report = LayerReport::restore(r)?;
+            let shard = &self.shards[Self::shard_of(&key)];
+            let mut map = shard.write();
+            if map.len() >= SHARD_CAPACITY {
+                map.clear();
+            }
+            map.insert(key, report);
+            inserted += 1;
+        }
+        Ok(inserted)
+    }
 }
 
 fn global() -> &'static SimCache {
@@ -229,6 +296,27 @@ pub fn stats() -> CacheStats {
 /// Empties the global cache and zeroes its counters.
 pub fn clear() {
     global().clear()
+}
+
+/// Serializes every entry of the global cache (a warm-cache export for
+/// session checkpoints). Entries carry their full simulation key, so an
+/// import into a process with a different cost model simply adds keys
+/// that are never hit.
+pub fn export(w: &mut ByteWriter) {
+    global().export(w)
+}
+
+/// Merges previously exported entries into the global cache, returning
+/// how many were inserted. Cached values are pure functions of their
+/// keys, so importing never changes what a lookup observes — it only
+/// turns cold misses into hits.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] when the bytes are truncated or malformed;
+/// entries read before the failure remain inserted.
+pub fn import(r: &mut ByteReader<'_>) -> Result<usize, PersistError> {
+    global().import(r)
 }
 
 #[cfg(test)]
@@ -372,6 +460,38 @@ mod tests {
         assert!(after.misses > before.misses);
         assert!(after.hits > before.hits);
         assert!(after.entries >= 1);
+    }
+
+    #[test]
+    fn export_import_roundtrips_entries() {
+        let cache = SimCache::new();
+        let sim = Simulator::exact();
+        let hw = test_hw();
+        for i in 0..4 {
+            let layer = test_layer(&format!("exp-{i}"), 8 + i);
+            cache.lookup_or_simulate(key_for(&sim, &layer, &hw), || {
+                sim.simulate_layer(&layer, &hw, false, false)
+            });
+        }
+        let mut w = ByteWriter::new();
+        cache.export(&mut w);
+        let bytes = w.into_bytes();
+
+        let fresh = SimCache::new();
+        let n = fresh.import(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(fresh.stats().entries, 4);
+        // Every restored entry answers bit-identically to a simulation.
+        let layer = test_layer("exp-2", 10);
+        let hit = fresh.lookup_or_simulate(key_for(&sim, &layer, &hw), || {
+            panic!("should be served from the imported cache")
+        });
+        assert_eq!(hit, sim.simulate_layer(&layer, &hw, false, false));
+        // Truncated bytes are rejected with a typed error.
+        assert!(matches!(
+            SimCache::new().import(&mut ByteReader::new(&bytes[..bytes.len() / 2])),
+            Err(PersistError::Truncated { .. })
+        ));
     }
 
     #[test]

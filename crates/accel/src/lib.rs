@@ -34,6 +34,7 @@ pub mod cache;
 pub mod cost;
 pub mod report;
 pub mod sim;
+pub mod snapshot;
 
 pub use cache::CacheStats;
 pub use cost::CostModel;

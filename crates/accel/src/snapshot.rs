@@ -1,0 +1,105 @@
+//! [`Snapshot`] impls for simulator output types, used by the sim-cache
+//! export in [`crate::cache`] and by session checkpoints.
+
+use crate::report::{EnergyBreakdown, LayerReport};
+use crate::sim::Fidelity;
+use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
+
+impl Snapshot for Fidelity {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            Fidelity::Exact => 0,
+            Fidelity::Fast => 1,
+        });
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(Fidelity::Exact),
+            1 => Ok(Fidelity::Fast),
+            v => Err(PersistError::Malformed(format!("fidelity tag {v}"))),
+        }
+    }
+}
+
+impl Snapshot for EnergyBreakdown {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_f64(self.compute_pj);
+        w.put_f64(self.rbuf_pj);
+        w.put_f64(self.noc_pj);
+        w.put_f64(self.gbuf_pj);
+        w.put_f64(self.dram_pj);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(EnergyBreakdown {
+            compute_pj: r.take_f64()?,
+            rbuf_pj: r.take_f64()?,
+            noc_pj: r.take_f64()?,
+            gbuf_pj: r.take_f64()?,
+            dram_pj: r.take_f64()?,
+        })
+    }
+}
+
+impl Snapshot for LayerReport {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_str(&self.name);
+        w.put_u64(self.macs);
+        w.put_f64(self.cycles);
+        w.put_f64(self.utilization);
+        w.put_f64(self.dram_words);
+        w.put_f64(self.gbuf_words);
+        self.energy.snapshot(w);
+        w.put_bool(self.input_onchip);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(LayerReport {
+            name: r.take_str()?,
+            macs: r.take_u64()?,
+            cycles: r.take_f64()?,
+            utilization: r.take_f64()?,
+            dram_words: r.take_f64()?,
+            gbuf_words: r.take_f64()?,
+            energy: EnergyBreakdown::restore(r)?,
+            input_onchip: r.take_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrip_is_bit_exact() {
+        let report = LayerReport {
+            name: "cell2.n4.op1".into(),
+            macs: 123_456,
+            cycles: 7890.5,
+            utilization: 0.625,
+            dram_words: 1e6 + 0.25,
+            gbuf_words: 2e6,
+            energy: EnergyBreakdown {
+                compute_pj: 1.0,
+                rbuf_pj: 0.5,
+                noc_pj: 0.25,
+                gbuf_pj: 2.5,
+                dram_pj: 1e9,
+            },
+            input_onchip: true,
+        };
+        let mut w = ByteWriter::new();
+        report.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let back = LayerReport::restore(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back, report);
+        for f in [Fidelity::Exact, Fidelity::Fast] {
+            let mut w = ByteWriter::new();
+            f.snapshot(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(Fidelity::restore(&mut ByteReader::new(&bytes)).unwrap(), f);
+        }
+    }
+}

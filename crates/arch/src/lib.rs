@@ -40,6 +40,7 @@ pub mod hw;
 pub mod layer;
 pub mod op;
 pub mod skeleton;
+pub mod snapshot;
 pub mod space;
 
 pub use codec::{ActionSpace, DecodeActionError, DNN_LEN, HW_LEN, SEQUENCE_LEN};

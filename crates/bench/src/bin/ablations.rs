@@ -18,10 +18,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use yoso_accel::Simulator;
 use yoso_arch::{Dataflow, Genotype, HwConfig, NetworkSkeleton, PeArray};
-use yoso_bench::{arg_value, Table};
+use yoso_bench::{arg_value, run_main, Table};
+use yoso_core::error::Error;
 use yoso_core::evaluation::{calibrate_constraints, SurrogateEvaluator};
 use yoso_core::reward::{RewardConfig, RewardForm};
-use yoso_core::search::{evolution_search, random_search, rl_search, SearchConfig};
+use yoso_core::search::SearchConfig;
+use yoso_core::session::{SearchSession, Strategy};
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::{HyperNet, HyperTrainConfig};
 use yoso_nn::{CellNetwork, TrainConfig};
@@ -33,6 +35,10 @@ fn wants(which: &str, id: char) -> bool {
 }
 
 fn main() {
+    run_main(real_main);
+}
+
+fn real_main() -> Result<(), Error> {
     println!("worker pool: {} threads", yoso_bench::configure_threads());
     let trace = yoso_bench::configure_trace();
     let which = arg_value("--which").unwrap_or_else(|| "123456".into());
@@ -41,13 +47,13 @@ fn main() {
         ablation_sampling();
     }
     if wants(&which, '2') {
-        ablation_reward_form();
+        ablation_reward_form()?;
     }
     if wants(&which, '3') {
-        ablation_gp_budget();
+        ablation_gp_budget()?;
     }
     if wants(&which, '4') {
-        ablation_rl_seeds();
+        ablation_rl_seeds()?;
     }
     if wants(&which, '5') {
         ablation_hw_isolation();
@@ -56,6 +62,7 @@ fn main() {
         ablation_flexible_dataflow();
     }
     yoso_bench::finish_trace(&trace);
+    Ok(())
 }
 
 /// 1. Uniform vs biased path sampling: which HyperNet ranks sub-models
@@ -112,7 +119,7 @@ fn ablation_sampling() {
 }
 
 /// 2. Eq. 2 reading: weighted product vs additive.
-fn ablation_reward_form() {
+fn ablation_reward_form() -> Result<(), Error> {
     println!("=== Ablation 2: reward form (Eq. 2 ambiguity) ===");
     let sk = NetworkSkeleton::paper_default();
     let ev = SurrogateEvaluator::new(sk.clone());
@@ -127,7 +134,12 @@ fn ablation_reward_form() {
     for form in [RewardForm::WeightedProduct, RewardForm::Additive] {
         let mut rc = RewardConfig::balanced(cons);
         rc.form = form;
-        let out = rl_search(&ev, &rc, &cfg);
+        let out = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(cfg.clone())
+            .strategy(Strategy::Rl)
+            .run()?;
         let b = out.best();
         table.row(vec![
             format!("{form:?}"),
@@ -138,10 +150,11 @@ fn ablation_reward_form() {
     }
     println!("{table}");
     println!("  (both forms steer toward the same region; the product form\n   couples accuracy and hardware terms more tightly)\n");
+    Ok(())
 }
 
 /// 3. GP predictor error vs training-sample budget.
-fn ablation_gp_budget() {
+fn ablation_gp_budget() -> Result<(), Error> {
     println!("=== Ablation 3: GP error vs training-set size ===");
     let sk = NetworkSkeleton::paper_default();
     let sim = Simulator::exact();
@@ -149,7 +162,7 @@ fn ablation_gp_budget() {
     let mut table = Table::new(&["samples", "latency MAPE%", "energy MAPE%"]);
     for n in [50usize, 100, 200, 400, 800] {
         let train = collect_samples(&sk, &sim, n, 7);
-        let pred = PerfPredictor::train(&sk, &train).expect("fit");
+        let pred = PerfPredictor::train(&sk, &train)?;
         let mut pl = Vec::new();
         let mut pe = Vec::new();
         let mut tl = Vec::new();
@@ -169,10 +182,11 @@ fn ablation_gp_budget() {
     }
     println!("{table}");
     println!("  (paper: <4% accuracy loss at 3000 samples)\n");
+    Ok(())
 }
 
 /// 4. RL vs regularized evolution vs random, multiple seeds.
-fn ablation_rl_seeds() {
+fn ablation_rl_seeds() -> Result<(), Error> {
     println!("=== Ablation 4: RL vs evolution vs random across seeds ===");
     let sk = NetworkSkeleton::paper_default();
     let ev = SurrogateEvaluator::new(sk.clone());
@@ -195,9 +209,17 @@ fn ablation_rl_seeds() {
             seed,
             ..SearchConfig::default()
         };
-        let rl = rl_search(&ev, &rc, &cfg);
-        let evo = evolution_search(&ev, &rc, &cfg);
-        let rnd = random_search(&ev, &rc, &cfg);
+        let search = |strategy| {
+            SearchSession::builder()
+                .evaluator(&ev)
+                .reward(rc)
+                .config(cfg.clone())
+                .strategy(strategy)
+                .run()
+        };
+        let rl = search(Strategy::Rl)?;
+        let evo = search(Strategy::Evolution)?;
+        let rnd = search(Strategy::Random)?;
         let tail = |o: &yoso_core::SearchOutcome| {
             let k = o.history.len() / 4;
             o.history[o.history.len() - k..]
@@ -221,6 +243,7 @@ fn ablation_rl_seeds() {
     }
     println!("{table}");
     println!("  RL tail-mean beats random in {rl_wins}/5 seeds\n");
+    Ok(())
 }
 
 /// 5. Marginal effect of each hardware parameter on a fixed network.

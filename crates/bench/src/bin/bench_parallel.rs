@@ -13,7 +13,8 @@
 use std::time::Instant;
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, NetworkSkeleton};
-use yoso_bench::{arg_u64, arg_usize, arg_value, configure_trace, finish_trace};
+use yoso_bench::{arg_u64, arg_usize, arg_value, configure_trace, finish_trace, run_main};
+use yoso_core::error::Error;
 use yoso_predictor::perf::{collect_samples, PerfPredictor};
 
 fn time_ms(f: impl FnOnce()) -> f64 {
@@ -23,6 +24,10 @@ fn time_ms(f: impl FnOnce()) -> f64 {
 }
 
 fn main() {
+    run_main(real_main);
+}
+
+fn real_main() -> Result<(), Error> {
     let samples = arg_usize("--samples", 1000);
     let batch = arg_usize("--batch", 256);
     let seed = arg_u64("--seed", 0);
@@ -61,7 +66,7 @@ fn main() {
 
     println!("gp prediction: batch of {batch} points");
     let train = collect_samples(&skeleton, &Simulator::fast(), 400, seed ^ 0x77);
-    let predictor = PerfPredictor::train(&skeleton, &train).expect("fit");
+    let predictor = PerfPredictor::train(&skeleton, &train)?;
     use rand::{rngs::StdRng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed ^ 0x88);
     let points: Vec<DesignPoint> = (0..batch).map(|_| DesignPoint::random(&mut rng)).collect();
@@ -79,11 +84,12 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"parallel evaluation pipeline\",\n  \"cores\": {cores},\n  \"collect_samples\": {{\n    \"samples\": {samples},\n    \"fidelity\": \"exact\",\n    \"serial_cold_ms\": {serial_cold:.1},\n    \"parallel_cold_ms\": {parallel_cold:.1},\n    \"parallel_warm_ms\": {parallel_warm:.1},\n    \"thread_speedup\": {thread_speedup:.2},\n    \"warm_cache_speedup\": {cache_speedup:.2}\n  }},\n  \"gp_prediction\": {{\n    \"batch\": {batch},\n    \"per_point_ms\": {per_point:.1},\n    \"batched_ms\": {batched:.1},\n    \"speedup\": {gp_speedup:.2}\n  }}\n}}\n"
     );
-    std::fs::write(&out, json).expect("write bench json");
+    std::fs::write(&out, json)?;
     println!("written {out}");
     finish_trace(&trace);
     assert!(
         cache_speedup >= 2.0,
         "warm-cache speedup {cache_speedup:.2}x below the 2x target"
     );
+    Ok(())
 }

@@ -13,13 +13,18 @@
 use std::time::Instant;
 use yoso_accel::Simulator;
 use yoso_arch::NetworkSkeleton;
-use yoso_bench::{arg_present, arg_u64, arg_usize, write_csv, Table};
+use yoso_bench::{arg_present, arg_u64, arg_usize, run_main, write_csv, Table};
+use yoso_core::error::Error;
 use yoso_predictor::metrics::{mae, mse, r2};
 use yoso_predictor::perf::collect_samples;
 use yoso_predictor::regressors::svr::LinearSvr;
 use yoso_predictor::{design_features, fig4_models, Regressor, ScalarStandardizer};
 
 fn main() {
+    run_main(real_main);
+}
+
+fn real_main() -> Result<(), Error> {
     let (n_train, n_test) = if arg_present("--paper") {
         (3000, 600)
     } else {
@@ -66,9 +71,7 @@ fn main() {
         let mut results: Vec<(String, f64)> = Vec::new();
         for model in &mut models {
             let tf = Instant::now();
-            model
-                .fit(&x_train, &yz_train)
-                .unwrap_or_else(|e| panic!("{} failed to fit: {e}", model.name()));
+            model.fit(&x_train, &yz_train)?;
             let fit_time = tf.elapsed();
             let preds = model.predict(&x_test);
             let m = mse(&preds, &yz_test);
@@ -107,4 +110,5 @@ fn main() {
     }
     println!("{}", yoso_accel::cache::stats());
     yoso_bench::finish_trace(&trace);
+    Ok(())
 }

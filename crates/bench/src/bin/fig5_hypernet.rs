@@ -18,7 +18,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use yoso_arch::{Genotype, NetworkSkeleton};
-use yoso_bench::{arg_u64, arg_usize, arg_value, write_csv, Table};
+use yoso_bench::{arg_u64, arg_usize, arg_value, run_main, write_csv, Table};
+use yoso_core::error::Error;
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::{HyperNet, HyperTrainConfig};
 use yoso_nn::{CellNetwork, TrainConfig};
@@ -36,6 +37,10 @@ fn scale() -> (NetworkSkeleton, SynthCifarConfig) {
 }
 
 fn main() {
+    run_main(real_main);
+}
+
+fn real_main() -> Result<(), Error> {
     let part = arg_value("--part").unwrap_or_else(|| "both".into());
     let seed = arg_u64("--seed", 0);
     let trace = yoso_bench::configure_trace();
@@ -139,4 +144,5 @@ fn main() {
         println!("written {}", p.display());
     }
     yoso_bench::finish_trace(&trace);
+    Ok(())
 }

@@ -22,8 +22,9 @@
 use std::time::Instant;
 use yoso_arch::NetworkSkeleton;
 use yoso_bench::{
-    arg_present, arg_u64, arg_usize, arg_value, configure_trace, finish_trace, write_csv,
+    arg_present, arg_u64, arg_usize, arg_value, configure_trace, finish_trace, run_main, write_csv,
 };
+use yoso_core::error::Error;
 use yoso_core::evaluation::{calibrate_constraints, Evaluator, FastEvaluator, SurrogateEvaluator};
 use yoso_core::reward::RewardConfig;
 use yoso_core::search::{SearchConfig, SearchOutcome};
@@ -31,7 +32,7 @@ use yoso_core::session::{SearchSession, Strategy};
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::HyperTrainConfig;
 
-fn build_evaluator(skeleton: &NetworkSkeleton, seed: u64) -> Box<dyn Evaluator> {
+fn build_evaluator(skeleton: &NetworkSkeleton, seed: u64) -> Result<Box<dyn Evaluator>, Error> {
     if arg_present("--fast-evaluator") {
         println!("building fast evaluator (HyperNet + GP) ...");
         let data = SynthCifar::generate(&SynthCifarConfig::small());
@@ -41,9 +42,11 @@ fn build_evaluator(skeleton: &NetworkSkeleton, seed: u64) -> Box<dyn Evaluator> 
             seed,
             ..Default::default()
         };
-        Box::new(FastEvaluator::build(skeleton, &data, &cfg, 400, seed))
+        Ok(Box::new(FastEvaluator::build(
+            skeleton, &data, &cfg, 400, seed,
+        )?))
     } else {
-        Box::new(SurrogateEvaluator::new(skeleton.clone()))
+        Ok(Box::new(SurrogateEvaluator::new(skeleton.clone())))
     }
 }
 
@@ -57,6 +60,10 @@ fn tail_mean(outcome: &SearchOutcome, frac: usize) -> f64 {
 }
 
 fn main() {
+    run_main(real_main);
+}
+
+fn real_main() -> Result<(), Error> {
     let part = arg_value("--part").unwrap_or_else(|| "all".into());
     let seed = arg_u64("--seed", 0);
     let iterations = arg_usize("--iterations", 2000);
@@ -66,7 +73,7 @@ fn main() {
         NetworkSkeleton::paper_default()
     };
     let trace = configure_trace();
-    let evaluator = build_evaluator(&skeleton, seed);
+    let evaluator = build_evaluator(&skeleton, seed)?;
     let constraints = calibrate_constraints(&skeleton, 300, seed, 40.0);
     println!(
         "constraints (40th pct of random designs): t_lat {:.4} ms, t_eer {:.4} mJ",
@@ -92,8 +99,8 @@ fn main() {
                 .trace(trace.clone())
                 .run()
         };
-        let rl = session(Strategy::Rl);
-        let rnd = session(Strategy::Random);
+        let rl = session(Strategy::Rl)?;
+        let rnd = session(Strategy::Random)?;
         println!("both searches done in {:.1?}", t0.elapsed());
         // Every 10th sample, as in the paper.
         let rows: Vec<Vec<String>> = rl
@@ -154,7 +161,7 @@ fn main() {
             .config(search_cfg.clone())
             .strategy(Strategy::Rl)
             .trace(trace.clone())
-            .run();
+            .run()?;
         // Every 20th sample, as in the paper.
         let rows: Vec<Vec<String>> = out
             .history
@@ -222,4 +229,5 @@ fn main() {
     }
 
     finish_trace(&trace);
+    Ok(())
 }

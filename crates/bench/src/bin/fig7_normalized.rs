@@ -6,7 +6,8 @@
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin fig7_normalized`
 
-use yoso_bench::{read_csv, write_csv, Table};
+use yoso_bench::{read_csv, run_main, write_csv, Table};
+use yoso_core::error::Error;
 
 fn bar(v: f64, scale: f64) -> String {
     let n = ((v / scale) * 24.0).round() as usize;
@@ -14,26 +15,31 @@ fn bar(v: f64, scale: f64) -> String {
 }
 
 fn main() {
+    run_main(real_main);
+}
+
+fn real_main() -> Result<(), Error> {
     let trace = yoso_bench::configure_trace();
     let (_, rows) = match read_csv("table2.csv") {
         Ok(v) => v,
-        Err(_) => {
+        Err(e) => {
             eprintln!(
                 "results/table2.csv not found — run `cargo run --release -p yoso-bench --bin table2_comparison` first"
             );
-            std::process::exit(1);
+            return Err(e.into());
         }
     };
     let parsed: Vec<(String, f64, f64)> = rows
         .iter()
         .map(|r| {
-            (
-                r[0].clone(),
-                r[3].parse::<f64>().expect("energy column"),
-                r[4].parse::<f64>().expect("latency column"),
-            )
+            let col = |i: usize, what: &str| {
+                r[i].parse::<f64>().map_err(|_| {
+                    Error::InvalidConfig(format!("bad {what} value {:?} in table2.csv", r[i]))
+                })
+            };
+            Ok((r[0].clone(), col(3, "energy")?, col(4, "latency")?))
         })
-        .collect();
+        .collect::<Result<_, Error>>()?;
     let e_min = parsed.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
     let l_min = parsed.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
     let max_norm = parsed
@@ -79,4 +85,5 @@ fn main() {
         .expect("rows");
     println!("lowest energy: {} | lowest latency: {}", best_e.0, best_l.0);
     yoso_bench::finish_trace(&trace);
+    Ok(())
 }

@@ -20,7 +20,8 @@
 use std::time::Instant;
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, Genotype, NetworkSkeleton};
-use yoso_bench::{arg_u64, arg_usize, write_csv, Table};
+use yoso_bench::{arg_u64, arg_usize, run_main, write_csv, Table};
+use yoso_core::error::Error;
 use yoso_core::evaluation::{calibrate_constraints, FastEvaluator};
 use yoso_core::parallel_map;
 use yoso_core::reward::RewardConfig;
@@ -60,6 +61,10 @@ fn train_full(
 }
 
 fn main() {
+    run_main(real_main);
+}
+
+fn real_main() -> Result<(), Error> {
     let iterations = arg_usize("--iterations", 600);
     let top_n = arg_usize("--topn", 5);
     let hyper_epochs = arg_usize("--hyper-epochs", 6);
@@ -123,7 +128,7 @@ fn main() {
         seed,
         ..Default::default()
     };
-    let fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 500, seed);
+    let fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 500, seed)?;
     println!("  built in {:.1?}", t1.elapsed());
 
     for (label, reward_cfg) in [
@@ -143,7 +148,7 @@ fn main() {
             })
             .strategy(Strategy::Rl)
             .trace(trace.clone())
-            .run();
+            .run()?;
         // Accurate rerank: full training + exact simulation per finalist.
         let finalists = outcome.top_n(top_n);
         let reranked: Vec<(DesignPoint, f64, f64, f64, f64)> =
@@ -248,4 +253,5 @@ fn main() {
     );
     println!("{}", yoso_accel::cache::stats());
     yoso_bench::finish_trace(&trace);
+    Ok(())
 }

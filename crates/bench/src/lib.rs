@@ -73,6 +73,17 @@ pub fn read_csv(name: &str) -> std::io::Result<(Vec<String>, Vec<Vec<String>>)> 
     Ok((header, rows))
 }
 
+/// Runs a bench binary's fallible body: on `Err` the full
+/// [`yoso_core::Error`] chain (error plus every `source()` cause) is
+/// printed to stderr and the process exits with status 1, so failures
+/// surface as readable diagnostics instead of `unwrap` panics.
+pub fn run_main(body: impl FnOnce() -> Result<(), yoso_core::Error>) {
+    if let Err(e) = body() {
+        eprintln!("error: {}", yoso_core::error_chain(&e));
+        std::process::exit(1);
+    }
+}
+
 /// Value of `--flag <value>` in the process arguments.
 pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();

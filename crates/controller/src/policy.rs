@@ -11,6 +11,7 @@
 
 use crate::lstm::{LstmParams, LstmShape};
 use rand::{Rng, RngExt};
+use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
 use yoso_tensor::{Adam, ParamId, ParamStore, Tensor};
 
 /// Controller hyper-parameters (defaults follow the paper).
@@ -371,6 +372,94 @@ impl Controller {
     }
 }
 
+impl Snapshot for ControllerConfig {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_usizes(&self.vocab_sizes);
+        w.put_usize(self.hidden);
+        w.put_usize(self.embed);
+        w.put_f32(self.lr);
+        w.put_f32(self.temperature);
+        w.put_f32(self.tanh_constant);
+        w.put_f32(self.entropy_weight);
+        w.put_f64(self.baseline_decay);
+        w.put_f32(self.grad_clip);
+        w.put_u64(self.seed);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let cfg = ControllerConfig {
+            vocab_sizes: r.take_usizes()?,
+            hidden: r.take_usize()?,
+            embed: r.take_usize()?,
+            lr: r.take_f32()?,
+            temperature: r.take_f32()?,
+            tanh_constant: r.take_f32()?,
+            entropy_weight: r.take_f32()?,
+            baseline_decay: r.take_f64()?,
+            grad_clip: r.take_f32()?,
+            seed: r.take_u64()?,
+        };
+        if cfg.vocab_sizes.is_empty() || cfg.vocab_sizes.contains(&0) {
+            return Err(PersistError::Malformed("controller vocab sizes".into()));
+        }
+        Ok(cfg)
+    }
+}
+
+// Restore-by-reconstruct: `Controller::new` builds the same ParamId
+// layout for a given config (the construction loops are deterministic;
+// the RNG only affects initial values), so restore rebuilds the
+// skeleton from the stored config and overwrites the trained weights,
+// Adam state and baseline. Shape disagreement between the snapshot and
+// the reconstructed layout is a `Malformed` error, not a panic.
+impl Snapshot for Controller {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        self.cfg.snapshot(w);
+        match self.baseline {
+            Some(b) => {
+                w.put_bool(true);
+                w.put_f64(b);
+            }
+            None => w.put_bool(false),
+        }
+        self.store.snapshot(w);
+        self.opt.snapshot(w);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let cfg = ControllerConfig::restore(r)?;
+        let baseline = if r.take_bool()? {
+            Some(r.take_f64()?)
+        } else {
+            None
+        };
+        let store = ParamStore::restore(r)?;
+        let opt = Adam::restore(r)?;
+        let mut ctrl = Controller::new(cfg);
+        if store.param_count() != ctrl.store.param_count() {
+            return Err(PersistError::Malformed(format!(
+                "controller: snapshot has {} params, config implies {}",
+                store.param_count(),
+                ctrl.store.param_count()
+            )));
+        }
+        for (id, value) in store.iter() {
+            if value.shape() != ctrl.store.value(id).shape() {
+                return Err(PersistError::Malformed(format!(
+                    "controller param {}: snapshot shape {:?} vs layout {:?}",
+                    id.index(),
+                    value.shape(),
+                    ctrl.store.value(id).shape()
+                )));
+            }
+        }
+        ctrl.store = store;
+        ctrl.opt = opt;
+        ctrl.baseline = baseline;
+        Ok(ctrl)
+    }
+}
+
 /// RNG stub used when replaying forced action sequences: the policy never
 /// draws from it (any seed works; present only to satisfy the signature).
 struct NoRng;
@@ -417,6 +506,64 @@ mod tests {
             assert!(r.log_prob <= 0.0);
             assert!(r.entropy > 0.0);
         }
+    }
+
+    #[test]
+    fn restored_controller_samples_and_updates_bit_identically() {
+        // Train a few steps so the Adam moments, step counter and
+        // baseline are all non-trivial, then snapshot.
+        let mut ctrl = Controller::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let batch: Vec<(Rollout, f64)> = (0..4)
+                .map(|_| {
+                    let r = ctrl.sample(&mut rng);
+                    let reward = r.actions[0] as f64 / 3.0;
+                    (r, reward)
+                })
+                .collect();
+            ctrl.update(&batch);
+        }
+        let mut w = ByteWriter::new();
+        ctrl.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = Controller::restore(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.baseline(), ctrl.baseline());
+        // Identical RNG streams must produce identical rollouts, and one
+        // more update must leave both controllers in identical states.
+        let mut ra = StdRng::seed_from_u64(99);
+        let mut rb = ra.clone();
+        let batch_a: Vec<(Rollout, f64)> =
+            (0..4).map(|i| (ctrl.sample(&mut ra), i as f64)).collect();
+        let batch_b: Vec<(Rollout, f64)> =
+            (0..4).map(|i| (back.sample(&mut rb), i as f64)).collect();
+        assert_eq!(batch_a, batch_b);
+        let sa = ctrl.update(&batch_a);
+        let sb = back.update(&batch_b);
+        assert_eq!(sa, sb);
+        assert_eq!(ctrl.sample(&mut ra), back.sample(&mut rb));
+    }
+
+    #[test]
+    fn corrupted_controller_snapshot_is_rejected() {
+        let ctrl = Controller::new(small_cfg());
+        let mut w = ByteWriter::new();
+        ctrl.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        // Truncation is a typed error, not a panic.
+        assert!(matches!(
+            Controller::restore(&mut ByteReader::new(&bytes[..bytes.len() / 3])),
+            Err(PersistError::Truncated { .. })
+        ));
+        // A config whose layout disagrees with the stored params is
+        // Malformed: shrink the first vocab entry in place.
+        let mut tampered = bytes.clone();
+        // vocab_sizes length prefix (8B) then first entry as u64.
+        tampered[8..16].copy_from_slice(&2u64.to_le_bytes());
+        assert!(matches!(
+            Controller::restore(&mut ByteReader::new(&tampered)),
+            Err(PersistError::Malformed(_))
+        ));
     }
 
     #[test]

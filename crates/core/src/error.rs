@@ -1,0 +1,151 @@
+//! The unified error type for the co-design engine.
+//!
+//! Every fallible path in the core crate — evaluator construction,
+//! search-session configuration, checkpointing and resume — funnels into
+//! [`Error`], with `From` conversions from the substrate-crate error
+//! types so `?` composes across layers.
+
+use std::fmt;
+use yoso_arch::DecodeActionError;
+use yoso_persist::PersistError;
+use yoso_predictor::FitError;
+
+/// Unified error for search, evaluation and persistence.
+#[derive(Debug)]
+pub enum Error {
+    /// A checkpoint could not be written, read or decoded.
+    Persist(PersistError),
+    /// A regressor fit failed while building the fast evaluator.
+    Fit(FitError),
+    /// An action sequence failed to decode into a design point.
+    Decode(DecodeActionError),
+    /// A session was configured inconsistently (missing evaluator,
+    /// zero-sized population, checkpointing without a directory, …).
+    InvalidConfig(String),
+    /// A checkpoint does not match the session trying to resume from it
+    /// (different evaluator, strategy or configuration).
+    ResumeMismatch {
+        /// What the checkpoint recorded.
+        expected: String,
+        /// What the resuming session supplied.
+        found: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Persist(_) => f.write_str("checkpoint persistence failed"),
+            Error::Fit(_) => f.write_str("performance-predictor fit failed"),
+            Error::Decode(_) => f.write_str("action sequence failed to decode"),
+            Error::InvalidConfig(msg) => write!(f, "invalid session configuration: {msg}"),
+            Error::ResumeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint mismatch: snapshot was taken with {expected}, \
+                     but the resuming session has {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Persist(e) => Some(e),
+            Error::Fit(e) => Some(e),
+            Error::Decode(e) => Some(e),
+            Error::InvalidConfig(_) | Error::ResumeMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Self {
+        Error::Persist(e)
+    }
+}
+
+impl From<FitError> for Error {
+    fn from(e: FitError) -> Self {
+        Error::Fit(e)
+    }
+}
+
+impl From<DecodeActionError> for Error {
+    fn from(e: DecodeActionError) -> Self {
+        Error::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Persist(PersistError::Io(e))
+    }
+}
+
+/// Formats an error with its full `source()` chain, one cause per line —
+/// what the bench binaries print on failure.
+pub fn error_chain(e: &dyn std::error::Error) -> String {
+    let mut out = e.to_string();
+    let mut cur = e.source();
+    while let Some(cause) = cur {
+        out.push_str("\n  caused by: ");
+        out.push_str(&cause.to_string());
+        cur = cause.source();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: Error = PersistError::BadMagic.into();
+        assert!(matches!(e, Error::Persist(PersistError::BadMagic)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: Error = FitError::EmptyTrainingSet.into();
+        assert!(matches!(e, Error::Fit(FitError::EmptyTrainingSet)));
+
+        let e: Error = DecodeActionError::WrongLength { got: 3 }.into();
+        assert!(matches!(e, Error::Decode(_)));
+
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, Error::Persist(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn chain_includes_causes() {
+        let e: Error = PersistError::ChecksumMismatch {
+            expected: 1,
+            found: 2,
+        }
+        .into();
+        let chain = error_chain(&e);
+        assert!(chain.contains("persistence failed"), "{chain}");
+        assert!(chain.contains("caused by"), "{chain}");
+        assert!(chain.contains("checksum"), "{chain}");
+    }
+
+    #[test]
+    fn invalid_config_has_no_source() {
+        let e = Error::InvalidConfig("missing evaluator".into());
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(e.to_string().contains("missing evaluator"));
+    }
+
+    #[test]
+    fn resume_mismatch_names_both_sides() {
+        let e = Error::ResumeMismatch {
+            expected: "evaluator `surrogate`".into(),
+            found: "evaluator `fast(hypernet+gp)`".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("surrogate"));
+        assert!(msg.contains("fast(hypernet+gp)"));
+    }
+}

@@ -3,6 +3,7 @@
 //! simulation, paper step 3), plus a cheap deterministic surrogate for
 //! large-scale search-behaviour experiments and tests.
 
+use crate::error::Error;
 use crate::reward::Constraints;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -28,14 +29,24 @@ pub struct Evaluation {
 /// given point so that search histories are reproducible.
 pub trait Evaluator: Send + Sync {
     /// Evaluates one candidate.
-    fn evaluate(&self, point: &DesignPoint) -> Evaluation;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the implementation cannot score the point
+    /// (the built-in evaluators are infallible once constructed, but
+    /// implementations backed by external processes or files may fail).
+    fn evaluate(&self, point: &DesignPoint) -> Result<Evaluation, Error>;
 
     /// Evaluates a batch of candidates.
     ///
     /// Must return exactly what per-point [`evaluate`](Self::evaluate)
     /// would — implementations override this only to score the batch
     /// more cheaply (e.g. one batched GP pass), never to change values.
-    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-point [`Error`], if any.
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Result<Vec<Evaluation>, Error> {
         points.iter().map(|p| self.evaluate(p)).collect()
     }
 
@@ -103,20 +114,24 @@ impl FastEvaluator {
     /// Paper step 1 — "fast evaluator construction": trains the HyperNet
     /// with uniform sampling and fits the GP predictors on simulator
     /// samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Fit`] when the performance-predictor fit fails
+    /// (e.g. `predictor_samples == 0`).
     pub fn build(
         skeleton: &NetworkSkeleton,
         data: &SynthCifar,
         hyper_cfg: &HyperTrainConfig,
         predictor_samples: usize,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self, Error> {
         let mut hyper = HyperNet::new(skeleton.clone(), seed);
         hyper.train(data, hyper_cfg);
         let sim = Simulator::exact();
         let samples = collect_samples(skeleton, &sim, predictor_samples, seed ^ 0x5a5a);
-        let predictor =
-            PerfPredictor::train(skeleton, &samples).expect("predictor training on >0 samples");
-        Self::from_parts(hyper, predictor, data.clone())
+        let predictor = PerfPredictor::train(skeleton, &samples)?;
+        Ok(Self::from_parts(hyper, predictor, data.clone()))
     }
 
     /// The wrapped HyperNet.
@@ -176,17 +191,17 @@ impl FastEvaluator {
 }
 
 impl Evaluator for FastEvaluator {
-    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+    fn evaluate(&self, point: &DesignPoint) -> Result<Evaluation, Error> {
         let accuracy = self.accuracy_of(&point.genotype);
         let (stats, arities) = self.stats_arities_of(point);
         let (latency_ms, energy_mj) = self
             .predictor
             .predict_from_stats(&stats, &point.hw, arities);
-        Evaluation {
+        Ok(Evaluation {
             accuracy,
             latency_ms,
             energy_mj,
-        }
+        })
     }
 
     /// Batched scoring: accuracies come from the per-genotype cache as
@@ -194,7 +209,7 @@ impl Evaluator for FastEvaluator {
     /// score the whole batch in one cross-kernel pass each via
     /// [`PerfPredictor::predict_batch_from_features`]. Bit-identical to
     /// per-point [`evaluate`](Evaluator::evaluate).
-    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Evaluation> {
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Result<Vec<Evaluation>, Error> {
         let accs: Vec<f64> = points
             .iter()
             .map(|p| self.accuracy_of(&p.genotype))
@@ -207,14 +222,15 @@ impl Evaluator for FastEvaluator {
             })
             .collect();
         let perf = self.predictor.predict_batch_from_features(&xs);
-        accs.into_iter()
+        Ok(accs
+            .into_iter()
             .zip(perf)
             .map(|(accuracy, (latency_ms, energy_mj))| Evaluation {
                 accuracy,
                 latency_ms,
                 energy_mj,
             })
-            .collect()
+            .collect())
     }
 
     fn name(&self) -> &'static str {
@@ -248,16 +264,16 @@ impl AccurateEvaluator {
 }
 
 impl Evaluator for AccurateEvaluator {
-    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+    fn evaluate(&self, point: &DesignPoint) -> Result<Evaluation, Error> {
         let plan = self.skeleton.compile(&point.genotype);
         let mut net = CellNetwork::new(plan.clone(), self.train_cfg.seed);
         let hist = net.train(&self.data, &self.train_cfg);
         let rep = self.sim.simulate_plan(&plan, &point.hw);
-        Evaluation {
+        Ok(Evaluation {
             accuracy: hist.final_val_acc,
             latency_ms: rep.latency_ms,
             energy_mj: rep.energy_mj,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -304,14 +320,14 @@ impl SurrogateEvaluator {
 }
 
 impl Evaluator for SurrogateEvaluator {
-    fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+    fn evaluate(&self, point: &DesignPoint) -> Result<Evaluation, Error> {
         let plan = self.skeleton.compile(&point.genotype);
         let rep = self.sim.simulate_plan(&plan, &point.hw);
-        Evaluation {
+        Ok(Evaluation {
             accuracy: self.surrogate_accuracy(point),
             latency_ms: rep.latency_ms,
             energy_mj: rep.energy_mj,
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -331,8 +347,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..50 {
             let p = DesignPoint::random(&mut rng);
-            let a = ev.evaluate(&p);
-            let b = ev.evaluate(&p);
+            let a = ev.evaluate(&p).unwrap();
+            let b = ev.evaluate(&p).unwrap();
             assert_eq!(a, b);
             assert!((0.1..=0.97).contains(&a.accuracy));
             assert!(a.latency_ms > 0.0 && a.energy_mj > 0.0);
@@ -359,20 +375,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let hw = yoso_arch::HwConfig::random(&mut rng);
         let ev = SurrogateEvaluator::new(NetworkSkeleton::tiny());
-        let heavy = ev.evaluate(&DesignPoint {
-            genotype: Genotype {
-                normal: cell(heavy_gene),
-                reduction: cell(heavy_gene),
-            },
-            hw,
-        });
-        let light = ev.evaluate(&DesignPoint {
-            genotype: Genotype {
-                normal: cell(light_gene),
-                reduction: cell(light_gene),
-            },
-            hw,
-        });
+        let heavy = ev
+            .evaluate(&DesignPoint {
+                genotype: Genotype {
+                    normal: cell(heavy_gene),
+                    reduction: cell(heavy_gene),
+                },
+                hw,
+            })
+            .unwrap();
+        let light = ev
+            .evaluate(&DesignPoint {
+                genotype: Genotype {
+                    normal: cell(light_gene),
+                    reduction: cell(light_gene),
+                },
+                hw,
+            })
+            .unwrap();
         assert!(heavy.accuracy > light.accuracy);
         assert!(heavy.energy_mj > light.energy_mj, "capacity costs energy");
     }
@@ -390,10 +410,10 @@ mod tests {
         let ev = FastEvaluator::from_parts(hyper, predictor, data);
         let mut rng = StdRng::seed_from_u64(12);
         let points: Vec<DesignPoint> = (0..9).map(|_| DesignPoint::random(&mut rng)).collect();
-        let batch = ev.evaluate_batch(&points);
+        let batch = ev.evaluate_batch(&points).unwrap();
         assert_eq!(batch.len(), points.len());
         for (p, b) in points.iter().zip(&batch) {
-            assert_eq!(ev.evaluate(p), *b);
+            assert_eq!(ev.evaluate(p).unwrap(), *b);
         }
     }
 

@@ -9,11 +9,16 @@
 //!   performance predictors), the accurate evaluator (full training +
 //!   exact simulation) and a deterministic surrogate;
 //! * [`search`] — search configuration, history bookkeeping and the
-//!   classic free-function entry points;
+//!   classic free-function entry points (deprecated in favour of
+//!   [`SearchSession`]);
 //! * [`session`] — the unified [`SearchSession`] entry point that runs
 //!   the RL loop (LSTM + REINFORCE over the 44-symbol joint action
 //!   space), regularized evolution or random search, with optional
-//!   structured telemetry;
+//!   structured telemetry and crash-safe checkpointing;
+//! * [`checkpoint`] — the on-disk checkpoint container behind
+//!   [`SearchSession::resume_from`];
+//! * [`error`] — the unified [`Error`] enum every fallible core path
+//!   returns;
 //! * [`twostage`] — the two-stage baseline flow with representative
 //!   reference models (Table 2);
 //! * [`pipeline`] — the three-step YOSO flow ending in top-N accurate
@@ -37,7 +42,8 @@
 //!     .reward(reward)
 //!     .strategy(Strategy::Rl)
 //!     .config(SearchConfig::builder().iterations(20).rollouts_per_update(4).build())
-//!     .run();
+//!     .run()
+//!     .unwrap();
 //! assert_eq!(outcome.history.len(), 20);
 //! ```
 
@@ -45,6 +51,8 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod checkpoint;
+pub mod error;
 pub mod evaluation;
 pub mod parallel;
 pub mod pipeline;
@@ -54,6 +62,8 @@ pub mod session;
 pub mod twostage;
 
 pub use analysis::{feasible, hypervolume, save_history_csv, summarize, EvalSummary};
+pub use checkpoint::{latest_checkpoint, SessionCheckpoint};
+pub use error::{error_chain, Error};
 pub use evaluation::{
     calibrate_constraints, AccurateEvaluator, Evaluation, Evaluator, FastEvaluator,
     SurrogateEvaluator,
@@ -61,10 +71,9 @@ pub use evaluation::{
 pub use parallel::parallel_map;
 pub use pipeline::{finalize, run_search_and_finalize, Finalist, YosoResult};
 pub use reward::{Constraints, RewardConfig, RewardForm};
-pub use search::{
-    evolution_search, random_search, rl_search, SearchConfig, SearchConfigBuilder, SearchOutcome,
-    SearchRecord,
-};
+#[allow(deprecated)] // the wrappers stay exported until they are removed
+pub use search::{evolution_search, random_search, rl_search};
+pub use search::{SearchConfig, SearchConfigBuilder, SearchOutcome, SearchRecord};
 pub use session::{SearchEvent, SearchSession, SearchSessionBuilder, Strategy};
 pub use twostage::{
     best_hw_for, reference_models, run_two_stage, BestHw, OptimizationTarget, ReferenceModel,

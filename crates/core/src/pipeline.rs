@@ -3,14 +3,19 @@
 //! 1. **Fast evaluator construction** — train the HyperNet, fit the GP
 //!    predictors ([`FastEvaluator::build`]).
 //! 2. **Effective design search** — RL search in the joint space
-//!    ([`rl_search`]).
+//!    (a [`SearchSession`] with [`Strategy::Rl`]).
 //! 3. **Determining the final solution** — rerank the top-N candidates
 //!    with full training + exact simulation and return the best
 //!    ([`finalize`]).
+//!
+//! [`SearchSession`]: crate::session::SearchSession
+//! [`Strategy::Rl`]: crate::session::Strategy::Rl
 
+use crate::error::Error;
 use crate::evaluation::{AccurateEvaluator, Evaluation, Evaluator, FastEvaluator};
 use crate::reward::RewardConfig;
-use crate::search::{rl_search, SearchConfig, SearchOutcome, SearchRecord};
+use crate::search::{SearchConfig, SearchOutcome, SearchRecord};
+use crate::session::{SearchSession, Strategy};
 use yoso_arch::DesignPoint;
 
 /// A reranked finalist.
@@ -54,49 +59,63 @@ impl YosoResult {
 ///
 /// Each finalist's full training + exact simulation is independent, so
 /// the rerank fans out over the worker pool.
+///
+/// # Errors
+///
+/// Propagates the first evaluator [`Error`], if any.
 pub fn finalize(
     outcome: &SearchOutcome,
     top_n: usize,
     accurate: &AccurateEvaluator,
     reward_cfg: &RewardConfig,
-) -> Vec<Finalist> {
+) -> Result<Vec<Finalist>, Error> {
     let top: Vec<SearchRecord> = outcome.top_n(top_n);
-    let mut finalists: Vec<Finalist> = crate::parallel::parallel_map(top.len(), 0, |i| {
-        let rec = &top[i];
-        let accurate_eval = accurate.evaluate(&rec.point);
-        Finalist {
-            point: rec.point,
-            fast_eval: rec.eval,
-            accurate_eval,
-            accurate_reward: reward_cfg.reward(
-                accurate_eval.accuracy,
-                accurate_eval.latency_ms,
-                accurate_eval.energy_mj,
-            ),
-        }
-    });
+    let evaluated: Vec<Result<Finalist, Error>> =
+        crate::parallel::parallel_map(top.len(), 0, |i| {
+            let rec = &top[i];
+            let accurate_eval = accurate.evaluate(&rec.point)?;
+            Ok(Finalist {
+                point: rec.point,
+                fast_eval: rec.eval,
+                accurate_eval,
+                accurate_reward: reward_cfg.reward(
+                    accurate_eval.accuracy,
+                    accurate_eval.latency_ms,
+                    accurate_eval.energy_mj,
+                ),
+            })
+        });
+    let mut finalists = evaluated.into_iter().collect::<Result<Vec<_>, _>>()?;
     finalists.sort_by(|a, b| b.accurate_reward.total_cmp(&a.accurate_reward));
-    finalists
+    Ok(finalists)
 }
 
 /// Runs steps 2 and 3 against a prebuilt fast evaluator.
+///
+/// # Errors
+///
+/// Propagates any [`Error`] from the search or the accurate rerank.
 pub fn run_search_and_finalize(
     fast: &FastEvaluator,
     accurate: &AccurateEvaluator,
     reward_cfg: &RewardConfig,
     search_cfg: &SearchConfig,
     top_n: usize,
-) -> YosoResult {
-    let outcome = rl_search(fast, reward_cfg, search_cfg);
-    let finalists = finalize(&outcome, top_n, accurate, reward_cfg);
-    YosoResult { outcome, finalists }
+) -> Result<YosoResult, Error> {
+    let outcome = SearchSession::builder()
+        .evaluator(fast)
+        .reward(*reward_cfg)
+        .config(search_cfg.clone())
+        .strategy(Strategy::Rl)
+        .run()?;
+    let finalists = finalize(&outcome, top_n, accurate, reward_cfg)?;
+    Ok(YosoResult { outcome, finalists })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::evaluation::{calibrate_constraints, SurrogateEvaluator};
-    use crate::search::random_search;
     use yoso_arch::NetworkSkeleton;
     use yoso_dataset::{SynthCifar, SynthCifarConfig};
     use yoso_nn::TrainConfig;
@@ -107,21 +126,18 @@ mod tests {
         let ev = SurrogateEvaluator::new(sk.clone());
         let cons = calibrate_constraints(&sk, 40, 0, 60.0);
         let rc = RewardConfig::balanced(cons);
-        let outcome = random_search(
-            &ev,
-            &rc,
-            &SearchConfig {
-                iterations: 30,
-                rollouts_per_update: 1,
-                seed: 0,
-                ..SearchConfig::default()
-            },
-        );
+        let outcome = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(SearchConfig::builder().iterations(30).build())
+            .strategy(Strategy::Random)
+            .run()
+            .unwrap();
         let data = SynthCifar::generate(&SynthCifarConfig::tiny());
         let mut train_cfg = TrainConfig::fast_test();
         train_cfg.epochs = 1;
         let accurate = AccurateEvaluator::new(sk, data, train_cfg);
-        let finalists = finalize(&outcome, 3, &accurate, &rc);
+        let finalists = finalize(&outcome, 3, &accurate, &rc).unwrap();
         assert_eq!(finalists.len(), 3);
         for w in finalists.windows(2) {
             assert!(w[0].accurate_reward >= w[1].accurate_reward);

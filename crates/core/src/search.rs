@@ -195,6 +195,7 @@ fn run(
         .config(cfg.clone())
         .strategy(strategy)
         .run()
+        .expect("valid search configuration and infallible evaluator")
 }
 
 /// RL-based search (paper step 2): the LSTM controller generates joint
@@ -202,6 +203,12 @@ fn run(
 /// REINFORCE steers the policy towards higher composite reward.
 ///
 /// Equivalent to a [`SearchSession`] with [`Strategy::Rl`] and no trace.
+///
+/// # Panics
+///
+/// Panics if `cfg.rollouts_per_update` is zero or the evaluator fails —
+/// [`SearchSession`] reports both as typed errors instead.
+#[deprecated(note = "use SearchSession::builder()")]
 pub fn rl_search(
     evaluator: &dyn Evaluator,
     reward_cfg: &RewardConfig,
@@ -220,7 +227,10 @@ pub fn rl_search(
 ///
 /// # Panics
 ///
-/// Panics if `cfg.population` or `cfg.tournament` is zero.
+/// Panics if `cfg.population` or `cfg.tournament` is zero or the
+/// evaluator fails — [`SearchSession`] reports both as typed errors
+/// instead.
+#[deprecated(note = "use SearchSession::builder()")]
 pub fn evolution_search(
     evaluator: &dyn Evaluator,
     reward_cfg: &RewardConfig,
@@ -233,6 +243,12 @@ pub fn evolution_search(
 ///
 /// Equivalent to a [`SearchSession`] with [`Strategy::Random`] and no
 /// trace.
+///
+/// # Panics
+///
+/// Panics if the evaluator fails — [`SearchSession`] reports this as a
+/// typed error instead.
+#[deprecated(note = "use SearchSession::builder()")]
 pub fn random_search(
     evaluator: &dyn Evaluator,
     reward_cfg: &RewardConfig,
@@ -242,6 +258,7 @@ pub fn random_search(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::evaluation::SurrogateEvaluator;

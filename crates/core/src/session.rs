@@ -25,37 +25,56 @@
 //! With the default [`Trace::disabled`] sink every emission site reduces
 //! to a single pointer check, so searches pay nothing for the layer.
 //!
-//! # Example
+//! # Crash-safe checkpointing
+//!
+//! Give the builder [`checkpoint_every`](SearchSessionBuilder::checkpoint_every)
+//! and [`checkpoint_dir`](SearchSessionBuilder::checkpoint_dir) and the
+//! session writes an atomic snapshot (`ckpt_00000015.snap`, …) of its
+//! complete state — controller weights and Adam moments, RNG stream,
+//! evaluated history, simulator cache — every `n` iterations (for RL,
+//! at the next controller-update boundary). After a crash,
+//! [`SearchSession::resume_from`] rebuilds the session from the newest
+//! checkpoint and the continued run replays the remaining iterations
+//! **bit-identically** to the uninterrupted run:
 //!
 //! ```
 //! use yoso_core::evaluation::{calibrate_constraints, SurrogateEvaluator};
 //! use yoso_core::reward::RewardConfig;
 //! use yoso_core::search::SearchConfig;
 //! use yoso_core::session::{SearchSession, Strategy};
-//! use yoso_trace::Trace;
 //!
 //! let sk = yoso_arch::NetworkSkeleton::tiny();
 //! let evaluator = SurrogateEvaluator::new(sk.clone());
 //! let reward = RewardConfig::balanced(calibrate_constraints(&sk, 30, 0, 50.0));
-//! let trace = Trace::memory();
-//! let outcome = SearchSession::builder()
+//! let dir = std::env::temp_dir().join(format!("yoso-doc-ckpt-{}", std::process::id()));
+//! let full = SearchSession::builder()
 //!     .evaluator(&evaluator)
 //!     .reward(reward)
-//!     .strategy(Strategy::Rl)
-//!     .config(SearchConfig::builder().iterations(20).rollouts_per_update(4).build())
-//!     .trace(trace.clone())
-//!     .run();
-//! assert_eq!(outcome.history.len(), 20);
-//! // One search_iter event per iteration, plus start/summary events.
-//! let iters = trace.lines().iter().filter(|l| l.contains("\"search_iter\"")).count();
-//! assert_eq!(iters, 20);
+//!     .strategy(Strategy::Random)
+//!     .config(SearchConfig::builder().iterations(20).build())
+//!     .checkpoint_every(10)
+//!     .checkpoint_dir(&dir)
+//!     .run()
+//!     .unwrap();
+//! // Simulate a crash at iteration 10: restart from the newest snapshot.
+//! let latest = yoso_core::checkpoint::latest_checkpoint(&dir).unwrap().unwrap();
+//! let resumed = SearchSession::resume_from(&latest)
+//!     .unwrap()
+//!     .evaluator(&evaluator)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(resumed, full);
+//! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+use crate::checkpoint::{checkpoint_file_name, CheckpointWriter, SessionCheckpoint};
+use crate::error::Error;
 use crate::evaluation::Evaluator;
 use crate::reward::RewardConfig;
 use crate::search::{SearchConfig, SearchOutcome, SearchRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use yoso_arch::{ActionSpace, DesignPoint};
 use yoso_controller::{Controller, ControllerConfig, Rollout};
@@ -170,16 +189,32 @@ impl SearchEvent {
     }
 }
 
+/// Mid-run state restored from a checkpoint, applied when the session
+/// runs: the continued loop starts after the last recorded iteration.
+struct ResumeState {
+    strategy: Strategy,
+    evaluator: String,
+    update_index: u64,
+    history: Vec<SearchRecord>,
+    rng_state: [u64; 4],
+    controller: Option<Controller>,
+}
+
 /// A fully configured search, ready to [`run`](SearchSession::run).
 ///
-/// Construct with [`SearchSession::builder`]; see the [module
-/// docs](self) for what the session emits when given a trace sink.
+/// Construct with [`SearchSession::builder`] (or
+/// [`SearchSession::resume_from`] to continue from a checkpoint); see
+/// the [module docs](self) for what the session emits when given a
+/// trace sink.
 pub struct SearchSession<'a> {
     evaluator: &'a dyn Evaluator,
     reward: RewardConfig,
     config: SearchConfig,
     strategy: Strategy,
     trace: Trace,
+    checkpoint_every: Option<usize>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: Option<ResumeState>,
 }
 
 /// Builder for [`SearchSession`]; see the [module docs](self) example.
@@ -189,6 +224,9 @@ pub struct SearchSessionBuilder<'a> {
     config: SearchConfig,
     strategy: Strategy,
     trace: Trace,
+    checkpoint_every: Option<usize>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: Option<ResumeState>,
 }
 
 impl<'a> SearchSessionBuilder<'a> {
@@ -228,37 +266,78 @@ impl<'a> SearchSessionBuilder<'a> {
         self
     }
 
+    /// Writes a crash-recovery checkpoint every `n` iterations (for RL,
+    /// at the next controller-update boundary on or after each multiple
+    /// of `n`). Requires [`checkpoint_dir`](Self::checkpoint_dir).
+    #[must_use]
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = Some(n);
+        self
+    }
+
+    /// Directory for checkpoint files (created on run when missing).
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// Finalizes the session.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no evaluator or no reward was supplied, or if the
-    /// config's `population`/`tournament` is zero.
-    pub fn build(self) -> SearchSession<'a> {
+    /// Returns [`Error::InvalidConfig`] when no evaluator or reward was
+    /// supplied, when `population`, `tournament` or (for RL)
+    /// `rollouts_per_update` is zero, or when a checkpoint cadence was
+    /// set without a directory (or vice versa, a zero cadence).
+    pub fn build(self) -> Result<SearchSession<'a>, Error> {
         let config = self.config;
-        assert!(
-            config.population > 0 && config.tournament > 0,
-            "population and tournament must be positive"
-        );
-        SearchSession {
-            evaluator: self
-                .evaluator
-                .expect("SearchSession requires .evaluator(..)"),
-            reward: self.reward.expect("SearchSession requires .reward(..)"),
+        if config.population == 0 || config.tournament == 0 {
+            return Err(Error::InvalidConfig(
+                "population and tournament must be positive".into(),
+            ));
+        }
+        if self.strategy == Strategy::Rl && config.rollouts_per_update == 0 {
+            return Err(Error::InvalidConfig(
+                "rollouts_per_update must be positive for Strategy::Rl".into(),
+            ));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(Error::InvalidConfig(
+                "checkpoint_every(0) — the cadence must be positive".into(),
+            ));
+        }
+        if self.checkpoint_every.is_some() && self.checkpoint_dir.is_none() {
+            return Err(Error::InvalidConfig(
+                "checkpoint_every(..) requires .checkpoint_dir(..)".into(),
+            ));
+        }
+        let evaluator = self
+            .evaluator
+            .ok_or_else(|| Error::InvalidConfig("SearchSession requires .evaluator(..)".into()))?;
+        let reward = self
+            .reward
+            .ok_or_else(|| Error::InvalidConfig("SearchSession requires .reward(..)".into()))?;
+        Ok(SearchSession {
+            evaluator,
+            reward,
             config,
             strategy: self.strategy,
             trace: self.trace,
-        }
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_dir: self.checkpoint_dir,
+            resume: self.resume,
+        })
     }
 
     /// [`build`](Self::build)s and [`run`](SearchSession::run)s in one
     /// call.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// As [`build`](Self::build).
-    pub fn run(self) -> SearchOutcome {
-        self.build().run()
+    /// As [`build`](Self::build) and [`run`](SearchSession::run).
+    pub fn run(self) -> Result<SearchOutcome, Error> {
+        self.build()?.run()
     }
 }
 
@@ -271,7 +350,49 @@ impl<'a> SearchSession<'a> {
             config: SearchConfig::default(),
             strategy: Strategy::default(),
             trace: Trace::disabled(),
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            resume: None,
         }
+    }
+
+    /// Starts a builder preloaded from a checkpoint file: strategy,
+    /// config, reward, history, RNG stream and controller come from the
+    /// snapshot; the caller supplies the evaluator (checkpoints record
+    /// only its name) and may attach a trace sink. The checkpoint's
+    /// parent directory becomes the new checkpoint directory, so the
+    /// resumed run keeps checkpointing on the same cadence.
+    ///
+    /// The continued run replays the remaining iterations bit-identically
+    /// to an uninterrupted run with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Persist`] when the file cannot be read or fails
+    /// validation (bad magic, checksum mismatch, truncation, malformed
+    /// sections).
+    pub fn resume_from(path: impl AsRef<Path>) -> Result<SearchSessionBuilder<'a>, Error> {
+        let path = path.as_ref();
+        let ck = SessionCheckpoint::read_from(path)?;
+        let mut builder = SearchSession::builder()
+            .reward(ck.reward)
+            .config(ck.config.clone())
+            .strategy(ck.strategy);
+        if ck.checkpoint_every > 0 {
+            builder = builder.checkpoint_every(ck.checkpoint_every);
+            if let Some(dir) = path.parent() {
+                builder = builder.checkpoint_dir(dir);
+            }
+        }
+        builder.resume = Some(ResumeState {
+            strategy: ck.strategy,
+            evaluator: ck.evaluator,
+            update_index: ck.update_index,
+            history: ck.history,
+            rng_state: ck.rng_state,
+            controller: ck.controller,
+        });
+        Ok(builder)
     }
 
     /// The configured strategy.
@@ -284,13 +405,38 @@ impl<'a> SearchSession<'a> {
         &self.config
     }
 
-    /// Runs the search to completion and returns the full history.
+    /// Runs the search to completion and returns the full history (for
+    /// a resumed session, including the restored prefix).
     ///
     /// When a trace sink is attached, global telemetry collection
     /// ([`yoso_trace::set_enabled`]) is switched on for the duration so
     /// the pool/GP/controller instrumentation feeds the end-of-run
     /// summary events.
-    pub fn run(&self) -> SearchOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ResumeMismatch`] when the session resumes from a
+    /// checkpoint recorded with a different evaluator or strategy,
+    /// [`Error::Persist`] when a checkpoint cannot be written, and
+    /// whatever the evaluator propagates.
+    pub fn run(&self) -> Result<SearchOutcome, Error> {
+        if let Some(res) = &self.resume {
+            if res.evaluator != self.evaluator.name() {
+                return Err(Error::ResumeMismatch {
+                    expected: format!("evaluator `{}`", res.evaluator),
+                    found: format!("evaluator `{}`", self.evaluator.name()),
+                });
+            }
+            if res.strategy != self.strategy {
+                return Err(Error::ResumeMismatch {
+                    expected: format!("strategy `{}`", res.strategy),
+                    found: format!("strategy `{}`", self.strategy),
+                });
+            }
+        }
+        if let Some(dir) = &self.checkpoint_dir {
+            std::fs::create_dir_all(dir).map_err(Error::from)?;
+        }
         let traced = self.trace.is_enabled();
         if traced {
             yoso_trace::set_enabled(true);
@@ -298,24 +444,26 @@ impl<'a> SearchSession<'a> {
         let cache_before = yoso_accel::cache::stats();
         let reg_before = yoso_trace::snapshot();
         if traced {
-            self.trace.emit(
-                Event::new("search_start")
-                    .with_str("strategy", self.strategy.name())
-                    .with_u64("iterations", self.config.iterations as u64)
-                    .with_u64(
-                        "rollouts_per_update",
-                        self.config.rollouts_per_update as u64,
-                    )
-                    .with_u64("population", self.config.population as u64)
-                    .with_u64("tournament", self.config.tournament as u64)
-                    .with_u64("seed", self.config.seed),
-            );
+            let mut start = Event::new("search_start")
+                .with_str("strategy", self.strategy.name())
+                .with_u64("iterations", self.config.iterations as u64)
+                .with_u64(
+                    "rollouts_per_update",
+                    self.config.rollouts_per_update as u64,
+                )
+                .with_u64("population", self.config.population as u64)
+                .with_u64("tournament", self.config.tournament as u64)
+                .with_u64("seed", self.config.seed);
+            if let Some(res) = &self.resume {
+                start = start.with_u64("resume_iteration", res.history.len() as u64);
+            }
+            self.trace.emit(start);
         }
         let t0 = Instant::now();
         let outcome = match self.strategy {
-            Strategy::Rl => self.run_rl(),
-            Strategy::Evolution => self.run_evolution(),
-            Strategy::Random => self.run_random(),
+            Strategy::Rl => self.run_rl()?,
+            Strategy::Evolution => self.run_evolution()?,
+            Strategy::Random => self.run_random()?,
         };
         if traced {
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -336,7 +484,7 @@ impl<'a> SearchSession<'a> {
             self.emit_subsystem_summaries(&cache_before, &reg_before);
             self.trace.flush();
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Emits the cache / GP / pool / controller summary events as deltas
@@ -418,46 +566,95 @@ impl<'a> SearchSession<'a> {
         }
     }
 
-    fn record(&self, iteration: usize, point: DesignPoint) -> SearchRecord {
-        let eval = self.evaluator.evaluate(&point);
+    fn record(&self, iteration: usize, point: DesignPoint) -> Result<SearchRecord, Error> {
+        let eval = self.evaluator.evaluate(&point)?;
         let reward = self
             .reward
             .reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
-        SearchRecord {
+        Ok(SearchRecord {
             iteration,
             point,
             eval,
             reward,
+        })
+    }
+
+    /// Writes a checkpoint when the cadence since `last_ckpt` is due.
+    /// `completed` counts evaluated iterations (= `history.len()`).
+    fn maybe_checkpoint(
+        &self,
+        completed: usize,
+        last_ckpt: &mut usize,
+        update_index: u64,
+        history: &[SearchRecord],
+        rng: &StdRng,
+        controller: Option<&Controller>,
+    ) -> Result<(), Error> {
+        let (Some(every), Some(dir)) = (self.checkpoint_every, self.checkpoint_dir.as_ref()) else {
+            return Ok(());
+        };
+        if completed.saturating_sub(*last_ckpt) < every {
+            return Ok(());
         }
+        CheckpointWriter {
+            strategy: self.strategy,
+            evaluator: self.evaluator.name(),
+            checkpoint_every: every,
+            config: &self.config,
+            reward: &self.reward,
+            update_index,
+            history,
+            rng_state: rng.state(),
+            controller,
+        }
+        .write_to(dir.join(checkpoint_file_name(completed)))?;
+        *last_ckpt = completed;
+        Ok(())
     }
 
     /// RL-based search (paper step 2): the LSTM controller generates
     /// joint DNN + accelerator action sequences, the evaluator scores
     /// them in batches, and REINFORCE steers the policy towards higher
     /// composite reward.
-    fn run_rl(&self) -> SearchOutcome {
+    fn run_rl(&self) -> Result<SearchOutcome, Error> {
         let cfg = &self.config;
         let space = ActionSpace::new();
-        let mut ctrl_cfg = ControllerConfig::paper_default(space.vocab_sizes().to_vec());
-        ctrl_cfg.seed = cfg.seed;
-        let mut controller = Controller::new(ctrl_cfg);
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD);
         let mut outcome = SearchOutcome::default();
-        let mut iteration = 0;
         let mut update_index = 0u64;
+        let mut last_ckpt = 0usize;
+        let (mut controller, mut rng) = match &self.resume {
+            Some(res) => {
+                outcome.history = res.history.clone();
+                update_index = res.update_index;
+                last_ckpt = res.history.len();
+                let controller = res
+                    .controller
+                    .clone()
+                    .ok_or_else(|| Error::ResumeMismatch {
+                        expected: "an RL checkpoint with a controller section".into(),
+                        found: "a checkpoint without one".into(),
+                    })?;
+                (controller, StdRng::from_state(res.rng_state))
+            }
+            None => {
+                let mut ctrl_cfg = ControllerConfig::paper_default(space.vocab_sizes().to_vec());
+                ctrl_cfg.seed = cfg.seed;
+                (
+                    Controller::new(ctrl_cfg),
+                    StdRng::seed_from_u64(cfg.seed ^ 0xABCD),
+                )
+            }
+        };
+        let mut iteration = outcome.history.len();
         while iteration < cfg.iterations {
             let batch_n = cfg.rollouts_per_update.min(cfg.iterations - iteration);
             let rollouts: Vec<Rollout> =
                 (0..batch_n).map(|_| controller.sample(&mut rng)).collect();
-            let points: Vec<DesignPoint> = rollouts
-                .iter()
-                .map(|r| {
-                    space
-                        .decode(&r.actions)
-                        .expect("controller emits in-vocabulary actions")
-                })
-                .collect();
-            let evals = self.evaluator.evaluate_batch(&points);
+            let mut points: Vec<DesignPoint> = Vec::with_capacity(batch_n);
+            for r in &rollouts {
+                points.push(space.decode(&r.actions)?);
+            }
+            let evals = self.evaluator.evaluate_batch(&points)?;
             let mut batch: Vec<(Rollout, f64)> = Vec::with_capacity(batch_n);
             for (rollout, (point, eval)) in rollouts.into_iter().zip(points.into_iter().zip(evals))
             {
@@ -488,21 +685,43 @@ impl<'a> SearchSession<'a> {
                 );
             }
             update_index += 1;
+            self.maybe_checkpoint(
+                iteration,
+                &mut last_ckpt,
+                update_index,
+                &outcome.history,
+                &rng,
+                Some(&controller),
+            )?;
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Regularized-evolution search (Real et al., the AmoebaNet method
     /// cited as \[9\]): tournament selection over a sliding population
     /// with single-symbol mutation through the action codec.
-    fn run_evolution(&self) -> SearchOutcome {
+    fn run_evolution(&self) -> Result<SearchOutcome, Error> {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0_5EED);
         let mut outcome = SearchOutcome::default();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0_5EED);
+        let mut last_ckpt = 0usize;
         let mut pop: std::collections::VecDeque<SearchRecord> = std::collections::VecDeque::new();
-        for iteration in 0..cfg.iterations {
+        if let Some(res) = &self.resume {
+            outcome.history = res.history.clone();
+            last_ckpt = res.history.len();
+            rng = StdRng::from_state(res.rng_state);
+            // The sliding population is a pure function of the history:
+            // replay the push/evict sequence to rebuild it.
+            for rec in &outcome.history {
+                pop.push_back(*rec);
+                if pop.len() > cfg.population {
+                    pop.pop_front();
+                }
+            }
+        }
+        for iteration in outcome.history.len()..cfg.iterations {
             let rec = if pop.len() < cfg.population {
-                self.record(iteration, DesignPoint::random(&mut rng))
+                self.record(iteration, DesignPoint::random(&mut rng))?
             } else {
                 // Tournament: sample `tournament` members, mutate the fittest.
                 let parent = (0..cfg.tournament)
@@ -510,7 +729,7 @@ impl<'a> SearchSession<'a> {
                     .max_by(|a, b| a.reward.total_cmp(&b.reward))
                     .expect("tournament > 0");
                 let child = parent.point.mutate(&mut rng);
-                self.record(iteration, child)
+                self.record(iteration, child)?
             };
             self.emit_iter(&rec, None);
             pop.push_back(rec);
@@ -518,21 +737,43 @@ impl<'a> SearchSession<'a> {
                 pop.pop_front(); // regularization: age-based removal
             }
             outcome.history.push(rec);
+            self.maybe_checkpoint(
+                iteration + 1,
+                &mut last_ckpt,
+                0,
+                &outcome.history,
+                &rng,
+                None,
+            )?;
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Uniform random search over the joint space.
-    fn run_random(&self) -> SearchOutcome {
+    fn run_random(&self) -> Result<SearchOutcome, Error> {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
         let mut outcome = SearchOutcome::default();
-        for iteration in 0..cfg.iterations {
-            let rec = self.record(iteration, DesignPoint::random(&mut rng));
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
+        let mut last_ckpt = 0usize;
+        if let Some(res) = &self.resume {
+            outcome.history = res.history.clone();
+            last_ckpt = res.history.len();
+            rng = StdRng::from_state(res.rng_state);
+        }
+        for iteration in outcome.history.len()..cfg.iterations {
+            let rec = self.record(iteration, DesignPoint::random(&mut rng))?;
             self.emit_iter(&rec, None);
             outcome.history.push(rec);
+            self.maybe_checkpoint(
+                iteration + 1,
+                &mut last_ckpt,
+                0,
+                &outcome.history,
+                &rng,
+                None,
+            )?;
         }
-        outcome
+        Ok(outcome)
     }
 }
 
@@ -549,7 +790,18 @@ mod tests {
         (ev, RewardConfig::balanced(cons))
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "yoso-session-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
+    #[allow(deprecated)]
     fn session_matches_free_functions() {
         let (ev, rc) = setup();
         let cfg = SearchConfig::builder()
@@ -575,7 +827,8 @@ mod tests {
                 .reward(rc)
                 .config(cfg.clone())
                 .strategy(strategy)
-                .run();
+                .run()
+                .unwrap();
             assert_eq!(out, reference, "{strategy} diverged");
         }
     }
@@ -595,7 +848,8 @@ mod tests {
             )
             .strategy(Strategy::Rl)
             .trace(trace.clone())
-            .run();
+            .run()
+            .unwrap();
         let lines = trace.lines();
         let iters: Vec<SearchEvent> = lines.iter().filter_map(|l| SearchEvent::parse(l)).collect();
         assert_eq!(iters.len(), 25);
@@ -643,7 +897,8 @@ mod tests {
                 )
                 .strategy(Strategy::Rl)
                 .trace(trace.clone())
-                .run();
+                .run()
+                .unwrap();
             yoso_pool::set_num_threads(0);
             trace
                 .lines()
@@ -662,14 +917,153 @@ mod tests {
             .reward(rc)
             .config(SearchConfig::builder().iterations(10).build())
             .strategy(Strategy::Random)
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(out.history.len(), 10);
     }
 
     #[test]
-    #[should_panic(expected = "requires .evaluator")]
-    fn builder_panics_without_evaluator() {
-        let _ = SearchSession::builder().reward(setup().1).build();
+    fn builder_rejects_missing_evaluator() {
+        let err = SearchSession::builder().reward(setup().1).build().err();
+        assert!(
+            matches!(err, Some(Error::InvalidConfig(ref m)) if m.contains(".evaluator")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_checkpointing_without_dir() {
+        let (ev, rc) = setup();
+        let err = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .checkpoint_every(5)
+            .build()
+            .err();
+        assert!(
+            matches!(err, Some(Error::InvalidConfig(ref m)) if m.contains("checkpoint_dir")),
+            "{err:?}"
+        );
+        let err = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .checkpoint_every(0)
+            .checkpoint_dir("/tmp/nowhere")
+            .build()
+            .err();
+        assert!(matches!(err, Some(Error::InvalidConfig(_))), "{err:?}");
+    }
+
+    #[test]
+    fn resumed_runs_match_uninterrupted_runs() {
+        let (ev, rc) = setup();
+        for (strategy, tag) in [
+            (Strategy::Rl, "rl"),
+            (Strategy::Evolution, "evo"),
+            (Strategy::Random, "rand"),
+        ] {
+            let dir = temp_dir(tag);
+            let cfg = SearchConfig::builder()
+                .iterations(24)
+                .rollouts_per_update(4)
+                .seed(17)
+                .population(8)
+                .tournament(3)
+                .build();
+            let full = SearchSession::builder()
+                .evaluator(&ev)
+                .reward(rc)
+                .config(cfg.clone())
+                .strategy(strategy)
+                .checkpoint_every(12)
+                .checkpoint_dir(&dir)
+                .run()
+                .unwrap();
+            let ckpt = dir.join(checkpoint_file_name(12));
+            assert!(ckpt.exists(), "{strategy}: checkpoint at 12 missing");
+            // Simulated SIGKILL: the session object is gone; rebuild
+            // everything from the on-disk snapshot.
+            let resumed = SearchSession::resume_from(&ckpt)
+                .unwrap()
+                .evaluator(&ev)
+                .run()
+                .unwrap();
+            assert_eq!(resumed, full, "{strategy}: resumed run diverged");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_evaluator_and_strategy() {
+        let (ev, rc) = setup();
+        let dir = temp_dir("mismatch");
+        SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(SearchConfig::builder().iterations(10).seed(1).build())
+            .strategy(Strategy::Random)
+            .checkpoint_every(5)
+            .checkpoint_dir(&dir)
+            .run()
+            .unwrap();
+        let ckpt = dir.join(checkpoint_file_name(5));
+        // Wrong strategy: override after resume_from.
+        let err = SearchSession::resume_from(&ckpt)
+            .unwrap()
+            .evaluator(&ev)
+            .strategy(Strategy::Evolution)
+            .run()
+            .err();
+        assert!(matches!(err, Some(Error::ResumeMismatch { .. })), "{err:?}");
+        // Wrong evaluator: a different name.
+        struct Renamed(SurrogateEvaluator);
+        impl Evaluator for Renamed {
+            fn evaluate(&self, p: &DesignPoint) -> Result<crate::evaluation::Evaluation, Error> {
+                self.0.evaluate(p)
+            }
+            fn name(&self) -> &'static str {
+                "renamed"
+            }
+        }
+        let renamed = Renamed(SurrogateEvaluator::new(NetworkSkeleton::tiny()));
+        let err = SearchSession::resume_from(&ckpt)
+            .unwrap()
+            .evaluator(&renamed)
+            .run()
+            .err();
+        assert!(matches!(err, Some(Error::ResumeMismatch { .. })), "{err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_checkpoint_resume_is_a_typed_error() {
+        let (ev, rc) = setup();
+        let dir = temp_dir("corrupt");
+        SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(SearchConfig::builder().iterations(8).seed(2).build())
+            .strategy(Strategy::Random)
+            .checkpoint_every(4)
+            .checkpoint_dir(&dir)
+            .run()
+            .unwrap();
+        let ckpt = dir.join(checkpoint_file_name(4));
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        std::fs::write(&ckpt, &bytes).unwrap();
+        let err = SearchSession::resume_from(&ckpt).err();
+        assert!(
+            matches!(
+                err,
+                Some(Error::Persist(
+                    yoso_persist::PersistError::ChecksumMismatch { .. }
+                ))
+            ),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -46,6 +46,7 @@ use std::collections::HashMap;
 use yoso_arch::{Genotype, NetworkPlan, NetworkSkeleton, Op, INTERNAL_NODES, NODES_PER_CELL};
 use yoso_dataset::{Split, SynthCifar};
 use yoso_nn::{evaluate_with, forward_network, ConvBn, Head, OpWeights, WeightProvider};
+use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
 use yoso_tensor::{CosineLr, Graph, ParamStore, Tensor};
 
 /// HyperNet training hyper-parameters (paper: SGD momentum 0.9, L2 4e-5,
@@ -331,6 +332,54 @@ impl HyperNet {
     }
 }
 
+// Restore-by-reconstruct, like the controller: `HyperNet::new` allocates
+// the same shape-indexed parameter layout for a given skeleton (its
+// construction loops are deterministic; the seed only affects the
+// initial values), so restore rebuilds the allocation maps from the
+// stored skeleton and overwrites the trained weights and the momentum
+// buffers. A snapshot whose parameter shapes disagree with the
+// reconstructed layout is rejected as `Malformed`.
+impl Snapshot for HyperNet {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        self.skeleton.snapshot(w);
+        self.store.snapshot(w);
+        w.put_usize(self.velocity.len());
+        for v in &self.velocity {
+            v.snapshot(w);
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let skeleton = NetworkSkeleton::restore(r)?;
+        let store = ParamStore::restore(r)?;
+        let nv = r.take_usize()?;
+        let velocity = (0..nv)
+            .map(|_| Tensor::restore(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut hyper = HyperNet::new(skeleton, 0);
+        if store.param_count() != hyper.store.param_count() {
+            return Err(PersistError::Malformed(format!(
+                "hypernet: snapshot has {} params, skeleton implies {}",
+                store.param_count(),
+                hyper.store.param_count()
+            )));
+        }
+        for (id, value) in store.iter() {
+            if value.shape() != hyper.store.value(id).shape() {
+                return Err(PersistError::Malformed(format!(
+                    "hypernet param {}: snapshot shape {:?} vs layout {:?}",
+                    id.index(),
+                    value.shape(),
+                    hyper.store.value(id).shape()
+                )));
+            }
+        }
+        hyper.store = store;
+        hyper.velocity = velocity;
+        Ok(hyper)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +404,37 @@ mod tests {
             }
             let _ = provider.head();
         }
+    }
+
+    #[test]
+    fn restored_hypernet_evaluates_bit_identically() {
+        let data = tiny_data();
+        let mut hyper = HyperNet::new(NetworkSkeleton::tiny(), 3);
+        let cfg = HyperTrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            augment: false,
+            ..Default::default()
+        };
+        hyper.train(&data, &cfg);
+        let mut w = ByteWriter::new();
+        hyper.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let back = HyperNet::restore(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.skeleton(), hyper.skeleton());
+        assert_eq!(back.param_count(), hyper.param_count());
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let g = Genotype::random(&mut rng);
+            let a = hyper.evaluate_genotype(&g, &data.val, 32);
+            let b = back.evaluate_genotype(&g, &data.val, 32);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Truncated snapshot -> typed error.
+        assert!(matches!(
+            HyperNet::restore(&mut ByteReader::new(&bytes[..bytes.len() - 9])),
+            Err(PersistError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,739 @@
+//! # yoso-persist
+//!
+//! Crash-safe persistence for every stateful YOSO component: a small,
+//! dependency-free binary snapshot container plus the [`Snapshot`] trait
+//! the rest of the workspace implements.
+//!
+//! ## Container format (version 1)
+//!
+//! ```text
+//! [ 8B magic "YOSOSNAP" ][ u32 version ][ u64 payload_len ][ u64 fnv1a(payload) ]
+//! [ payload:  kind string | u32 n_sections | n * (name string | u64 len | bytes) ]
+//! ```
+//!
+//! All integers are little-endian. The checksum covers the entire
+//! payload, so any bit flip or truncation surfaces as a typed
+//! [`PersistError`] — never a panic and never silently-wrong state.
+//!
+//! ## Atomicity
+//!
+//! [`SnapshotBuilder::write_atomic`] writes to a `*.tmp` sibling, fsyncs
+//! it, then atomically renames it over the destination (and best-effort
+//! fsyncs the parent directory). A crash mid-write therefore leaves
+//! either the previous complete snapshot or a stray `.tmp` file — never
+//! a torn snapshot at the destination path.
+//!
+//! ## Example
+//!
+//! ```
+//! use yoso_persist::{SnapshotArchive, SnapshotBuilder};
+//!
+//! let mut b = SnapshotBuilder::new("example.counter");
+//! b.section("state", |w| w.put_u64(42));
+//! let bytes = b.to_bytes();
+//! let a = SnapshotArchive::from_bytes(&bytes).unwrap();
+//! assert_eq!(a.kind(), "example.counter");
+//! assert_eq!(a.section("state").unwrap().take_u64().unwrap(), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"YOSOSNAP";
+
+/// Current container format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Typed failure of any persistence operation. No code path in this
+/// crate panics on malformed input: corruption, truncation and version
+/// skew all map to a variant here.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        found: u64,
+    },
+    /// Fewer bytes than a field requires (truncated file or section).
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A named section the reader requires is absent.
+    MissingSection(String),
+    /// Structurally invalid content inside an intact container
+    /// (e.g. a shape mismatch against the reconstructed component).
+    Malformed(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            PersistError::BadMagic => write!(f, "not a YOSO snapshot (bad magic)"),
+            PersistError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} (supported: {supported})"
+                )
+            }
+            PersistError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: header {expected:#018x}, payload {found:#018x}"
+            ),
+            PersistError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "snapshot truncated: needed {needed} bytes, had {available}"
+                )
+            }
+            PersistError::MissingSection(name) => {
+                write!(f, "snapshot is missing section {name:?}")
+            }
+            PersistError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the container checksum. Not
+/// cryptographic; it guards against corruption and truncation, not
+/// adversaries.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian binary encoder backing every [`Snapshot`] impl.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f32` by its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an `f64` by its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice.
+    pub fn put_f32s(&mut self, vs: &[f32]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f32(v);
+        }
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64s(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn put_u64s(&mut self, vs: &[u64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` slice (as `u64`s).
+    pub fn put_usizes(&mut self, vs: &[usize]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_usize(v);
+        }
+    }
+}
+
+/// Cursor over encoded bytes; every read is bounds-checked and returns a
+/// typed [`PersistError`] on shortfall.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reads from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool`; any value other than 0/1 is [`PersistError::Malformed`].
+    pub fn take_bool(&mut self) -> Result<bool, PersistError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(PersistError::Malformed(format!("bool byte {v}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, PersistError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` written by [`ByteWriter::put_usize`].
+    pub fn take_usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| PersistError::Malformed(format!("usize overflow: {v}")))
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn take_f32(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_bits(self.take_u32()?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, PersistError> {
+        let n = self.take_usize()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| PersistError::Malformed(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Reads a length-prefixed `f32` slice.
+    pub fn take_f32s(&mut self) -> Result<Vec<f32>, PersistError> {
+        let n = self.checked_len(4)?;
+        (0..n).map(|_| self.take_f32()).collect()
+    }
+
+    /// Reads a length-prefixed `f64` slice.
+    pub fn take_f64s(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.take_f64()).collect()
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    pub fn take_u64s(&mut self) -> Result<Vec<u64>, PersistError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.take_u64()).collect()
+    }
+
+    /// Reads a length-prefixed `usize` slice.
+    pub fn take_usizes(&mut self) -> Result<Vec<usize>, PersistError> {
+        let n = self.checked_len(8)?;
+        (0..n).map(|_| self.take_usize()).collect()
+    }
+
+    /// Reads a slice length and verifies the remaining bytes can hold it
+    /// (`elem_size` bytes per element), so corrupted lengths fail fast
+    /// instead of attempting a huge allocation.
+    fn checked_len(&mut self, elem_size: usize) -> Result<usize, PersistError> {
+        let n = self.take_usize()?;
+        let needed = n.saturating_mul(elem_size);
+        if self.remaining() < needed {
+            return Err(PersistError::Truncated {
+                needed,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// A component that can write its complete state to a [`ByteWriter`] and
+/// reconstruct a bit-identical copy from a [`ByteReader`].
+///
+/// "Bit-identical" is the contract the resume tests enforce: after
+/// `restore`, every observable output of the component (samples,
+/// predictions, RNG draws) must match the original exactly.
+pub trait Snapshot: Sized {
+    /// Serializes this component's state.
+    fn snapshot(&self, w: &mut ByteWriter);
+
+    /// Reconstructs the component from bytes written by
+    /// [`snapshot`](Snapshot::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] when the bytes are truncated or
+    /// structurally invalid.
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError>;
+}
+
+/// Assembles a named-section snapshot and writes it atomically.
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    kind: String,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// Starts a snapshot of the given kind (a free-form tag the reader
+    /// can use to reject files of the wrong type).
+    pub fn new(kind: &str) -> Self {
+        SnapshotBuilder {
+            kind: kind.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds a named section whose payload `f` writes.
+    pub fn section(&mut self, name: &str, f: impl FnOnce(&mut ByteWriter)) -> &mut Self {
+        let mut w = ByteWriter::new();
+        f(&mut w);
+        self.sections.push((name.to_string(), w.into_bytes()));
+        self
+    }
+
+    /// Adds a named section holding one [`Snapshot`] value.
+    pub fn put<T: Snapshot>(&mut self, name: &str, value: &T) -> &mut Self {
+        self.section(name, |w| value.snapshot(w))
+    }
+
+    /// Serializes the full container (header + checksummed payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        payload.put_str(&self.kind);
+        payload.put_u32(self.sections.len() as u32);
+        for (name, bytes) in &self.sections {
+            payload.put_str(name);
+            payload.put_usize(bytes.len());
+            payload.buf.extend_from_slice(bytes);
+        }
+        let payload = payload.into_bytes();
+        let mut out = Vec::with_capacity(payload.len() + 28);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Writes the container to `path` atomically: a `.tmp` sibling is
+    /// written and fsynced, then renamed over `path`; the parent
+    /// directory is fsynced best-effort so the rename itself is durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure; `path` is
+    /// never left holding a partial snapshot.
+    pub fn write_atomic(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        if let Err(e) = fs::rename(&tmp, path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        // Durability of the rename: fsync the containing directory.
+        // Best-effort — some filesystems refuse to open directories.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A verified, parsed snapshot: checksum and version checked up front,
+/// sections retrievable by name.
+#[derive(Debug, Clone)]
+pub struct SnapshotArchive {
+    kind: String,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotArchive {
+    /// Parses and verifies a container produced by
+    /// [`SnapshotBuilder::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadMagic`] / [`PersistError::UnsupportedVersion`] /
+    /// [`PersistError::Truncated`] / [`PersistError::ChecksumMismatch`]
+    /// on an invalid container.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        if bytes.len() < 28 {
+            return Err(PersistError::Truncated {
+                needed: 28,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let mut r = ByteReader::new(&bytes[8..]);
+        let version = r.take_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let payload_len = r.take_usize()?;
+        let checksum = r.take_u64()?;
+        if r.remaining() != payload_len {
+            return Err(PersistError::Truncated {
+                needed: payload_len,
+                available: r.remaining(),
+            });
+        }
+        let payload = &bytes[28..];
+        let found = fnv1a(payload);
+        if found != checksum {
+            return Err(PersistError::ChecksumMismatch {
+                expected: checksum,
+                found,
+            });
+        }
+        let mut r = ByteReader::new(payload);
+        let kind = r.take_str()?;
+        let n = r.take_u32()? as usize;
+        let mut sections = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.take_str()?;
+            let len = r.take_usize()?;
+            let bytes = r.take(len)?.to_vec();
+            sections.push((name, bytes));
+        }
+        Ok(SnapshotArchive { kind, sections })
+    }
+
+    /// Reads and verifies a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_bytes`](Self::from_bytes), plus [`PersistError::Io`].
+    pub fn read(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::from_bytes(&fs::read(path)?)
+    }
+
+    /// The kind tag the snapshot was built with.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Names of all sections, in write order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Whether a section exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.sections.iter().any(|(n, _)| n == name)
+    }
+
+    /// A reader over a named section's payload.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::MissingSection`] when absent.
+    pub fn section(&self, name: &str) -> Result<ByteReader<'_>, PersistError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, bytes)| ByteReader::new(bytes))
+            .ok_or_else(|| PersistError::MissingSection(name.to_string()))
+    }
+
+    /// Restores one [`Snapshot`] value from a named section.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::MissingSection`] or the value's restore error.
+    pub fn get<T: Snapshot>(&self, name: &str) -> Result<T, PersistError> {
+        T::restore(&mut self.section(name)?)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip_is_bit_exact() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_usize(44);
+        w.put_f32(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("héllo");
+        w.put_f64s(&[1.5, -2.25, 1e-300]);
+        w.put_u64s(&[1, 2, 3]);
+        w.put_usizes(&[9, 8]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX);
+        assert_eq!(r.take_usize().unwrap(), 44);
+        assert_eq!(r.take_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.take_f64().unwrap().is_nan());
+        assert_eq!(r.take_str().unwrap(), "héllo");
+        assert_eq!(r.take_f64s().unwrap(), vec![1.5, -2.25, 1e-300]);
+        assert_eq!(r.take_u64s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.take_usizes().unwrap(), vec![9, 8]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reads_past_end_are_typed_errors() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(
+            r.take_u64(),
+            Err(PersistError::Truncated {
+                needed: 8,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_slice_length_rejected_without_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_usize(usize::MAX / 2); // claims ~9e18 elements
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.take_f64s(), Err(PersistError::Truncated { .. })));
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let mut b = SnapshotBuilder::new("test.kind");
+        b.section("alpha", |w| w.put_u64(1));
+        b.section("beta", |w| w.put_str("two"));
+        let bytes = b.to_bytes();
+        let a = SnapshotArchive::from_bytes(&bytes).unwrap();
+        assert_eq!(a.kind(), "test.kind");
+        assert_eq!(a.section_names(), vec!["alpha", "beta"]);
+        assert!(a.has("alpha") && !a.has("gamma"));
+        assert_eq!(a.section("alpha").unwrap().take_u64().unwrap(), 1);
+        assert_eq!(a.section("beta").unwrap().take_str().unwrap(), "two");
+        assert!(matches!(
+            a.section("gamma"),
+            Err(PersistError::MissingSection(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_byte_is_checksum_mismatch() {
+        let mut b = SnapshotBuilder::new("test");
+        b.section("s", |w| w.put_f64s(&[1.0, 2.0, 3.0]));
+        let mut bytes = b.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            SnapshotArchive::from_bytes(&bytes),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_container_is_truncation_error() {
+        let mut b = SnapshotBuilder::new("test");
+        b.section("s", |w| w.put_u64s(&[1, 2, 3, 4]));
+        let bytes = b.to_bytes();
+        for cut in [bytes.len() - 1, bytes.len() / 2, 27, 5] {
+            let err = SnapshotArchive::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, PersistError::Truncated { .. } | PersistError::BadMagic),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let bytes = SnapshotBuilder::new("t").to_bytes();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            SnapshotArchive::from_bytes(&bad_magic),
+            Err(PersistError::BadMagic)
+        ));
+        let mut bad_version = bytes;
+        bad_version[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            SnapshotArchive::from_bytes(&bad_version),
+            Err(PersistError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_roundtrips_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("yoso-persist-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+        let mut b = SnapshotBuilder::new("t");
+        b.section("v", |w| w.put_u64(17));
+        b.write_atomic(&path).unwrap();
+        // Overwrite (the rolling-checkpoint pattern) also succeeds.
+        let mut b2 = SnapshotBuilder::new("t");
+        b2.section("v", |w| w.put_u64(18));
+        b2.write_atomic(&path).unwrap();
+        let a = SnapshotArchive::read(&path).unwrap();
+        assert_eq!(a.section("v").unwrap().take_u64().unwrap(), 18);
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_display_and_source_chain() {
+        let io = PersistError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&io).is_some());
+        assert!(io.to_string().contains("gone"));
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::MissingSection("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

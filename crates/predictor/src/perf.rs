@@ -7,6 +7,7 @@ use crate::regressors::gp::GaussianProcess;
 use crate::regressors::{FitError, Regressor};
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, NetworkSkeleton};
+use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
 
 /// One ground-truth sample: a design point and its simulated performance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,6 +156,38 @@ impl PerfPredictor {
     }
 }
 
+impl Snapshot for PerfSample {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        self.point.snapshot(w);
+        w.put_f64(self.latency_ms);
+        w.put_f64(self.energy_mj);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(PerfSample {
+            point: DesignPoint::restore(r)?,
+            latency_ms: r.take_f64()?,
+            energy_mj: r.take_f64()?,
+        })
+    }
+}
+
+impl Snapshot for PerfPredictor {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        self.skeleton.snapshot(w);
+        self.latency_gp.snapshot(w);
+        self.energy_gp.snapshot(w);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(PerfPredictor {
+            skeleton: NetworkSkeleton::restore(r)?,
+            latency_gp: GaussianProcess::restore(r)?,
+            energy_gp: GaussianProcess::restore(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +244,26 @@ mod tests {
             let (l, e) = pred.predict(p);
             assert!((l - bl).abs() <= 1e-9 * l.abs().max(1.0), "{l} vs {bl}");
             assert!((e - be).abs() <= 1e-9 * e.abs().max(1.0), "{e} vs {be}");
+        }
+    }
+
+    #[test]
+    fn restored_predictor_predicts_bit_identically() {
+        let skeleton = NetworkSkeleton::tiny();
+        let sim = Simulator::fast();
+        let train = collect_samples(&skeleton, &sim, 120, 11);
+        let pred = PerfPredictor::train(&skeleton, &train).unwrap();
+        let mut w = ByteWriter::new();
+        pred.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let back = PerfPredictor::restore(&mut ByteReader::new(&bytes)).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..25 {
+            let p = DesignPoint::random(&mut rng);
+            let (l0, e0) = pred.predict(&p);
+            let (l1, e1) = back.predict(&p);
+            assert_eq!(l0.to_bits(), l1.to_bits());
+            assert_eq!(e0.to_bits(), e1.to_bits());
         }
     }
 

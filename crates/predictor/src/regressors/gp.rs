@@ -10,6 +10,7 @@
 use super::{validate, FitError, Regressor};
 use crate::linalg::{sq_dist, Matrix};
 use crate::standardize::{ScalarStandardizer, Standardizer};
+use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
 
 /// RBF-kernel Gaussian-process regressor.
 #[derive(Debug, Clone)]
@@ -180,6 +181,84 @@ fn stride_subsample<T: Clone>(v: &[T], cap: usize) -> Vec<T> {
     (0..cap)
         .map(|i| v[(i as f64 * stride) as usize].clone())
         .collect()
+}
+
+// The full fitted state (training subsample, Cholesky factor, alpha
+// weights, standardizers, selected hyper-parameters) is persisted, so a
+// restored GP predicts bit-identically without re-running the O(n^3)
+// fit or the hyper-parameter grid search.
+impl Snapshot for GaussianProcess {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_f64s(&self.lengthscale_factors);
+        w.put_f64s(&self.noise_grid);
+        w.put_usize(self.max_train);
+        w.put_usize(self.max_hyper);
+        self.std.snapshot(w);
+        match self.ystd {
+            Some(y) => {
+                w.put_bool(true);
+                y.snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.xs.len());
+        for x in &self.xs {
+            w.put_f64s(x);
+        }
+        w.put_f64s(&self.alpha);
+        match &self.chol {
+            Some(l) => {
+                w.put_bool(true);
+                l.snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_f64(self.lengthscale);
+        w.put_f64(self.noise);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let lengthscale_factors = r.take_f64s()?;
+        let noise_grid = r.take_f64s()?;
+        let max_train = r.take_usize()?;
+        let max_hyper = r.take_usize()?;
+        let std = Standardizer::restore(r)?;
+        let ystd = if r.take_bool()? {
+            Some(ScalarStandardizer::restore(r)?)
+        } else {
+            None
+        };
+        let n = r.take_usize()?;
+        let xs = (0..n)
+            .map(|_| r.take_f64s())
+            .collect::<Result<Vec<_>, _>>()?;
+        let alpha = r.take_f64s()?;
+        if alpha.len() != xs.len() {
+            return Err(PersistError::Malformed(format!(
+                "gp: {} training points vs {} alpha weights",
+                xs.len(),
+                alpha.len()
+            )));
+        }
+        let chol = if r.take_bool()? {
+            Some(Matrix::restore(r)?)
+        } else {
+            None
+        };
+        Ok(GaussianProcess {
+            lengthscale_factors,
+            noise_grid,
+            max_train,
+            max_hyper,
+            std,
+            ystd,
+            xs,
+            alpha,
+            chol,
+            lengthscale: r.take_f64()?,
+            noise: r.take_f64()?,
+        })
+    }
 }
 
 impl Regressor for GaussianProcess {

@@ -1,5 +1,7 @@
 //! Feature / target standardization (zero mean, unit variance).
 
+use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
+
 /// Per-dimension standardizer for feature vectors.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Standardizer {
@@ -67,6 +69,26 @@ impl Standardizer {
     }
 }
 
+impl Snapshot for Standardizer {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_f64s(&self.mean);
+        w.put_f64s(&self.std);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let mean = r.take_f64s()?;
+        let std = r.take_f64s()?;
+        if mean.len() != std.len() {
+            return Err(PersistError::Malformed(format!(
+                "standardizer: {} means vs {} stds",
+                mean.len(),
+                std.len()
+            )));
+        }
+        Ok(Standardizer { mean, std })
+    }
+}
+
 /// Scalar standardizer for regression targets.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalarStandardizer {
@@ -97,6 +119,20 @@ impl ScalarStandardizer {
     /// Maps a standardized prediction back to raw space.
     pub fn inverse(&self, v: f64) -> f64 {
         v * self.std + self.mean
+    }
+}
+
+impl Snapshot for ScalarStandardizer {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_f64(self.mean);
+        w.put_f64(self.std);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(ScalarStandardizer {
+            mean: r.take_f64()?,
+            std: r.take_f64()?,
+        })
     }
 }
 

@@ -45,6 +45,7 @@ pub mod graph;
 pub mod matmul;
 pub mod optim;
 pub mod param;
+pub mod snapshot;
 pub mod tensor;
 
 pub use conv::ConvGeom;

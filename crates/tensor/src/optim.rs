@@ -2,6 +2,7 @@
 
 use crate::param::ParamStore;
 use crate::tensor::Tensor;
+use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
 
 /// Stochastic gradient descent with momentum and decoupled L2 weight decay,
 /// matching the paper's HyperNet training recipe (momentum 0.9, L2 4e-5).
@@ -121,6 +122,49 @@ impl Adam {
                 *w -= lr * mhat / (vhat.sqrt() + eps);
             }
         });
+    }
+}
+
+// Adam's moments and step counter live in private fields, so its
+// Snapshot impl must sit in this module. All state is persisted: the
+// bias-correction terms depend on `t`, and the moments on `m`/`v`, so a
+// restored optimizer continues the update sequence bit-identically.
+impl Snapshot for Adam {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_f32(self.lr);
+        w.put_f32(self.beta1);
+        w.put_f32(self.beta2);
+        w.put_f32(self.eps);
+        w.put_u64(self.t);
+        w.put_usize(self.m.len());
+        for t in &self.m {
+            t.snapshot(w);
+        }
+        w.put_usize(self.v.len());
+        for t in &self.v {
+            t.snapshot(w);
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let lr = r.take_f32()?;
+        let beta1 = r.take_f32()?;
+        let beta2 = r.take_f32()?;
+        let eps = r.take_f32()?;
+        let t = r.take_u64()?;
+        let nm = r.take_usize()?;
+        let m = (0..nm)
+            .map(|_| Tensor::restore(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        let nv = r.take_usize()?;
+        let v = (0..nv)
+            .map(|_| Tensor::restore(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut opt = Adam::with_betas(lr, beta1, beta2, eps);
+        opt.t = t;
+        opt.m = m;
+        opt.v = v;
+        Ok(opt)
     }
 }
 

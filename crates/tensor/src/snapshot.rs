@@ -1,0 +1,103 @@
+//! [`Snapshot`] impls for tensors and parameter stores.
+//!
+//! Values round-trip bit-exactly: `f32`s are written by IEEE-754 bit
+//! pattern, so a restored tensor is indistinguishable from the original.
+//! Gradients are *not* persisted — every training step begins with
+//! [`ParamStore::zero_grads`](crate::param::ParamStore::zero_grads), so a
+//! restored store starts with zeroed accumulators, matching the state at
+//! any checkpoint boundary.
+
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
+
+impl Snapshot for Tensor {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_usizes(self.shape());
+        w.put_f32s(self.data());
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let shape = r.take_usizes()?;
+        let data = r.take_f32s()?;
+        let expect: usize = shape.iter().product();
+        if data.len() != expect {
+            return Err(PersistError::Malformed(format!(
+                "tensor shape {shape:?} needs {expect} elems, got {}",
+                data.len()
+            )));
+        }
+        Ok(Tensor::from_vec(&shape, data))
+    }
+}
+
+impl Snapshot for ParamStore {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_usize(self.param_count());
+        for (_, value) in self.iter() {
+            value.snapshot(w);
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let n = r.take_usize()?;
+        let mut store = ParamStore::new();
+        for _ in 0..n {
+            store.add(Tensor::restore(r)?);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn roundtrip<T: Snapshot>(v: &T) -> T {
+        let mut w = ByteWriter::new();
+        v.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let out = T::restore(&mut r).expect("restore");
+        assert_eq!(r.remaining(), 0, "trailing bytes after restore");
+        out
+    }
+
+    #[test]
+    fn tensor_roundtrip_is_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[3, 4, 5], 2.0, &mut rng);
+        let back = roundtrip(&t);
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn tensor_shape_mismatch_is_malformed() {
+        let mut w = ByteWriter::new();
+        w.put_usizes(&[2, 2]);
+        w.put_f32s(&[1.0, 2.0, 3.0]); // 3 elems for a 4-elem shape
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Tensor::restore(&mut ByteReader::new(&bytes)),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn param_store_roundtrip_preserves_values_and_zeroes_grads() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let a = store.add(Tensor::randn(&[4, 4], 1.0, &mut rng));
+        let b = store.add(Tensor::randn(&[4], 1.0, &mut rng));
+        store.accumulate_grad(a, &Tensor::ones(&[4, 4]));
+        let back = roundtrip(&store);
+        assert_eq!(back.param_count(), 2);
+        assert_eq!(back.value(a).data(), store.value(a).data());
+        assert_eq!(back.value(b).data(), store.value(b).data());
+        assert!(back.grad(a).data().iter().all(|&g| g == 0.0));
+    }
+}

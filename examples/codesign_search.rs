@@ -8,12 +8,12 @@
 use yoso::arch::NetworkSkeleton;
 use yoso::core::evaluation::{calibrate_constraints, AccurateEvaluator, FastEvaluator};
 use yoso::core::reward::RewardConfig;
-use yoso::core::{run_search_and_finalize, SearchConfig};
+use yoso::core::{run_search_and_finalize, Error, SearchConfig};
 use yoso::dataset::{SynthCifar, SynthCifarConfig};
 use yoso::hypernet::HyperTrainConfig;
 use yoso::nn::TrainConfig;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // Demo scale: small skeleton and dataset so this finishes quickly.
     let skeleton = NetworkSkeleton::tiny();
     let mut data_cfg = SynthCifarConfig::tiny();
@@ -28,7 +28,7 @@ fn main() {
         augment: false,
         ..Default::default()
     };
-    let fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 250, 0);
+    let fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 250, 0)?;
 
     // Step 2: RL search in the joint space.
     println!("[2/3] RL search over the joint DNN+accelerator space ...");
@@ -46,7 +46,7 @@ fn main() {
     let mut train_cfg = TrainConfig::fast_test();
     train_cfg.epochs = 4;
     let accurate = AccurateEvaluator::new(skeleton.clone(), data, train_cfg);
-    let result = run_search_and_finalize(&fast, &accurate, &reward_cfg, &search_cfg, 3);
+    let result = run_search_and_finalize(&fast, &accurate, &reward_cfg, &search_cfg, 3)?;
 
     let rb = result.outcome.running_best_reward();
     println!(
@@ -74,4 +74,5 @@ fn main() {
     let best = result.best();
     println!("\nchampion genotype: {}", best.point.genotype);
     println!("champion hardware: {}", best.point.hw);
+    Ok(())
 }

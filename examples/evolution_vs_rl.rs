@@ -7,7 +7,8 @@
 use yoso::arch::NetworkSkeleton;
 use yoso::core::evaluation::{calibrate_constraints, SurrogateEvaluator};
 use yoso::core::reward::RewardConfig;
-use yoso::core::{evolution_search, random_search, rl_search, SearchConfig, SearchOutcome};
+use yoso::core::session::{SearchSession, Strategy};
+use yoso::core::{Error, SearchConfig, SearchOutcome};
 
 fn tail_mean(o: &SearchOutcome) -> f64 {
     let k = (o.history.len() / 4).max(1);
@@ -18,7 +19,7 @@ fn tail_mean(o: &SearchOutcome) -> f64 {
         / k as f64
 }
 
-fn main() {
+fn main() -> Result<(), Error> {
     let skeleton = NetworkSkeleton::paper_default();
     let evaluator = SurrogateEvaluator::new(skeleton.clone());
     let constraints = calibrate_constraints(&skeleton, 200, 0, 40.0);
@@ -34,9 +35,17 @@ fn main() {
         "searching {} candidates with each strategy ...\n",
         cfg.iterations
     );
-    let rl = rl_search(&evaluator, &reward, &cfg);
-    let evo = evolution_search(&evaluator, &reward, &cfg);
-    let rnd = random_search(&evaluator, &reward, &cfg);
+    let search = |strategy| {
+        SearchSession::builder()
+            .evaluator(&evaluator)
+            .reward(reward)
+            .config(cfg.clone())
+            .strategy(strategy)
+            .run()
+    };
+    let rl = search(Strategy::Rl)?;
+    let evo = search(Strategy::Evolution)?;
+    let rnd = search(Strategy::Random)?;
 
     println!("{:<22} {:>10} {:>14}", "strategy", "best", "tail-qtr mean");
     for (name, o) in [
@@ -61,4 +70,5 @@ fn main() {
         "\nchampion: acc {:.3}, {:.4} ms, {:.4} mJ on {}",
         best.eval.accuracy, best.eval.latency_ms, best.eval.energy_mj, best.point.hw
     );
+    Ok(())
 }

@@ -11,9 +11,9 @@ use yoso::accel::Simulator;
 use yoso::arch::{cardinality, ActionSpace, DesignPoint, NetworkSkeleton};
 use yoso::core::evaluation::{calibrate_constraints, SurrogateEvaluator};
 use yoso::core::reward::RewardConfig;
-use yoso::core::Evaluator;
+use yoso::core::{Error, Evaluator};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let mut rng = StdRng::seed_from_u64(42);
 
     // 1. The joint search space.
@@ -66,10 +66,11 @@ fn main() {
     );
     let reward_cfg = RewardConfig::balanced(constraints);
     let evaluator = SurrogateEvaluator::new(skeleton);
-    let eval = evaluator.evaluate(&point);
+    let eval = evaluator.evaluate(&point)?;
     let reward = reward_cfg.reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
     println!(
         "Evaluation: accuracy {:.3}, latency {:.4} ms, energy {:.4} mJ -> reward {reward:.4}",
         eval.accuracy, eval.latency_ms, eval.energy_mj
     );
+    Ok(())
 }

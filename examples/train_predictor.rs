@@ -7,9 +7,10 @@
 use std::time::Instant;
 use yoso::accel::Simulator;
 use yoso::arch::{DesignPoint, NetworkSkeleton};
+use yoso::core::Error;
 use yoso::predictor::perf::{collect_samples, PerfPredictor};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let skeleton = NetworkSkeleton::paper_default();
     let sim = Simulator::exact();
 
@@ -26,7 +27,7 @@ fn main() {
 
     println!("fitting latency & energy GPs ...");
     let t1 = Instant::now();
-    let predictor = PerfPredictor::train(&skeleton, &train).expect("training samples present");
+    let predictor = PerfPredictor::train(&skeleton, &train)?;
     println!("  fitted in {:.1?}", t1.elapsed());
 
     let (lat_mape, eer_mape) = predictor.evaluate(&test);
@@ -57,4 +58,5 @@ fn main() {
         gp_time / probes.len() as u32,
         sim_time.as_secs_f64() / gp_time.as_secs_f64().max(1e-12)
     );
+    Ok(())
 }

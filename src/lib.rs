@@ -18,6 +18,7 @@
 //! | [`predictor`] | `yoso-predictor` | GP & friends performance predictors |
 //! | [`controller`] | `yoso-controller` | LSTM + REINFORCE agent |
 //! | [`hypernet`] | `yoso-hypernet` | one-shot weight-sharing supernet |
+//! | [`persist`] | `yoso-persist` | checksummed atomic snapshot container |
 //! | [`core`] | `yoso-core` | rewards, evaluators, search, baselines |
 //!
 //! The common entry points are gathered in [`prelude`]:
@@ -35,7 +36,8 @@
 //!     .strategy(Strategy::Rl)
 //!     .config(SearchConfig::builder().iterations(20).rollouts_per_update(4).build())
 //!     .trace(trace.clone())
-//!     .run();
+//!     .run()
+//!     .unwrap();
 //! assert_eq!(outcome.history.len(), 20);
 //! assert!(trace.events_emitted() > 20);
 //! ```
@@ -52,6 +54,7 @@ pub use yoso_core as core;
 pub use yoso_dataset as dataset;
 pub use yoso_hypernet as hypernet;
 pub use yoso_nn as nn;
+pub use yoso_persist as persist;
 pub use yoso_pool as pool;
 pub use yoso_predictor as predictor;
 pub use yoso_tensor as tensor;
@@ -59,19 +62,24 @@ pub use yoso_trace as trace;
 
 /// One-import surface for the co-design flow: the
 /// [`SearchSession`](yoso_core::session::SearchSession) builder and its
-/// inputs (evaluators, rewards, config), plus the telemetry handle
+/// inputs (evaluators, rewards, config), the unified
+/// [`Error`](yoso_core::error::Error) type, the persistence surface
+/// ([`Snapshot`](yoso_persist::Snapshot), checkpoint helpers) behind
+/// crash-safe resume, plus the telemetry handle
 /// ([`Trace`](yoso_trace::Trace)) and event type
 /// ([`Event`](yoso_trace::Event)) it emits.
 pub mod prelude {
+    pub use yoso_core::checkpoint::{latest_checkpoint, SessionCheckpoint};
+    pub use yoso_core::error::{error_chain, Error};
     pub use yoso_core::evaluation::{
         calibrate_constraints, AccurateEvaluator, Evaluation, Evaluator, FastEvaluator,
         SurrogateEvaluator,
     };
     pub use yoso_core::reward::{Constraints, RewardConfig, RewardForm};
-    pub use yoso_core::search::{
-        evolution_search, random_search, rl_search, SearchConfig, SearchConfigBuilder,
-        SearchOutcome, SearchRecord,
-    };
+    #[allow(deprecated)] // the wrappers stay exported until they are removed
+    pub use yoso_core::search::{evolution_search, random_search, rl_search};
+    pub use yoso_core::search::{SearchConfig, SearchConfigBuilder, SearchOutcome, SearchRecord};
     pub use yoso_core::session::{SearchEvent, SearchSession, SearchSessionBuilder, Strategy};
+    pub use yoso_persist::{PersistError, Snapshot, SnapshotArchive, SnapshotBuilder};
     pub use yoso_trace::{Event, Trace};
 }

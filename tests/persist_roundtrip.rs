@@ -1,0 +1,170 @@
+//! Facade-level persistence contracts: every stateful component saves
+//! and reloads through the `yoso::prelude` snapshot surface with
+//! bit-identical results, and damaged files come back as typed
+//! [`PersistError`]s — never a panic, never silently-wrong state.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yoso::prelude::*;
+
+/// Serializes one value into a single-section container.
+fn snap_bytes<T: Snapshot>(v: &T) -> Vec<u8> {
+    let mut b = SnapshotBuilder::new("test.roundtrip");
+    b.put("v", v);
+    b.to_bytes()
+}
+
+/// save -> load, panicking on any container error.
+fn restored<T: Snapshot>(v: &T) -> T {
+    SnapshotArchive::from_bytes(&snap_bytes(v))
+        .expect("well-formed container")
+        .get::<T>("v")
+        .expect("section present")
+}
+
+/// The gold standard: re-serializing the restored value must reproduce
+/// the original byte stream exactly.
+fn assert_bit_identical<T: Snapshot>(v: &T, what: &str) {
+    assert_eq!(
+        snap_bytes(v),
+        snap_bytes(&restored(v)),
+        "{what} drifted through save->load"
+    );
+}
+
+#[test]
+fn updated_controller_roundtrips_bit_identically() {
+    use yoso::controller::{Controller, ControllerConfig};
+    let mut cfg = ControllerConfig::paper_default(vec![4, 6, 3, 5, 2]);
+    cfg.hidden = 12;
+    cfg.embed = 6;
+    cfg.seed = 9;
+    let mut ctrl = Controller::new(cfg);
+    // A few REINFORCE updates so the LSTM weights, Adam moments and
+    // baseline all hold non-initial state.
+    let mut rng = StdRng::seed_from_u64(5);
+    for step in 0..3 {
+        let batch: Vec<_> = (0..4)
+            .map(|i| (ctrl.sample(&mut rng), 0.1 * (step + i) as f64))
+            .collect();
+        ctrl.update(&batch);
+    }
+    assert_bit_identical(&ctrl, "Controller");
+    // The restored policy must sample the exact same rollouts.
+    let reloaded = restored(&ctrl);
+    let mut ra = StdRng::seed_from_u64(77);
+    let mut rb = StdRng::seed_from_u64(77);
+    for _ in 0..5 {
+        let a = ctrl.sample(&mut ra);
+        let b = reloaded.sample(&mut rb);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
+    }
+}
+
+#[test]
+fn gp_perf_predictor_roundtrips_and_predicts_identically() {
+    use yoso::accel::Simulator;
+    use yoso::arch::{DesignPoint, NetworkSkeleton};
+    use yoso::predictor::perf::{collect_samples, PerfPredictor};
+    let sk = NetworkSkeleton::tiny();
+    let train = collect_samples(&sk, &Simulator::fast(), 40, 3);
+    let pred = PerfPredictor::train(&sk, &train).expect("enough samples");
+    assert_bit_identical(&pred, "PerfPredictor");
+    let reloaded = restored(&pred);
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..8 {
+        let p = DesignPoint::random(&mut rng);
+        let (l0, e0) = pred.predict(&p);
+        let (l1, e1) = reloaded.predict(&p);
+        assert_eq!(l0.to_bits(), l1.to_bits(), "latency prediction drifted");
+        assert_eq!(e0.to_bits(), e1.to_bits(), "energy prediction drifted");
+    }
+}
+
+#[test]
+fn hypernet_roundtrips_bit_identically() {
+    use yoso::arch::NetworkSkeleton;
+    use yoso::hypernet::HyperNet;
+    let hyper = HyperNet::new(NetworkSkeleton::tiny(), 21);
+    assert_bit_identical(&hyper, "HyperNet");
+}
+
+#[test]
+fn corrupted_snapshot_is_a_typed_checksum_error() {
+    let path = std::env::temp_dir().join(format!(
+        "yoso-persist-facade-corrupt-{}.snap",
+        std::process::id()
+    ));
+    let mut b = SnapshotBuilder::new("test.corrupt");
+    b.section("payload", |w| w.put_f64s(&[1.0, 2.0, 3.0]));
+    b.write_atomic(&path).expect("atomic write");
+    let mut bytes = std::fs::read(&path).expect("read back");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF; // flip a payload byte
+    std::fs::write(&path, &bytes).expect("re-write damaged file");
+    let err = SnapshotArchive::read(&path).expect_err("must be rejected");
+    assert!(
+        matches!(err, PersistError::ChecksumMismatch { .. }),
+        "wrong error for corruption: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_snapshot_is_a_typed_truncation_error() {
+    let path = std::env::temp_dir().join(format!(
+        "yoso-persist-facade-trunc-{}.snap",
+        std::process::id()
+    ));
+    let mut b = SnapshotBuilder::new("test.trunc");
+    b.section("payload", |w| w.put_f64s(&[4.0; 32]));
+    b.write_atomic(&path).expect("atomic write");
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+    let err = SnapshotArchive::read(&path).expect_err("must be rejected");
+    assert!(
+        matches!(err, PersistError::Truncated { .. }),
+        "wrong error for truncation: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Evaluations survive the container for *any* f64 bit pattern —
+    /// negative zero, subnormals, infinities and NaNs included.
+    #[test]
+    fn evaluation_roundtrips_for_arbitrary_bit_patterns(
+        a in any::<u64>(), l in any::<u64>(), e in any::<u64>(),
+    ) {
+        let eval = Evaluation {
+            accuracy: f64::from_bits(a),
+            latency_ms: f64::from_bits(l),
+            energy_mj: f64::from_bits(e),
+        };
+        prop_assert_eq!(snap_bytes(&eval), snap_bytes(&restored(&eval)));
+    }
+
+    /// Search configurations round-trip exactly over their whole domain.
+    #[test]
+    fn search_config_roundtrips(
+        iterations in 0usize..1_000_000,
+        rollouts in 1usize..64,
+        seed in any::<u64>(),
+        population in 1usize..512,
+        tournament in 1usize..64,
+    ) {
+        let cfg = SearchConfig::builder()
+            .iterations(iterations)
+            .rollouts_per_update(rollouts)
+            .seed(seed)
+            .population(population)
+            .tournament(tournament)
+            .build();
+        let back: SearchConfig = restored(&cfg);
+        prop_assert_eq!(back, cfg);
+    }
+}

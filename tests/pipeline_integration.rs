@@ -7,7 +7,8 @@ use yoso::accel::Simulator;
 use yoso::arch::{ActionSpace, DesignPoint, NetworkSkeleton};
 use yoso::core::evaluation::{calibrate_constraints, FastEvaluator, SurrogateEvaluator};
 use yoso::core::reward::RewardConfig;
-use yoso::core::search::{random_search, rl_search, SearchConfig};
+use yoso::core::search::SearchConfig;
+use yoso::core::session::{SearchSession, Strategy};
 use yoso::core::{
     best_hw_for, finalize, reference_models, AccurateEvaluator, Evaluator, OptimizationTarget,
 };
@@ -55,26 +56,28 @@ fn full_pipeline_three_steps() {
         augment: false,
         ..Default::default()
     };
-    let fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 120, 0);
+    let fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 120, 0).unwrap();
     // Step 2: RL search.
     let constraints = calibrate_constraints(&skeleton, 60, 0, 50.0);
     let rc = RewardConfig::balanced(constraints);
-    let outcome = rl_search(
-        &fast,
-        &rc,
-        &SearchConfig {
+    let outcome = SearchSession::builder()
+        .evaluator(&fast)
+        .reward(rc)
+        .strategy(Strategy::Rl)
+        .config(SearchConfig {
             iterations: 40,
             rollouts_per_update: 8,
             seed: 0,
             ..SearchConfig::default()
-        },
-    );
+        })
+        .run()
+        .unwrap();
     assert_eq!(outcome.history.len(), 40);
     // Step 3: accurate top-N rerank.
     let mut train_cfg = TrainConfig::fast_test();
     train_cfg.epochs = 1;
     let accurate = AccurateEvaluator::new(skeleton, data, train_cfg);
-    let finalists = finalize(&outcome, 2, &accurate, &rc);
+    let finalists = finalize(&outcome, 2, &accurate, &rc).unwrap();
     assert_eq!(finalists.len(), 2);
     assert!(finalists[0].accurate_reward >= finalists[1].accurate_reward);
     assert!(finalists[0].accurate_eval.accuracy > 0.0);
@@ -100,24 +103,28 @@ fn single_stage_not_worse_than_two_stage_smoke() {
             &constraints,
             OptimizationTarget::Energy,
         );
-        let eval = evaluator.evaluate(&DesignPoint {
-            genotype: m.genotype,
-            hw: best.hw,
-        });
+        let eval = evaluator
+            .evaluate(&DesignPoint {
+                genotype: m.genotype,
+                hw: best.hw,
+            })
+            .unwrap();
         best_two_stage =
             best_two_stage.max(rc.reward(eval.accuracy, eval.latency_ms, eval.energy_mj));
     }
     // Single stage under a modest budget.
-    let outcome = rl_search(
-        &evaluator,
-        &rc,
-        &SearchConfig {
+    let outcome = SearchSession::builder()
+        .evaluator(&evaluator)
+        .reward(rc)
+        .strategy(Strategy::Rl)
+        .config(SearchConfig {
             iterations: 800,
             rollouts_per_update: 10,
             seed: 0,
             ..SearchConfig::default()
-        },
-    );
+        })
+        .run()
+        .unwrap();
     let best_single = outcome.best().reward;
     assert!(
         best_single > best_two_stage * 0.95,
@@ -139,12 +146,21 @@ fn cross_crate_determinism() {
         seed: 11,
         ..SearchConfig::default()
     };
-    let a = rl_search(&ev, &rc, &cfg);
-    let b = rl_search(&ev, &rc, &cfg);
+    let rl = |cfg: &SearchConfig| {
+        SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .strategy(Strategy::Rl)
+            .config(cfg.clone())
+            .run()
+            .unwrap()
+    };
+    let a = rl(&cfg);
+    let b = rl(&cfg);
     assert_eq!(a, b);
     let mut cfg2 = cfg.clone();
     cfg2.seed = 12;
-    let c = rl_search(&ev, &rc, &cfg2);
+    let c = rl(&cfg2);
     assert_ne!(a.history[0].point, c.history[0].point);
 }
 
@@ -156,16 +172,18 @@ fn search_covers_hardware_space() {
     let ev = SurrogateEvaluator::new(skeleton.clone());
     let constraints = calibrate_constraints(&skeleton, 50, 0, 50.0);
     let rc = RewardConfig::balanced(constraints);
-    let out = random_search(
-        &ev,
-        &rc,
-        &SearchConfig {
+    let out = SearchSession::builder()
+        .evaluator(&ev)
+        .reward(rc)
+        .strategy(Strategy::Random)
+        .config(SearchConfig {
             iterations: 400,
             rollouts_per_update: 1,
             seed: 0,
             ..SearchConfig::default()
-        },
-    );
+        })
+        .run()
+        .unwrap();
     let dataflows: std::collections::HashSet<_> =
         out.history.iter().map(|r| r.point.hw.dataflow).collect();
     assert_eq!(dataflows.len(), 4, "all four dataflows sampled");

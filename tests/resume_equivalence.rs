@@ -1,0 +1,111 @@
+//! Crash-recovery guarantee, end to end through the facade: a search
+//! killed at iteration 15 of 30 and resumed from its on-disk checkpoint
+//! replays a bit-identical `search_iter` trace (iterations >= 15) and
+//! reaches an outcome equal to the uninterrupted run — for all three
+//! strategies, at 1 and 4 worker threads.
+
+use std::path::PathBuf;
+use yoso::core::checkpoint::checkpoint_file_name;
+use yoso::prelude::*;
+
+const ITERATIONS: usize = 30;
+const KILL_AT: usize = 15;
+
+fn setup() -> (SurrogateEvaluator, RewardConfig) {
+    let sk = yoso::arch::NetworkSkeleton::tiny();
+    let ev = SurrogateEvaluator::new(sk.clone());
+    let cons = calibrate_constraints(&sk, 50, 0, 50.0);
+    (ev, RewardConfig::balanced(cons))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "yoso-resume-equivalence-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+fn search_iter_lines(trace: &Trace) -> Vec<String> {
+    trace
+        .lines()
+        .into_iter()
+        .filter(|l| l.contains("\"search_iter\""))
+        .collect()
+}
+
+#[test]
+fn kill_at_15_resume_is_bit_identical_across_strategies_and_threads() {
+    let (ev, rc) = setup();
+    let cfg = SearchConfig::builder()
+        .iterations(ITERATIONS)
+        .rollouts_per_update(5)
+        .seed(7)
+        .population(8)
+        .tournament(3)
+        .build();
+    for threads in [1usize, 4] {
+        yoso::pool::set_num_threads(threads);
+        for (strategy, tag) in [
+            (Strategy::Rl, "rl"),
+            (Strategy::Evolution, "evo"),
+            (Strategy::Random, "rand"),
+        ] {
+            let dir = temp_dir(&format!("{tag}-t{threads}"));
+            let full_trace = Trace::memory();
+            let full = SearchSession::builder()
+                .evaluator(&ev)
+                .reward(rc)
+                .config(cfg.clone())
+                .strategy(strategy)
+                .checkpoint_every(KILL_AT)
+                .checkpoint_dir(&dir)
+                .trace(full_trace.clone())
+                .run()
+                .unwrap();
+
+            // Simulated SIGKILL at iteration 15: every in-memory object is
+            // dropped; only the snapshot file survives.
+            let ckpt = dir.join(checkpoint_file_name(KILL_AT));
+            assert!(ckpt.exists(), "{strategy}: no checkpoint at {KILL_AT}");
+            let resumed_trace = Trace::memory();
+            let resumed = SearchSession::resume_from(&ckpt)
+                .unwrap()
+                .evaluator(&ev)
+                .trace(resumed_trace.clone())
+                .run()
+                .unwrap();
+
+            // Outcome equality covers history, rewards and the final best.
+            assert_eq!(resumed, full, "{strategy} t{threads}: outcome diverged");
+            // The replayed JSONL stream must match the uninterrupted tail
+            // byte for byte.
+            let full_lines = search_iter_lines(&full_trace);
+            let resumed_lines = search_iter_lines(&resumed_trace);
+            assert_eq!(full_lines.len(), ITERATIONS);
+            assert_eq!(
+                resumed_lines.len(),
+                ITERATIONS - KILL_AT,
+                "{strategy} t{threads}: resumed run re-emitted restored iterations"
+            );
+            assert_eq!(
+                &full_lines[KILL_AT..],
+                &resumed_lines[..],
+                "{strategy} t{threads}: search_iter tail diverged"
+            );
+
+            // `latest_checkpoint` finds the final snapshot; resuming from a
+            // finished run replays nothing and returns the same outcome.
+            let latest = latest_checkpoint(&dir).unwrap().expect("final snapshot");
+            assert_eq!(latest, dir.join(checkpoint_file_name(ITERATIONS)));
+            let replayed = SearchSession::resume_from(&latest)
+                .unwrap()
+                .evaluator(&ev)
+                .run()
+                .unwrap();
+            assert_eq!(replayed, full, "{strategy} t{threads}: finished-run resume");
+
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+    yoso::pool::set_num_threads(0);
+}

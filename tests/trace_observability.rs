@@ -27,7 +27,8 @@ fn run_traced(ev: &SurrogateEvaluator, rc: RewardConfig, strategy: Strategy, tra
                 .build(),
         )
         .trace(trace)
-        .run();
+        .run()
+        .unwrap();
 }
 
 /// Every line a traced session writes to disk parses back into an

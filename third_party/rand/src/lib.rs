@@ -214,6 +214,22 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing. Feed it back
+        /// through [`StdRng::from_state`] to resume the stream exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`]. An all-zero
+        /// state (never produced by a valid generator) is remapped to a
+        /// fixed nonzero state, as in `seed_from_u64`.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+
         #[inline]
         fn next(&mut self) -> u64 {
             let s = &mut self.s;

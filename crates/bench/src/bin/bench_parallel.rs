@@ -13,7 +13,9 @@
 use std::time::Instant;
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, NetworkSkeleton};
-use yoso_bench::{arg_u64, arg_usize, arg_value, configure_trace, finish_trace, run_main};
+use yoso_bench::{
+    arg_u64, arg_usize, arg_value, bench_meta_json, configure_trace, finish_trace, run_main,
+};
 use yoso_core::error::Error;
 use yoso_predictor::perf::{collect_samples, PerfPredictor};
 
@@ -81,8 +83,9 @@ fn real_main() -> Result<(), Error> {
     let gp_speedup = per_point / batched;
     println!("  per-point: {per_point:.1} ms, batched: {batched:.1} ms ({gp_speedup:.2}x)");
 
+    let meta = bench_meta_json(2);
     let json = format!(
-        "{{\n  \"bench\": \"parallel evaluation pipeline\",\n  \"cores\": {cores},\n  \"collect_samples\": {{\n    \"samples\": {samples},\n    \"fidelity\": \"exact\",\n    \"serial_cold_ms\": {serial_cold:.1},\n    \"parallel_cold_ms\": {parallel_cold:.1},\n    \"parallel_warm_ms\": {parallel_warm:.1},\n    \"thread_speedup\": {thread_speedup:.2},\n    \"warm_cache_speedup\": {cache_speedup:.2}\n  }},\n  \"gp_prediction\": {{\n    \"batch\": {batch},\n    \"per_point_ms\": {per_point:.1},\n    \"batched_ms\": {batched:.1},\n    \"speedup\": {gp_speedup:.2}\n  }}\n}}\n"
+        "{{\n  \"bench\": \"parallel evaluation pipeline\",\n  {meta},\n  \"collect_samples\": {{\n    \"samples\": {samples},\n    \"fidelity\": \"exact\",\n    \"serial_cold_ms\": {serial_cold:.1},\n    \"parallel_cold_ms\": {parallel_cold:.1},\n    \"parallel_warm_ms\": {parallel_warm:.1},\n    \"thread_speedup\": {thread_speedup:.2},\n    \"warm_cache_speedup\": {cache_speedup:.2}\n  }},\n  \"gp_prediction\": {{\n    \"batch\": {batch},\n    \"per_point_ms\": {per_point:.1},\n    \"batched_ms\": {batched:.1},\n    \"speedup\": {gp_speedup:.2}\n  }}\n}}\n"
     );
     std::fs::write(&out, json)?;
     println!("written {out}");

@@ -73,6 +73,32 @@ pub fn read_csv(name: &str) -> std::io::Result<(Vec<String>, Vec<Vec<String>>)> 
     Ok((header, rows))
 }
 
+/// Build/runtime provenance block shared by every `BENCH_*.json`
+/// emitter: detected core count, the matmul and worker-pool thread
+/// settings in effect, and the build profile. Without this a snapshot
+/// number is uninterpretable — a 2x speedup measured on one core in a
+/// debug build is a different claim than the same ratio in release on
+/// eight.
+///
+/// Returns a JSON object fragment (no trailing comma/newline) indented
+/// for embedding at the given level, e.g.
+/// `"meta": { "cores": 8, ... }`.
+pub fn bench_meta_json(indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let inner = " ".repeat(indent + 2);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    format!(
+        "\"meta\": {{\n{inner}\"cores\": {cores},\n{inner}\"matmul_threads\": {},\n{inner}\"pool_threads\": {},\n{inner}\"profile\": \"{profile}\"\n{pad}}}",
+        yoso_tensor::matmul_threads(),
+        yoso_pool::num_threads(),
+    )
+}
+
 /// Runs a bench binary's fallible body: on `Err` the full
 /// [`yoso_core::Error`] chain (error plus every `source()` cause) is
 /// printed to stderr and the process exits with status 1, so failures
@@ -352,6 +378,22 @@ mod tests {
     fn table_rejects_bad_row() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn bench_meta_json_is_well_formed() {
+        let meta = bench_meta_json(2);
+        assert!(meta.starts_with("\"meta\": {"));
+        assert!(meta.contains("\"cores\":"));
+        assert!(meta.contains("\"matmul_threads\":"));
+        assert!(meta.contains("\"pool_threads\":"));
+        assert!(
+            meta.contains("\"profile\": \"debug\"") || meta.contains("\"profile\": \"release\"")
+        );
+        // Embeds into a valid top-level object (balanced braces).
+        let doc = format!("{{\n  {meta}\n}}");
+        let opens = doc.matches('{').count();
+        assert_eq!(opens, doc.matches('}').count());
     }
 
     #[test]

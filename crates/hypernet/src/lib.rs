@@ -47,7 +47,7 @@ use yoso_arch::{Genotype, NetworkPlan, NetworkSkeleton, Op, INTERNAL_NODES, NODE
 use yoso_dataset::{Split, SynthCifar};
 use yoso_nn::{evaluate_with, forward_network, ConvBn, Head, OpWeights, WeightProvider};
 use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
-use yoso_tensor::{CosineLr, Graph, ParamStore, Tensor};
+use yoso_tensor::{CosineLr, Graph, ParamStore, Scratch, Tensor};
 
 /// HyperNet training hyper-parameters (paper: SGD momentum 0.9, L2 4e-5,
 /// cosine LR 0.05 → 0.0001, batch 144, 300 epochs — scaled down here).
@@ -118,6 +118,10 @@ pub struct HyperNet {
     /// `c_last -> Head`.
     heads: HashMap<usize, Head>,
     velocity: Vec<Tensor>,
+    /// Conv workspace arena threaded through training steps so im2col
+    /// buffers are allocated once, not once per layer per step.
+    /// Transient: not persisted in snapshots.
+    scratch: Scratch,
 }
 
 /// Weight provider view binding a HyperNet to one compiled plan.
@@ -224,6 +228,7 @@ impl HyperNet {
             ops,
             heads,
             velocity: Vec::new(),
+            scratch: Scratch::new(),
         }
     }
 
@@ -307,7 +312,7 @@ impl HyperNet {
                 };
                 let lr = sched.lr(step);
                 step += 1;
-                let mut g = Graph::new();
+                let mut g = Graph::with_scratch(std::mem::take(&mut self.scratch));
                 let provider = HyperProvider {
                     hyper: self,
                     plan: &plan,
@@ -316,7 +321,7 @@ impl HyperNet {
                 let loss = g.softmax_cross_entropy(logits, &labels);
                 loss_sum += g.value(loss).data()[0] as f64;
                 self.store.zero_grads();
-                g.backward(loss, &mut self.store);
+                self.scratch = g.backward_scratch(loss, &mut self.store);
                 self.store.clip_grad_norm(cfg.grad_clip);
                 self.masked_sgd_step(lr, cfg.momentum, cfg.weight_decay);
             }

@@ -5,7 +5,8 @@ use crate::weights::{ConvBn, OpWeights, WeightProvider};
 use yoso_arch::{NetworkPlan, Op};
 use yoso_tensor::{ConvGeom, Graph, ParamStore, Tensor, Var};
 
-/// Applies ReLU → 1x1 conv (stride `stride`) → BN.
+/// Applies ReLU → conv (stride `stride`) → BN as one fused tape node
+/// (bit-identical to the unfused sequence; see `Graph::fused_conv_bn`).
 fn conv_bn_relu(
     g: &mut Graph,
     store: &ParamStore,
@@ -14,12 +15,10 @@ fn conv_bn_relu(
     k: usize,
     stride: usize,
 ) -> Var {
-    let r = g.relu(x);
     let wv = g.param(store, w.w);
-    let c = g.conv2d(r, wv, ConvGeom::same(k, stride));
     let ga = g.param(store, w.gamma);
     let be = g.param(store, w.beta);
-    g.batch_norm(c, ga, be)
+    g.fused_conv_bn(x, wv, ga, be, ConvGeom::same(k, stride), true)
 }
 
 /// Applies one candidate op on `x` with the given stride.
@@ -40,10 +39,9 @@ fn apply_op(
             let dwv = g.param(store, sc.dw);
             let d = g.dwconv2d(r, dwv, ConvGeom::same(op.kernel(), stride));
             let pwv = g.param(store, sc.pw);
-            let p = g.conv2d(d, pwv, ConvGeom::new(1, 1, 0));
             let ga = g.param(store, sc.gamma);
             let be = g.param(store, sc.beta);
-            g.batch_norm(p, ga, be)
+            g.fused_conv_bn(d, pwv, ga, be, ConvGeom::new(1, 1, 0), false)
         }
         (Op::MaxPool, OpWeights::Pool) => g.maxpool(x, ConvGeom::same(3, stride)),
         (Op::AvgPool, OpWeights::Pool) => g.avgpool(x, ConvGeom::same(3, stride)),
@@ -74,10 +72,9 @@ pub fn forward_network<P: WeightProvider>(
     // Stem: conv3x3 + BN (no leading ReLU on raw pixels).
     let stem = provider.stem();
     let wv = graph.param(store, stem.w);
-    let c = graph.conv2d(x, wv, ConvGeom::same(3, 1));
     let ga = graph.param(store, stem.gamma);
     let be = graph.param(store, stem.beta);
-    let stem_out = graph.batch_norm(c, ga, be);
+    let stem_out = graph.fused_conv_bn(x, wv, ga, be, ConvGeom::same(3, 1), false);
 
     let mut s0 = stem_out;
     let mut s1 = stem_out;

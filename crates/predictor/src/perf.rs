@@ -89,6 +89,37 @@ impl PerfPredictor {
         })
     }
 
+    /// Folds new simulator samples into both GPs **incrementally** via
+    /// [`GaussianProcess::append`] — one Cholesky rank-append per point
+    /// instead of the `O(n³)` refactorization `train` pays, with the same
+    /// log-space target transform. Hyper-parameters stay frozen at the
+    /// values selected by the last full [`train`](Self::train).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] on dimension mismatch or if a fallback
+    /// refactorization fails.
+    pub fn append_samples(&mut self, samples: &[PerfSample]) -> Result<(), FitError> {
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let xs: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| design_features(&s.point, &self.skeleton))
+            .collect();
+        let y_lat: Vec<f64> = samples
+            .iter()
+            .map(|s| s.latency_ms.max(1e-12).ln())
+            .collect();
+        let y_eer: Vec<f64> = samples
+            .iter()
+            .map(|s| s.energy_mj.max(1e-12).ln())
+            .collect();
+        self.latency_gp.append(&xs, &y_lat)?;
+        self.energy_gp.append(&xs, &y_eer)?;
+        Ok(())
+    }
+
     /// Predicts `(latency_ms, energy_mj)` for a design point.
     pub fn predict(&self, point: &DesignPoint) -> (f64, f64) {
         let f = design_features(point, &self.skeleton);
@@ -245,6 +276,41 @@ mod tests {
             assert!((l - bl).abs() <= 1e-9 * l.abs().max(1.0), "{l} vs {bl}");
             assert!((e - be).abs() <= 1e-9 * e.abs().max(1.0), "{e} vs {be}");
         }
+    }
+
+    #[test]
+    fn appended_samples_improve_accuracy() {
+        let skeleton = NetworkSkeleton::tiny();
+        let sim = Simulator::fast();
+        let all = collect_samples(&skeleton, &sim, 300, 20);
+        let test = collect_samples(&skeleton, &sim, 60, 21);
+        let mut pred = PerfPredictor::train(&skeleton, &all[..100]).unwrap();
+        let (lat_small, _) = pred.evaluate(&test);
+        pred.append_samples(&all[100..]).unwrap();
+        let (lat_big, eer_big) = pred.evaluate(&test);
+        // More data through the incremental path must not hurt, and
+        // accuracy stays in the same band as a from-scratch train.
+        assert!(
+            lat_big <= lat_small * 1.1,
+            "append degraded MAPE: {lat_small} -> {lat_big}"
+        );
+        assert!(lat_big < 0.15, "latency MAPE {lat_big}");
+        assert!(eer_big < 0.15, "energy MAPE {eer_big}");
+    }
+
+    #[test]
+    fn append_empty_is_noop() {
+        let skeleton = NetworkSkeleton::tiny();
+        let sim = Simulator::fast();
+        let train = collect_samples(&skeleton, &sim, 80, 22);
+        let mut pred = PerfPredictor::train(&skeleton, &train).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let p = DesignPoint::random(&mut rng);
+        let before = pred.predict(&p);
+        pred.append_samples(&[]).unwrap();
+        let after = pred.predict(&p);
+        assert_eq!(before.0.to_bits(), after.0.to_bits());
+        assert_eq!(before.1.to_bits(), after.1.to_bits());
     }
 
     #[test]

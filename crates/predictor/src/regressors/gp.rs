@@ -25,6 +25,10 @@ pub struct GaussianProcess {
     std: Standardizer,
     ystd: Option<ScalarStandardizer>,
     xs: Vec<Vec<f64>>,
+    /// Standardized targets of the factorized points — kept so
+    /// [`GaussianProcess::append`] can recompute `alpha` and
+    /// [`GaussianProcess::refit`] can refactorize without the raw data.
+    ys_z: Vec<f64>,
     alpha: Vec<f64>,
     chol: Option<Matrix>,
     lengthscale: f64,
@@ -42,6 +46,7 @@ impl GaussianProcess {
             std: Standardizer::default(),
             ystd: None,
             xs: Vec::new(),
+            ys_z: Vec::new(),
             alpha: Vec::new(),
             chol: None,
             lengthscale: 1.0,
@@ -108,24 +113,66 @@ impl GaussianProcess {
         data_fit - log_det - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
     }
 
+    /// Standardized-space mean and variance for one standardized query.
+    /// `kv` is a reusable scratch vector for the cross-kernel row.
+    ///
+    /// This is THE mean/variance code path: both
+    /// [`predict_with_variance`](Self::predict_with_variance) and
+    /// [`predict_batch_with_variance`](Self::predict_batch_with_variance)
+    /// call it, so the two APIs cannot drift apart.
+    fn mean_var_z(&self, q: &[f64], kv: &mut Vec<f64>) -> (f64, f64) {
+        kv.clear();
+        kv.extend(self.xs.iter().map(|xi| self.kernel(q, xi)));
+        let mean_z: f64 = kv.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let var_z = match &self.chol {
+            Some(l) => {
+                let v = l.solve_lower(kv);
+                (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12)
+            }
+            None => 1.0,
+        };
+        (mean_z, var_z)
+    }
+
     /// Predictive mean and variance for one point (raw target space).
     pub fn predict_with_variance(&self, x: &[f64]) -> (f64, f64) {
         let Some(ystd) = self.ystd else {
             return (0.0, 1.0);
         };
         let q = self.std.transform(x);
-        let kv: Vec<f64> = self.xs.iter().map(|xi| self.kernel(&q, xi)).collect();
-        let mean_z: f64 = kv.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
-        let var_z = match &self.chol {
-            Some(l) => {
-                let v = l.solve_lower(&kv);
-                (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12)
-            }
-            None => 1.0,
-        };
+        let mut kv = Vec::with_capacity(self.xs.len());
+        let (mean_z, var_z) = self.mean_var_z(&q, &mut kv);
         // Variance scales by the square of the target std.
         let scale = ystd.inverse(1.0) - ystd.inverse(0.0);
         (ystd.inverse(mean_z), var_z * scale * scale)
+    }
+
+    /// Predictive means and variances for a batch of points (raw target
+    /// space) — the acquisition-function entry point.
+    ///
+    /// Shares the per-query code path with
+    /// [`predict_with_variance`](Self::predict_with_variance) (results
+    /// are bit-identical) but hoists the query standardization and the
+    /// cross-kernel scratch allocation out of the loop, so scoring `q`
+    /// candidates costs one allocation instead of `q`.
+    pub fn predict_batch_with_variance(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let Some(ystd) = self.ystd else {
+            return vec![(0.0, 1.0); xs.len()];
+        };
+        let _span = yoso_trace::span("gp.predict_batch_with_variance");
+        if yoso_trace::enabled() {
+            yoso_trace::counter_add("gp.variance_batches", 1);
+            yoso_trace::counter_add("gp.variance_points", xs.len() as u64);
+        }
+        let scale = ystd.inverse(1.0) - ystd.inverse(0.0);
+        let mut kv = Vec::with_capacity(self.xs.len());
+        xs.iter()
+            .map(|x| {
+                let q = self.std.transform(x);
+                let (mean_z, var_z) = self.mean_var_z(&q, &mut kv);
+                (ystd.inverse(mean_z), var_z * scale * scale)
+            })
+            .collect()
     }
 
     /// Predictive means for a batch of points (raw target space).
@@ -164,6 +211,142 @@ impl GaussianProcess {
             }
         }
         mean_z.into_iter().map(|z| ystd.inverse(z)).collect()
+    }
+
+    /// Number of training points currently factorized.
+    pub fn train_len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Appends new training points by **extending the cached Cholesky
+    /// factor** instead of refactorizing.
+    ///
+    /// For each point this costs one `O(n²)` triangular solve plus one new
+    /// factor row, versus the `O(n³)` full refactorization — the win that
+    /// makes search-time model updates (score → simulate → refine) cheap.
+    /// Hyper-parameters and both standardizers are **frozen** at their
+    /// values from the last full [`fit`](Regressor::fit): a grid-search
+    /// re-selection would change the kernel and invalidate the cached
+    /// factor, so hyper-parameter changes must go through `fit`.
+    ///
+    /// Falls back to a frozen-hyperparameter [`refit`](Self::refit) if a
+    /// pivot goes non-positive (numerically rank-deficient append).
+    /// Points beyond the `max_train` cap are dropped, mirroring `fit`'s
+    /// subsampling cap. On an unfitted model this delegates to `fit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] on dimension mismatch or if the fallback
+    /// refactorization fails.
+    pub fn append(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        if self.ystd.is_none() || self.chol.is_none() {
+            return self.fit(x, y);
+        }
+        validate(x, y)?;
+        let ystd = self.ystd.expect("checked above");
+        let room = self.max_train.saturating_sub(self.xs.len());
+        let take = x.len().min(room);
+        if yoso_trace::enabled() {
+            yoso_trace::counter_add("gp.appends", 1);
+            yoso_trace::counter_add("gp.append_points", take as u64);
+            if take < x.len() {
+                yoso_trace::counter_add("gp.append_dropped", (x.len() - take) as u64);
+            }
+        }
+        if take == 0 {
+            return Ok(());
+        }
+        let noise_eff = self.noise.max(1e-6);
+        // Match kernel_matrix's arithmetic exactly (multiply by the
+        // precomputed reciprocal) so the appended rows carry the same
+        // kernel values a refactorization would see.
+        let inv = 1.0 / (2.0 * self.lengthscale * self.lengthscale);
+        let n0 = self.xs.len();
+        let nn = n0 + take;
+        let old = self.chol.take().expect("checked above");
+        let mut l = Matrix::zeros(nn, nn);
+        for i in 0..n0 {
+            for j in 0..=i {
+                l[(i, j)] = old[(i, j)];
+            }
+        }
+        for (idx, (xj, &yj)) in x[..take].iter().zip(&y[..take]).enumerate() {
+            let q = self.xs.len(); // grows as points land
+            let xq = self.std.transform(xj);
+            // Cross-kernel row against every point already in the factor,
+            // then forward-substitute within the leading q×q block. The
+            // arithmetic order matches what `cholesky` would do for this
+            // row, so incremental and full factors agree to rounding.
+            let mut v: Vec<f64> = (0..q)
+                .map(|i| (-sq_dist(&xq, &self.xs[i]) * inv).exp())
+                .collect();
+            for i in 0..q {
+                let mut sum = v[i];
+                for t in 0..i {
+                    sum -= l[(i, t)] * v[t];
+                }
+                v[i] = sum / l[(i, i)];
+            }
+            let pivot = (1.0 + noise_eff) - v.iter().map(|t| t * t).sum::<f64>();
+            if pivot <= 0.0 {
+                // Rank-deficient append: land this and every remaining
+                // point, then refactorize from scratch with frozen
+                // hyper-parameters.
+                if yoso_trace::enabled() {
+                    yoso_trace::counter_add("gp.append_fallbacks", 1);
+                }
+                for (xr, &yr) in x[idx..take].iter().zip(&y[idx..take]) {
+                    self.xs.push(self.std.transform(xr));
+                    self.ys_z.push(ystd.transform(yr));
+                }
+                return self.refit();
+            }
+            for (t, vt) in v.iter().enumerate() {
+                l[(q, t)] = *vt;
+            }
+            l[(q, q)] = pivot.sqrt();
+            self.xs.push(xq);
+            self.ys_z.push(ystd.transform(yj));
+        }
+        // One pair of O(n²) triangular solves re-derives alpha for the
+        // grown training set.
+        self.alpha = l.solve_lower_transpose(&l.solve_lower(&self.ys_z));
+        self.chol = Some(l);
+        Ok(())
+    }
+
+    /// Full refactorization over the current training set with **frozen**
+    /// hyper-parameters and standardizers (no grid search) — the
+    /// apples-to-apples baseline that [`append`](Self::append) is
+    /// benchmarked against, and its fallback when an appended pivot is
+    /// numerically unusable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if the kernel matrix is not positive definite.
+    pub fn refit(&mut self) -> Result<(), FitError> {
+        if yoso_trace::enabled() {
+            yoso_trace::counter_add("gp.full_refits", 1);
+        }
+        let k = Self::kernel_matrix(&self.xs, self.lengthscale, self.noise.max(1e-6));
+        let l = k
+            .cholesky()
+            .map_err(|e| FitError::Numerical(e.to_string()))?;
+        self.alpha = l.solve_lower_transpose(&l.solve_lower(&self.ys_z));
+        self.chol = Some(l);
+        Ok(())
+    }
+
+    /// Test-only baseline: land raw points into the training set (same
+    /// standardization `append` applies) without touching the factor, so
+    /// a follow-up [`refit`](Self::refit) is the from-scratch comparison.
+    #[cfg(test)]
+    fn append_for_test_raw(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        let ystd = self.ystd.expect("fitted");
+        for (xj, &yj) in x.iter().zip(y) {
+            self.xs.push(self.std.transform(xj));
+            self.ys_z.push(ystd.transform(yj));
+        }
     }
 }
 
@@ -205,6 +388,7 @@ impl Snapshot for GaussianProcess {
         for x in &self.xs {
             w.put_f64s(x);
         }
+        w.put_f64s(&self.ys_z);
         w.put_f64s(&self.alpha);
         match &self.chol {
             Some(l) => {
@@ -232,11 +416,13 @@ impl Snapshot for GaussianProcess {
         let xs = (0..n)
             .map(|_| r.take_f64s())
             .collect::<Result<Vec<_>, _>>()?;
+        let ys_z = r.take_f64s()?;
         let alpha = r.take_f64s()?;
-        if alpha.len() != xs.len() {
+        if alpha.len() != xs.len() || ys_z.len() != xs.len() {
             return Err(PersistError::Malformed(format!(
-                "gp: {} training points vs {} alpha weights",
+                "gp: {} training points vs {} targets vs {} alpha weights",
                 xs.len(),
+                ys_z.len(),
                 alpha.len()
             )));
         }
@@ -253,6 +439,7 @@ impl Snapshot for GaussianProcess {
             std,
             ystd,
             xs,
+            ys_z,
             alpha,
             chol,
             lengthscale: r.take_f64()?,
@@ -305,6 +492,7 @@ impl Regressor for GaussianProcess {
         self.alpha = l.solve_lower_transpose(&l.solve_lower(&ys));
         self.chol = Some(l);
         self.xs = xs;
+        self.ys_z = ys;
         Ok(())
     }
 
@@ -396,6 +584,124 @@ mod tests {
         let gp = GaussianProcess::default_rbf();
         assert_eq!(gp.predict_one(&[1.0, 2.0]), 0.0);
         assert_eq!(gp.predict_batch(&[vec![1.0, 2.0]]), vec![0.0]);
+    }
+
+    /// Incremental Cholesky appends must agree with a frozen-parameter
+    /// full refactorization to 1e-8 — means, variances, and the factor
+    /// itself.
+    #[test]
+    fn incremental_append_matches_full_refit() {
+        let (xs, ys) = smooth_data(260, 20);
+        // Fit on the first 100, then append the rest in chunks of 40.
+        let mut gp = GaussianProcess::default_rbf();
+        gp.fit(&xs[..100], &ys[..100]).unwrap();
+        let mut full = gp.clone();
+        for start in (100..260).step_by(40) {
+            let end = (start + 40).min(260);
+            gp.append(&xs[start..end], &ys[start..end]).unwrap();
+            // Baseline strategy: land the same points, refactorize fully.
+            full.append_for_test_raw(&xs[start..end], &ys[start..end]);
+            full.refit().unwrap();
+        }
+        assert_eq!(gp.train_len(), 260);
+        assert_eq!(full.train_len(), 260);
+        let la = gp.chol.as_ref().unwrap();
+        let lb = full.chol.as_ref().unwrap();
+        for (a, b) in la.data().iter().zip(lb.data()) {
+            assert!((a - b).abs() < 1e-8, "factor entries {a} vs {b}");
+        }
+        let (tx, _) = smooth_data(40, 21);
+        for x in &tx {
+            let (ma, va) = gp.predict_with_variance(x);
+            let (mb, vb) = full.predict_with_variance(x);
+            assert!((ma - mb).abs() < 1e-8, "mean {ma} vs {mb}");
+            assert!((va - vb).abs() < 1e-8, "var {va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn append_on_unfitted_model_fits() {
+        let (xs, ys) = smooth_data(60, 22);
+        let mut gp = GaussianProcess::default_rbf();
+        gp.append(&xs, &ys).unwrap();
+        assert_eq!(gp.train_len(), 60);
+        let preds = gp.predict(&xs);
+        assert!(r2(&preds, &ys) > 0.9);
+    }
+
+    #[test]
+    fn append_respects_max_train_cap() {
+        let (xs, ys) = smooth_data(120, 23);
+        let mut gp = GaussianProcess::default_rbf().with_max_train(80);
+        gp.fit(&xs[..60], &ys[..60]).unwrap();
+        gp.append(&xs[60..], &ys[60..]).unwrap();
+        assert_eq!(gp.train_len(), 80, "points beyond the cap are dropped");
+        // Still consistent: alpha/chol/xs all sized together.
+        let _ = gp.predict_with_variance(&xs[0]);
+    }
+
+    /// A duplicated training point makes the appended pivot collapse
+    /// toward the noise floor; the append must survive (directly or via
+    /// the refit fallback) and keep predicting.
+    #[test]
+    fn append_duplicate_points_stays_finite() {
+        let (xs, ys) = smooth_data(50, 24);
+        let mut gp = GaussianProcess::with_hyperparams(1.0, 1e-4);
+        gp.fit(&xs, &ys).unwrap();
+        let dup_x: Vec<Vec<f64>> = vec![xs[0].clone(), xs[0].clone(), xs[0].clone()];
+        let dup_y = vec![ys[0], ys[0], ys[0]];
+        gp.append(&dup_x, &dup_y).unwrap();
+        let (m, v) = gp.predict_with_variance(&xs[0]);
+        assert!(m.is_finite() && v.is_finite() && v > 0.0);
+    }
+
+    /// Batch-variance API must agree exactly with the per-point path —
+    /// they share one code path by construction.
+    #[test]
+    fn batch_variance_matches_per_point() {
+        let (xs, ys) = smooth_data(150, 25);
+        let mut gp = GaussianProcess::default_rbf();
+        gp.fit(&xs, &ys).unwrap();
+        let (tx, _) = smooth_data(33, 26);
+        let batch = gp.predict_batch_with_variance(&tx);
+        assert_eq!(batch.len(), tx.len());
+        for (x, &(bm, bv)) in tx.iter().zip(&batch) {
+            let (m, v) = gp.predict_with_variance(x);
+            assert_eq!(m.to_bits(), bm.to_bits(), "mean {m} vs {bm}");
+            assert_eq!(v.to_bits(), bv.to_bits(), "var {v} vs {bv}");
+        }
+    }
+
+    #[test]
+    fn unfitted_batch_variance_is_prior() {
+        let gp = GaussianProcess::default_rbf();
+        assert_eq!(
+            gp.predict_batch_with_variance(&[vec![0.0, 0.0]]),
+            vec![(0.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_appended_state() {
+        use yoso_persist::{ByteReader, ByteWriter};
+        let (xs, ys) = smooth_data(120, 27);
+        let mut gp = GaussianProcess::default_rbf();
+        gp.fit(&xs[..80], &ys[..80]).unwrap();
+        gp.append(&xs[80..], &ys[80..]).unwrap();
+        let mut w = ByteWriter::new();
+        gp.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = GaussianProcess::restore(&mut ByteReader::new(&bytes)).unwrap();
+        let (tx, tys) = smooth_data(20, 28);
+        for x in &tx {
+            let (m0, v0) = gp.predict_with_variance(x);
+            let (m1, v1) = back.predict_with_variance(x);
+            assert_eq!(m0.to_bits(), m1.to_bits());
+            assert_eq!(v0.to_bits(), v1.to_bits());
+        }
+        // The restored model can keep appending (ys_z round-tripped).
+        back.append(&tx, &tys).unwrap();
+        assert_eq!(back.train_len(), gp.train_len() + tx.len());
     }
 
     #[test]

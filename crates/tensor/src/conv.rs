@@ -7,6 +7,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::matmul::{sgemm, sgemm_a_bt_acc, sgemm_at_b_acc};
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Static geometry of a 2-D convolution / pooling window.
@@ -50,7 +51,12 @@ impl ConvGeom {
 }
 
 /// Lowers one sample `x[c, h, w]` into a column matrix `[c*k*k, hout*wout]`.
-fn im2col(
+///
+/// With `RELU = true`, applies `max(0, ·)` to each element while copying —
+/// the fused forward path uses this to avoid materializing a separate
+/// ReLU output tensor. The flag is a const generic so the branch
+/// disappears from the generated inner loops.
+fn im2col<const RELU: bool>(
     x: &[f32],
     c: usize,
     h: usize,
@@ -82,6 +88,8 @@ fn im2col(
                         let ix = (ox * g.stride + kx) as isize - g.pad as isize;
                         *v = if ix < 0 || ix >= w as isize {
                             0.0
+                        } else if RELU {
+                            xrow[ix as usize].max(0.0)
                         } else {
                             xrow[ix as usize]
                         };
@@ -140,6 +148,28 @@ fn col2im_acc(
 ///
 /// Panics if shapes are inconsistent with `geom`.
 pub fn conv2d_forward(x: &Tensor, weight: &Tensor, geom: ConvGeom) -> (Tensor, Vec<f32>) {
+    conv2d_forward_scratch(x, weight, geom, false, &mut Scratch::new())
+}
+
+/// Forward 2-D convolution with an explicit workspace arena and optional
+/// fused input ReLU.
+///
+/// Like [`conv2d_forward`], but the im2col buffer is taken from `scratch`
+/// (return it with [`Scratch::give`] after the backward pass to make the
+/// next call allocation-free), and `relu_input = true` applies
+/// `max(0, ·)` to the input while lowering, so `relu(x)` never needs to
+/// be materialized.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `geom`.
+pub fn conv2d_forward_scratch(
+    x: &Tensor,
+    weight: &Tensor,
+    geom: ConvGeom,
+    relu_input: bool,
+    scratch: &mut Scratch,
+) -> (Tensor, Vec<f32>) {
     let (n, cin, h, w) = shape4(x);
     let ws = weight.shape();
     assert_eq!(ws.len(), 4, "conv weight must be 4-D");
@@ -155,20 +185,18 @@ pub fn conv2d_forward(x: &Tensor, weight: &Tensor, geom: ConvGeom) -> (Tensor, V
     let wout = geom.out_dim(w);
     let ckk = cin * geom.k * geom.k;
     let hw_out = hout * wout;
-    let mut cols = vec![0.0; n * ckk * hw_out];
+    // im2col overwrites every element (padding is written as an explicit
+    // zero), so the recycled buffer's contents don't matter.
+    let mut cols = scratch.take(n * ckk * hw_out);
     let mut out = Tensor::zeros(&[n, cout, hout, wout]);
     for i in 0..n {
         let col = &mut cols[i * ckk * hw_out..(i + 1) * ckk * hw_out];
-        im2col(
-            &x.data()[i * cin * h * w..(i + 1) * cin * h * w],
-            cin,
-            h,
-            w,
-            geom,
-            hout,
-            wout,
-            col,
-        );
+        let xi = &x.data()[i * cin * h * w..(i + 1) * cin * h * w];
+        if relu_input {
+            im2col::<true>(xi, cin, h, w, geom, hout, wout, col);
+        } else {
+            im2col::<false>(xi, cin, h, w, geom, hout, wout, col);
+        }
         sgemm(
             cout,
             ckk,
@@ -189,6 +217,19 @@ pub fn conv2d_backward(
     cols: &[f32],
     dout: &Tensor,
 ) -> (Tensor, Tensor) {
+    conv2d_backward_scratch(x, weight, geom, cols, dout, &mut Scratch::new())
+}
+
+/// Backward 2-D convolution with an explicit workspace arena for the
+/// per-sample `dcol` buffer. Returns `(dx, dweight)`.
+pub fn conv2d_backward_scratch(
+    x: &Tensor,
+    weight: &Tensor,
+    geom: ConvGeom,
+    cols: &[f32],
+    dout: &Tensor,
+    scratch: &mut Scratch,
+) -> (Tensor, Tensor) {
     let (n, cin, h, w) = shape4(x);
     let cout = weight.shape()[0];
     let hout = geom.out_dim(h);
@@ -197,7 +238,7 @@ pub fn conv2d_backward(
     let hw_out = hout * wout;
     let mut dx = Tensor::zeros(x.shape());
     let mut dw = Tensor::zeros(weight.shape());
-    let mut dcol = vec![0.0; ckk * hw_out];
+    let mut dcol = scratch.take(ckk * hw_out);
     for i in 0..n {
         let col = &cols[i * ckk * hw_out..(i + 1) * ckk * hw_out];
         let doi = &dout.data()[i * cout * hw_out..(i + 1) * cout * hw_out];
@@ -219,6 +260,7 @@ pub fn conv2d_backward(
             &mut dx.data_mut()[i * cin * h * w..(i + 1) * cin * h * w],
         );
     }
+    scratch.give(dcol);
     (dx, dw)
 }
 
@@ -480,6 +522,171 @@ pub fn shape4(x: &Tensor) -> (usize, usize, usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Direct (non-im2col) convolution — the oracle the GEMM-lowered
+    /// path is checked against.
+    fn conv_naive(x: &Tensor, wt: &Tensor, g: ConvGeom) -> Tensor {
+        let (n, cin, h, w) = shape4(x);
+        let cout = wt.shape()[0];
+        let k = g.k;
+        let (hout, wout) = (g.out_dim(h), g.out_dim(w));
+        let mut out = Tensor::zeros(&[n, cout, hout, wout]);
+        for i in 0..n {
+            for co in 0..cout {
+                for oy in 0..hout {
+                    for ox in 0..wout {
+                        let mut s = 0.0f32;
+                        for ci in 0..cin {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                        s += x.data()
+                                            [((i * cin + ci) * h + iy as usize) * w + ix as usize]
+                                            * wt.data()[((co * cin + ci) * k + ky) * k + kx];
+                                    }
+                                }
+                            }
+                        }
+                        out.data_mut()[((i * cout + co) * hout + oy) * wout + ox] = s;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
+                "{what}[{i}]: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_nonsquare_input_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let x = Tensor::randn(&[2, 3, 5, 9], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+        for stride in [1, 2] {
+            let g = ConvGeom::same(3, stride);
+            let (y, _) = conv2d_forward(&x, &w, g);
+            assert_eq!(
+                y.shape(),
+                &[2, 4, 5usize.div_ceil(stride), 9usize.div_ceil(stride)]
+            );
+            assert_close(&y, &conv_naive(&x, &w, g), "nonsquare");
+        }
+    }
+
+    #[test]
+    fn conv_padded_stride_two_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = Tensor::randn(&[1, 2, 7, 9], 1.0, &mut rng);
+        for (k, pad) in [(3, 1), (3, 2), (5, 2)] {
+            let w = Tensor::randn(&[3, 2, k, k], 0.5, &mut rng);
+            let g = ConvGeom::new(k, 2, pad);
+            let (y, _) = conv2d_forward(&x, &w, g);
+            assert_close(&y, &conv_naive(&x, &w, g), "pad_stride2");
+        }
+    }
+
+    #[test]
+    fn conv_1x1_kernel_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = Tensor::randn(&[2, 5, 4, 6], 1.0, &mut rng);
+        let w = Tensor::randn(&[7, 5, 1, 1], 0.5, &mut rng);
+        for stride in [1, 2] {
+            let g = ConvGeom::new(1, stride, 0);
+            let (y, _) = conv2d_forward(&x, &w, g);
+            assert_close(&y, &conv_naive(&x, &w, g), "1x1");
+        }
+    }
+
+    #[test]
+    fn im2col_1x1_stride1_is_identity() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let x = Tensor::randn(&[1, 3, 4, 5], 1.0, &mut rng);
+        let g = ConvGeom::new(1, 1, 0);
+        let mut col = vec![0.0f32; x.len()];
+        im2col::<false>(x.data(), 3, 4, 5, g, 4, 5, &mut col);
+        assert_eq!(col, x.data());
+        let mut back = vec![0.0f32; x.len()];
+        col2im_acc(&col, 3, 4, 5, g, 4, 5, &mut back);
+        assert_eq!(back, x.data());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// col2im is the adjoint of im2col: `<im2col(x), y> == <x, col2im(y)>`
+        /// for every geometry — the round-trip identity the conv backward
+        /// pass relies on.
+        #[test]
+        fn im2col_col2im_adjoint(
+            seed in 0u64..1000,
+            c in 1usize..4,
+            h in 2usize..8,
+            w in 2usize..8,
+            k in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..3,
+        ) {
+            prop_assume!(k <= h + 2 * pad && k <= w + 2 * pad);
+            let g = ConvGeom::new(k, stride, pad);
+            let (hout, wout) = (g.out_dim(h), g.out_dim(w));
+            prop_assume!(hout > 0 && wout > 0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::randn(&[1, c, h, w], 1.0, &mut rng);
+            let y = Tensor::randn(&[1, c * k * k, hout, wout], 1.0, &mut rng);
+            let mut col = vec![0.0f32; c * k * k * hout * wout];
+            im2col::<false>(x.data(), c, h, w, g, hout, wout, &mut col);
+            let mut back = vec![0.0f32; c * h * w];
+            col2im_acc(y.data(), c, h, w, g, hout, wout, &mut back);
+            let lhs: f64 = col.iter().zip(y.data()).map(|(a, b)| (a * b) as f64).sum();
+            let rhs: f64 = x.data().iter().zip(&back).map(|(a, b)| (a * b) as f64).sum();
+            prop_assert!(
+                (lhs - rhs).abs() <= 1e-4 * (1.0 + lhs.abs()),
+                "adjoint identity violated: {lhs} vs {rhs}"
+            );
+        }
+
+        /// The GEMM-lowered forward matches direct convolution on random
+        /// geometries (non-square, padded, strided, 1x1 kernels).
+        #[test]
+        fn conv_forward_matches_naive_property(
+            seed in 0u64..1000,
+            cin in 1usize..4,
+            cout in 1usize..4,
+            h in 3usize..8,
+            w in 3usize..8,
+            k in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+        ) {
+            let g = ConvGeom::new(k, stride, pad);
+            let (hout, wout) = (g.out_dim(h), g.out_dim(w));
+            prop_assume!(hout > 0 && wout > 0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::randn(&[2, cin, h, w], 1.0, &mut rng);
+            let wt = Tensor::randn(&[cout, cin, k, k], 0.5, &mut rng);
+            let (y, _) = conv2d_forward(&x, &wt, g);
+            let expect = conv_naive(&x, &wt, g);
+            for (i, (a, b)) in y.data().iter().zip(expect.data()).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                    "conv[{i}]: {a} vs {b}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn geom_out_dims() {

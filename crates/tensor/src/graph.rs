@@ -9,11 +9,12 @@
 #![allow(clippy::manual_memcpy)]
 
 use crate::conv::{
-    avgpool_backward, avgpool_forward, conv2d_backward, conv2d_forward, dwconv2d_backward,
-    dwconv2d_forward, maxpool_backward, maxpool_forward, shape4, ConvGeom,
+    avgpool_backward, avgpool_forward, conv2d_backward_scratch, conv2d_forward_scratch,
+    dwconv2d_backward, dwconv2d_forward, maxpool_backward, maxpool_forward, shape4, ConvGeom,
 };
 use crate::matmul::{sgemm_a_bt_acc, sgemm_acc, sgemm_at_b_acc};
 use crate::param::{ParamId, ParamStore};
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Handle to a node in a [`Graph`].
@@ -62,6 +63,19 @@ enum OpRecord {
         mean: Vec<f32>,
         inv_std: Vec<f32>,
     },
+    FusedConvBn {
+        x: Var,
+        w: Var,
+        gamma: Var,
+        beta: Var,
+        geom: ConvGeom,
+        cols: Vec<f32>,
+        /// Pre-normalization conv output (the BN backward input).
+        conv_out: Tensor,
+        mean: Vec<f32>,
+        inv_std: Vec<f32>,
+        pre_relu: bool,
+    },
     ConcatChan(Vec<Var>),
     SoftmaxCrossEntropy {
         logits: Var,
@@ -102,6 +116,7 @@ impl Default for Node {
 /// ```
 pub struct Graph {
     nodes: Vec<Node>,
+    scratch: Scratch,
     /// Epsilon used by batch normalization.
     pub bn_eps: f32,
 }
@@ -115,8 +130,19 @@ impl Default for Graph {
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
+        Self::with_scratch(Scratch::new())
+    }
+
+    /// Creates an empty graph that draws conv workspaces from `scratch`.
+    ///
+    /// Thread the arena from step to step —
+    /// `Graph::with_scratch(prev)` … [`Graph::backward_scratch`] — and
+    /// im2col buffers are allocated once, then recycled for the rest of
+    /// training.
+    pub fn with_scratch(scratch: Scratch) -> Self {
         Graph {
             nodes: Vec::new(),
+            scratch,
             bn_eps: 1e-5,
         }
     }
@@ -239,8 +265,69 @@ impl Graph {
 
     /// 2-D convolution (no bias); `x [n,cin,h,w]`, `w [cout,cin,k,k]`.
     pub fn conv2d(&mut self, x: Var, w: Var, geom: ConvGeom) -> Var {
-        let (out, cols) = conv2d_forward(&self.nodes[x.0].value, &self.nodes[w.0].value, geom);
+        let (out, cols) = conv2d_forward_scratch(
+            &self.nodes[x.0].value,
+            &self.nodes[w.0].value,
+            geom,
+            false,
+            &mut self.scratch,
+        );
         self.push(out, OpRecord::Conv2d { x, w, geom, cols })
+    }
+
+    /// Fused `[ReLU →] conv2d → batch-norm` in a single tape node.
+    ///
+    /// Produces bit-identical values to the unfused
+    /// `relu` + [`Graph::conv2d`] + [`Graph::batch_norm`] sequence (the
+    /// same kernels and the same BN statistics loops run under the hood)
+    /// while materializing neither the ReLU output nor a separate conv
+    /// node: with `pre_relu = true` the ReLU is applied on the fly during
+    /// im2col lowering, and the normalization statistics are computed
+    /// directly on the conv output.
+    pub fn fused_conv_bn(
+        &mut self,
+        x: Var,
+        w: Var,
+        gamma: Var,
+        beta: Var,
+        geom: ConvGeom,
+        pre_relu: bool,
+    ) -> Var {
+        let (conv_out, cols) = conv2d_forward_scratch(
+            &self.nodes[x.0].value,
+            &self.nodes[w.0].value,
+            geom,
+            pre_relu,
+            &mut self.scratch,
+        );
+        let (n, c, h, w4) = shape4(&conv_out);
+        assert_eq!(self.nodes[gamma.0].value.len(), c);
+        assert_eq!(self.nodes[beta.0].value.len(), c);
+        let (out, mean, inv_std) = batch_norm_forward(
+            conv_out.data(),
+            n,
+            c,
+            h,
+            w4,
+            self.bn_eps,
+            self.nodes[gamma.0].value.data(),
+            self.nodes[beta.0].value.data(),
+        );
+        self.push(
+            out,
+            OpRecord::FusedConvBn {
+                x,
+                w,
+                gamma,
+                beta,
+                geom,
+                cols,
+                conv_out,
+                mean,
+                inv_std,
+                pre_relu,
+            },
+        )
     }
 
     /// Depthwise 2-D convolution; `x [n,c,h,w]`, `w [c,k,k]`.
@@ -289,52 +376,16 @@ impl Graph {
         let (n, c, h, w) = shape4(&self.nodes[x.0].value);
         assert_eq!(self.nodes[gamma.0].value.len(), c);
         assert_eq!(self.nodes[beta.0].value.len(), c);
-        let m = (n * h * w) as f32;
-        let mut mean = vec![0.0f32; c];
-        let mut var = vec![0.0f32; c];
-        let xs = self.nodes[x.0].value.data();
-        for i in 0..n {
-            for ch in 0..c {
-                let base = (i * c + ch) * h * w;
-                for v in &xs[base..base + h * w] {
-                    mean[ch] += v;
-                }
-            }
-        }
-        for mv in &mut mean {
-            *mv /= m;
-        }
-        for i in 0..n {
-            for ch in 0..c {
-                let base = (i * c + ch) * h * w;
-                for v in &xs[base..base + h * w] {
-                    let d = v - mean[ch];
-                    var[ch] += d * d;
-                }
-            }
-        }
-        let inv_std: Vec<f32> = var
-            .iter()
-            .map(|v| 1.0 / (v / m + self.bn_eps).sqrt())
-            .collect();
-        let gdat = self.nodes[gamma.0].value.data().to_vec();
-        let bdat = self.nodes[beta.0].value.data().to_vec();
-        let mut out = Tensor::zeros(&[n, c, h, w]);
-        {
-            let od = out.data_mut();
-            for i in 0..n {
-                for ch in 0..c {
-                    let base = (i * c + ch) * h * w;
-                    let (mu, is, ga, be) = (mean[ch], inv_std[ch], gdat[ch], bdat[ch]);
-                    for (o, v) in od[base..base + h * w]
-                        .iter_mut()
-                        .zip(&xs[base..base + h * w])
-                    {
-                        *o = ga * (v - mu) * is + be;
-                    }
-                }
-            }
-        }
+        let (out, mean, inv_std) = batch_norm_forward(
+            self.nodes[x.0].value.data(),
+            n,
+            c,
+            h,
+            w,
+            self.bn_eps,
+            self.nodes[gamma.0].value.data(),
+            self.nodes[beta.0].value.data(),
+        );
         self.push(
             out,
             OpRecord::BatchNorm {
@@ -424,7 +475,18 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `loss` is not a scalar (single-element) node.
-    pub fn backward(mut self, loss: Var, store: &mut ParamStore) {
+    pub fn backward(self, loss: Var, store: &mut ParamStore) {
+        let _ = self.backward_scratch(loss, store);
+    }
+
+    /// Like [`Graph::backward`], but returns the workspace arena (with
+    /// every conv buffer reclaimed from the tape) so the caller can feed
+    /// it to the next step's [`Graph::with_scratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar (single-element) node.
+    pub fn backward_scratch(mut self, loss: Var, store: &mut ParamStore) -> Scratch {
         assert_eq!(
             self.nodes[loss.0].value.len(),
             1,
@@ -529,15 +591,67 @@ impl Graph {
                     self.accumulate(b, db);
                 }
                 OpRecord::Conv2d { x, w, geom, cols } => {
-                    let (dx, dw) = conv2d_backward(
+                    let (dx, dw) = conv2d_backward_scratch(
                         &self.nodes[x.0].value,
                         &self.nodes[w.0].value,
                         geom,
                         &cols,
                         &g,
+                        &mut self.scratch,
                     );
+                    self.scratch.give(cols);
                     self.accumulate(x, dx);
                     self.accumulate(w, dw);
+                }
+                OpRecord::FusedConvBn {
+                    x,
+                    w,
+                    gamma,
+                    beta,
+                    geom,
+                    cols,
+                    conv_out,
+                    mean,
+                    inv_std,
+                    pre_relu,
+                } => {
+                    let (nn, c, hh, ww) = shape4(&conv_out);
+                    let (dconv, dgamma, dbeta) = batch_norm_backward(
+                        conv_out.data(),
+                        g.data(),
+                        self.nodes[gamma.0].value.data(),
+                        &mean,
+                        &inv_std,
+                        nn,
+                        c,
+                        hh,
+                        ww,
+                    );
+                    // The conv consumed relu(x) (or x); the backward only
+                    // needs that input's *shape* plus the cached cols, so
+                    // passing x directly is exact.
+                    let (mut dx, dw) = conv2d_backward_scratch(
+                        &self.nodes[x.0].value,
+                        &self.nodes[w.0].value,
+                        geom,
+                        &cols,
+                        &dconv,
+                        &mut self.scratch,
+                    );
+                    self.scratch.give(cols);
+                    if pre_relu {
+                        // relu(x) <= 0 exactly where x <= 0, matching the
+                        // unfused Relu node's mask.
+                        for (gv, xv) in dx.data_mut().iter_mut().zip(self.nodes[x.0].value.data()) {
+                            if *xv <= 0.0 {
+                                *gv = 0.0;
+                            }
+                        }
+                    }
+                    self.accumulate(x, dx);
+                    self.accumulate(w, dw);
+                    self.accumulate(gamma, dgamma);
+                    self.accumulate(beta, dbeta);
                 }
                 OpRecord::DwConv2d { x, w, geom } => {
                     let (dx, dw) =
@@ -576,46 +690,17 @@ impl Graph {
                     inv_std,
                 } => {
                     let (n, c, h, w) = shape4(&self.nodes[x.0].value);
-                    let m = (n * h * w) as f32;
-                    let xs = self.nodes[x.0].value.data();
-                    let gs = g.data();
-                    let gamma_v = self.nodes[gamma.0].value.data().to_vec();
-                    let mut dgamma = Tensor::zeros(&[c]);
-                    let mut dbeta = Tensor::zeros(&[c]);
-                    let mut sum_dy = vec![0.0f32; c];
-                    let mut sum_dy_xhat = vec![0.0f32; c];
-                    for i in 0..n {
-                        for ch in 0..c {
-                            let base = (i * c + ch) * h * w;
-                            let (mu, is) = (mean[ch], inv_std[ch]);
-                            for j in 0..h * w {
-                                let xhat = (xs[base + j] - mu) * is;
-                                let dy = gs[base + j];
-                                sum_dy[ch] += dy;
-                                sum_dy_xhat[ch] += dy * xhat;
-                            }
-                        }
-                    }
-                    for ch in 0..c {
-                        dgamma.data_mut()[ch] = sum_dy_xhat[ch];
-                        dbeta.data_mut()[ch] = sum_dy[ch];
-                    }
-                    let mut dx = Tensor::zeros(&[n, c, h, w]);
-                    {
-                        let dxd = dx.data_mut();
-                        for i in 0..n {
-                            for ch in 0..c {
-                                let base = (i * c + ch) * h * w;
-                                let (mu, is, ga) = (mean[ch], inv_std[ch], gamma_v[ch]);
-                                let coef = ga * is / m;
-                                for j in 0..h * w {
-                                    let xhat = (xs[base + j] - mu) * is;
-                                    dxd[base + j] = coef
-                                        * (m * gs[base + j] - sum_dy[ch] - xhat * sum_dy_xhat[ch]);
-                                }
-                            }
-                        }
-                    }
+                    let (dx, dgamma, dbeta) = batch_norm_backward(
+                        self.nodes[x.0].value.data(),
+                        g.data(),
+                        self.nodes[gamma.0].value.data(),
+                        &mean,
+                        &inv_std,
+                        n,
+                        c,
+                        h,
+                        w,
+                    );
                     self.accumulate(x, dx);
                     self.accumulate(gamma, dgamma);
                     self.accumulate(beta, dbeta);
@@ -655,6 +740,7 @@ impl Graph {
                 }
             }
         }
+        self.scratch
     }
 
     fn accumulate(&mut self, v: Var, g: Tensor) {
@@ -663,6 +749,119 @@ impl Graph {
             slot @ None => *slot = Some(g),
         }
     }
+}
+
+/// Batch-norm forward over NCHW data with batch statistics. Returns
+/// `(normalized output, per-channel mean, per-channel 1/std)`.
+///
+/// Shared by [`Graph::batch_norm`] and [`Graph::fused_conv_bn`] so the
+/// fused op is bit-identical to the unfused sequence.
+#[allow(clippy::too_many_arguments)]
+fn batch_norm_forward(
+    xs: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    eps: f32,
+    gamma: &[f32],
+    beta: &[f32],
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let m = (n * h * w) as f32;
+    let mut mean = vec![0.0f32; c];
+    let mut var = vec![0.0f32; c];
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            for v in &xs[base..base + h * w] {
+                mean[ch] += v;
+            }
+        }
+    }
+    for mv in &mut mean {
+        *mv /= m;
+    }
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            for v in &xs[base..base + h * w] {
+                let d = v - mean[ch];
+                var[ch] += d * d;
+            }
+        }
+    }
+    let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v / m + eps).sqrt()).collect();
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    {
+        let od = out.data_mut();
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * h * w;
+                let (mu, is, ga, be) = (mean[ch], inv_std[ch], gamma[ch], beta[ch]);
+                for (o, v) in od[base..base + h * w]
+                    .iter_mut()
+                    .zip(&xs[base..base + h * w])
+                {
+                    *o = ga * (v - mu) * is + be;
+                }
+            }
+        }
+    }
+    (out, mean, inv_std)
+}
+
+/// Batch-norm backward over NCHW data. `xs` is the forward *input*;
+/// returns `(dx, dgamma, dbeta)`. Shared by the `BatchNorm` and
+/// `FusedConvBn` tape records.
+#[allow(clippy::too_many_arguments)]
+fn batch_norm_backward(
+    xs: &[f32],
+    gs: &[f32],
+    gamma: &[f32],
+    mean: &[f32],
+    inv_std: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let m = (n * h * w) as f32;
+    let mut dgamma = Tensor::zeros(&[c]);
+    let mut dbeta = Tensor::zeros(&[c]);
+    let mut sum_dy = vec![0.0f32; c];
+    let mut sum_dy_xhat = vec![0.0f32; c];
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            let (mu, is) = (mean[ch], inv_std[ch]);
+            for j in 0..h * w {
+                let xhat = (xs[base + j] - mu) * is;
+                let dy = gs[base + j];
+                sum_dy[ch] += dy;
+                sum_dy_xhat[ch] += dy * xhat;
+            }
+        }
+    }
+    for ch in 0..c {
+        dgamma.data_mut()[ch] = sum_dy_xhat[ch];
+        dbeta.data_mut()[ch] = sum_dy[ch];
+    }
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    {
+        let dxd = dx.data_mut();
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * h * w;
+                let (mu, is, ga) = (mean[ch], inv_std[ch], gamma[ch]);
+                let coef = ga * is / m;
+                for j in 0..h * w {
+                    let xhat = (xs[base + j] - mu) * is;
+                    dxd[base + j] = coef * (m * gs[base + j] - sum_dy[ch] - xhat * sum_dy_xhat[ch]);
+                }
+            }
+        }
+    }
+    (dx, dgamma, dbeta)
 }
 
 /// Fraction of rows whose argmax matches the label.
@@ -826,6 +1025,91 @@ mod tests {
         finite_diff_param(&build, &mut store, w1, &[0, 10, 50, 107]);
         finite_diff_param(&build, &mut store, wd, &[0, 17, 35]);
         finite_diff_param(&build, &mut store, wl, &[0, 7, 15]);
+    }
+
+    /// The fused ReLU→conv→BN node must be *bit-identical* to the unfused
+    /// three-node sequence: same forward values, same parameter gradients.
+    #[test]
+    fn fused_conv_bn_matches_unfused_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x_data = Tensor::randn(&[3, 2, 5, 5], 1.0, &mut rng);
+        let w_data = Tensor::randn(&[4, 2, 3, 3], 0.5, &mut rng);
+        let labels = vec![0usize, 1, 0];
+        for pre_relu in [true, false] {
+            let mut store_a = ParamStore::new();
+            let wa = store_a.add(w_data.clone());
+            let ga_a = store_a.add(Tensor::from_vec(&[4], vec![1.0, 0.7, 1.3, 0.9]));
+            let be_a = store_a.add(Tensor::from_vec(&[4], vec![0.0, 0.2, -0.1, 0.05]));
+            let mut store_b = store_a.clone();
+            // Unfused.
+            let mut g1 = Graph::new();
+            let x1 = g1.input(x_data.clone());
+            let pre = if pre_relu { g1.relu(x1) } else { x1 };
+            let wv = g1.param(&store_a, wa);
+            let c1 = g1.conv2d(pre, wv, ConvGeom::same(3, 2));
+            let gav = g1.param(&store_a, ga_a);
+            let bev = g1.param(&store_a, be_a);
+            let y1 = g1.batch_norm(c1, gav, bev);
+            let p1 = g1.global_avg_pool(y1);
+            let l1 = g1.softmax_cross_entropy(p1, &labels);
+            let y1_val = g1.value(y1).clone();
+            store_a.zero_grads();
+            g1.backward(l1, &mut store_a);
+            // Fused.
+            let mut g2 = Graph::new();
+            let x2 = g2.input(x_data.clone());
+            let wv2 = g2.param(&store_b, wa);
+            let gav2 = g2.param(&store_b, ga_a);
+            let bev2 = g2.param(&store_b, be_a);
+            let y2 = g2.fused_conv_bn(x2, wv2, gav2, bev2, ConvGeom::same(3, 2), pre_relu);
+            let p2 = g2.global_avg_pool(y2);
+            let l2 = g2.softmax_cross_entropy(p2, &labels);
+            let y2_val = g2.value(y2).clone();
+            store_b.zero_grads();
+            g2.backward(l2, &mut store_b);
+            assert_eq!(
+                y1_val.data(),
+                y2_val.data(),
+                "forward (pre_relu={pre_relu})"
+            );
+            for id in [wa, ga_a, be_a] {
+                assert_eq!(
+                    store_a.grad(id).data(),
+                    store_b.grad(id).data(),
+                    "grad (pre_relu={pre_relu})"
+                );
+            }
+        }
+    }
+
+    /// Scratch threading: conv workspaces survive a forward/backward round
+    /// trip and get recycled by the next step instead of reallocated.
+    #[test]
+    fn scratch_recycles_conv_buffers_across_steps() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let w = store.add(Tensor::randn(&[4, 3, 3, 3], 0.4, &mut rng));
+        let x_data = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+        let labels = vec![0usize, 1];
+        let mut scratch = crate::scratch::Scratch::new();
+        let mut first_pooled = 0;
+        for step in 0..3 {
+            let mut g = Graph::with_scratch(std::mem::take(&mut scratch));
+            let x = g.input(x_data.clone());
+            let wv = g.param(&store, w);
+            let c = g.conv2d(x, wv, ConvGeom::same(3, 1));
+            let p = g.global_avg_pool(c);
+            let loss = g.softmax_cross_entropy(p, &labels);
+            store.zero_grads();
+            scratch = g.backward_scratch(loss, &mut store);
+            if step == 0 {
+                first_pooled = scratch.pooled();
+                assert!(first_pooled >= 2, "cols + dcol should be pooled");
+            } else {
+                // Steady state: same buffers cycle, the pool doesn't grow.
+                assert_eq!(scratch.pooled(), first_pooled);
+            }
+        }
     }
 
     #[test]

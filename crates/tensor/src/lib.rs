@@ -45,12 +45,17 @@ pub mod graph;
 pub mod matmul;
 pub mod optim;
 pub mod param;
+pub mod scratch;
 pub mod snapshot;
 pub mod tensor;
 
 pub use conv::ConvGeom;
 pub use graph::{accuracy, Graph, Var};
-pub use matmul::{num_threads as matmul_threads, set_num_threads as set_matmul_threads};
+pub use matmul::{
+    kernel_kind, num_threads as matmul_threads, set_kernel, set_num_threads as set_matmul_threads,
+    KernelKind,
+};
 pub use optim::{Adam, CosineLr, Sgd};
 pub use param::{ParamId, ParamStore};
+pub use scratch::Scratch;
 pub use tensor::Tensor;

@@ -1,18 +1,38 @@
-//! Small blocked SGEMM kernels.
+//! Blocked SGEMM kernels: a packed, register-tiled microkernel (default)
+//! plus the original branchy reference kernel for tolerance tests.
 //!
-//! These are deliberately dependency-free: a register-blocked `ikj` loop
-//! order that LLVM auto-vectorizes well at the sizes YOSO uses (im2col
-//! panels of a few hundred rows/columns).
+//! ## Packed kernel architecture (see DESIGN.md §9)
+//!
+//! The hot path is a BLIS-style three-level blocking scheme:
+//!
+//! * **B packing** — for each `KC x NC` block of `b`, columns are packed
+//!   into contiguous `KC x NR` panels so the microkernel streams them
+//!   linearly regardless of the original row stride (or transposition).
+//! * **A packing** — each `MR x KC` tile of `a` is packed column-major
+//!   (`p`-major), so one microkernel step reads `MR` consecutive floats.
+//! * **Microkernel** — an `MR x NR` register block accumulates
+//!   `kc` rank-1 updates with fixed-size inner loops that LLVM unrolls
+//!   and vectorizes; there is no data-dependent branching (the old
+//!   kernel's `aik == 0.0` skip is gone).
+//!
+//! Packing buffers live in thread-local scratch, so steady-state GEMM
+//! calls are allocation-free.
 //!
 //! The kernels can fan the M dimension (rows of `c`) out over the worker
 //! pool: each worker owns a contiguous slab of `c` rows and runs the
-//! unchanged serial kernel on it, so every output element accumulates its
-//! terms in exactly the serial order and results are **bit-exact at any
-//! thread count**. Threading is off by default ([`set_num_threads`]\(1\))
-//! because the training workloads here multiply small panels where a
-//! fork/join per GEMM costs more than it saves; benches and large
-//! workloads opt in explicitly.
+//! unchanged serial kernel on it. Within the kernel, every output element
+//! accumulates its `k` terms in increasing-`k` order (blocked only by the
+//! fixed `KC` boundary, which does not depend on the slab split), so
+//! results are **bit-exact at any thread count**. Threading is off by
+//! default ([`set_num_threads`]\(1\)) because the training workloads here
+//! multiply small panels where a fork/join per GEMM costs more than it
+//! saves; benches and large workloads opt in explicitly.
 
+// The internal packing/slab routines take the full block geometry as
+// scalars; bundling them into structs would only obscure the BLIS shape.
+#![allow(clippy::too_many_arguments)]
+
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker count for the M-dimension fan-out. `1` = serial (default);
@@ -21,6 +41,40 @@ static MATMUL_THREADS: AtomicUsize = AtomicUsize::new(1);
 
 /// Minimum `m * k * n` before threading is worth a fork/join.
 const PAR_MIN_FLOPS: usize = 1 << 16;
+
+/// Which SGEMM implementation the public entry points dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The packed, register-tiled microkernel (default).
+    Packed,
+    /// The original branchy `ikj` loop. Kept for tolerance tests and as
+    /// the baseline the `kernels` bench measures speedups against.
+    Reference,
+}
+
+/// `0` = Packed, `1` = Reference (atomic-friendly encoding).
+static KERNEL_KIND: AtomicUsize = AtomicUsize::new(0);
+
+/// Selects the kernel implementation used by [`sgemm_acc`] and friends.
+/// Intended for benches and comparison tests; the default is
+/// [`KernelKind::Packed`].
+pub fn set_kernel(kind: KernelKind) {
+    KERNEL_KIND.store(
+        match kind {
+            KernelKind::Packed => 0,
+            KernelKind::Reference => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The currently selected kernel implementation.
+pub fn kernel_kind() -> KernelKind {
+    match KERNEL_KIND.load(Ordering::Relaxed) {
+        0 => KernelKind::Packed,
+        _ => KernelKind::Reference,
+    }
+}
 
 /// Sets the worker count for the SGEMM kernels in this module.
 ///
@@ -47,6 +101,332 @@ fn resolve_threads(m: usize, k: usize, n: usize) -> usize {
     num_threads().clamp(1, m.max(1))
 }
 
+// ---------------------------------------------------------------------------
+// Packed microkernel
+// ---------------------------------------------------------------------------
+
+/// Microkernel tile height (rows of `c` held in registers).
+pub const MR: usize = 8;
+/// Microkernel tile width (columns of `c` held in registers).
+pub const NR: usize = 16;
+/// Depth blocking: `KC x NR` B panels stay cache-resident while every
+/// row tile of the current slab visits them.
+const KC: usize = 128;
+/// Column blocking: B is packed `NC` columns at a time.
+const NC: usize = 256;
+
+thread_local! {
+    /// Per-thread packing scratch `(a_tile, b_block)`; reused across every
+    /// GEMM call on this thread, so steady state allocates nothing.
+    static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Fused multiply-add `a * b + c` when the build target has hardware FMA
+/// (one rounding, one instruction — the whole point of the register
+/// tile); plain multiply-add otherwise, where `mul_add` would fall back
+/// to a slow libm call. Which branch is taken is a build-wide constant,
+/// so every code path in the process — packed kernel, any thread count —
+/// rounds identically.
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// `MR x NR` register-block microkernel: `acc += A_tile * B_panel` over a
+/// depth of `kc`, where `a` is packed `p`-major (`MR` floats per step) and
+/// `b` is packed panel-major (`NR` floats per step). The fixed-size inner
+/// loops vectorize without any data-dependent branches: each depth step
+/// is `MR` broadcast-FMAs against one `NR`-wide vector load.
+#[inline(always)]
+fn microkernel<'b>(
+    kc: usize,
+    a: &[f32],
+    brows: impl Iterator<Item = &'b [f32]>,
+    acc: &mut [[f32; NR]; MR],
+) {
+    // Each row's accumulator is an independent local so the compiler
+    // treats every `for c` loop below as its own straight-line NR-lane
+    // vector op (broadcast-FMAs per row per depth step) instead of
+    // merging rows into one tangle it then scalarizes. `brows` yields
+    // one `>= NR`-float row per depth step — a packed panel's chunks or
+    // `n`-strided rows of an unpacked row-major B.
+    let [mut acc0, mut acc1, mut acc2, mut acc3, mut acc4, mut acc5, mut acc6, mut acc7] = *acc;
+    for (arow, brow) in a.chunks_exact(MR).take(kc).zip(brows) {
+        let bv: &[f32; NR] = brow[..NR].try_into().expect("NR-wide row");
+        let a0 = arow[0];
+        for c in 0..NR {
+            acc0[c] = fmadd(a0, bv[c], acc0[c]);
+        }
+        let a1 = arow[1];
+        for c in 0..NR {
+            acc1[c] = fmadd(a1, bv[c], acc1[c]);
+        }
+        let a2 = arow[2];
+        for c in 0..NR {
+            acc2[c] = fmadd(a2, bv[c], acc2[c]);
+        }
+        let a3 = arow[3];
+        for c in 0..NR {
+            acc3[c] = fmadd(a3, bv[c], acc3[c]);
+        }
+        let a4 = arow[4];
+        for c in 0..NR {
+            acc4[c] = fmadd(a4, bv[c], acc4[c]);
+        }
+        let a5 = arow[5];
+        for c in 0..NR {
+            acc5[c] = fmadd(a5, bv[c], acc5[c]);
+        }
+        let a6 = arow[6];
+        for c in 0..NR {
+            acc6[c] = fmadd(a6, bv[c], acc6[c]);
+        }
+        let a7 = arow[7];
+        for c in 0..NR {
+            acc7[c] = fmadd(a7, bv[c], acc7[c]);
+        }
+    }
+    *acc = [acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7];
+}
+
+/// How the packing routines read the source operand.
+#[derive(Clone, Copy)]
+enum Layout {
+    /// Operand stored row-major as `rows x cols` with logical element
+    /// `(r, c)` at `data[r * cols + c]`.
+    Normal,
+    /// Operand stored row-major as `cols x rows` (the logical matrix is
+    /// its transpose); logical `(r, c)` is at `data[c * rows + r]`.
+    Transposed,
+}
+
+/// Packs the `[k0..k1) x [j0..j1)` block of logical `b` (`k x n`) into
+/// `KC x NR` panels laid out panel-after-panel in `buf`. Columns past
+/// `j1` in the final panel are zero-filled.
+fn pack_b(
+    b: &[f32],
+    layout: Layout,
+    n: usize,
+    k_dim: usize,
+    k0: usize,
+    k1: usize,
+    j0: usize,
+    j1: usize,
+    buf: &mut Vec<f32>,
+) -> usize {
+    let kc = k1 - k0;
+    let panels = (j1 - j0).div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * kc * NR, 0.0);
+    for pj in 0..panels {
+        let jb = j0 + pj * NR;
+        let jw = NR.min(j1 - jb);
+        let panel = &mut buf[pj * kc * NR..(pj + 1) * kc * NR];
+        match layout {
+            Layout::Normal => {
+                for p in 0..kc {
+                    let src = &b[(k0 + p) * n + jb..(k0 + p) * n + jb + jw];
+                    panel[p * NR..p * NR + jw].copy_from_slice(src);
+                }
+            }
+            Layout::Transposed => {
+                // Logical (k, j) lives at b[j * k_dim + k].
+                for (jj, col) in (jb..jb + jw).enumerate() {
+                    let src = &b[col * k_dim + k0..col * k_dim + k1];
+                    for (p, v) in src.iter().enumerate() {
+                        panel[p * NR + jj] = *v;
+                    }
+                }
+            }
+        }
+    }
+    panels
+}
+
+/// Packs the `[i0..i1) x [k0..k1)` tile of logical `a` (`m x k`) into
+/// `p`-major order (`MR` consecutive rows per depth step). Rows past `i1`
+/// are zero-filled.
+fn pack_a(
+    a: &[f32],
+    layout: Layout,
+    k_dim: usize,
+    m_dim: usize,
+    i0: usize,
+    i1: usize,
+    k0: usize,
+    k1: usize,
+    buf: &mut Vec<f32>,
+) {
+    let kc = k1 - k0;
+    let rows = i1 - i0;
+    buf.clear();
+    buf.resize(kc * MR, 0.0);
+    match layout {
+        Layout::Normal => {
+            for r in 0..rows {
+                let src = &a[(i0 + r) * k_dim + k0..(i0 + r) * k_dim + k1];
+                for (p, v) in src.iter().enumerate() {
+                    buf[p * MR + r] = *v;
+                }
+            }
+        }
+        Layout::Transposed => {
+            // Logical (i, k) lives at a[k * m_dim + i]: one depth step is
+            // a contiguous run of rows.
+            for p in 0..kc {
+                let src = &a[(k0 + p) * m_dim + i0..(k0 + p) * m_dim + i0 + rows];
+                buf[p * MR..p * MR + rows].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// Packed GEMM over a contiguous slab of `c` rows: `c_slab += op(a) * op(b)`
+/// where `op` resolves the layouts. `r0` is the slab's starting row in the
+/// full `m`-row product (used only when `a` is transposed, i.e. stored
+/// whole); a `Normal` `a` must already be sliced to the slab's rows.
+/// Adds the valid `(i1-i0) x jw` corner of a register tile into `c_slab`.
+#[inline(always)]
+fn writeback(
+    acc: &[[f32; NR]; MR],
+    c_slab: &mut [f32],
+    n: usize,
+    i0: usize,
+    i1: usize,
+    jb: usize,
+    jw: usize,
+) {
+    for (r, arow) in acc.iter().enumerate().take(i1 - i0) {
+        let crow = &mut c_slab[(i0 + r) * n + jb..(i0 + r) * n + jb + jw];
+        for (cv, av) in crow.iter_mut().zip(arow.iter()) {
+            *cv += av;
+        }
+    }
+}
+
+fn sgemm_packed_slab(
+    r0: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    a_layout: Layout,
+    a_m_dim: usize,
+    b: &[f32],
+    b_layout: Layout,
+    c_slab: &mut [f32],
+) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    let rows = c_slab.len() / n;
+    let (mut packed, mut reused) = (0u64, 0u64);
+    PACK_SCRATCH.with(|scratch| {
+        let (a_buf, b_buf) = &mut *scratch.borrow_mut();
+        let mut acc = [[0.0f32; NR]; MR];
+        let pack_a_tile =
+            |i0: usize, i1: usize, k0: usize, k1: usize, buf: &mut Vec<f32>| match a_layout {
+                Layout::Normal => pack_a(a, a_layout, k, a_m_dim, i0, i1, k0, k1, buf),
+                Layout::Transposed => {
+                    pack_a(a, a_layout, k, a_m_dim, r0 + i0, r0 + i1, k0, k1, buf);
+                }
+            };
+        match b_layout {
+            // Row-major B already has each depth step's NR-wide group
+            // contiguous: full panels are read in place (`n`-strided
+            // rows), and only the ragged edge panel (`n % NR` columns)
+            // is packed — once per depth block, reused by every row
+            // tile.
+            Layout::Normal => {
+                let mut k0 = 0;
+                while k0 < k {
+                    let k1 = (k0 + KC).min(k);
+                    let kc = k1 - k0;
+                    let mut edge_packed = false;
+                    let mut i0 = 0;
+                    while i0 < rows {
+                        let i1 = (i0 + MR).min(rows);
+                        pack_a_tile(i0, i1, k0, k1, a_buf);
+                        let mut jb = 0;
+                        while jb < n {
+                            let jw = NR.min(n - jb);
+                            for row in acc.iter_mut() {
+                                *row = [0.0; NR];
+                            }
+                            if jw == NR {
+                                microkernel(kc, a_buf, b[k0 * n + jb..].chunks(n), &mut acc);
+                            } else {
+                                if edge_packed {
+                                    reused += 1;
+                                } else {
+                                    pack_b(b, b_layout, n, k, k0, k1, jb, n, b_buf);
+                                    edge_packed = true;
+                                    packed += 1;
+                                }
+                                microkernel(kc, a_buf, b_buf.chunks_exact(NR), &mut acc);
+                            }
+                            writeback(&acc, c_slab, n, i0, i1, jb, jw);
+                            jb += NR;
+                        }
+                        i0 = i1;
+                    }
+                    k0 = k1;
+                }
+            }
+            // Transposed B (stored n x k): depth steps stride the
+            // operand column-wise, so packing into KC x NR panels is
+            // what makes the microkernel's loads contiguous at all.
+            Layout::Transposed => {
+                let mut j0 = 0;
+                while j0 < n {
+                    let j1 = (j0 + NC).min(n);
+                    let mut k0 = 0;
+                    while k0 < k {
+                        let k1 = (k0 + KC).min(k);
+                        let kc = k1 - k0;
+                        let panels = pack_b(b, b_layout, n, k, k0, k1, j0, j1, b_buf);
+                        packed += panels as u64;
+                        reused += (panels as u64) * (rows.div_ceil(MR) as u64).saturating_sub(1);
+                        let mut i0 = 0;
+                        while i0 < rows {
+                            let i1 = (i0 + MR).min(rows);
+                            pack_a_tile(i0, i1, k0, k1, a_buf);
+                            for pj in 0..panels {
+                                for row in acc.iter_mut() {
+                                    *row = [0.0; NR];
+                                }
+                                let panel = &b_buf[pj * kc * NR..(pj + 1) * kc * NR];
+                                microkernel(kc, a_buf, panel.chunks_exact(NR), &mut acc);
+                                let jb = j0 + pj * NR;
+                                let jw = NR.min(j1 - jb);
+                                writeback(&acc, c_slab, n, i0, i1, jb, jw);
+                            }
+                            i0 = i1;
+                        }
+                        k0 = k1;
+                    }
+                    j0 = j1;
+                }
+            }
+        }
+    });
+    if yoso_trace::enabled() {
+        yoso_trace::counter_add("matmul.b_panels_packed", packed);
+        yoso_trace::counter_add("matmul.b_panel_reuses", reused);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
 /// Computes `c += a * b` for row-major matrices:
 /// `a` is `m x k`, `b` is `k x n`, `c` is `m x n`.
 ///
@@ -59,20 +439,42 @@ pub fn sgemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     let threads = resolve_threads(m, k, n);
+    let packed = kernel_kind() == KernelKind::Packed;
     if threads <= 1 {
-        sgemm_acc_slab(m, k, n, a, b, c);
+        if packed {
+            sgemm_packed_slab(0, k, n, a, Layout::Normal, m, b, Layout::Normal, c);
+        } else {
+            sgemm_reference(m, k, n, a, b, c);
+        }
         return;
     }
     let rows_per = m.div_ceil(threads);
     yoso_pool::for_each_chunk_mut(c, rows_per * n, threads, |ci, c_slab| {
         let r0 = ci * rows_per;
         let rows = c_slab.len() / n;
-        sgemm_acc_slab(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_slab);
+        let a_slab = &a[r0 * k..(r0 + rows) * k];
+        if packed {
+            sgemm_packed_slab(
+                r0,
+                k,
+                n,
+                a_slab,
+                Layout::Normal,
+                m,
+                b,
+                Layout::Normal,
+                c_slab,
+            );
+        } else {
+            sgemm_reference(rows, k, n, a_slab, b, c_slab);
+        }
     });
 }
 
-/// Serial kernel over a contiguous slab of `m` rows.
-fn sgemm_acc_slab(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+/// The original serial kernel (`c += a * b`): a `KB`-blocked `ikj` loop
+/// with a data-dependent zero skip. Retained as the comparison baseline
+/// for tolerance tests and the `kernels` bench.
+pub fn sgemm_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     // Block over k to keep the b panel in cache for consecutive rows of a.
     const KB: usize = 64;
     let mut k0 = 0;
@@ -111,20 +513,40 @@ pub fn sgemm_at_b_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mu
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     let threads = resolve_threads(m, k, n);
+    let packed = kernel_kind() == KernelKind::Packed;
     if threads <= 1 {
-        sgemm_at_b_acc_slab(0, m, k, n, a, b, c);
+        if packed {
+            sgemm_packed_slab(0, k, n, a, Layout::Transposed, m, b, Layout::Normal, c);
+        } else {
+            sgemm_at_b_reference_slab(0, m, k, n, a, b, c);
+        }
         return;
     }
     let rows_per = m.div_ceil(threads);
     yoso_pool::for_each_chunk_mut(c, rows_per * n, threads, |ci, c_slab| {
-        sgemm_at_b_acc_slab(ci * rows_per, m, k, n, a, b, c_slab);
+        let r0 = ci * rows_per;
+        if packed {
+            sgemm_packed_slab(
+                r0,
+                k,
+                n,
+                a,
+                Layout::Transposed,
+                m,
+                b,
+                Layout::Normal,
+                c_slab,
+            );
+        } else {
+            sgemm_at_b_reference_slab(r0, m, k, n, a, b, c_slab);
+        }
     });
 }
 
-/// Serial `a^T * b` kernel for the `c_slab.len() / n` rows of `c`
+/// Reference `a^T * b` kernel for the `c_slab.len() / n` rows of `c`
 /// starting at row `r0` (`a` stays the full `k x m` matrix; `c_slab`
 /// holds just those rows).
-fn sgemm_at_b_acc_slab(
+fn sgemm_at_b_reference_slab(
     r0: usize,
     m: usize,
     k: usize,
@@ -160,20 +582,40 @@ pub fn sgemm_a_bt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mu
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
     let threads = resolve_threads(m, k, n);
+    let packed = kernel_kind() == KernelKind::Packed;
     if threads <= 1 {
-        sgemm_a_bt_acc_slab(m, k, n, a, b, c);
+        if packed {
+            sgemm_packed_slab(0, k, n, a, Layout::Normal, m, b, Layout::Transposed, c);
+        } else {
+            sgemm_a_bt_reference_slab(m, k, n, a, b, c);
+        }
         return;
     }
     let rows_per = m.div_ceil(threads);
     yoso_pool::for_each_chunk_mut(c, rows_per * n, threads, |ci, c_slab| {
         let r0 = ci * rows_per;
         let rows = c_slab.len() / n;
-        sgemm_a_bt_acc_slab(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_slab);
+        let a_slab = &a[r0 * k..(r0 + rows) * k];
+        if packed {
+            sgemm_packed_slab(
+                r0,
+                k,
+                n,
+                a_slab,
+                Layout::Normal,
+                m,
+                b,
+                Layout::Transposed,
+                c_slab,
+            );
+        } else {
+            sgemm_a_bt_reference_slab(rows, k, n, a_slab, b, c_slab);
+        }
     });
 }
 
-/// Serial `a * b^T` kernel over a contiguous slab of `m` rows.
-fn sgemm_a_bt_acc_slab(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+/// Reference `a * b^T` kernel over a contiguous slab of `m` rows.
+fn sgemm_a_bt_reference_slab(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -261,6 +703,47 @@ mod tests {
         assert_eq!(c1, naive(m, k, n, &a, &bt));
     }
 
+    /// The packed kernel agrees exactly with the reference kernel on
+    /// integer-valued inputs (every partial sum is exactly representable,
+    /// so any summation order yields identical bits), across shapes that
+    /// exercise all the edge paths: tiny, non-multiples of `MR`/`NR`,
+    /// multiple `KC`/`NC` blocks.
+    #[test]
+    fn packed_matches_reference_on_exact_inputs() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (MR, KC, NR),
+            (MR + 1, KC + 3, NR + 5),
+            (13, 200, 300),
+            (2, 300, 2),
+        ] {
+            let a = seq(m * k);
+            let b = seq(k * n);
+            let mut c_ref = vec![0.25; m * n];
+            sgemm_reference(m, k, n, &a, &b, &mut c_ref);
+            let mut c_packed = vec![0.25; m * n];
+            set_kernel(KernelKind::Packed);
+            sgemm_acc(m, k, n, &a, &b, &mut c_packed);
+            assert_eq!(c_packed, c_ref, "({m},{k},{n})");
+        }
+    }
+
+    /// Kernel selection dispatches all three entry points.
+    #[test]
+    fn reference_kernel_selectable() {
+        let (m, k, n) = (5, 9, 6);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        set_kernel(KernelKind::Reference);
+        assert_eq!(kernel_kind(), KernelKind::Reference);
+        let mut c = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut c);
+        set_kernel(KernelKind::Packed);
+        assert_eq!(kernel_kind(), KernelKind::Packed);
+        assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
     /// All three kernels, at sizes past the serial cutoff, produce
     /// bit-identical output at 1, 2, 3 and 8 workers: each worker's slab
     /// accumulates every element's terms in the serial order.
@@ -287,5 +770,26 @@ mod tests {
             assert_eq!(run(t), serial, "threads={t}");
         }
         set_num_threads(1);
+    }
+
+    /// Same bit-exactness property for the reference kernel dispatch.
+    #[test]
+    fn parallel_reference_bit_exact_across_thread_counts() {
+        let (m, k, n) = (37, 48, 50);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        set_kernel(KernelKind::Reference);
+        let run = |threads: usize| {
+            set_num_threads(threads);
+            let mut c = vec![0.5; m * n];
+            sgemm_acc(m, k, n, &a, &b, &mut c);
+            c
+        };
+        let serial = run(1);
+        for t in [2, 4] {
+            assert_eq!(run(t), serial, "threads={t}");
+        }
+        set_num_threads(1);
+        set_kernel(KernelKind::Packed);
     }
 }

@@ -104,6 +104,16 @@ impl DramTraffic {
     }
 }
 
+/// Report returned for a chaos-injected simulator fault: non-finite
+/// latency/energy that the evaluator-side guards must quarantine.
+fn poisoned_report() -> PerfReport {
+    PerfReport {
+        latency_ms: f64::NAN,
+        energy_mj: f64::NAN,
+        ..PerfReport::default()
+    }
+}
+
 impl Simulator {
     /// Creates a simulator.
     pub fn new(cost: CostModel, fidelity: Fidelity) -> Self {
@@ -130,6 +140,9 @@ impl Simulator {
     /// its energy — an extension beyond the paper's fixed-dataflow
     /// template, in the spirit of reconfigurable arrays (Eyeriss v2).
     pub fn simulate_plan_flexible(&self, plan: &NetworkPlan, hw: &HwConfig) -> PerfReport {
+        if yoso_chaos::armed() && yoso_chaos::should_fault(yoso_chaos::FaultKind::SimNan) {
+            return poisoned_report();
+        }
         let gbuf_bytes = (hw.gbuf_kb * 1024) as f64;
         let mut reports = Vec::with_capacity(plan.layers.len());
         let mut prev_retained = false;
@@ -156,7 +169,15 @@ impl Simulator {
     }
 
     /// Simulates an explicit layer list on `hw`.
+    ///
+    /// Chaos note: [`yoso_chaos::FaultKind::SimNan`] injections fire
+    /// *here*, before any per-layer cache lookup, so a poisoned report
+    /// never enters the memoization layer — the degraded-mode fallback
+    /// in the evaluator depends on cached entries staying finite.
     pub fn simulate_layers(&self, layers: &[LayerSpec], hw: &HwConfig) -> PerfReport {
+        if yoso_chaos::armed() && yoso_chaos::should_fault(yoso_chaos::FaultKind::SimNan) {
+            return poisoned_report();
+        }
         let gbuf_bytes = (hw.gbuf_kb * 1024) as f64;
         let mut reports = Vec::with_capacity(layers.len());
         let mut prev_retained = false; // network input arrives from DRAM

@@ -41,6 +41,7 @@ fn main() {
 fn real_main() -> Result<(), Error> {
     println!("worker pool: {} threads", yoso_bench::configure_threads());
     let trace = yoso_bench::configure_trace();
+    yoso_bench::configure_chaos();
     let which = arg_value("--which").unwrap_or_else(|| "123456".into());
 
     if wants(&which, '1') {

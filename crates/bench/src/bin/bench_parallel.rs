@@ -35,6 +35,7 @@ fn real_main() -> Result<(), Error> {
     let seed = arg_u64("--seed", 0);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_parallel.json".into());
     let trace = configure_trace();
+    yoso_bench::configure_chaos();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let skeleton = NetworkSkeleton::paper_default();
     let sim = Simulator::exact();

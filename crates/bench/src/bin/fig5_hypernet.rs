@@ -44,6 +44,7 @@ fn real_main() -> Result<(), Error> {
     let part = arg_value("--part").unwrap_or_else(|| "both".into());
     let seed = arg_u64("--seed", 0);
     let trace = yoso_bench::configure_trace();
+    yoso_bench::configure_chaos();
     let (skeleton, mut data_cfg) = scale();
     if let Some(n) = arg_value("--noise").and_then(|v| v.parse::<f32>().ok()) {
         data_cfg.noise = n;

@@ -73,6 +73,7 @@ fn real_main() -> Result<(), Error> {
         NetworkSkeleton::paper_default()
     };
     let trace = configure_trace();
+    yoso_bench::configure_chaos();
     let evaluator = build_evaluator(&skeleton, seed)?;
     let constraints = calibrate_constraints(&skeleton, 300, seed, 40.0);
     println!(

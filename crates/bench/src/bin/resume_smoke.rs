@@ -17,7 +17,14 @@
 //! divergence, so CI can gate on it.
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin resume_smoke --
-//!   [--iterations 30] [--kill-at 15] [--seed 0]`
+//!   [--iterations 30] [--kill-at 15] [--seed 0] [--chaos-plan <path>]`
+//!
+//! With `--chaos-plan` the whole drill runs under an armed fault plan.
+//! Only *transient* faults (worker panics, slow evaluations) keep the
+//! byte-identity contract — the supervised pool retries them away — so
+//! that is what the CI soak plan injects. Quarantining faults (NaN
+//! rewards, simulator NaNs) change which candidates survive and belong
+//! in the `chaos_resilience` integration test instead.
 
 use std::path::PathBuf;
 use yoso_bench::{arg_u64, arg_usize, run_main};
@@ -45,6 +52,7 @@ fn real_main() -> Result<(), Error> {
     let iterations = arg_usize("--iterations", 30);
     let kill_at = arg_usize("--kill-at", 15);
     let seed = arg_u64("--seed", 0);
+    yoso_bench::configure_chaos();
     let skeleton = yoso_arch::NetworkSkeleton::tiny();
     let evaluator = SurrogateEvaluator::new(skeleton.clone());
     let reward = RewardConfig::balanced(calibrate_constraints(&skeleton, 50, seed, 50.0));

@@ -72,6 +72,7 @@ fn real_main() -> Result<(), Error> {
     let seed = arg_u64("--seed", 0);
     println!("worker pool: {} threads", yoso_bench::configure_threads());
     let trace = yoso_bench::configure_trace();
+    yoso_bench::configure_chaos();
 
     let skeleton = NetworkSkeleton::small();
     let data = SynthCifar::generate(&SynthCifarConfig::small());

@@ -102,11 +102,16 @@ pub fn bench_meta_json(indent: usize) -> String {
 /// Runs a bench binary's fallible body: on `Err` the full
 /// [`yoso_core::Error`] chain (error plus every `source()` cause) is
 /// printed to stderr and the process exits with status 1, so failures
-/// surface as readable diagnostics instead of `unwrap` panics.
+/// surface as readable diagnostics instead of `unwrap` panics. On
+/// success the chaos injection counters (if a `--chaos-plan` was armed)
+/// are reported via [`finish_chaos`].
 pub fn run_main(body: impl FnOnce() -> Result<(), yoso_core::Error>) {
-    if let Err(e) = body() {
-        eprintln!("error: {}", yoso_core::error_chain(&e));
-        std::process::exit(1);
+    match body() {
+        Err(e) => {
+            eprintln!("error: {}", yoso_core::error_chain(&e));
+            std::process::exit(1);
+        }
+        Ok(()) => finish_chaos(),
     }
 }
 
@@ -143,6 +148,58 @@ pub fn arg_present(flag: &str) -> bool {
 pub fn configure_threads() -> usize {
     yoso_pool::set_num_threads(arg_usize("--threads", 0));
     yoso_pool::num_threads()
+}
+
+/// Applies the shared `--chaos-plan <path>` flag: when present, loads a
+/// [`yoso_chaos::FaultPlan`] from the file and arms the global fault
+/// injector for the rest of the process, printing which faults are in
+/// play. Without the flag chaos stays disarmed and every hook reduces to
+/// one relaxed atomic load.
+///
+/// Returns `true` when a plan was armed.
+///
+/// # Panics
+///
+/// Panics when the flag is present but the file cannot be read or
+/// parsed — a bench invoked with a broken fault plan should fail loudly,
+/// not silently run fault-free.
+pub fn configure_chaos() -> bool {
+    let Some(path) = arg_value("--chaos-plan") else {
+        return false;
+    };
+    let plan =
+        yoso_chaos::FaultPlan::load(&path).unwrap_or_else(|e| panic!("--chaos-plan {path}: {e}"));
+    eprintln!(
+        "[chaos] armed plan from {path}: seed {}, {} rule(s): {}",
+        plan.seed,
+        plan.rules.len(),
+        plan.rules
+            .iter()
+            .map(|r| r.kind.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    yoso_chaos::install(&plan);
+    true
+}
+
+/// Prints the per-kind chaos injection counters at the end of a run and
+/// disarms the injector. No-op when [`configure_chaos`] armed nothing.
+pub fn finish_chaos() {
+    if !yoso_chaos::armed() {
+        return;
+    }
+    for s in yoso_chaos::stats() {
+        if s.opportunities > 0 {
+            eprintln!(
+                "[chaos] {}: injected {} / {} opportunities",
+                s.kind.name(),
+                s.injected,
+                s.opportunities
+            );
+        }
+    }
+    yoso_chaos::disarm();
 }
 
 /// Applies the shared `--trace-out <path>` flag: when present, switches

@@ -131,6 +131,7 @@ mod tests {
     fn feasible_filters_correctly() {
         let outcome = SearchOutcome {
             history: vec![rec(0.9, 1.0, 5.0), rec(0.8, 3.0, 5.0), rec(0.7, 1.0, 20.0)],
+            ..SearchOutcome::default()
         };
         let cons = Constraints {
             t_lat_ms: 2.0,
@@ -189,6 +190,7 @@ mod tests {
     fn save_history_roundtrip() {
         let outcome = SearchOutcome {
             history: vec![rec(0.9, 1.0, 5.0)],
+            ..SearchOutcome::default()
         };
         let path = std::env::temp_dir().join("yoso_hist_test.csv");
         save_history_csv(&outcome, &path).unwrap();

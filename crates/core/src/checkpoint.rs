@@ -14,8 +14,8 @@
 
 use crate::error::Error;
 use crate::evaluation::Evaluation;
-use crate::reward::{Constraints, RewardConfig, RewardForm};
-use crate::search::{SearchConfig, SearchRecord};
+use crate::reward::{Constraints, NonFiniteMetric, RewardConfig, RewardForm};
+use crate::search::{QuarantineEntry, SearchConfig, SearchRecord};
 use crate::session::Strategy;
 use std::path::{Path, PathBuf};
 use yoso_arch::DesignPoint;
@@ -107,6 +107,70 @@ impl Snapshot for SearchRecord {
             point: DesignPoint::restore(r)?,
             eval: Evaluation::restore(r)?,
             reward: r.take_f64()?,
+        })
+    }
+}
+
+impl Snapshot for NonFiniteMetric {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            NonFiniteMetric::Accuracy => 0,
+            NonFiniteMetric::LatencyMs => 1,
+            NonFiniteMetric::EnergyMj => 2,
+            NonFiniteMetric::Reward => 3,
+        });
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(NonFiniteMetric::Accuracy),
+            1 => Ok(NonFiniteMetric::LatencyMs),
+            2 => Ok(NonFiniteMetric::EnergyMj),
+            3 => Ok(NonFiniteMetric::Reward),
+            t => Err(PersistError::Malformed(format!(
+                "non-finite-metric tag {t}"
+            ))),
+        }
+    }
+}
+
+impl Snapshot for QuarantineEntry {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_usize(self.iteration);
+        self.point.snapshot(w);
+        match &self.actions {
+            Some(actions) => {
+                w.put_bool(true);
+                w.put_usize(actions.len());
+                for &a in actions {
+                    w.put_usize(a);
+                }
+            }
+            None => w.put_bool(false),
+        }
+        self.eval.snapshot(w);
+        self.reason.snapshot(w);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let iteration = r.take_usize()?;
+        let point = DesignPoint::restore(r)?;
+        let actions = if r.take_bool()? {
+            let n = r.take_usize()?;
+            let mut actions = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                actions.push(r.take_usize()?);
+            }
+            Some(actions)
+        } else {
+            None
+        };
+        Ok(QuarantineEntry {
+            iteration,
+            point,
+            actions,
+            eval: Evaluation::restore(r)?,
+            reason: NonFiniteMetric::restore(r)?,
         })
     }
 }
@@ -211,6 +275,10 @@ pub struct SessionCheckpoint {
     pub update_index: u64,
     /// Every candidate evaluated so far, in order.
     pub history: Vec<SearchRecord>,
+    /// Candidates quarantined for non-finite metrics so far (empty on a
+    /// fault-free run; stored as an optional section, so fault-free
+    /// checkpoints are byte-identical to pre-fault-tolerance ones).
+    pub quarantine: Vec<QuarantineEntry>,
     /// The session RNG stream (xoshiro256++ state).
     pub rng_state: [u64; 4],
     /// The LSTM controller — weights, Adam moments, baseline (RL only).
@@ -235,6 +303,8 @@ pub struct CheckpointWriter<'a> {
     pub update_index: u64,
     /// Every candidate evaluated so far.
     pub history: &'a [SearchRecord],
+    /// The quarantine ledger (written only when non-empty).
+    pub quarantine: &'a [QuarantineEntry],
     /// The session RNG stream.
     pub rng_state: [u64; 4],
     /// The LSTM controller (RL only).
@@ -263,6 +333,14 @@ impl CheckpointWriter<'_> {
                 rec.snapshot(w);
             }
         });
+        if !self.quarantine.is_empty() {
+            b.section("quarantine", |w| {
+                w.put_usize(self.quarantine.len());
+                for q in self.quarantine {
+                    q.snapshot(w);
+                }
+            });
+        }
         b.section("rng", |w| w.put_u64s(&self.rng_state));
         if let Some(ctrl) = self.controller {
             b.put("controller", ctrl);
@@ -287,6 +365,7 @@ impl SessionCheckpoint {
             reward: &self.reward,
             update_index: self.update_index,
             history: &self.history,
+            quarantine: &self.quarantine,
             rng_state: self.rng_state,
             controller: self.controller.as_ref(),
         }
@@ -326,6 +405,17 @@ impl SessionCheckpoint {
             .take_u64s()?
             .try_into()
             .map_err(|_| PersistError::Malformed("rng state is not 4 words".into()))?;
+        let quarantine = if archive.has("quarantine") {
+            let mut q = archive.section("quarantine")?;
+            let n = q.take_usize()?;
+            let mut entries = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                entries.push(QuarantineEntry::restore(&mut q)?);
+            }
+            entries
+        } else {
+            Vec::new()
+        };
         let controller = if archive.has("controller") {
             Some(archive.get("controller")?)
         } else {
@@ -342,6 +432,7 @@ impl SessionCheckpoint {
             reward,
             update_index,
             history,
+            quarantine,
             rng_state,
             controller,
         })
@@ -379,6 +470,7 @@ mod tests {
             reward: RewardConfig::balanced(Constraints::paper()),
             update_index: 0,
             history: sample_history(12),
+            quarantine: Vec::new(),
             rng_state: [1, 2, 3, 4],
             controller: None,
         }
@@ -420,6 +512,50 @@ mod tests {
         // Truncation is equally typed, never a panic.
         std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
         assert!(SessionCheckpoint::read_from(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_section_roundtrips_raw_non_finite_observations() {
+        let dir = std::env::temp_dir().join(format!("yoso-ckpt-quar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(checkpoint_file_name(9));
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ck = sample_checkpoint();
+        ck.quarantine = vec![
+            QuarantineEntry {
+                iteration: 3,
+                point: DesignPoint::random(&mut rng),
+                actions: Some(vec![1, 4, 0, 7]),
+                eval: Evaluation {
+                    accuracy: 0.9,
+                    latency_ms: f64::NAN,
+                    energy_mj: f64::INFINITY,
+                },
+                reason: NonFiniteMetric::LatencyMs,
+            },
+            QuarantineEntry {
+                iteration: 7,
+                point: DesignPoint::random(&mut rng),
+                actions: None,
+                eval: Evaluation {
+                    accuracy: 0.8,
+                    latency_ms: 1.0,
+                    energy_mj: 2.0,
+                },
+                reason: NonFiniteMetric::Reward,
+            },
+        ];
+        ck.write_to(&path).unwrap();
+        let back = SessionCheckpoint::read_from(&path).unwrap();
+        // QuarantineEntry equality is bit-exact on the raw evaluation, so
+        // NaN/Inf observations survive the disk roundtrip comparably.
+        assert_eq!(back.quarantine, ck.quarantine);
+        // A fault-free checkpoint omits the section entirely.
+        ck.quarantine.clear();
+        ck.write_to(&path).unwrap();
+        let back = SessionCheckpoint::read_from(&path).unwrap();
+        assert!(back.quarantine.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

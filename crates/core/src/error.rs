@@ -30,6 +30,20 @@ pub enum Error {
         /// What the resuming session supplied.
         found: String,
     },
+    /// The session's fault budget was exhausted: more candidates were
+    /// quarantined or served in degraded mode than
+    /// `SearchSessionBuilder::fault_budget` allows. If a checkpoint
+    /// directory was configured an emergency checkpoint was written
+    /// first, so the run can be resumed (typically with the fault source
+    /// fixed or chaos disarmed).
+    FaultBudgetExhausted {
+        /// Faults observed when the budget tripped.
+        faults: u64,
+        /// The configured budget.
+        budget: u64,
+        /// Emergency checkpoint path, when one could be written.
+        checkpoint: Option<std::path::PathBuf>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -46,6 +60,20 @@ impl fmt::Display for Error {
                      but the resuming session has {found}"
                 )
             }
+            Error::FaultBudgetExhausted {
+                faults,
+                budget,
+                checkpoint,
+            } => {
+                write!(
+                    f,
+                    "fault budget exhausted: {faults} faults > budget {budget}"
+                )?;
+                match checkpoint {
+                    Some(path) => write!(f, " (emergency checkpoint at {})", path.display()),
+                    None => f.write_str(" (no checkpoint directory configured)"),
+                }
+            }
         }
     }
 }
@@ -56,7 +84,9 @@ impl std::error::Error for Error {
             Error::Persist(e) => Some(e),
             Error::Fit(e) => Some(e),
             Error::Decode(e) => Some(e),
-            Error::InvalidConfig(_) | Error::ResumeMismatch { .. } => None,
+            Error::InvalidConfig(_)
+            | Error::ResumeMismatch { .. }
+            | Error::FaultBudgetExhausted { .. } => None,
         }
     }
 }
@@ -136,6 +166,26 @@ mod tests {
         let e = Error::InvalidConfig("missing evaluator".into());
         assert!(std::error::Error::source(&e).is_none());
         assert!(e.to_string().contains("missing evaluator"));
+    }
+
+    #[test]
+    fn fault_budget_message_names_counts_and_checkpoint() {
+        let e = Error::FaultBudgetExhausted {
+            faults: 12,
+            budget: 10,
+            checkpoint: Some(std::path::PathBuf::from("/tmp/ckpt_00000007.snap")),
+        };
+        assert!(std::error::Error::source(&e).is_none());
+        let msg = e.to_string();
+        assert!(msg.contains("12"), "{msg}");
+        assert!(msg.contains("10"), "{msg}");
+        assert!(msg.contains("ckpt_00000007.snap"), "{msg}");
+        let no_ckpt = Error::FaultBudgetExhausted {
+            faults: 3,
+            budget: 2,
+            checkpoint: None,
+        };
+        assert!(no_ckpt.to_string().contains("no checkpoint"), "{no_ckpt}");
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::error::Error;
 use crate::reward::Constraints;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, Genotype, NetworkSkeleton};
 use yoso_dataset::SynthCifar;
@@ -52,6 +53,15 @@ pub trait Evaluator: Send + Sync {
 
     /// Short name for logs.
     fn name(&self) -> &'static str;
+
+    /// Queries answered through a degraded-mode fallback (e.g. the
+    /// memoized simulator standing in for a non-finite GP prediction)
+    /// since construction. The session loop charges the per-run delta
+    /// against its fault budget and reports it in the end-of-run
+    /// subsystem summary. Default: the evaluator never degrades.
+    fn degraded_queries(&self) -> u64 {
+        0
+    }
 }
 
 /// Calibrates thresholds from the distribution of random designs: the
@@ -95,6 +105,10 @@ pub struct FastEvaluator {
     pub eval_batch: usize,
     acc_cache: RwLock<HashMap<Genotype, f64>>,
     stats_cache: RwLock<HashMap<Genotype, StatsEntry>>,
+    /// Graceful-degradation substrate: when a GP prediction comes back
+    /// non-finite, the query falls back to this memoized fast simulator.
+    fallback_sim: Simulator,
+    degraded: AtomicU64,
 }
 
 impl FastEvaluator {
@@ -108,6 +122,8 @@ impl FastEvaluator {
             eval_batch: 128,
             acc_cache: RwLock::new(HashMap::new()),
             stats_cache: RwLock::new(HashMap::new()),
+            fallback_sim: Simulator::fast(),
+            degraded: AtomicU64::new(0),
         }
     }
 
@@ -188,15 +204,33 @@ impl FastEvaluator {
         self.stats_cache.write().insert(point.genotype, v);
         v
     }
+
+    /// Per-query degraded-mode fallback: a non-finite GP prediction
+    /// (poisoned kernel state, chaos injection) is replaced by a run of
+    /// the memoized cycle-level simulator. Costs a plan compile + one
+    /// cached simulation instead of a GP dot product, but keeps the
+    /// search loop supplied with finite metrics.
+    fn degraded_perf(&self, point: &DesignPoint) -> (f64, f64) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        if yoso_trace::enabled() {
+            yoso_trace::counter_add("evaluator.degraded_queries", 1);
+        }
+        let plan = self.hyper.skeleton().compile(&point.genotype);
+        let rep = self.fallback_sim.simulate_plan(&plan, &point.hw);
+        (rep.latency_ms, rep.energy_mj)
+    }
 }
 
 impl Evaluator for FastEvaluator {
     fn evaluate(&self, point: &DesignPoint) -> Result<Evaluation, Error> {
         let accuracy = self.accuracy_of(&point.genotype);
         let (stats, arities) = self.stats_arities_of(point);
-        let (latency_ms, energy_mj) = self
+        let (mut latency_ms, mut energy_mj) = self
             .predictor
             .predict_from_stats(&stats, &point.hw, arities);
+        if !latency_ms.is_finite() || !energy_mj.is_finite() {
+            (latency_ms, energy_mj) = self.degraded_perf(point);
+        }
         Ok(Evaluation {
             accuracy,
             latency_ms,
@@ -204,37 +238,47 @@ impl Evaluator for FastEvaluator {
         })
     }
 
-    /// Batched scoring: accuracies come from the per-genotype cache as
-    /// usual (rollout batches repeat genotypes often), while both GPs
-    /// score the whole batch in one cross-kernel pass each via
+    /// Batched scoring: the per-point work (hypernet accuracy pass +
+    /// feature extraction) fans out over the supervised worker pool —
+    /// per-genotype caches keep repeated rollouts cheap and make the
+    /// result independent of thread count — then both GPs score the
+    /// whole batch in one cross-kernel pass each via
     /// [`PerfPredictor::predict_batch_from_features`]. Bit-identical to
     /// per-point [`evaluate`](Evaluator::evaluate).
     fn evaluate_batch(&self, points: &[DesignPoint]) -> Result<Vec<Evaluation>, Error> {
-        let accs: Vec<f64> = points
-            .iter()
-            .map(|p| self.accuracy_of(&p.genotype))
-            .collect();
-        let xs: Vec<Vec<f64>> = points
-            .iter()
-            .map(|p| {
-                let (stats, arities) = self.stats_arities_of(p);
-                yoso_predictor::stats_features(&stats, &p.hw, arities)
-            })
-            .collect();
+        let per_point: Vec<(f64, Vec<f64>)> = yoso_pool::parallel_map(points.len(), 0, |i| {
+            let p = &points[i];
+            let (stats, arities) = self.stats_arities_of(p);
+            (
+                self.accuracy_of(&p.genotype),
+                yoso_predictor::stats_features(&stats, &p.hw, arities),
+            )
+        });
+        let (accs, xs): (Vec<f64>, Vec<Vec<f64>>) = per_point.into_iter().unzip();
         let perf = self.predictor.predict_batch_from_features(&xs);
         Ok(accs
             .into_iter()
             .zip(perf)
-            .map(|(accuracy, (latency_ms, energy_mj))| Evaluation {
-                accuracy,
-                latency_ms,
-                energy_mj,
+            .zip(points)
+            .map(|((accuracy, (mut latency_ms, mut energy_mj)), point)| {
+                if !latency_ms.is_finite() || !energy_mj.is_finite() {
+                    (latency_ms, energy_mj) = self.degraded_perf(point);
+                }
+                Evaluation {
+                    accuracy,
+                    latency_ms,
+                    energy_mj,
+                }
             })
             .collect())
     }
 
     fn name(&self) -> &'static str {
         "fast(hypernet+gp)"
+    }
+
+    fn degraded_queries(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
     }
 }
 

@@ -8,6 +8,43 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which input (or the computed reward itself) was non-finite — the
+/// quarantine signal returned by [`RewardConfig::checked_reward`].
+///
+/// A NaN/Inf metric must never reach the REINFORCE baseline's moving
+/// average (one poisoned sample makes every later baseline NaN) or the GP
+/// training set; callers quarantine the candidate instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NonFiniteMetric {
+    /// `A(λ)` was NaN or infinite.
+    Accuracy,
+    /// `l(λ)` (latency in ms) was NaN or infinite.
+    LatencyMs,
+    /// `e(λ)` (energy in mJ) was NaN or infinite.
+    EnergyMj,
+    /// The inputs were finite but `R(λ)` itself came out non-finite
+    /// (e.g. an overflowing power term, or an injected fault).
+    Reward,
+}
+
+impl NonFiniteMetric {
+    /// Stable snake_case name (used in trace events and checkpoints).
+    pub fn name(self) -> &'static str {
+        match self {
+            NonFiniteMetric::Accuracy => "accuracy",
+            NonFiniteMetric::LatencyMs => "latency_ms",
+            NonFiniteMetric::EnergyMj => "energy_mj",
+            NonFiniteMetric::Reward => "reward",
+        }
+    }
+}
+
+impl std::fmt::Display for NonFiniteMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "non-finite {}", self.name())
+    }
+}
+
 /// Which algebraic form of Eq. 2 to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RewardForm {
@@ -159,6 +196,39 @@ impl RewardConfig {
             base
         }
     }
+
+    /// [`RewardConfig::reward`] with runtime non-finite guards: each input
+    /// and the computed reward are checked, and the first non-finite value
+    /// is reported as a [`NonFiniteMetric`] quarantine signal instead of
+    /// letting NaN/Inf flow into the REINFORCE baseline or best-so-far
+    /// bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// The offending metric, in input order (`accuracy`, `latency_ms`,
+    /// `energy_mj`), or [`NonFiniteMetric::Reward`] when the inputs were
+    /// fine but the combination was not.
+    pub fn checked_reward(
+        &self,
+        accuracy: f64,
+        latency_ms: f64,
+        energy_mj: f64,
+    ) -> Result<f64, NonFiniteMetric> {
+        if !accuracy.is_finite() {
+            return Err(NonFiniteMetric::Accuracy);
+        }
+        if !latency_ms.is_finite() {
+            return Err(NonFiniteMetric::LatencyMs);
+        }
+        if !energy_mj.is_finite() {
+            return Err(NonFiniteMetric::EnergyMj);
+        }
+        let r = self.reward(accuracy, latency_ms, energy_mj);
+        if !r.is_finite() {
+            return Err(NonFiniteMetric::Reward);
+        }
+        Ok(r)
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +318,58 @@ mod tests {
         assert!(c.reward(0.9, 2.4, 4.0) < 0.9);
         // Accuracy remains the tiebreaker among feasible designs.
         assert!(c.reward(0.95, 0.6, 4.0) > c.reward(0.9, 0.2, 1.0));
+    }
+
+    #[test]
+    fn checked_reward_quarantines_each_non_finite_input() {
+        let c = cfg();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                c.checked_reward(bad, 1.0, 8.0),
+                Err(NonFiniteMetric::Accuracy)
+            );
+            assert_eq!(
+                c.checked_reward(0.9, bad, 8.0),
+                Err(NonFiniteMetric::LatencyMs)
+            );
+            assert_eq!(
+                c.checked_reward(0.9, 1.0, bad),
+                Err(NonFiniteMetric::EnergyMj)
+            );
+        }
+        // Input order decides which metric is reported when several are bad.
+        assert_eq!(
+            c.checked_reward(f64::NAN, f64::NAN, f64::NAN),
+            Err(NonFiniteMetric::Accuracy)
+        );
+    }
+
+    #[test]
+    fn checked_reward_catches_non_finite_combinations() {
+        // Finite inputs can still overflow the power terms: a huge ω with
+        // a tiny ratio drives l^ω to +inf.
+        let mut c = cfg();
+        c.omega1 = -1e9;
+        assert_eq!(
+            c.checked_reward(0.9, 1e-30, 9.0),
+            Err(NonFiniteMetric::Reward)
+        );
+    }
+
+    #[test]
+    fn checked_reward_matches_reward_on_finite_inputs() {
+        let c = cfg();
+        assert_eq!(c.checked_reward(0.9, 1.0, 8.0), Ok(c.reward(0.9, 1.0, 8.0)));
+        assert_eq!(c.checked_reward(0.0, 0.0, 0.0), Ok(c.reward(0.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn non_finite_metric_names_are_stable() {
+        assert_eq!(NonFiniteMetric::Accuracy.name(), "accuracy");
+        assert_eq!(NonFiniteMetric::LatencyMs.name(), "latency_ms");
+        assert_eq!(NonFiniteMetric::EnergyMj.name(), "energy_mj");
+        assert_eq!(NonFiniteMetric::Reward.name(), "reward");
+        assert_eq!(NonFiniteMetric::Reward.to_string(), "non-finite reward");
     }
 
     #[test]

@@ -6,9 +6,57 @@
 //! actual loops and the telemetry hooks.
 
 use crate::evaluation::{Evaluation, Evaluator};
-use crate::reward::RewardConfig;
+use crate::reward::{NonFiniteMetric, RewardConfig};
 use crate::session::{SearchSession, Strategy};
 use yoso_arch::DesignPoint;
+
+/// Sentinel reward recorded for quarantined candidates: finite (so
+/// [`SearchOutcome::best`] and the running-best curve stay finite) but far
+/// below any reachable reward, so a quarantined record can never win
+/// selection, a tournament, or top-N.
+pub const QUARANTINE_REWARD: f64 = -1e30;
+
+/// One quarantined candidate: a design point whose evaluation or reward
+/// came out non-finite (a simulator fault, a poisoned GP prediction, an
+/// injected NaN, …). Quarantined candidates are kept out of the REINFORCE
+/// baseline and recorded here with enough context to reproduce them.
+///
+/// Equality compares the raw evaluation **bit-exactly** (`f64::to_bits`),
+/// so two ledgers holding the same NaN observations compare equal — the
+/// ordinary IEEE rule `NaN != NaN` would make every faulted outcome
+/// unequal to its own checkpoint-resumed replay.
+#[derive(Debug, Clone)]
+pub struct QuarantineEntry {
+    /// Candidate index (0-based), aligned with the history record that
+    /// carries the [`QUARANTINE_REWARD`] sentinel.
+    pub iteration: usize,
+    /// The offending design point.
+    pub point: DesignPoint,
+    /// The controller action sequence that produced it (RL strategy
+    /// only; `None` for evolution/random candidates).
+    pub actions: Option<Vec<usize>>,
+    /// The (partially non-finite) evaluation as observed.
+    pub eval: Evaluation,
+    /// Which metric was non-finite.
+    pub reason: NonFiniteMetric,
+}
+
+impl PartialEq for QuarantineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        let bits = |e: &Evaluation| {
+            (
+                e.accuracy.to_bits(),
+                e.latency_ms.to_bits(),
+                e.energy_mj.to_bits(),
+            )
+        };
+        self.iteration == other.iteration
+            && self.point == other.point
+            && self.actions == other.actions
+            && bits(&self.eval) == bits(&other.eval)
+            && self.reason == other.reason
+    }
+}
 
 /// Search-loop parameters, shared by every [`Strategy`].
 ///
@@ -118,8 +166,13 @@ pub struct SearchRecord {
 /// Full search history.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SearchOutcome {
-    /// Every evaluated candidate, in order.
+    /// Every evaluated candidate, in order. Quarantined candidates appear
+    /// here too (keeping iteration numbering contiguous for resume) with
+    /// the [`QUARANTINE_REWARD`] sentinel as their reward.
     pub history: Vec<SearchRecord>,
+    /// Candidates quarantined for non-finite metrics, in iteration order.
+    /// Empty on a fault-free run.
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 impl SearchOutcome {

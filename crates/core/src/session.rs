@@ -69,9 +69,11 @@
 
 use crate::checkpoint::{checkpoint_file_name, CheckpointWriter, SessionCheckpoint};
 use crate::error::Error;
-use crate::evaluation::Evaluator;
-use crate::reward::RewardConfig;
-use crate::search::{SearchConfig, SearchOutcome, SearchRecord};
+use crate::evaluation::{Evaluation, Evaluator};
+use crate::reward::{NonFiniteMetric, RewardConfig};
+use crate::search::{
+    QuarantineEntry, SearchConfig, SearchOutcome, SearchRecord, QUARANTINE_REWARD,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -196,6 +198,7 @@ struct ResumeState {
     evaluator: String,
     update_index: u64,
     history: Vec<SearchRecord>,
+    quarantine: Vec<QuarantineEntry>,
     rng_state: [u64; 4],
     controller: Option<Controller>,
 }
@@ -214,6 +217,7 @@ pub struct SearchSession<'a> {
     trace: Trace,
     checkpoint_every: Option<usize>,
     checkpoint_dir: Option<PathBuf>,
+    fault_budget: Option<u64>,
     resume: Option<ResumeState>,
 }
 
@@ -226,6 +230,7 @@ pub struct SearchSessionBuilder<'a> {
     trace: Trace,
     checkpoint_every: Option<usize>,
     checkpoint_dir: Option<PathBuf>,
+    fault_budget: Option<u64>,
     resume: Option<ResumeState>,
 }
 
@@ -282,6 +287,19 @@ impl<'a> SearchSessionBuilder<'a> {
         self
     }
 
+    /// Aborts the run with [`Error::FaultBudgetExhausted`] once the
+    /// session has absorbed more than `budget` faults — quarantined
+    /// candidates plus degraded-mode evaluator queries, counted over this
+    /// run only. When a [`checkpoint_dir`](Self::checkpoint_dir) is
+    /// configured an emergency checkpoint is written first so the run can
+    /// be resumed once the fault source is fixed. The default (no budget)
+    /// degrades indefinitely.
+    #[must_use]
+    pub fn fault_budget(mut self, budget: u64) -> Self {
+        self.fault_budget = Some(budget);
+        self
+    }
+
     /// Finalizes the session.
     ///
     /// # Errors
@@ -326,6 +344,7 @@ impl<'a> SearchSessionBuilder<'a> {
             trace: self.trace,
             checkpoint_every: self.checkpoint_every,
             checkpoint_dir: self.checkpoint_dir,
+            fault_budget: self.fault_budget,
             resume: self.resume,
         })
     }
@@ -352,6 +371,7 @@ impl<'a> SearchSession<'a> {
             trace: Trace::disabled(),
             checkpoint_every: None,
             checkpoint_dir: None,
+            fault_budget: None,
             resume: None,
         }
     }
@@ -389,6 +409,7 @@ impl<'a> SearchSession<'a> {
             evaluator: ck.evaluator,
             update_index: ck.update_index,
             history: ck.history,
+            quarantine: ck.quarantine,
             rng_state: ck.rng_state,
             controller: ck.controller,
         });
@@ -417,7 +438,9 @@ impl<'a> SearchSession<'a> {
     ///
     /// Returns [`Error::ResumeMismatch`] when the session resumes from a
     /// checkpoint recorded with a different evaluator or strategy,
-    /// [`Error::Persist`] when a checkpoint cannot be written, and
+    /// [`Error::Persist`] when a checkpoint cannot be written,
+    /// [`Error::FaultBudgetExhausted`] when a configured
+    /// [`fault_budget`](SearchSessionBuilder::fault_budget) trips, and
     /// whatever the evaluator propagates.
     pub fn run(&self) -> Result<SearchOutcome, Error> {
         if let Some(res) = &self.resume {
@@ -460,10 +483,11 @@ impl<'a> SearchSession<'a> {
             self.trace.emit(start);
         }
         let t0 = Instant::now();
+        let degraded_before = self.evaluator.degraded_queries();
         let outcome = match self.strategy {
-            Strategy::Rl => self.run_rl()?,
-            Strategy::Evolution => self.run_evolution()?,
-            Strategy::Random => self.run_random()?,
+            Strategy::Rl => self.run_rl(degraded_before)?,
+            Strategy::Evolution => self.run_evolution(degraded_before)?,
+            Strategy::Random => self.run_random(degraded_before)?,
         };
         if traced {
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -482,6 +506,7 @@ impl<'a> SearchSession<'a> {
             }
             self.trace.emit(summary);
             self.emit_subsystem_summaries(&cache_before, &reg_before);
+            self.emit_fault_summary(&outcome, degraded_before, &reg_before);
             self.trace.flush();
         }
         Ok(outcome)
@@ -559,23 +584,204 @@ impl<'a> SearchSession<'a> {
         );
     }
 
-    fn emit_iter(&self, rec: &SearchRecord, entropy: Option<f64>) {
+    /// Emits the `"fault_summary"` event — only when this run actually
+    /// absorbed faults, so fault-free traces stay byte-identical to runs
+    /// of builds without the fault-tolerance layer.
+    fn emit_fault_summary(
+        &self,
+        outcome: &SearchOutcome,
+        degraded_before: u64,
+        reg_before: &yoso_trace::RegistrySnapshot,
+    ) {
+        let degraded = self
+            .evaluator
+            .degraded_queries()
+            .saturating_sub(degraded_before);
+        let injected = if yoso_chaos::armed() {
+            yoso_chaos::injected_total()
+        } else {
+            0
+        };
+        let reg = yoso_trace::snapshot();
+        let delta = |name: &str| reg.counter(name).saturating_sub(reg_before.counter(name));
+        let panics = delta("pool.panics_caught");
+        let retries = delta("pool.retries");
+        if outcome.quarantine.is_empty() && degraded == 0 && injected == 0 && panics == 0 {
+            return;
+        }
+        self.trace.emit(
+            Event::new("fault_summary")
+                .with_u64("quarantined", outcome.quarantine.len() as u64)
+                .with_u64("degraded_queries", degraded)
+                .with_u64("injected_faults", injected)
+                .with_u64("pool_panics_caught", panics)
+                .with_u64("pool_retries", retries)
+                .with_u64("pool_items_recovered", delta("pool.items_recovered")),
+        );
+    }
+
+    fn emit_iter(&self, rec: &SearchRecord, entropy: Option<f64>, fault: Option<NonFiniteMetric>) {
         if self.trace.is_enabled() {
-            self.trace
-                .emit(SearchEvent::from_record(rec, entropy).to_event());
+            let mut e = SearchEvent::from_record(rec, entropy).to_event();
+            // The extra field appears only on quarantined iterations, so
+            // fault-free streams are unchanged byte for byte.
+            if let Some(reason) = fault {
+                e = e.with_str("quarantined", reason.name());
+            }
+            self.trace.emit(e);
         }
     }
 
-    fn record(&self, iteration: usize, point: DesignPoint) -> Result<SearchRecord, Error> {
+    /// Sleeps when an armed chaos plan injects a `SlowEval` fault; one
+    /// injection opportunity per candidate evaluation.
+    fn chaos_slow_eval(&self) {
+        if yoso_chaos::armed() {
+            if let Some(d) = yoso_chaos::eval_delay() {
+                std::thread::sleep(d);
+            }
+        }
+    }
+
+    /// Scores one evaluated candidate through the non-finite guard.
+    ///
+    /// A clean candidate gets its composite reward; a candidate with any
+    /// non-finite metric (or a chaos-poisoned reward) is quarantined: the
+    /// returned record carries [`QUARANTINE_REWARD`] and a sanitized
+    /// evaluation (non-finite fields zeroed, keeping the history and its
+    /// JSONL stream finite), and the raw observation plus the offending
+    /// metric come back alongside for the quarantine ledger.
+    fn guard(
+        &self,
+        iteration: usize,
+        point: DesignPoint,
+        eval: Evaluation,
+    ) -> (SearchRecord, Option<(NonFiniteMetric, Evaluation)>) {
+        let mut checked =
+            self.reward
+                .checked_reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
+        if yoso_chaos::armed() {
+            if let Ok(r) = checked {
+                if !yoso_chaos::poison_f64(yoso_chaos::FaultKind::NanReward, r).is_finite() {
+                    checked = Err(NonFiniteMetric::Reward);
+                }
+            }
+        }
+        match checked {
+            Ok(reward) => (
+                SearchRecord {
+                    iteration,
+                    point,
+                    eval,
+                    reward,
+                },
+                None,
+            ),
+            Err(reason) => {
+                let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
+                let rec = SearchRecord {
+                    iteration,
+                    point,
+                    eval: Evaluation {
+                        accuracy: finite(eval.accuracy),
+                        latency_ms: finite(eval.latency_ms),
+                        energy_mj: finite(eval.energy_mj),
+                    },
+                    reward: QUARANTINE_REWARD,
+                };
+                (rec, Some((reason, eval)))
+            }
+        }
+    }
+
+    /// Appends a quarantine-ledger entry for a guarded-out candidate.
+    fn push_quarantine(
+        &self,
+        outcome: &mut SearchOutcome,
+        rec: &SearchRecord,
+        raw: Evaluation,
+        reason: NonFiniteMetric,
+        actions: Option<Vec<usize>>,
+    ) {
+        if yoso_trace::enabled() {
+            yoso_trace::counter_add("session.quarantined", 1);
+        }
+        outcome.quarantine.push(QuarantineEntry {
+            iteration: rec.iteration,
+            point: rec.point,
+            actions,
+            eval: raw,
+            reason,
+        });
+    }
+
+    /// Evaluates and guards one candidate (serial strategies).
+    fn record(
+        &self,
+        iteration: usize,
+        point: DesignPoint,
+    ) -> Result<(SearchRecord, Option<(NonFiniteMetric, Evaluation)>), Error> {
+        self.chaos_slow_eval();
         let eval = self.evaluator.evaluate(&point)?;
-        let reward = self
-            .reward
-            .reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
-        Ok(SearchRecord {
-            iteration,
-            point,
-            eval,
-            reward,
+        Ok(self.guard(iteration, point, eval))
+    }
+
+    /// Errors out with [`Error::FaultBudgetExhausted`] when the faults
+    /// absorbed so far (quarantined candidates + degraded evaluator
+    /// queries this run) exceed the configured budget, writing an
+    /// emergency checkpoint first when a directory is available.
+    fn check_fault_budget(
+        &self,
+        outcome: &SearchOutcome,
+        degraded_before: u64,
+        update_index: u64,
+        rng: &StdRng,
+        controller: Option<&Controller>,
+    ) -> Result<(), Error> {
+        let Some(budget) = self.fault_budget else {
+            return Ok(());
+        };
+        let faults = outcome.quarantine.len() as u64
+            + self
+                .evaluator
+                .degraded_queries()
+                .saturating_sub(degraded_before);
+        if faults <= budget {
+            return Ok(());
+        }
+        let checkpoint = match self.checkpoint_dir.as_ref() {
+            Some(dir) => {
+                let path = dir.join(checkpoint_file_name(outcome.history.len()));
+                CheckpointWriter {
+                    strategy: self.strategy,
+                    evaluator: self.evaluator.name(),
+                    checkpoint_every: self.checkpoint_every.unwrap_or(0),
+                    config: &self.config,
+                    reward: &self.reward,
+                    update_index,
+                    history: &outcome.history,
+                    quarantine: &outcome.quarantine,
+                    rng_state: rng.state(),
+                    controller,
+                }
+                .write_to(&path)?;
+                Some(path)
+            }
+            None => None,
+        };
+        if self.trace.is_enabled() {
+            let mut e = Event::new("fault_budget_exhausted")
+                .with_u64("faults", faults)
+                .with_u64("budget", budget);
+            if let Some(p) = &checkpoint {
+                e = e.with_str("checkpoint", p.display().to_string());
+            }
+            self.trace.emit(e);
+            self.trace.flush();
+        }
+        Err(Error::FaultBudgetExhausted {
+            faults,
+            budget,
+            checkpoint,
         })
     }
 
@@ -586,7 +792,7 @@ impl<'a> SearchSession<'a> {
         completed: usize,
         last_ckpt: &mut usize,
         update_index: u64,
-        history: &[SearchRecord],
+        outcome: &SearchOutcome,
         rng: &StdRng,
         controller: Option<&Controller>,
     ) -> Result<(), Error> {
@@ -603,7 +809,8 @@ impl<'a> SearchSession<'a> {
             config: &self.config,
             reward: &self.reward,
             update_index,
-            history,
+            history: &outcome.history,
+            quarantine: &outcome.quarantine,
             rng_state: rng.state(),
             controller,
         }
@@ -616,7 +823,7 @@ impl<'a> SearchSession<'a> {
     /// joint DNN + accelerator action sequences, the evaluator scores
     /// them in batches, and REINFORCE steers the policy towards higher
     /// composite reward.
-    fn run_rl(&self) -> Result<SearchOutcome, Error> {
+    fn run_rl(&self, degraded_before: u64) -> Result<SearchOutcome, Error> {
         let cfg = &self.config;
         let space = ActionSpace::new();
         let mut outcome = SearchOutcome::default();
@@ -625,6 +832,7 @@ impl<'a> SearchSession<'a> {
         let (mut controller, mut rng) = match &self.resume {
             Some(res) => {
                 outcome.history = res.history.clone();
+                outcome.quarantine = res.quarantine.clone();
                 update_index = res.update_index;
                 last_ckpt = res.history.len();
                 let controller = res
@@ -654,42 +862,58 @@ impl<'a> SearchSession<'a> {
             for r in &rollouts {
                 points.push(space.decode(&r.actions)?);
             }
+            for _ in 0..points.len() {
+                self.chaos_slow_eval();
+            }
             let evals = self.evaluator.evaluate_batch(&points)?;
             let mut batch: Vec<(Rollout, f64)> = Vec::with_capacity(batch_n);
             for (rollout, (point, eval)) in rollouts.into_iter().zip(points.into_iter().zip(evals))
             {
-                let reward = self
-                    .reward
-                    .reward(eval.accuracy, eval.latency_ms, eval.energy_mj);
-                let rec = SearchRecord {
-                    iteration,
-                    point,
-                    eval,
-                    reward,
-                };
-                self.emit_iter(&rec, Some(rollout.entropy));
-                batch.push((rollout, reward));
+                let entropy = rollout.entropy;
+                let (rec, fault) = self.guard(iteration, point, eval);
+                self.emit_iter(&rec, Some(entropy), fault.map(|(m, _)| m));
+                match fault {
+                    // Quarantined rollouts never reach REINFORCE: learning
+                    // from a sentinel reward would poison the baseline.
+                    Some((reason, raw)) => {
+                        self.push_quarantine(&mut outcome, &rec, raw, reason, Some(rollout.actions))
+                    }
+                    None => batch.push((rollout, rec.reward)),
+                }
                 outcome.history.push(rec);
                 iteration += 1;
             }
-            let stats = controller.update(&batch);
-            if self.trace.is_enabled() {
-                self.trace.emit(
-                    Event::new("controller_update")
-                        .with_u64("update", update_index)
-                        .with_u64("iteration", iteration as u64)
-                        .with_f64("mean_reward", stats.mean_reward)
-                        .with_f64("baseline", stats.baseline)
-                        .with_f64("grad_norm", stats.grad_norm as f64)
-                        .with_f64("mean_entropy", stats.mean_entropy),
-                );
+            // An all-quarantined batch skips the update entirely — the
+            // policy neither learns from faults nor asserts on an empty
+            // batch; the update index still advances so the checkpoint
+            // cadence is unaffected.
+            if !batch.is_empty() {
+                let stats = controller.update(&batch);
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        Event::new("controller_update")
+                            .with_u64("update", update_index)
+                            .with_u64("iteration", iteration as u64)
+                            .with_f64("mean_reward", stats.mean_reward)
+                            .with_f64("baseline", stats.baseline)
+                            .with_f64("grad_norm", stats.grad_norm as f64)
+                            .with_f64("mean_entropy", stats.mean_entropy),
+                    );
+                }
             }
             update_index += 1;
+            self.check_fault_budget(
+                &outcome,
+                degraded_before,
+                update_index,
+                &rng,
+                Some(&controller),
+            )?;
             self.maybe_checkpoint(
                 iteration,
                 &mut last_ckpt,
                 update_index,
-                &outcome.history,
+                &outcome,
                 &rng,
                 Some(&controller),
             )?;
@@ -700,7 +924,7 @@ impl<'a> SearchSession<'a> {
     /// Regularized-evolution search (Real et al., the AmoebaNet method
     /// cited as \[9\]): tournament selection over a sliding population
     /// with single-symbol mutation through the action codec.
-    fn run_evolution(&self) -> Result<SearchOutcome, Error> {
+    fn run_evolution(&self, degraded_before: u64) -> Result<SearchOutcome, Error> {
         let cfg = &self.config;
         let mut outcome = SearchOutcome::default();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0_5EED);
@@ -708,6 +932,7 @@ impl<'a> SearchSession<'a> {
         let mut pop: std::collections::VecDeque<SearchRecord> = std::collections::VecDeque::new();
         if let Some(res) = &self.resume {
             outcome.history = res.history.clone();
+            outcome.quarantine = res.quarantine.clone();
             last_ckpt = res.history.len();
             rng = StdRng::from_state(res.rng_state);
             // The sliding population is a pure function of the history:
@@ -720,10 +945,12 @@ impl<'a> SearchSession<'a> {
             }
         }
         for iteration in outcome.history.len()..cfg.iterations {
-            let rec = if pop.len() < cfg.population {
+            let (rec, fault) = if pop.len() < cfg.population {
                 self.record(iteration, DesignPoint::random(&mut rng))?
             } else {
-                // Tournament: sample `tournament` members, mutate the fittest.
+                // Tournament: sample `tournament` members, mutate the
+                // fittest. Quarantined members carry the sentinel reward,
+                // so they can sit in the population but never win.
                 let parent = (0..cfg.tournament)
                     .map(|_| &pop[rand::RngExt::random_range(&mut rng, 0..pop.len())])
                     .max_by(|a, b| a.reward.total_cmp(&b.reward))
@@ -731,47 +958,42 @@ impl<'a> SearchSession<'a> {
                 let child = parent.point.mutate(&mut rng);
                 self.record(iteration, child)?
             };
-            self.emit_iter(&rec, None);
+            self.emit_iter(&rec, None, fault.map(|(m, _)| m));
+            if let Some((reason, raw)) = fault {
+                self.push_quarantine(&mut outcome, &rec, raw, reason, None);
+            }
             pop.push_back(rec);
             if pop.len() > cfg.population {
                 pop.pop_front(); // regularization: age-based removal
             }
             outcome.history.push(rec);
-            self.maybe_checkpoint(
-                iteration + 1,
-                &mut last_ckpt,
-                0,
-                &outcome.history,
-                &rng,
-                None,
-            )?;
+            self.check_fault_budget(&outcome, degraded_before, 0, &rng, None)?;
+            self.maybe_checkpoint(iteration + 1, &mut last_ckpt, 0, &outcome, &rng, None)?;
         }
         Ok(outcome)
     }
 
     /// Uniform random search over the joint space.
-    fn run_random(&self) -> Result<SearchOutcome, Error> {
+    fn run_random(&self, degraded_before: u64) -> Result<SearchOutcome, Error> {
         let cfg = &self.config;
         let mut outcome = SearchOutcome::default();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
         let mut last_ckpt = 0usize;
         if let Some(res) = &self.resume {
             outcome.history = res.history.clone();
+            outcome.quarantine = res.quarantine.clone();
             last_ckpt = res.history.len();
             rng = StdRng::from_state(res.rng_state);
         }
         for iteration in outcome.history.len()..cfg.iterations {
-            let rec = self.record(iteration, DesignPoint::random(&mut rng))?;
-            self.emit_iter(&rec, None);
+            let (rec, fault) = self.record(iteration, DesignPoint::random(&mut rng))?;
+            self.emit_iter(&rec, None, fault.map(|(m, _)| m));
+            if let Some((reason, raw)) = fault {
+                self.push_quarantine(&mut outcome, &rec, raw, reason, None);
+            }
             outcome.history.push(rec);
-            self.maybe_checkpoint(
-                iteration + 1,
-                &mut last_ckpt,
-                0,
-                &outcome.history,
-                &rng,
-                None,
-            )?;
+            self.check_fault_budget(&outcome, degraded_before, 0, &rng, None)?;
+            self.maybe_checkpoint(iteration + 1, &mut last_ckpt, 0, &outcome, &rng, None)?;
         }
         Ok(outcome)
     }

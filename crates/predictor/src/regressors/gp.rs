@@ -144,6 +144,9 @@ impl GaussianProcess {
         let (mean_z, var_z) = self.mean_var_z(&q, &mut kv);
         // Variance scales by the square of the target std.
         let scale = ystd.inverse(1.0) - ystd.inverse(0.0);
+        if yoso_chaos::armed() && yoso_chaos::should_fault(yoso_chaos::FaultKind::GpPredictNan) {
+            return (f64::NAN, f64::NAN);
+        }
         (ystd.inverse(mean_z), var_z * scale * scale)
     }
 
@@ -170,6 +173,11 @@ impl GaussianProcess {
             .map(|x| {
                 let q = self.std.transform(x);
                 let (mean_z, var_z) = self.mean_var_z(&q, &mut kv);
+                if yoso_chaos::armed()
+                    && yoso_chaos::should_fault(yoso_chaos::FaultKind::GpPredictNan)
+                {
+                    return (f64::NAN, f64::NAN);
+                }
                 (ystd.inverse(mean_z), var_z * scale * scale)
             })
             .collect()
@@ -210,7 +218,17 @@ impl GaussianProcess {
                 }
             }
         }
-        mean_z.into_iter().map(|z| ystd.inverse(z)).collect()
+        mean_z
+            .into_iter()
+            .map(|z| {
+                if yoso_chaos::armed()
+                    && yoso_chaos::should_fault(yoso_chaos::FaultKind::GpPredictNan)
+                {
+                    return f64::NAN;
+                }
+                ystd.inverse(z)
+            })
+            .collect()
     }
 
     /// Number of training points currently factorized.
@@ -239,6 +257,11 @@ impl GaussianProcess {
     /// Returns [`FitError`] on dimension mismatch or if the fallback
     /// refactorization fails.
     pub fn append(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        if yoso_chaos::armed() && yoso_chaos::should_fault(yoso_chaos::FaultKind::GpFitFail) {
+            return Err(FitError::Numerical(
+                "chaos: injected GP append failure".into(),
+            ));
+        }
         if self.ystd.is_none() || self.chol.is_none() {
             return self.fit(x, y);
         }
@@ -450,6 +473,11 @@ impl Snapshot for GaussianProcess {
 
 impl Regressor for GaussianProcess {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        // Chaos hook: a deterministic stand-in for the real-world failure
+        // mode (ill-conditioned kernel matrix → Cholesky breakdown).
+        if yoso_chaos::armed() && yoso_chaos::should_fault(yoso_chaos::FaultKind::GpFitFail) {
+            return Err(FitError::Numerical("chaos: injected GP fit failure".into()));
+        }
         let d = validate(x, y)?;
         self.std = Standardizer::fit(x);
         let xs_full = self.std.transform_all(x);

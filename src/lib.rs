@@ -9,6 +9,7 @@
 //! | module | crate | role |
 //! |---|---|---|
 //! | [`trace`] | `yoso-trace` | zero-dep structured telemetry |
+//! | [`chaos`] | `yoso-chaos` | deterministic fault injection |
 //! | [`pool`] | `yoso-pool` | deterministic work-sharing thread pool |
 //! | [`tensor`] | `yoso-tensor` | CPU tensor + autograd engine |
 //! | [`dataset`] | `yoso-dataset` | SynthCifar procedural dataset |
@@ -49,6 +50,7 @@
 
 pub use yoso_accel as accel;
 pub use yoso_arch as arch;
+pub use yoso_chaos as chaos;
 pub use yoso_controller as controller;
 pub use yoso_core as core;
 pub use yoso_dataset as dataset;
@@ -67,19 +69,28 @@ pub use yoso_trace as trace;
 /// ([`Snapshot`](yoso_persist::Snapshot), checkpoint helpers) behind
 /// crash-safe resume, plus the telemetry handle
 /// ([`Trace`](yoso_trace::Trace)) and event type
-/// ([`Event`](yoso_trace::Event)) it emits.
+/// ([`Event`](yoso_trace::Event)) it emits. The fault-tolerance surface
+/// rides along: chaos plans ([`FaultPlan`](yoso_chaos::FaultPlan)),
+/// supervised-pool outcomes ([`ItemOutcome`](yoso_pool::ItemOutcome))
+/// and the quarantine ledger
+/// ([`QuarantineEntry`](yoso_core::search::QuarantineEntry)).
 pub mod prelude {
+    pub use yoso_chaos::{FaultKind, FaultPlan, FaultRule};
     pub use yoso_core::checkpoint::{latest_checkpoint, SessionCheckpoint};
     pub use yoso_core::error::{error_chain, Error};
     pub use yoso_core::evaluation::{
         calibrate_constraints, AccurateEvaluator, Evaluation, Evaluator, FastEvaluator,
         SurrogateEvaluator,
     };
-    pub use yoso_core::reward::{Constraints, RewardConfig, RewardForm};
+    pub use yoso_core::reward::{Constraints, NonFiniteMetric, RewardConfig, RewardForm};
     #[allow(deprecated)] // the wrappers stay exported until they are removed
     pub use yoso_core::search::{evolution_search, random_search, rl_search};
-    pub use yoso_core::search::{SearchConfig, SearchConfigBuilder, SearchOutcome, SearchRecord};
+    pub use yoso_core::search::{
+        QuarantineEntry, SearchConfig, SearchConfigBuilder, SearchOutcome, SearchRecord,
+        QUARANTINE_REWARD,
+    };
     pub use yoso_core::session::{SearchEvent, SearchSession, SearchSessionBuilder, Strategy};
     pub use yoso_persist::{PersistError, Snapshot, SnapshotArchive, SnapshotBuilder};
+    pub use yoso_pool::{ItemOutcome, PoolError, SupervisorConfig};
     pub use yoso_trace::{Event, Trace};
 }

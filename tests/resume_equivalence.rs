@@ -3,8 +3,19 @@
 //! replays a bit-identical `search_iter` trace (iterations >= 15) and
 //! reaches an outcome equal to the uninterrupted run — for all three
 //! strategies, at 1 and 4 worker threads.
+//!
+//! The fault-tolerance extensions ride on the same contract: the drill
+//! still holds with *transient* chaos faults injected (worker panics are
+//! retried away), and a run killed by an exhausted fault budget resumes
+//! from its emergency checkpoint and — once the fault is fixed — finishes
+//! with a tail bit-identical to a run that never faulted past that point.
+//!
+//! Every test takes [`yoso::chaos::test_lock`]: the chaos injector is
+//! process-global, so even the chaos-free drill must not overlap with an
+//! armed plan from a sibling test thread.
 
 use std::path::PathBuf;
+use yoso::chaos::FaultKind;
 use yoso::core::checkpoint::checkpoint_file_name;
 use yoso::prelude::*;
 
@@ -35,6 +46,8 @@ fn search_iter_lines(trace: &Trace) -> Vec<String> {
 
 #[test]
 fn kill_at_15_resume_is_bit_identical_across_strategies_and_threads() {
+    let _g = yoso::chaos::test_lock();
+    yoso::chaos::disarm();
     let (ev, rc) = setup();
     let cfg = SearchConfig::builder()
         .iterations(ITERATIONS)
@@ -108,4 +121,177 @@ fn kill_at_15_resume_is_bit_identical_across_strategies_and_threads() {
         }
     }
     yoso::pool::set_num_threads(0);
+}
+
+/// The crash-recovery drill holds under *transient* chaos: with worker
+/// panics (retried away by the supervised pool) and slow evaluations
+/// injected, the full run, the trace, and the kill-at-15 resume are all
+/// bit-identical to an entirely uninjected run.
+#[test]
+fn transient_faults_preserve_resume_bit_identity() {
+    let _g = yoso::chaos::test_lock();
+    yoso::chaos::disarm();
+    let sk = yoso::arch::NetworkSkeleton::tiny();
+    let mut data_cfg = yoso::dataset::SynthCifarConfig::tiny();
+    data_cfg.train_count = 64;
+    let data = yoso::dataset::SynthCifar::generate(&data_cfg);
+    let hyper_cfg = yoso::hypernet::HyperTrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        augment: false,
+        ..Default::default()
+    };
+    // A fast evaluator, so session batches go through the supervised
+    // parallel pool (the surrogate's batch path is serial and would give
+    // worker panics nothing to hit).
+    let ev = FastEvaluator::build(&sk, &data, &hyper_cfg, 60, 0).unwrap();
+    let rc = RewardConfig::balanced(calibrate_constraints(&sk, 50, 0, 50.0));
+    let cfg = SearchConfig::builder()
+        .iterations(ITERATIONS)
+        .rollouts_per_update(5)
+        .seed(23)
+        .build();
+    yoso::pool::set_num_threads(4);
+
+    // Reference: no chaos anywhere.
+    let ref_trace = Trace::memory();
+    let reference = SearchSession::builder()
+        .evaluator(&ev)
+        .reward(rc)
+        .config(cfg.clone())
+        .strategy(Strategy::Rl)
+        .trace(ref_trace.clone())
+        .run()
+        .unwrap();
+    let ref_lines = search_iter_lines(&ref_trace);
+
+    // Chaos: panic item 1 of every parallel map (the retry recomputes
+    // it), plus random 1 ms evaluation delays.
+    yoso::chaos::install(
+        &FaultPlan::new(31)
+            .rule(FaultRule::at(FaultKind::WorkerPanic, &[1]))
+            .rule(FaultRule::rate(FaultKind::SlowEval, 0.25).delay_ms(1)),
+    );
+    let dir = temp_dir("transient");
+    let full_trace = Trace::memory();
+    let full = SearchSession::builder()
+        .evaluator(&ev)
+        .reward(rc)
+        .config(cfg.clone())
+        .strategy(Strategy::Rl)
+        .checkpoint_every(KILL_AT)
+        .checkpoint_dir(&dir)
+        .trace(full_trace.clone())
+        .run()
+        .unwrap();
+    assert!(
+        yoso::chaos::injected(FaultKind::WorkerPanic) > 0,
+        "the panic rule must actually fire"
+    );
+    assert_eq!(full, reference, "transient faults changed the outcome");
+    assert_eq!(
+        search_iter_lines(&full_trace),
+        ref_lines,
+        "transient faults changed the search_iter stream"
+    );
+
+    // Kill at 15 and resume — still under the armed plan.
+    let ckpt = dir.join(checkpoint_file_name(KILL_AT));
+    assert!(ckpt.exists());
+    let resumed_trace = Trace::memory();
+    let resumed = SearchSession::resume_from(&ckpt)
+        .unwrap()
+        .evaluator(&ev)
+        .trace(resumed_trace.clone())
+        .run()
+        .unwrap();
+    yoso::chaos::disarm();
+    yoso::pool::set_num_threads(0);
+
+    assert_eq!(resumed, reference, "chaotic resume diverged");
+    assert_eq!(
+        &ref_lines[KILL_AT..],
+        &search_iter_lines(&resumed_trace)[..],
+        "chaotic resumed tail diverged from the uninjected run"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A run killed by an exhausted fault budget leaves an emergency
+/// checkpoint behind; once the fault is fixed (chaos disarmed), resuming
+/// from it finishes the search with a `search_iter` tail bit-identical
+/// to a run that never faulted — the random strategy's trajectory does
+/// not depend on rewards, so everything past the fault point must match.
+#[test]
+fn emergency_checkpoint_resume_matches_uninjected_tail() {
+    let _g = yoso::chaos::test_lock();
+    yoso::chaos::disarm();
+    let (ev, rc) = setup();
+    let cfg = SearchConfig::builder()
+        .iterations(ITERATIONS)
+        .seed(41)
+        .build();
+
+    // Reference: the same search with no faults at all.
+    let ref_trace = Trace::memory();
+    let reference = SearchSession::builder()
+        .evaluator(&ev)
+        .reward(rc)
+        .config(cfg.clone())
+        .strategy(Strategy::Random)
+        .trace(ref_trace.clone())
+        .run()
+        .unwrap();
+    let ref_lines = search_iter_lines(&ref_trace);
+
+    // Every reward poisoned: the budget of 3 trips at iteration 4.
+    let dir = temp_dir("emergency");
+    yoso::chaos::install(&FaultPlan::new(51).rule(FaultRule::rate(FaultKind::NanReward, 1.0)));
+    let err = SearchSession::builder()
+        .evaluator(&ev)
+        .reward(rc)
+        .config(cfg.clone())
+        .strategy(Strategy::Random)
+        .checkpoint_dir(&dir)
+        .fault_budget(3)
+        .run()
+        .err();
+    yoso::chaos::disarm();
+    let Some(Error::FaultBudgetExhausted {
+        checkpoint: Some(ckpt),
+        ..
+    }) = err
+    else {
+        panic!("expected FaultBudgetExhausted with a checkpoint, got {err:?}");
+    };
+    let fault_point = 4;
+    assert_eq!(ckpt, dir.join(checkpoint_file_name(fault_point)));
+
+    // Fault fixed: resume runs chaos-free to completion.
+    let resumed_trace = Trace::memory();
+    let resumed = SearchSession::resume_from(&ckpt)
+        .unwrap()
+        .evaluator(&ev)
+        .trace(resumed_trace.clone())
+        .run()
+        .unwrap();
+
+    assert_eq!(resumed.history.len(), ITERATIONS);
+    assert_eq!(resumed.quarantine.len(), fault_point, "ledger restored");
+    assert!(resumed.history[..fault_point]
+        .iter()
+        .all(|r| r.reward == QUARANTINE_REWARD));
+    // Past the fault point the resumed run is indistinguishable from one
+    // that never faulted: same points, same evals, same JSONL bytes.
+    assert_eq!(
+        &ref_lines[fault_point..],
+        &search_iter_lines(&resumed_trace)[..],
+        "resumed tail diverged from the uninjected run"
+    );
+    assert_eq!(
+        &resumed.history[fault_point..],
+        &reference.history[fault_point..],
+        "resumed history tail diverged"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }

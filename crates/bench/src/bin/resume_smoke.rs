@@ -17,7 +17,13 @@
 //! divergence, so CI can gate on it.
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin resume_smoke --
-//!   [--iterations 30] [--kill-at 15] [--seed 0] [--chaos-plan <path>]`
+//!   [--iterations 30] [--kill-at 15] [--seed 0] [--scoring f32|int8]
+//!   [--chaos-plan <path>]`
+//!
+//! With `--scoring int8` the drill swaps the deterministic surrogate for
+//! a real [`FastEvaluator`] (briefly trained HyperNet on tiny synthetic
+//! data) scoring candidates on the quantized int8 path, proving that
+//! byte-identical resume holds for integer-GEMM accuracy numbers too.
 //!
 //! With `--chaos-plan` the whole drill runs under an armed fault plan.
 //! Only *transient* faults (worker panics, slow evaluations) keep the
@@ -27,13 +33,17 @@
 //! in the `chaos_resilience` integration test instead.
 
 use std::path::PathBuf;
-use yoso_bench::{arg_u64, arg_usize, run_main};
+use yoso_bench::{arg_u64, arg_usize, arg_value, run_main};
 use yoso_core::checkpoint::checkpoint_file_name;
 use yoso_core::error::Error;
-use yoso_core::evaluation::{calibrate_constraints, SurrogateEvaluator};
+use yoso_core::evaluation::{
+    calibrate_constraints, Evaluator, FastEvaluator, ScoringPrecision, SurrogateEvaluator,
+};
 use yoso_core::reward::RewardConfig;
 use yoso_core::search::SearchConfig;
 use yoso_core::session::{SearchSession, Strategy};
+use yoso_dataset::{SynthCifar, SynthCifarConfig};
+use yoso_hypernet::HyperTrainConfig;
 use yoso_trace::Trace;
 
 fn search_iter_lines(trace: &Trace) -> Vec<String> {
@@ -52,9 +62,36 @@ fn real_main() -> Result<(), Error> {
     let iterations = arg_usize("--iterations", 30);
     let kill_at = arg_usize("--kill-at", 15);
     let seed = arg_u64("--seed", 0);
+    let scoring = match arg_value("--scoring").as_deref() {
+        None | Some("f32") => ScoringPrecision::F32,
+        Some("int8") => ScoringPrecision::Int8,
+        Some(other) => {
+            return Err(Error::InvalidConfig(format!(
+                "--scoring must be f32 or int8, got {other:?}"
+            )))
+        }
+    };
     yoso_bench::configure_chaos();
     let skeleton = yoso_arch::NetworkSkeleton::tiny();
-    let evaluator = SurrogateEvaluator::new(skeleton.clone());
+    // f32 drills score with the cheap deterministic surrogate; the int8
+    // drill needs a real HyperNet so the quantized conv path is what
+    // actually produces the replayed accuracy numbers.
+    let (surrogate, fast);
+    let evaluator: &dyn Evaluator = if scoring == ScoringPrecision::Int8 {
+        let data = SynthCifar::generate(&SynthCifarConfig::tiny());
+        let hyper_cfg = HyperTrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            augment: false,
+            ..Default::default()
+        };
+        fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 60, seed)?;
+        println!("scoring: int8 (FastEvaluator, quantized conv path)");
+        &fast
+    } else {
+        surrogate = SurrogateEvaluator::new(skeleton.clone());
+        &surrogate
+    };
     let reward = RewardConfig::balanced(calibrate_constraints(&skeleton, 50, seed, 50.0));
     let cfg = SearchConfig {
         iterations,
@@ -73,10 +110,11 @@ fn real_main() -> Result<(), Error> {
 
         let full_trace = Trace::memory();
         let full = SearchSession::builder()
-            .evaluator(&evaluator)
+            .evaluator(evaluator)
             .reward(reward)
             .config(cfg.clone())
             .strategy(Strategy::Rl)
+            .scoring_precision(scoring)
             .checkpoint_every(kill_at)
             .checkpoint_dir(&dir)
             .trace(full_trace.clone())
@@ -98,7 +136,7 @@ fn real_main() -> Result<(), Error> {
         }
         let resumed_trace = Trace::memory();
         let resumed = SearchSession::resume_from(&ckpt)?
-            .evaluator(&evaluator)
+            .evaluator(evaluator)
             .trace(resumed_trace.clone())
             .run()?;
         println!(

@@ -93,9 +93,11 @@ pub fn bench_meta_json(indent: usize) -> String {
         "release"
     };
     format!(
-        "\"meta\": {{\n{inner}\"cores\": {cores},\n{inner}\"matmul_threads\": {},\n{inner}\"pool_threads\": {},\n{inner}\"profile\": \"{profile}\"\n{pad}}}",
+        "\"meta\": {{\n{inner}\"cores\": {cores},\n{inner}\"matmul_threads\": {},\n{inner}\"pool_threads\": {},\n{inner}\"simd_tier\": \"{}\",\n{inner}\"quant_tier\": \"{}\",\n{inner}\"profile\": \"{profile}\"\n{pad}}}",
         yoso_tensor::matmul_threads(),
         yoso_pool::num_threads(),
+        yoso_tensor::simd_tier(),
+        yoso_tensor::quant_tier(),
     )
 }
 
@@ -142,11 +144,20 @@ pub fn arg_present(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
-/// Applies the shared `--threads <n>` flag to the global worker pool and
-/// returns the resolved worker count. `0` or an absent flag means "all
-/// cores" ([`yoso_pool::set_num_threads`] treats 0 as auto).
+/// Applies the shared thread flags and returns the resolved worker
+/// count:
+///
+/// * `--threads <n>` sizes the global worker pool (candidate-level
+///   parallelism: rollout fan-out, batched evaluation);
+/// * `--matmul-threads <n>` independently sizes the packed-GEMM panel
+///   parallelism inside a single matmul
+///   ([`yoso_tensor::set_matmul_threads`]).
+///
+/// `0` or an absent flag means "all cores" for both. Both settings are
+/// recorded in every `BENCH_*.json` via [`bench_meta_json`].
 pub fn configure_threads() -> usize {
     yoso_pool::set_num_threads(arg_usize("--threads", 0));
+    yoso_tensor::set_matmul_threads(arg_usize("--matmul-threads", 0));
     yoso_pool::num_threads()
 }
 

@@ -7,13 +7,39 @@ use crate::error::Error;
 use crate::reward::Constraints;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, Genotype, NetworkSkeleton};
 use yoso_dataset::SynthCifar;
 use yoso_hypernet::{HyperNet, HyperTrainConfig};
-use yoso_nn::{CellNetwork, TrainConfig};
+use yoso_nn::{CellNetwork, QuantizedNetwork, TrainConfig};
 use yoso_predictor::perf::{collect_samples, PerfPredictor};
+
+/// Numeric precision of the accuracy pass of candidate scoring.
+///
+/// [`Int8`](ScoringPrecision::Int8) runs the HyperNet validation pass on
+/// the tape-free int8 path (`yoso_nn::QuantizedNetwork`): candidate
+/// weights are quantized once per genotype and every batch is scored
+/// with integer GEMMs — faster, at the cost of conv quantization error.
+/// The `quantized_scoring` integration test pins the rank correlation
+/// between the two precisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringPrecision {
+    /// Full-precision f32 forward (default).
+    #[default]
+    F32,
+    /// Int8 conv path with per-channel weight quantization.
+    Int8,
+}
+
+impl std::fmt::Display for ScoringPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScoringPrecision::F32 => "f32",
+            ScoringPrecision::Int8 => "int8",
+        })
+    }
+}
 
 /// The three metrics the reward combines.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,8 +77,23 @@ pub trait Evaluator: Send + Sync {
         points.iter().map(|p| self.evaluate(p)).collect()
     }
 
-    /// Short name for logs.
+    /// Short name for logs. Implementations that support several
+    /// scoring precisions must fold the active one into the name so
+    /// checkpoint resume detects a precision switch as an evaluator
+    /// mismatch (scores are not comparable across precisions).
     fn name(&self) -> &'static str;
+
+    /// Requests a scoring precision for subsequent accuracy queries.
+    ///
+    /// Default: ignored — evaluators that only implement f32 scoring
+    /// silently keep using it. [`FastEvaluator`] honours
+    /// [`ScoringPrecision::Int8`].
+    fn set_scoring_precision(&self, _precision: ScoringPrecision) {}
+
+    /// The precision accuracy queries currently run at.
+    fn scoring_precision(&self) -> ScoringPrecision {
+        ScoringPrecision::F32
+    }
 
     /// Queries answered through a degraded-mode fallback (e.g. the
     /// memoized simulator standing in for a non-finite GP prediction)
@@ -104,6 +145,13 @@ pub struct FastEvaluator {
     /// Evaluation batch size.
     pub eval_batch: usize,
     acc_cache: RwLock<HashMap<Genotype, f64>>,
+    /// Int8 accuracies live in their own cache: the two precisions give
+    /// different numbers, and toggling precision mid-run must not serve
+    /// stale entries from the other path.
+    acc_cache_int8: RwLock<HashMap<Genotype, f64>>,
+    /// Active [`ScoringPrecision`] as its discriminant (0 = f32,
+    /// 1 = int8); atomic so `&self` scoring calls can read it.
+    precision: AtomicU8,
     stats_cache: RwLock<HashMap<Genotype, StatsEntry>>,
     /// Graceful-degradation substrate: when a GP prediction comes back
     /// non-finite, the query falls back to this memoized fast simulator.
@@ -121,6 +169,8 @@ impl FastEvaluator {
             eval_subset: 256,
             eval_batch: 128,
             acc_cache: RwLock::new(HashMap::new()),
+            acc_cache_int8: RwLock::new(HashMap::new()),
+            precision: AtomicU8::new(0),
             stats_cache: RwLock::new(HashMap::new()),
             fallback_sim: Simulator::fast(),
             degraded: AtomicU64::new(0),
@@ -161,30 +211,67 @@ impl FastEvaluator {
     }
 
     fn accuracy_of(&self, genotype: &Genotype) -> f64 {
+        match self.scoring_precision() {
+            ScoringPrecision::F32 => self.accuracy_of_f32(genotype),
+            ScoringPrecision::Int8 => self.accuracy_of_int8(genotype),
+        }
+    }
+
+    fn accuracy_of_f32(&self, genotype: &Genotype) -> f64 {
         if let Some(&a) = self.acc_cache.read().get(genotype) {
             return a;
         }
-        let n = self.data.val.len().min(self.eval_subset.max(1));
-        // Evaluate on a deterministic subset of the validation split.
-        let subset: Vec<usize> = (0..n).collect();
         let plan = self.hyper.skeleton().compile(genotype);
         let provider = self.hyper.provider(&plan);
+        let acc = self.subset_accuracy(|images, labels| {
+            let mut g = yoso_tensor::Graph::new();
+            let logits =
+                yoso_nn::forward_network(&plan, &mut g, self.hyper.store(), &provider, images);
+            yoso_tensor::accuracy(g.value(logits), labels)
+        });
+        self.acc_cache.write().insert(*genotype, acc);
+        acc
+    }
+
+    /// Int8 twin of [`accuracy_of_f32`](Self::accuracy_of_f32): the
+    /// candidate's inherited weights are quantized once into a
+    /// [`QuantizedNetwork`], then the exact same deterministic subset is
+    /// scored batch-by-batch through the integer conv path.
+    fn accuracy_of_int8(&self, genotype: &Genotype) -> f64 {
+        if let Some(&a) = self.acc_cache_int8.read().get(genotype) {
+            return a;
+        }
+        let plan = self.hyper.skeleton().compile(genotype);
+        let provider = self.hyper.provider(&plan);
+        let qnet = QuantizedNetwork::prepare(&plan, self.hyper.store(), &provider);
+        let acc = self.subset_accuracy(|images, labels| {
+            yoso_tensor::accuracy(&qnet.forward(&images), labels)
+        });
+        self.acc_cache_int8.write().insert(*genotype, acc);
+        acc
+    }
+
+    /// Runs `batch_acc` over the deterministic validation subset (first
+    /// `eval_subset` examples in batches of `eval_batch`) and returns the
+    /// example-weighted mean accuracy. Shared by both precisions so they
+    /// score exactly the same examples.
+    fn subset_accuracy(
+        &self,
+        mut batch_acc: impl FnMut(yoso_tensor::Tensor, &[usize]) -> f64,
+    ) -> f64 {
+        let n = self.data.val.len().min(self.eval_subset.max(1));
+        let subset: Vec<usize> = (0..n).collect();
         let mut correct = 0.0;
         let mut total = 0usize;
         let mut i = 0;
         while i < subset.len() {
             let end = (i + self.eval_batch).min(subset.len());
             let (images, labels) = self.data.val.batch(&subset[i..end]);
-            let mut g = yoso_tensor::Graph::new();
-            let logits =
-                yoso_nn::forward_network(&plan, &mut g, self.hyper.store(), &provider, images);
-            correct += yoso_tensor::accuracy(g.value(logits), &labels) * labels.len() as f64;
+            correct += batch_acc(images, &labels) * labels.len() as f64;
             total += labels.len();
             i = end;
         }
-        let acc = correct / total.max(1) as f64;
-        self.acc_cache.write().insert(*genotype, acc);
-        acc
+        correct / total.max(1) as f64
     }
 
     /// Compiled network statistics + cell output arities, cached per
@@ -273,8 +360,26 @@ impl Evaluator for FastEvaluator {
             .collect())
     }
 
+    /// The precision is part of the name so a checkpoint written under
+    /// one precision refuses to resume under the other
+    /// ([`Error::ResumeMismatch`]): cached rewards would not be
+    /// comparable across precisions.
     fn name(&self) -> &'static str {
-        "fast(hypernet+gp)"
+        match self.scoring_precision() {
+            ScoringPrecision::F32 => "fast(hypernet+gp)",
+            ScoringPrecision::Int8 => "fast(hypernet+gp,int8)",
+        }
+    }
+
+    fn set_scoring_precision(&self, precision: ScoringPrecision) {
+        self.precision.store(precision as u8, Ordering::Relaxed);
+    }
+
+    fn scoring_precision(&self) -> ScoringPrecision {
+        match self.precision.load(Ordering::Relaxed) {
+            0 => ScoringPrecision::F32,
+            _ => ScoringPrecision::Int8,
+        }
     }
 
     fn degraded_queries(&self) -> u64 {
@@ -459,6 +564,39 @@ mod tests {
         for (p, b) in points.iter().zip(&batch) {
             assert_eq!(ev.evaluate(p).unwrap(), *b);
         }
+    }
+
+    #[test]
+    fn scoring_precision_switches_name_and_path() {
+        use yoso_dataset::SynthCifarConfig;
+        let sk = NetworkSkeleton::tiny();
+        let data = SynthCifar::generate(&SynthCifarConfig::tiny());
+        let hyper = HyperNet::new(sk.clone(), 3);
+        let samples = collect_samples(&sk, &Simulator::fast(), 80, 7);
+        let predictor = PerfPredictor::train(&sk, &samples).unwrap();
+        let ev = FastEvaluator::from_parts(hyper, predictor, data);
+        assert_eq!(ev.scoring_precision(), ScoringPrecision::F32);
+        assert_eq!(ev.name(), "fast(hypernet+gp)");
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = DesignPoint::random(&mut rng);
+        let f32_eval = ev.evaluate(&p).unwrap();
+
+        ev.set_scoring_precision(ScoringPrecision::Int8);
+        assert_eq!(ev.scoring_precision(), ScoringPrecision::Int8);
+        assert_eq!(ev.name(), "fast(hypernet+gp,int8)");
+        let int8_eval = ev.evaluate(&p).unwrap();
+        assert!((0.0..=1.0).contains(&int8_eval.accuracy));
+        // Perf metrics come from the GP either way; only accuracy may move.
+        assert_eq!(int8_eval.latency_ms, f32_eval.latency_ms);
+        assert_eq!(int8_eval.energy_mj, f32_eval.energy_mj);
+        // Int8 results are cached independently and deterministically.
+        assert_eq!(ev.evaluate(&p).unwrap(), int8_eval);
+
+        // Switching back must serve the original f32 number (per-precision
+        // caches, no cross-contamination).
+        ev.set_scoring_precision(ScoringPrecision::F32);
+        assert_eq!(ev.evaluate(&p).unwrap(), f32_eval);
     }
 
     #[test]

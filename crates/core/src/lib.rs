@@ -66,7 +66,7 @@ pub use checkpoint::{latest_checkpoint, SessionCheckpoint};
 pub use error::{error_chain, Error};
 pub use evaluation::{
     calibrate_constraints, AccurateEvaluator, Evaluation, Evaluator, FastEvaluator,
-    SurrogateEvaluator,
+    ScoringPrecision, SurrogateEvaluator,
 };
 pub use parallel::parallel_map;
 pub use pipeline::{finalize, run_search_and_finalize, Finalist, YosoResult};

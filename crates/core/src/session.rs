@@ -69,7 +69,7 @@
 
 use crate::checkpoint::{checkpoint_file_name, CheckpointWriter, SessionCheckpoint};
 use crate::error::Error;
-use crate::evaluation::{Evaluation, Evaluator};
+use crate::evaluation::{Evaluation, Evaluator, ScoringPrecision};
 use crate::reward::{NonFiniteMetric, RewardConfig};
 use crate::search::{
     QuarantineEntry, SearchConfig, SearchOutcome, SearchRecord, QUARANTINE_REWARD,
@@ -218,6 +218,7 @@ pub struct SearchSession<'a> {
     checkpoint_every: Option<usize>,
     checkpoint_dir: Option<PathBuf>,
     fault_budget: Option<u64>,
+    scoring: Option<ScoringPrecision>,
     resume: Option<ResumeState>,
 }
 
@@ -231,6 +232,7 @@ pub struct SearchSessionBuilder<'a> {
     checkpoint_every: Option<usize>,
     checkpoint_dir: Option<PathBuf>,
     fault_budget: Option<u64>,
+    scoring: Option<ScoringPrecision>,
     resume: Option<ResumeState>,
 }
 
@@ -300,6 +302,21 @@ impl<'a> SearchSessionBuilder<'a> {
         self
     }
 
+    /// Requests a scoring precision from the evaluator at
+    /// [`build`](Self::build) time (via
+    /// [`Evaluator::set_scoring_precision`]). With
+    /// [`ScoringPrecision::Int8`] and a [`FastEvaluator`] the HyperNet
+    /// accuracy pass runs on the quantized int8 path; evaluators without
+    /// int8 support ignore the request and keep scoring in f32. The
+    /// default leaves the evaluator's current precision untouched.
+    ///
+    /// [`FastEvaluator`]: crate::evaluation::FastEvaluator
+    #[must_use]
+    pub fn scoring_precision(mut self, precision: ScoringPrecision) -> Self {
+        self.scoring = Some(precision);
+        self
+    }
+
     /// Finalizes the session.
     ///
     /// # Errors
@@ -336,6 +353,12 @@ impl<'a> SearchSessionBuilder<'a> {
         let reward = self
             .reward
             .ok_or_else(|| Error::InvalidConfig("SearchSession requires .reward(..)".into()))?;
+        // Applied before the resume-mismatch check in `run` reads the
+        // evaluator name, so a checkpoint written under int8 scoring
+        // resumes cleanly when the caller re-requests int8.
+        if let Some(p) = self.scoring {
+            evaluator.set_scoring_precision(p);
+        }
         Ok(SearchSession {
             evaluator,
             reward,
@@ -345,6 +368,7 @@ impl<'a> SearchSessionBuilder<'a> {
             checkpoint_every: self.checkpoint_every,
             checkpoint_dir: self.checkpoint_dir,
             fault_budget: self.fault_budget,
+            scoring: self.scoring,
             resume: self.resume,
         })
     }
@@ -372,6 +396,7 @@ impl<'a> SearchSession<'a> {
             checkpoint_every: None,
             checkpoint_dir: None,
             fault_budget: None,
+            scoring: None,
             resume: None,
         }
     }
@@ -477,6 +502,15 @@ impl<'a> SearchSession<'a> {
                 .with_u64("population", self.config.population as u64)
                 .with_u64("tournament", self.config.tournament as u64)
                 .with_u64("seed", self.config.seed);
+            if let Some(p) = self.scoring {
+                start = start.with_str(
+                    "scoring",
+                    match p {
+                        ScoringPrecision::F32 => "f32",
+                        ScoringPrecision::Int8 => "int8",
+                    },
+                );
+            }
             if let Some(res) = &self.resume {
                 start = start.with_u64("resume_iteration", res.history.len() as u64);
             }

@@ -45,7 +45,9 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use yoso_arch::{Genotype, NetworkPlan, NetworkSkeleton, Op, INTERNAL_NODES, NODES_PER_CELL};
 use yoso_dataset::{Split, SynthCifar};
-use yoso_nn::{evaluate_with, forward_network, ConvBn, Head, OpWeights, WeightProvider};
+use yoso_nn::{
+    evaluate_with, forward_network, ConvBn, Head, OpWeights, QuantizedNetwork, WeightProvider,
+};
 use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
 use yoso_tensor::{CosineLr, Graph, ParamStore, Scratch, Tensor};
 
@@ -263,6 +265,27 @@ impl HyperNet {
             let logits = forward_network(&plan, &mut g, &self.store, &provider, images);
             g.value(logits).clone()
         })
+    }
+
+    /// Validation accuracy of a genotype with inherited weights, scored
+    /// on the tape-free int8 path: the candidate's dense-conv weights
+    /// are quantized once ([`QuantizedNetwork::prepare`]) and every
+    /// batch runs as int8 GEMMs. Faster than [`evaluate_genotype`]
+    /// (no autograd tape, batched im2col, VNNI when available) at the
+    /// cost of conv quantization error — rank correlation with the f32
+    /// scores is pinned by the `quantized_scoring` integration test.
+    ///
+    /// [`evaluate_genotype`]: HyperNet::evaluate_genotype
+    pub fn evaluate_genotype_int8(
+        &self,
+        genotype: &Genotype,
+        split: &Split,
+        batch_size: usize,
+    ) -> f64 {
+        let plan = self.skeleton.compile(genotype);
+        let provider = self.provider(&plan);
+        let qnet = QuantizedNetwork::prepare(&plan, &self.store, &provider);
+        evaluate_with(split, batch_size, |images| qnet.forward(&images))
     }
 
     /// Masked SGD step: only parameters with non-zero gradients (the

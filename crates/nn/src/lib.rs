@@ -31,8 +31,10 @@
 
 pub mod forward;
 pub mod network;
+pub mod qforward;
 pub mod weights;
 
 pub use forward::forward_network;
 pub use network::{evaluate_with, CellNetwork, EpochStat, TrainConfig, TrainHistory};
+pub use qforward::QuantizedNetwork;
 pub use weights::{ConvBn, Head, OpWeights, SepConv, WeightProvider};

@@ -264,6 +264,26 @@ pub fn conv2d_backward_scratch(
     (dx, dw)
 }
 
+/// Valid output range `[lo, hi)` for window tap `kk`: the outputs `o`
+/// with `0 <= o*stride + kk - pad < limit_in`, clamped to `limit_out`.
+/// Hoisting this per tap removes every bounds branch from the inner
+/// loops of the windowed ops below.
+#[inline]
+fn tap_range(
+    kk: usize,
+    pad: usize,
+    stride: usize,
+    limit_in: usize,
+    limit_out: usize,
+) -> (usize, usize) {
+    let lo = pad.saturating_sub(kk).div_ceil(stride).min(limit_out);
+    let hi = (limit_in + pad)
+        .saturating_sub(kk)
+        .div_ceil(stride)
+        .clamp(lo, limit_out);
+    (lo, hi)
+}
+
 /// Forward depthwise convolution: `x` `[n, c, h, w]`, `weight` `[c, k, k]`.
 pub fn dwconv2d_forward(x: &Tensor, weight: &Tensor, geom: ConvGeom) -> Tensor {
     let (n, c, h, w) = shape4(x);
@@ -273,29 +293,39 @@ pub fn dwconv2d_forward(x: &Tensor, weight: &Tensor, geom: ConvGeom) -> Tensor {
     let wout = geom.out_dim(w);
     let mut out = Tensor::zeros(&[n, c, hout, wout]);
     let k = geom.k;
+    let (s, pad) = (geom.stride, geom.pad);
+    // Tap-outer accumulation: for each kernel tap, the valid output
+    // rectangle is precomputed and the inner `ox` loop is a branch-free
+    // (contiguous when stride 1) multiply-accumulate.
     for i in 0..n {
         for ch in 0..c {
             let xc = &x.data()[(i * c + ch) * h * w..(i * c + ch + 1) * h * w];
             let wc = &weight.data()[ch * k * k..(ch + 1) * k * k];
             let oc =
                 &mut out.data_mut()[(i * c + ch) * hout * wout..(i * c + ch + 1) * hout * wout];
-            for oy in 0..hout {
-                for ox in 0..wout {
-                    let mut acc = 0.0;
-                    for ky in 0..k {
-                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+            for ky in 0..k {
+                let (oy_lo, oy_hi) = tap_range(ky, pad, s, h, hout);
+                for kx in 0..k {
+                    let (lo, hi) = tap_range(kx, pad, s, w, wout);
+                    if hi == lo {
+                        continue;
+                    }
+                    let wv = wc[ky * k + kx];
+                    let x0 = lo * s + kx - pad;
+                    for oy in oy_lo..oy_hi {
+                        let iy = oy * s + ky - pad;
+                        let xrow = &xc[iy * w..(iy + 1) * w];
+                        let orow = &mut oc[oy * wout + lo..oy * wout + hi];
+                        if s == 1 {
+                            for (o, xv) in orow.iter_mut().zip(&xrow[x0..x0 + (hi - lo)]) {
+                                *o += wv * *xv;
                             }
-                            acc += wc[ky * k + kx] * xc[iy as usize * w + ix as usize];
+                        } else {
+                            for (o, xv) in orow.iter_mut().zip(xrow[x0..].iter().step_by(s)) {
+                                *o += wv * *xv;
+                            }
                         }
                     }
-                    oc[oy * wout + ox] = acc;
                 }
             }
         }
@@ -372,34 +402,41 @@ pub fn maxpool_forward(x: &Tensor, geom: ConvGeom) -> (Tensor, Vec<u32>) {
     let wout = geom.out_dim(w);
     let mut out = Tensor::zeros(&[n, c, hout, wout]);
     let mut arg = vec![0u32; n * c * hout * wout];
+    let (s, pad, k) = (geom.stride, geom.pad, geom.k);
+    out.data_mut().fill(f32::NEG_INFINITY);
+    // Tap-outer running max. Taps are visited in the same (ky, kx) order
+    // as the per-window scan and only a *strictly* greater value replaces
+    // the running best, so ties resolve to the first tap exactly as
+    // before; the branch-free select compiles to cmov/blend.
     for i in 0..n {
         for ch in 0..c {
             let base = (i * c + ch) * h * w;
             let xc = &x.data()[base..base + h * w];
             let obase = (i * c + ch) * hout * wout;
-            for oy in 0..hout {
-                for ox in 0..wout {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut bi = 0usize;
-                    for ky in 0..geom.k {
-                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..geom.k {
-                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let idx = iy as usize * w + ix as usize;
-                            if xc[idx] > best {
-                                best = xc[idx];
-                                bi = idx;
-                            }
+            let oc = &mut out.data_mut()[obase..obase + hout * wout];
+            let ac = &mut arg[obase..obase + hout * wout];
+            for ky in 0..k {
+                let (oy_lo, oy_hi) = tap_range(ky, pad, s, h, hout);
+                for kx in 0..k {
+                    let (lo, hi) = tap_range(kx, pad, s, w, wout);
+                    if hi == lo {
+                        continue;
+                    }
+                    let x0 = lo * s + kx - pad;
+                    for oy in oy_lo..oy_hi {
+                        let iy = oy * s + ky - pad;
+                        let xrow = &xc[iy * w..(iy + 1) * w];
+                        let orow = &mut oc[oy * wout + lo..oy * wout + hi];
+                        let arow = &mut ac[oy * wout + lo..oy * wout + hi];
+                        let mut ix = x0;
+                        for (o, a) in orow.iter_mut().zip(arow.iter_mut()) {
+                            let v = xrow[ix];
+                            let better = v > *o;
+                            *a = if better { (iy * w + ix) as u32 } else { *a };
+                            *o = if better { v } else { *o };
+                            ix += s;
                         }
                     }
-                    out.data_mut()[obase + oy * wout + ox] = best;
-                    arg[obase + oy * wout + ox] = bi as u32;
                 }
             }
         }
@@ -432,30 +469,60 @@ pub fn avgpool_forward(x: &Tensor, geom: ConvGeom) -> Tensor {
     let hout = geom.out_dim(h);
     let wout = geom.out_dim(w);
     let mut out = Tensor::zeros(&[n, c, hout, wout]);
+    let (s, pad, k) = (geom.stride, geom.pad, geom.k);
+    // Per-position reciprocal valid-count table, shared by every (n, c)
+    // plane: the count factorizes as (#valid ky) * (#valid kx).
+    let mut cnt_y = vec![0u32; hout];
+    let mut cnt_x = vec![0u32; wout];
+    for kk in 0..k {
+        let (lo, hi) = tap_range(kk, pad, s, h, hout);
+        for cy in &mut cnt_y[lo..hi] {
+            *cy += 1;
+        }
+        let (lo, hi) = tap_range(kk, pad, s, w, wout);
+        for cx in &mut cnt_x[lo..hi] {
+            *cx += 1;
+        }
+    }
+    let mut inv_cnt = vec![0.0f32; hout * wout];
+    for oy in 0..hout {
+        for ox in 0..wout {
+            inv_cnt[oy * wout + ox] = 1.0 / (cnt_y[oy] * cnt_x[ox]).max(1) as f32;
+        }
+    }
+    // Tap-outer accumulate, then one scale pass by the count table.
     for i in 0..n {
         for ch in 0..c {
             let base = (i * c + ch) * h * w;
             let xc = &x.data()[base..base + h * w];
             let obase = (i * c + ch) * hout * wout;
-            for oy in 0..hout {
-                for ox in 0..wout {
-                    let (mut acc, mut cnt) = (0.0f32, 0u32);
-                    for ky in 0..geom.k {
-                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..geom.k {
-                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+            let oc = &mut out.data_mut()[obase..obase + hout * wout];
+            for ky in 0..k {
+                let (oy_lo, oy_hi) = tap_range(ky, pad, s, h, hout);
+                for kx in 0..k {
+                    let (lo, hi) = tap_range(kx, pad, s, w, wout);
+                    if hi == lo {
+                        continue;
+                    }
+                    let x0 = lo * s + kx - pad;
+                    for oy in oy_lo..oy_hi {
+                        let iy = oy * s + ky - pad;
+                        let xrow = &xc[iy * w..(iy + 1) * w];
+                        let orow = &mut oc[oy * wout + lo..oy * wout + hi];
+                        if s == 1 {
+                            for (o, xv) in orow.iter_mut().zip(&xrow[x0..x0 + (hi - lo)]) {
+                                *o += *xv;
                             }
-                            acc += xc[iy as usize * w + ix as usize];
-                            cnt += 1;
+                        } else {
+                            for (o, xv) in orow.iter_mut().zip(xrow[x0..].iter().step_by(s)) {
+                                *o += *xv;
+                            }
                         }
                     }
-                    out.data_mut()[obase + oy * wout + ox] = acc / cnt.max(1) as f32;
                 }
+            }
+            for (o, iv) in oc.iter_mut().zip(&inv_cnt) {
+                *o *= *iv;
             }
         }
     }

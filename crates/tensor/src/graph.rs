@@ -755,9 +755,11 @@ impl Graph {
 /// `(normalized output, per-channel mean, per-channel 1/std)`.
 ///
 /// Shared by [`Graph::batch_norm`] and [`Graph::fused_conv_bn`] so the
-/// fused op is bit-identical to the unfused sequence.
+/// fused op is bit-identical to the unfused sequence; public so the
+/// tape-free int8 scoring path (`yoso-nn`'s quantized forward) applies
+/// the exact same normalization to its dequantized conv outputs.
 #[allow(clippy::too_many_arguments)]
-fn batch_norm_forward(
+pub fn batch_norm_forward(
     xs: &[f32],
     n: usize,
     c: usize,

@@ -37,7 +37,9 @@
 //! assert!(store.all_finite());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module (and only it) opts back
+// in with `#![allow(unsafe_code)]` for the runtime-dispatched intrinsics.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conv;
@@ -45,17 +47,21 @@ pub mod graph;
 pub mod matmul;
 pub mod optim;
 pub mod param;
+pub mod quant;
 pub mod scratch;
+#[cfg(all(target_arch = "x86_64", not(yoso_force_scalar)))]
+pub(crate) mod simd;
 pub mod snapshot;
 pub mod tensor;
 
 pub use conv::ConvGeom;
-pub use graph::{accuracy, Graph, Var};
+pub use graph::{accuracy, batch_norm_forward, Graph, Var};
 pub use matmul::{
     kernel_kind, num_threads as matmul_threads, set_kernel, set_num_threads as set_matmul_threads,
-    KernelKind,
+    set_simd_tier, simd_tier, KernelKind, SimdTier,
 };
 pub use optim::{Adam, CosineLr, Sgd};
 pub use param::{ParamId, ParamStore};
+pub use quant::{quant_tier, set_quant_tier, QuantTier, QuantWeights};
 pub use scratch::Scratch;
 pub use tensor::Tensor;

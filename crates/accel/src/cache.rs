@@ -32,10 +32,11 @@ use crate::cost::CostModel;
 use crate::report::LayerReport;
 use crate::sim::Fidelity;
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 use yoso_arch::{HwConfig, LayerSpec};
 use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
 
@@ -265,6 +266,138 @@ fn global() -> &'static SimCache {
     CACHE.get_or_init(SimCache::new)
 }
 
+// ---------------------------------------------------------------------------
+// Per-tenant accounting
+//
+// The cache itself is process-wide and cross-tenant by construction (the
+// key is the complete simulation input, so identical genotypes hit no
+// matter which job produced them). What a multi-tenant server additionally
+// needs is *attribution*: which tenant's lookups were served from shared
+// warmth. A tenant is a named set of counters; a thread opts into one via
+// [`set_thread_tenant`], and every global-cache lookup made on that thread
+// is then billed to it. Threads with no tag (the default — all existing
+// callers) are unattributed and only appear in the aggregate [`stats`].
+
+struct TenantCounters {
+    name: String,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A cheap, cloneable handle to one tenant's hit/miss counters.
+#[derive(Clone)]
+pub struct TenantTag {
+    counters: Arc<TenantCounters>,
+}
+
+impl TenantTag {
+    /// The tenant name this tag bills lookups to.
+    pub fn name(&self) -> &str {
+        &self.counters.name
+    }
+}
+
+impl std::fmt::Debug for TenantTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TenantTag({})", self.counters.name)
+    }
+}
+
+/// One tenant's view of the shared cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant name passed to [`tenant_tag`].
+    pub tenant: String,
+    /// Lookups by this tenant's threads answered from the cache.
+    pub hits: u64,
+    /// Lookups by this tenant's threads that ran the simulation.
+    pub misses: u64,
+}
+
+impl TenantStats {
+    /// Fraction of this tenant's lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+fn tenant_registry() -> &'static Mutex<HashMap<String, Arc<TenantCounters>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<TenantCounters>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+thread_local! {
+    static THREAD_TENANT: RefCell<Option<Arc<TenantCounters>>> = const { RefCell::new(None) };
+}
+
+/// Returns the tag for `name`, creating its counters on first use.
+/// Tags for the same name share counters across all callers.
+pub fn tenant_tag(name: &str) -> TenantTag {
+    let mut reg = tenant_registry().lock().unwrap_or_else(|e| e.into_inner());
+    let counters = reg
+        .entry(name.to_string())
+        .or_insert_with(|| {
+            Arc::new(TenantCounters {
+                name: name.to_string(),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            })
+        })
+        .clone();
+    TenantTag { counters }
+}
+
+/// Bills subsequent global-cache lookups on *this thread* to the given
+/// tenant (or to nobody with `None`). Typically bracketed around a job:
+/// set before running, cleared after.
+pub fn set_thread_tenant(tag: Option<&TenantTag>) {
+    THREAD_TENANT.with(|t| *t.borrow_mut() = tag.map(|t| Arc::clone(&t.counters)));
+}
+
+fn record_tenant_lookup(hit: bool) {
+    THREAD_TENANT.with(|t| {
+        if let Some(counters) = t.borrow().as_deref() {
+            let counter = if hit {
+                &counters.hits
+            } else {
+                &counters.misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Per-tenant counters for every tenant registered so far, sorted by
+/// name. Tenants that have not looked anything up yet report zeros.
+pub fn tenant_stats() -> Vec<TenantStats> {
+    let reg = tenant_registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<TenantStats> = reg
+        .values()
+        .map(|c| TenantStats {
+            tenant: c.name.clone(),
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+        })
+        .collect();
+    out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    out
+}
+
+/// Zeroes every tenant's counters (the registry itself is kept, so
+/// outstanding [`TenantTag`]s remain valid).
+pub fn reset_tenant_stats() {
+    let reg = tenant_registry().lock().unwrap_or_else(|e| e.into_inner());
+    for c in reg.values() {
+        c.hits.store(0, Ordering::Relaxed);
+        c.misses.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Returns the cached report for this exact simulation input, or runs
 /// `simulate` and caches its result. Hits are bit-identical to what
 /// `simulate` returned on the miss.
@@ -285,7 +418,15 @@ pub(crate) fn lookup_or_simulate(
         output_onchip,
         cost_bits: cost_bits(cost),
     };
-    global().lookup_or_simulate(key, simulate)
+    // Tenant attribution piggybacks on the miss closure: if `simulate`
+    // ran, this lookup was a miss; otherwise it was served from cache.
+    let mut missed = false;
+    let report = global().lookup_or_simulate(key, || {
+        missed = true;
+        simulate()
+    });
+    record_tenant_lookup(!missed);
+    report
 }
 
 /// Snapshot of the global cache counters.
@@ -492,6 +633,55 @@ mod tests {
             SimCache::new().import(&mut ByteReader::new(&bytes[..bytes.len() / 2])),
             Err(PersistError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn tenant_tags_attribute_thread_lookups() {
+        let sim = Simulator::exact();
+        let hw = test_hw();
+        // Unique layer names so this test's keys are cold regardless of
+        // what other tests put in the shared global cache.
+        let la = test_layer("tenant-probe-a", 24);
+        let lb = test_layer("tenant-probe-b", 40);
+
+        let alice = tenant_tag("acct-alice");
+        let bob = tenant_tag("acct-bob");
+        assert_eq!(alice.name(), "acct-alice");
+        // Same name → same counters.
+        let alice2 = tenant_tag("acct-alice");
+
+        set_thread_tenant(Some(&alice));
+        sim.simulate_layers(std::slice::from_ref(&la), &hw); // miss
+        sim.simulate_layers(std::slice::from_ref(&la), &hw); // hit
+        set_thread_tenant(Some(&bob));
+        sim.simulate_layers(std::slice::from_ref(&la), &hw); // hit (cross-tenant!)
+        sim.simulate_layers(std::slice::from_ref(&lb), &hw); // miss
+        set_thread_tenant(None);
+        sim.simulate_layers(std::slice::from_ref(&lb), &hw); // unattributed hit
+
+        let stats = tenant_stats();
+        let get = |name: &str| stats.iter().find(|s| s.tenant == name).unwrap().clone();
+        let a = get("acct-alice");
+        let b = get("acct-bob");
+        assert_eq!((a.hits, a.misses), (1, 1));
+        assert_eq!(a.hit_rate(), 0.5);
+        // Bob's first lookup of layer `la` hit Alice's cached entry:
+        // cross-tenant sharing is visible in per-tenant accounting.
+        assert_eq!((b.hits, b.misses), (1, 1));
+        assert_eq!(tenant_tag("acct-fresh").name(), "acct-fresh");
+        let fresh = tenant_stats()
+            .into_iter()
+            .find(|s| s.tenant == "acct-fresh")
+            .unwrap();
+        assert_eq!(fresh.hits + fresh.misses, 0);
+        drop(alice2);
+
+        reset_tenant_stats();
+        let a = tenant_stats()
+            .into_iter()
+            .find(|s| s.tenant == "acct-alice")
+            .unwrap();
+        assert_eq!((a.hits, a.misses), (0, 0));
     }
 
     #[test]

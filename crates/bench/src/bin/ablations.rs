@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use yoso_accel::Simulator;
 use yoso_arch::{Dataflow, Genotype, HwConfig, NetworkSkeleton, PeArray};
-use yoso_bench::{arg_value, run_main, Table};
+use yoso_bench::{run_main, Args, Table};
 use yoso_core::error::Error;
 use yoso_core::evaluation::{calibrate_constraints, SurrogateEvaluator};
 use yoso_core::reward::{RewardConfig, RewardForm};
@@ -39,10 +39,11 @@ fn main() {
 }
 
 fn real_main() -> Result<(), Error> {
-    println!("worker pool: {} threads", yoso_bench::configure_threads());
-    let trace = yoso_bench::configure_trace();
-    yoso_bench::configure_chaos();
-    let which = arg_value("--which").unwrap_or_else(|| "123456".into());
+    let args = Args::parse();
+    println!("worker pool: {} threads", args.configure_threads());
+    let trace = args.configure_trace();
+    args.configure_chaos();
+    let which = args.value("--which").unwrap_or_else(|| "123456".into());
 
     if wants(&which, '1') {
         ablation_sampling();

@@ -20,7 +20,7 @@
 //!   [--iters 40] [--seed 0] [--out BENCH_kernels.json]`
 
 use std::time::Instant;
-use yoso_bench::{arg_u64, arg_usize, arg_value, bench_meta_json, run_main};
+use yoso_bench::{bench_meta_json, run_main, Args};
 use yoso_core::error::Error;
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::HyperNet;
@@ -67,9 +67,12 @@ fn main() {
 }
 
 fn real_main() -> Result<(), Error> {
-    let iters = arg_usize("--iters", 40);
-    let seed = arg_u64("--seed", 0);
-    let out = arg_value("--out").unwrap_or_else(|| "BENCH_kernels.json".into());
+    let args = Args::parse();
+    let iters = args.usize("--iters", 40);
+    let seed = args.u64("--seed", 0);
+    let out = args
+        .value("--out")
+        .unwrap_or_else(|| "BENCH_kernels.json".into());
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Equal thread count for every comparison: the claim is per-core.

@@ -13,9 +13,7 @@
 use std::time::Instant;
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, NetworkSkeleton};
-use yoso_bench::{
-    arg_u64, arg_usize, arg_value, bench_meta_json, configure_trace, finish_trace, run_main,
-};
+use yoso_bench::{bench_meta_json, finish_trace, run_main, Args};
 use yoso_core::error::Error;
 use yoso_predictor::perf::{collect_samples, PerfPredictor};
 
@@ -30,12 +28,15 @@ fn main() {
 }
 
 fn real_main() -> Result<(), Error> {
-    let samples = arg_usize("--samples", 1000);
-    let batch = arg_usize("--batch", 256);
-    let seed = arg_u64("--seed", 0);
-    let out = arg_value("--out").unwrap_or_else(|| "BENCH_parallel.json".into());
-    let trace = configure_trace();
-    yoso_bench::configure_chaos();
+    let args = Args::parse();
+    let samples = args.usize("--samples", 1000);
+    let batch = args.usize("--batch", 256);
+    let seed = args.u64("--seed", 0);
+    let out = args
+        .value("--out")
+        .unwrap_or_else(|| "BENCH_parallel.json".into());
+    let trace = args.configure_trace();
+    args.configure_chaos();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let skeleton = NetworkSkeleton::paper_default();
     let sim = Simulator::exact();

@@ -13,7 +13,7 @@
 use std::time::Instant;
 use yoso_accel::Simulator;
 use yoso_arch::NetworkSkeleton;
-use yoso_bench::{arg_present, arg_u64, arg_usize, run_main, write_csv, Table};
+use yoso_bench::{run_main, write_csv, Args, Table};
 use yoso_core::error::Error;
 use yoso_predictor::metrics::{mae, mse, r2};
 use yoso_predictor::perf::collect_samples;
@@ -25,15 +25,16 @@ fn main() {
 }
 
 fn real_main() -> Result<(), Error> {
-    let (n_train, n_test) = if arg_present("--paper") {
+    let args = Args::parse();
+    let (n_train, n_test) = if args.present("--paper") {
         (3000, 600)
     } else {
-        (arg_usize("--train", 1000), arg_usize("--test", 300))
+        (args.usize("--train", 1000), args.usize("--test", 300))
     };
-    let seed = arg_u64("--seed", 0);
-    println!("worker pool: {} threads", yoso_bench::configure_threads());
-    let trace = yoso_bench::configure_trace();
-    yoso_bench::configure_chaos();
+    let seed = args.u64("--seed", 0);
+    println!("worker pool: {} threads", args.configure_threads());
+    let trace = args.configure_trace();
+    args.configure_chaos();
     let skeleton = NetworkSkeleton::paper_default();
     let sim = Simulator::exact();
 

@@ -18,15 +18,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use yoso_arch::{Genotype, NetworkSkeleton};
-use yoso_bench::{arg_u64, arg_usize, arg_value, run_main, write_csv, Table};
+use yoso_bench::{run_main, write_csv, Args, Table};
 use yoso_core::error::Error;
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::{HyperNet, HyperTrainConfig};
 use yoso_nn::{CellNetwork, TrainConfig};
 use yoso_predictor::metrics::{kendall_tau, pearson, spearman};
 
-fn scale() -> (NetworkSkeleton, SynthCifarConfig) {
-    match arg_value("--scale").as_deref() {
+fn scale(args: &Args) -> (NetworkSkeleton, SynthCifarConfig) {
+    match args.value("--scale").as_deref() {
         Some("tiny") => (NetworkSkeleton::tiny(), SynthCifarConfig::tiny()),
         Some("paper") => (
             NetworkSkeleton::paper_default(),
@@ -41,20 +41,24 @@ fn main() {
 }
 
 fn real_main() -> Result<(), Error> {
-    let part = arg_value("--part").unwrap_or_else(|| "both".into());
-    let seed = arg_u64("--seed", 0);
-    let trace = yoso_bench::configure_trace();
-    yoso_bench::configure_chaos();
-    let (skeleton, mut data_cfg) = scale();
-    if let Some(n) = arg_value("--noise").and_then(|v| v.parse::<f32>().ok()) {
+    let args = Args::parse();
+    let part = args.value("--part").unwrap_or_else(|| "both".into());
+    let seed = args.u64("--seed", 0);
+    let trace = args.configure_trace();
+    args.configure_chaos();
+    let (skeleton, mut data_cfg) = scale(&args);
+    if let Some(n) = args.value("--noise").and_then(|v| v.parse::<f32>().ok()) {
         data_cfg.noise = n;
     }
-    if let Some(n) = arg_value("--label-noise").and_then(|v| v.parse::<f64>().ok()) {
+    if let Some(n) = args
+        .value("--label-noise")
+        .and_then(|v| v.parse::<f64>().ok())
+    {
         data_cfg.label_noise = n;
     }
     let data = SynthCifar::generate(&data_cfg);
 
-    let epochs = arg_usize("--epochs", 10);
+    let epochs = args.usize("--epochs", 10);
     println!(
         "HyperNet on {}x{} images, {} cells, {} train examples",
         data_cfg.image_hw, data_cfg.image_hw, skeleton.num_cells, data_cfg.train_count
@@ -97,8 +101,8 @@ fn real_main() -> Result<(), Error> {
     }
 
     if part == "b" || part == "both" {
-        let n_models = arg_usize("--models", 16);
-        let full_epochs = arg_usize("--full-epochs", 6);
+        let n_models = args.usize("--models", 16);
+        let full_epochs = args.usize("--full-epochs", 6);
         println!(
             "\n=== Fig. 5(b): inherited vs fully-trained accuracy ({n_models} random sub-models, {full_epochs} standalone epochs) ==="
         );

@@ -21,9 +21,7 @@
 
 use std::time::Instant;
 use yoso_arch::NetworkSkeleton;
-use yoso_bench::{
-    arg_present, arg_u64, arg_usize, arg_value, configure_trace, finish_trace, run_main, write_csv,
-};
+use yoso_bench::{finish_trace, run_main, write_csv, Args};
 use yoso_core::error::Error;
 use yoso_core::evaluation::{calibrate_constraints, Evaluator, FastEvaluator, SurrogateEvaluator};
 use yoso_core::reward::RewardConfig;
@@ -32,12 +30,16 @@ use yoso_core::session::{SearchSession, Strategy};
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::HyperTrainConfig;
 
-fn build_evaluator(skeleton: &NetworkSkeleton, seed: u64) -> Result<Box<dyn Evaluator>, Error> {
-    if arg_present("--fast-evaluator") {
+fn build_evaluator(
+    args: &Args,
+    skeleton: &NetworkSkeleton,
+    seed: u64,
+) -> Result<Box<dyn Evaluator>, Error> {
+    if args.present("--fast-evaluator") {
         println!("building fast evaluator (HyperNet + GP) ...");
         let data = SynthCifar::generate(&SynthCifarConfig::small());
         let cfg = HyperTrainConfig {
-            epochs: arg_usize("--hyper-epochs", 6),
+            epochs: args.usize("--hyper-epochs", 6),
             batch_size: 32,
             seed,
             ..Default::default()
@@ -64,17 +66,18 @@ fn main() {
 }
 
 fn real_main() -> Result<(), Error> {
-    let part = arg_value("--part").unwrap_or_else(|| "all".into());
-    let seed = arg_u64("--seed", 0);
-    let iterations = arg_usize("--iterations", 2000);
-    let skeleton = if arg_present("--fast-evaluator") {
+    let args = Args::parse();
+    let part = args.value("--part").unwrap_or_else(|| "all".into());
+    let seed = args.u64("--seed", 0);
+    let iterations = args.usize("--iterations", 2000);
+    let skeleton = if args.present("--fast-evaluator") {
         NetworkSkeleton::small()
     } else {
         NetworkSkeleton::paper_default()
     };
-    let trace = configure_trace();
-    yoso_bench::configure_chaos();
-    let evaluator = build_evaluator(&skeleton, seed)?;
+    let trace = args.configure_trace();
+    args.configure_chaos();
+    let evaluator = build_evaluator(&args, &skeleton, seed)?;
     let constraints = calibrate_constraints(&skeleton, 300, seed, 40.0);
     println!(
         "constraints (40th pct of random designs): t_lat {:.4} ms, t_eer {:.4} mJ",

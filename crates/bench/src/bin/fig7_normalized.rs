@@ -19,7 +19,7 @@ fn main() {
 }
 
 fn real_main() -> Result<(), Error> {
-    let trace = yoso_bench::configure_trace();
+    let trace = yoso_bench::Args::parse().configure_trace();
     let (_, rows) = match read_csv("table2.csv") {
         Ok(v) => v,
         Err(e) => {

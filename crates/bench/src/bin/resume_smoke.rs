@@ -33,7 +33,7 @@
 //! in the `chaos_resilience` integration test instead.
 
 use std::path::PathBuf;
-use yoso_bench::{arg_u64, arg_usize, arg_value, run_main};
+use yoso_bench::{run_main, Args};
 use yoso_core::checkpoint::checkpoint_file_name;
 use yoso_core::error::Error;
 use yoso_core::evaluation::{
@@ -59,19 +59,12 @@ fn main() {
 }
 
 fn real_main() -> Result<(), Error> {
-    let iterations = arg_usize("--iterations", 30);
-    let kill_at = arg_usize("--kill-at", 15);
-    let seed = arg_u64("--seed", 0);
-    let scoring = match arg_value("--scoring").as_deref() {
-        None | Some("f32") => ScoringPrecision::F32,
-        Some("int8") => ScoringPrecision::Int8,
-        Some(other) => {
-            return Err(Error::InvalidConfig(format!(
-                "--scoring must be f32 or int8, got {other:?}"
-            )))
-        }
-    };
-    yoso_bench::configure_chaos();
+    let args = Args::parse();
+    let iterations = args.usize("--iterations", 30);
+    let kill_at = args.usize("--kill-at", 15);
+    let seed = args.u64("--seed", 0);
+    let scoring = args.scoring()?;
+    args.configure_chaos();
     let skeleton = yoso_arch::NetworkSkeleton::tiny();
     // f32 drills score with the cheap deterministic surrogate; the int8
     // drill needs a real HyperNet so the quantized conv path is what

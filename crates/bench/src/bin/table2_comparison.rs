@@ -20,7 +20,7 @@
 use std::time::Instant;
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, Genotype, NetworkSkeleton};
-use yoso_bench::{arg_u64, arg_usize, run_main, write_csv, Table};
+use yoso_bench::{run_main, write_csv, Args, Table};
 use yoso_core::error::Error;
 use yoso_core::evaluation::{calibrate_constraints, FastEvaluator};
 use yoso_core::parallel_map;
@@ -65,14 +65,15 @@ fn main() {
 }
 
 fn real_main() -> Result<(), Error> {
-    let iterations = arg_usize("--iterations", 600);
-    let top_n = arg_usize("--topn", 5);
-    let hyper_epochs = arg_usize("--hyper-epochs", 6);
-    let full_epochs = arg_usize("--full-epochs", 6);
-    let seed = arg_u64("--seed", 0);
-    println!("worker pool: {} threads", yoso_bench::configure_threads());
-    let trace = yoso_bench::configure_trace();
-    yoso_bench::configure_chaos();
+    let args = Args::parse();
+    let iterations = args.usize("--iterations", 600);
+    let top_n = args.usize("--topn", 5);
+    let hyper_epochs = args.usize("--hyper-epochs", 6);
+    let full_epochs = args.usize("--full-epochs", 6);
+    let seed = args.u64("--seed", 0);
+    println!("worker pool: {} threads", args.configure_threads());
+    let trace = args.configure_trace();
+    args.configure_chaos();
 
     let skeleton = NetworkSkeleton::small();
     let data = SynthCifar::generate(&SynthCifarConfig::small());

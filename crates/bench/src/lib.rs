@@ -117,81 +117,195 @@ pub fn run_main(body: impl FnOnce() -> Result<(), yoso_core::Error>) {
     }
 }
 
+/// The flag surface shared by every bench binary, parsed once.
+///
+/// Centralizes the flags each driver used to scan for by hand —
+/// `--threads`, `--matmul-threads`, `--trace-out`, `--chaos-plan`,
+/// `--scoring` — plus typed accessors for bin-specific flags, so a new
+/// binary gets the whole shared surface from two lines:
+///
+/// ```no_run
+/// let args = yoso_bench::Args::parse();
+/// let trace = args.configure(); // threads + chaos + trace, one call
+/// ```
+#[derive(Debug, Clone)]
+pub struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Args {
+        Args::from_argv(std::env::args().collect())
+    }
+
+    /// Parses an explicit argument vector (tests, embedded drivers).
+    pub fn from_argv(argv: Vec<String>) -> Args {
+        Args { argv }
+    }
+
+    /// Value of `--flag <value>`.
+    pub fn value(&self, flag: &str) -> Option<String> {
+        self.argv
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.argv.get(i + 1).cloned())
+    }
+
+    /// `--flag <n>` parsed as usize, with default.
+    pub fn usize(&self, flag: &str, default: usize) -> usize {
+        self.value(flag)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `--flag <x>` parsed as u64, with default.
+    pub fn u64(&self, flag: &str, default: u64) -> u64 {
+        self.value(flag)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `--flag <x>` parsed as f64, with default.
+    pub fn f64(&self, flag: &str, default: f64) -> f64 {
+        self.value(flag)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Presence of a boolean `--flag`.
+    pub fn present(&self, flag: &str) -> bool {
+        self.argv.iter().any(|a| a == flag)
+    }
+
+    /// The shared `--scoring f32|int8` flag as a typed precision
+    /// (absent means f32).
+    ///
+    /// # Errors
+    ///
+    /// [`yoso_core::Error::InvalidConfig`] on any other value.
+    pub fn scoring(&self) -> Result<yoso_core::ScoringPrecision, yoso_core::Error> {
+        match self.value("--scoring").as_deref() {
+            None | Some("f32") => Ok(yoso_core::ScoringPrecision::F32),
+            Some("int8") => Ok(yoso_core::ScoringPrecision::Int8),
+            Some(other) => Err(yoso_core::Error::InvalidConfig(format!(
+                "--scoring must be f32 or int8, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Applies the shared thread flags and returns the resolved worker
+    /// count:
+    ///
+    /// * `--threads <n>` sizes the global worker pool (candidate-level
+    ///   parallelism: rollout fan-out, batched evaluation);
+    /// * `--matmul-threads <n>` independently sizes the packed-GEMM
+    ///   panel parallelism inside a single matmul
+    ///   ([`yoso_tensor::set_matmul_threads`]).
+    ///
+    /// `0` or an absent flag means "all cores" for both. Both settings
+    /// are recorded in every `BENCH_*.json` via [`bench_meta_json`].
+    pub fn configure_threads(&self) -> usize {
+        yoso_pool::set_num_threads(self.usize("--threads", 0));
+        yoso_tensor::set_matmul_threads(self.usize("--matmul-threads", 0));
+        yoso_pool::num_threads()
+    }
+
+    /// Applies the shared `--chaos-plan <path>` flag: when present,
+    /// loads a [`yoso_chaos::FaultPlan`] from the file and arms the
+    /// global fault injector for the rest of the process, printing
+    /// which faults are in play. Without the flag chaos stays disarmed
+    /// and every hook reduces to one relaxed atomic load.
+    ///
+    /// Returns `true` when a plan was armed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the flag is present but the file cannot be read or
+    /// parsed — a bench invoked with a broken fault plan should fail
+    /// loudly, not silently run fault-free.
+    pub fn configure_chaos(&self) -> bool {
+        let Some(path) = self.value("--chaos-plan") else {
+            return false;
+        };
+        let plan = yoso_chaos::FaultPlan::load(&path)
+            .unwrap_or_else(|e| panic!("--chaos-plan {path}: {e}"));
+        eprintln!(
+            "[chaos] armed plan from {path}: seed {}, {} rule(s): {}",
+            plan.seed,
+            plan.rules.len(),
+            plan.rules
+                .iter()
+                .map(|r| r.kind.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        yoso_chaos::install(&plan);
+        true
+    }
+
+    /// Applies the shared `--trace-out <path>` flag (see
+    /// [`configure_trace`]).
+    pub fn configure_trace(&self) -> yoso_trace::Trace {
+        let Some(path) = self.value("--trace-out") else {
+            return yoso_trace::Trace::disabled();
+        };
+        match yoso_trace::Trace::to_path(&path) {
+            Ok(trace) => {
+                yoso_trace::set_enabled(true);
+                eprintln!("[trace] writing JSONL events to {path}");
+                trace
+            }
+            Err(e) => {
+                eprintln!("[trace] cannot open {path}: {e}; tracing disabled");
+                yoso_trace::Trace::disabled()
+            }
+        }
+    }
+
+    /// The full shared setup in one call — threads, chaos, trace —
+    /// returning the trace handle (pair with [`finish_trace`]).
+    pub fn configure(&self) -> yoso_trace::Trace {
+        self.configure_threads();
+        self.configure_chaos();
+        self.configure_trace()
+    }
+}
+
 /// Value of `--flag <value>` in the process arguments.
 pub fn arg_value(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+    Args::parse().value(flag)
 }
 
 /// `--flag <n>` parsed as usize, with default.
 pub fn arg_usize(flag: &str, default: usize) -> usize {
-    arg_value(flag)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    Args::parse().usize(flag, default)
 }
 
 /// `--flag <x>` parsed as u64, with default.
 pub fn arg_u64(flag: &str, default: u64) -> u64 {
-    arg_value(flag)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    Args::parse().u64(flag, default)
 }
 
 /// Presence of a boolean `--flag`.
 pub fn arg_present(flag: &str) -> bool {
-    std::env::args().any(|a| a == flag)
+    Args::parse().present(flag)
 }
 
-/// Applies the shared thread flags and returns the resolved worker
-/// count:
-///
-/// * `--threads <n>` sizes the global worker pool (candidate-level
-///   parallelism: rollout fan-out, batched evaluation);
-/// * `--matmul-threads <n>` independently sizes the packed-GEMM panel
-///   parallelism inside a single matmul
-///   ([`yoso_tensor::set_matmul_threads`]).
-///
-/// `0` or an absent flag means "all cores" for both. Both settings are
-/// recorded in every `BENCH_*.json` via [`bench_meta_json`].
+/// Applies the shared thread flags from the process arguments (see
+/// [`Args::configure_threads`]).
 pub fn configure_threads() -> usize {
-    yoso_pool::set_num_threads(arg_usize("--threads", 0));
-    yoso_tensor::set_matmul_threads(arg_usize("--matmul-threads", 0));
-    yoso_pool::num_threads()
+    Args::parse().configure_threads()
 }
 
-/// Applies the shared `--chaos-plan <path>` flag: when present, loads a
-/// [`yoso_chaos::FaultPlan`] from the file and arms the global fault
-/// injector for the rest of the process, printing which faults are in
-/// play. Without the flag chaos stays disarmed and every hook reduces to
-/// one relaxed atomic load.
-///
-/// Returns `true` when a plan was armed.
+/// Arms the shared `--chaos-plan` flag from the process arguments (see
+/// [`Args::configure_chaos`]).
 ///
 /// # Panics
 ///
-/// Panics when the flag is present but the file cannot be read or
-/// parsed — a bench invoked with a broken fault plan should fail loudly,
-/// not silently run fault-free.
+/// As [`Args::configure_chaos`].
 pub fn configure_chaos() -> bool {
-    let Some(path) = arg_value("--chaos-plan") else {
-        return false;
-    };
-    let plan =
-        yoso_chaos::FaultPlan::load(&path).unwrap_or_else(|e| panic!("--chaos-plan {path}: {e}"));
-    eprintln!(
-        "[chaos] armed plan from {path}: seed {}, {} rule(s): {}",
-        plan.seed,
-        plan.rules.len(),
-        plan.rules
-            .iter()
-            .map(|r| r.kind.name())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-    yoso_chaos::install(&plan);
-    true
+    Args::parse().configure_chaos()
 }
 
 /// Prints the per-kind chaos injection counters at the end of a run and
@@ -220,20 +334,7 @@ pub fn finish_chaos() {
 ///
 /// Pair with [`finish_trace`] at the end of the run.
 pub fn configure_trace() -> yoso_trace::Trace {
-    let Some(path) = arg_value("--trace-out") else {
-        return yoso_trace::Trace::disabled();
-    };
-    match yoso_trace::Trace::to_path(&path) {
-        Ok(trace) => {
-            yoso_trace::set_enabled(true);
-            eprintln!("[trace] writing JSONL events to {path}");
-            trace
-        }
-        Err(e) => {
-            eprintln!("[trace] cannot open {path}: {e}; tracing disabled");
-            yoso_trace::Trace::disabled()
-        }
-    }
+    Args::parse().configure_trace()
 }
 
 /// End-of-run telemetry: appends the subsystem summary events
@@ -462,6 +563,51 @@ mod tests {
         let doc = format!("{{\n  {meta}\n}}");
         let opens = doc.matches('{').count();
         assert_eq!(opens, doc.matches('}').count());
+    }
+
+    #[test]
+    fn args_typed_accessors() {
+        let args = Args::from_argv(
+            [
+                "bin",
+                "--threads",
+                "4",
+                "--seed",
+                "7",
+                "--noise",
+                "0.5",
+                "--paper",
+                "--scoring",
+                "int8",
+                "--part",
+                "both",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        assert_eq!(args.usize("--threads", 0), 4);
+        assert_eq!(args.u64("--seed", 0), 7);
+        assert!((args.f64("--noise", 0.0) - 0.5).abs() < 1e-12);
+        assert!(args.present("--paper"));
+        assert!(!args.present("--fast-evaluator"));
+        assert_eq!(args.value("--part").as_deref(), Some("both"));
+        assert_eq!(args.value("--missing"), None);
+        assert_eq!(args.usize("--missing", 9), 9);
+        assert_eq!(args.scoring().unwrap(), yoso_core::ScoringPrecision::Int8);
+    }
+
+    #[test]
+    fn args_scoring_rejects_unknown_precision() {
+        let args = Args::from_argv(
+            ["bin", "--scoring", "fp16"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert!(args.scoring().is_err());
+        let default = Args::from_argv(vec!["bin".to_string()]);
+        assert_eq!(default.scoring().unwrap(), yoso_core::ScoringPrecision::F32);
     }
 
     #[test]

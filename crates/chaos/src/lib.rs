@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::RefCell;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -108,7 +109,10 @@ impl fmt::Display for FaultKind {
 /// A rule fires at each explicitly listed opportunity index in `at`, and
 /// additionally fires at random opportunities with probability `rate`
 /// (drawn deterministically from the plan seed). `max_faults` caps the
-/// total injections for the kind regardless of schedule.
+/// total injections for the kind regardless of schedule. A rule with a
+/// `scope` fires only on threads that declared the matching scope via
+/// [`set_thread_scope`] — how a multi-tenant server faults one tenant's
+/// jobs while jobs sharing the process stay untouched.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultRule {
     /// Fault kind this rule injects.
@@ -121,6 +125,9 @@ pub struct FaultRule {
     pub max_faults: u64,
     /// Stall duration for [`FaultKind::SlowEval`] injections.
     pub delay_ms: u64,
+    /// When set, the rule applies only to threads whose
+    /// [`set_thread_scope`] id equals this value.
+    pub scope: Option<u64>,
 }
 
 impl FaultRule {
@@ -132,6 +139,7 @@ impl FaultRule {
             at: Vec::new(),
             max_faults: u64::MAX,
             delay_ms: 1,
+            scope: None,
         }
     }
 
@@ -143,7 +151,15 @@ impl FaultRule {
             at: indices.to_vec(),
             max_faults: u64::MAX,
             delay_ms: 1,
+            scope: None,
         }
+    }
+
+    /// Restricts this rule to threads with the given scope id (see
+    /// [`set_thread_scope`] and [`scope_for`]).
+    pub fn scope(mut self, id: u64) -> Self {
+        self.scope = Some(id);
+        self
     }
 
     /// Caps the total injections for this rule.
@@ -208,6 +224,9 @@ impl FaultPlan {
             if r.kind == FaultKind::SlowEval {
                 s.push_str(&format!(" delay_ms {}", r.delay_ms));
             }
+            if let Some(scope) = r.scope {
+                s.push_str(&format!(" scope {scope}"));
+            }
             s.push('\n');
         }
         s
@@ -221,6 +240,7 @@ impl FaultPlan {
     /// fault worker_panic rate 0.05 max 20
     /// fault nan_reward at 3,7,19
     /// fault slow_eval rate 0.1 delay_ms 5
+    /// fault sim_nan rate 0.2 scope 12345
     /// ```
     ///
     /// # Errors
@@ -254,6 +274,7 @@ impl FaultPlan {
                             "rate" => rule.rate = parse_num(line, val)?,
                             "max" => rule.max_faults = parse_num(line, val)?,
                             "delay_ms" => rule.delay_ms = parse_num(line, val)?,
+                            "scope" => rule.scope = Some(parse_num(line, val)?),
                             "at" => {
                                 let list = val.ok_or_else(|| {
                                     PlanParseError::new(line, "missing `at` index list")
@@ -362,6 +383,8 @@ struct Active {
     max: [u64; N_KINDS],
     /// SlowEval stall duration.
     delay: [u64; N_KINDS],
+    /// Per-kind scope restriction (`None` = applies to every thread).
+    scope: [Option<u64>; N_KINDS],
 }
 
 static ARMED: AtomicBool = AtomicBool::new(false);
@@ -399,6 +422,7 @@ pub fn install(plan: &FaultPlan) {
         at: std::array::from_fn(|_| Vec::new()),
         max: [u64::MAX; N_KINDS],
         delay: [1; N_KINDS],
+        scope: [None; N_KINDS],
     };
     for r in &plan.rules {
         let k = r.kind.index();
@@ -415,6 +439,7 @@ pub fn install(plan: &FaultPlan) {
         active.at[k].sort_unstable();
         active.max[k] = r.max_faults;
         active.delay[k] = r.delay_ms;
+        active.scope[k] = r.scope;
     }
     for c in OPPORTUNITIES.iter().chain(INJECTED.iter()) {
         c.store(0, Ordering::Relaxed);
@@ -428,6 +453,59 @@ pub fn install(plan: &FaultPlan) {
 pub fn disarm() {
     ARMED.store(false, Ordering::Relaxed);
     *ACTIVE.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+// ---------------------------------------------------------------------------
+// Thread scopes
+//
+// A scope is a per-thread identity (typically one search job) that two
+// things key off: scoped *rules* fire only on threads carrying the
+// matching id, and scoped *threads* consume thread-local opportunity
+// counters instead of the process-global ones. The latter is what makes
+// serial-site injection deterministic per job on a multi-tenant server —
+// with global counters, concurrent jobs would interleave opportunity
+// indices nondeterministically. Scopes affect serial sites
+// ([`should_fault`] and its wrappers); [`should_fault_indexed`] runs on
+// pool worker threads, which never carry a scope, so scoped rules simply
+// never fire there.
+
+struct ScopeState {
+    id: u64,
+    opportunities: [u64; N_KINDS],
+}
+
+thread_local! {
+    static THREAD_SCOPE: RefCell<Option<ScopeState>> = const { RefCell::new(None) };
+}
+
+/// Declares this thread's fault scope. `Some(id)` starts a fresh scope
+/// with zeroed thread-local opportunity counters (so a job always begins
+/// at opportunity 0, whatever ran on this thread before); `None` reverts
+/// to the process-global counters.
+pub fn set_thread_scope(scope: Option<u64>) {
+    THREAD_SCOPE.with(|s| {
+        *s.borrow_mut() = scope.map(|id| ScopeState {
+            id,
+            opportunities: [0; N_KINDS],
+        });
+    });
+}
+
+/// The scope id this thread declared, if any.
+pub fn thread_scope() -> Option<u64> {
+    THREAD_SCOPE.with(|s| s.borrow().as_ref().map(|state| state.id))
+}
+
+/// Stable scope id for a name (FNV-1a folded through SplitMix64) — the
+/// shared convention by which a server and a plan author agree on a
+/// tenant's scope id without coordinating.
+pub fn scope_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h)
 }
 
 /// SplitMix64 finalizer — the same bijective mixer `yoso-pool` uses for
@@ -458,12 +536,16 @@ fn fire(kind: usize, wants: bool, max: u64) -> bool {
 
 /// Should the next opportunity at a **serial** site inject `kind`?
 ///
-/// Each call consumes one opportunity index (a per-kind global counter);
-/// explicit `at` indices and rate draws are both keyed on it. Serial sites
-/// (GP fits, reward computation, the session loop) therefore replay
-/// identically run-to-run. For sites running on pool workers use
-/// [`should_fault_indexed`] instead — this counter's order would depend on
-/// thread interleaving there.
+/// Each call consumes one opportunity index; explicit `at` indices and
+/// rate draws are both keyed on it. On unscoped threads (the default)
+/// that index is a per-kind process-global counter, so serial sites (GP
+/// fits, reward computation, the session loop) replay identically
+/// run-to-run. On threads that declared a scope via [`set_thread_scope`]
+/// the index is thread-local and starts at 0 per scope, so concurrent
+/// jobs on a server draw independent, per-job-deterministic schedules
+/// (rate draws additionally mix in the scope id, decorrelating tenants).
+/// For sites running on pool workers use [`should_fault_indexed`]
+/// instead — a counter's order would depend on thread interleaving there.
 pub fn should_fault(kind: FaultKind) -> bool {
     if !armed() {
         return false;
@@ -473,9 +555,27 @@ pub fn should_fault(kind: FaultKind) -> bool {
     let Some(a) = guard.as_ref() else {
         return false;
     };
-    let n = OPPORTUNITIES[k].fetch_add(1, Ordering::Relaxed);
+    // Global counter always ticks (aggregate stats stay meaningful); a
+    // scoped thread takes its opportunity index from its own counters.
+    let global_n = OPPORTUNITIES[k].fetch_add(1, Ordering::Relaxed);
+    let scoped: Option<(u64, u64)> = THREAD_SCOPE.with(|s| {
+        s.borrow_mut().as_mut().map(|state| {
+            let n = state.opportunities[k];
+            state.opportunities[k] += 1;
+            (state.id, n)
+        })
+    });
+    if let Some(required) = a.scope[k] {
+        if scoped.map(|(id, _)| id) != Some(required) {
+            return false;
+        }
+    }
+    let (n, key) = match scoped {
+        Some((id, n)) => (n, n ^ splitmix64(id)),
+        None => (global_n, global_n),
+    };
     let wants = a.at[k].binary_search(&n).is_ok()
-        || (a.threshold[k] > 0 && draw(a.seed, k, n) < a.threshold[k]);
+        || (a.threshold[k] > 0 && draw(a.seed, k, key) < a.threshold[k]);
     fire(k, wants, a.max[k])
 }
 
@@ -499,6 +599,14 @@ pub fn should_fault_indexed(kind: FaultKind, index: u64, attempt: u32, salt: u64
         return false;
     };
     OPPORTUNITIES[k].fetch_add(1, Ordering::Relaxed);
+    // Pool workers never carry a thread scope, so a scoped rule cannot
+    // apply here; checking the thread anyway keeps the semantics uniform
+    // if a caller runs an indexed site on a scoped thread.
+    if let Some(required) = a.scope[k] {
+        if thread_scope() != Some(required) {
+            return false;
+        }
+    }
     let key = splitmix64(index ^ splitmix64(salt)).wrapping_add((attempt as u64).rotate_left(17));
     let wants = (attempt == 0 && a.at[k].binary_search(&index).is_ok())
         || (a.threshold[k] > 0 && draw(a.seed, k, key) < a.threshold[k]);
@@ -707,6 +815,73 @@ mod tests {
         assert_eq!(sim.injected, 2);
         assert_eq!(injected_total(), 2);
         disarm();
+    }
+
+    #[test]
+    fn scope_round_trips_through_text() {
+        let plan = FaultPlan::new(4)
+            .rule(FaultRule::rate(FaultKind::SimNan, 0.2).scope(12345))
+            .rule(FaultRule::at(FaultKind::NanReward, &[1]).scope(scope_for("tenant-a")));
+        let text = plan.to_text();
+        assert!(text.contains("scope 12345"), "{text}");
+        assert_eq!(FaultPlan::from_text(&text).expect("parses"), plan);
+    }
+
+    #[test]
+    fn scoped_rule_fires_only_on_matching_thread() {
+        let _guard = test_lock();
+        let target = scope_for("tenant-a");
+        install(&FaultPlan::new(8).rule(FaultRule::rate(FaultKind::NanReward, 1.0).scope(target)));
+        // Unscoped thread: never fires.
+        set_thread_scope(None);
+        assert!(!should_fault(FaultKind::NanReward));
+        // Wrong scope: never fires.
+        set_thread_scope(Some(scope_for("tenant-b")));
+        assert!(!should_fault(FaultKind::NanReward));
+        // Matching scope: fires.
+        set_thread_scope(Some(target));
+        assert!(should_fault(FaultKind::NanReward));
+        // Indexed sites apply the same filter.
+        set_thread_scope(None);
+        assert!(!should_fault_indexed(FaultKind::NanReward, 0, 0, 0));
+        set_thread_scope(Some(target));
+        assert!(should_fault_indexed(FaultKind::NanReward, 0, 0, 0));
+        set_thread_scope(None);
+        disarm();
+    }
+
+    #[test]
+    fn scoped_threads_replay_per_scope_schedules() {
+        let _guard = test_lock();
+        let plan = FaultPlan::new(21).rule(FaultRule::rate(FaultKind::SimNan, 0.3));
+        install(&plan);
+        // A scoped "job": entering the scope zeroes its opportunity
+        // counters, so the schedule is a pure function of (seed, scope).
+        set_thread_scope(Some(7));
+        let first: Vec<bool> = (0..64).map(|_| should_fault(FaultKind::SimNan)).collect();
+        // Interleave consumption from another scope and from no scope —
+        // with global counters this would shift the next job's indices.
+        set_thread_scope(Some(9));
+        let other: Vec<bool> = (0..64).map(|_| should_fault(FaultKind::SimNan)).collect();
+        set_thread_scope(None);
+        for _ in 0..17 {
+            let _ = should_fault(FaultKind::SimNan);
+        }
+        // Re-entering scope 7 replays the identical schedule.
+        set_thread_scope(Some(7));
+        let second: Vec<bool> = (0..64).map(|_| should_fault(FaultKind::SimNan)).collect();
+        assert_eq!(first, second);
+        // Distinct scopes draw decorrelated schedules.
+        assert_ne!(first, other);
+        set_thread_scope(None);
+        disarm();
+    }
+
+    #[test]
+    fn scope_for_is_stable_and_distinct() {
+        assert_eq!(scope_for("tenant-a"), scope_for("tenant-a"));
+        assert_ne!(scope_for("tenant-a"), scope_for("tenant-b"));
+        assert_ne!(scope_for(""), scope_for("a"));
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! # yoso-client
+//!
+//! Blocking client for the [`yoso_server`] framed-JSON protocol: one
+//! TCP connection, newline-delimited [`proto`](yoso_server::proto)
+//! frames, no external runtime.
+//!
+//! The server may interleave stream frames (`job_event` / `job_done`)
+//! with request replies on the same connection; [`Client`] buffers
+//! them, so [`request`](Client::request) always returns the actual
+//! reply and [`wait_done`](Client::wait_done) /
+//! [`next_event`](Client::next_event) drain the stream in order.
+//!
+//! ```no_run
+//! use yoso_client::Client;
+//! use yoso_server::proto::{JobSpec, Reply};
+//! use yoso_core::reward::{Constraints, RewardConfig};
+//! # fn main() -> Result<(), yoso_client::ClientError> {
+//! let mut client = Client::connect("127.0.0.1:7777")?;
+//! let spec = JobSpec::new("acme", RewardConfig::balanced(Constraints::paper()));
+//! let job = client.submit(&spec, true)?;
+//! let (lines, done) = client.wait_done(job)?;
+//! println!("{} events, final state {}", lines.len(), done.state);
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use yoso_server::proto::{ErrorCode, JobDone, JobStatus, ProtoError, Reply, Request, ServerStats};
+
+/// What can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, EOF mid-exchange).
+    Io(std::io::Error),
+    /// The server sent a frame this client cannot decode.
+    Proto(ProtoError),
+    /// The server refused the request with a typed error frame.
+    Server {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+            ClientError::Server { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl ClientError {
+    /// The server-sent [`ErrorCode`], when this is a typed refusal.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    fn unexpected(reply: &Reply) -> ClientError {
+        ClientError::Proto(ProtoError {
+            code: ErrorCode::MalformedFrame,
+            message: format!("unexpected reply frame: {reply:?}"),
+        })
+    }
+}
+
+/// One blocking connection to a yoso-server daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    pending: VecDeque<Reply>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+            pending: VecDeque::new(),
+        })
+    }
+
+    fn read_frame(&mut self) -> Result<Reply, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Ok(Reply::parse(trimmed)?);
+        }
+    }
+
+    /// Sends a request and returns its reply, buffering any stream
+    /// frames that arrive in between. A typed `error` reply becomes
+    /// [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Transport, decode, or server-refusal errors.
+    pub fn request(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        writeln!(self.writer, "{}", req.to_json())?;
+        self.writer.flush()?;
+        loop {
+            match self.read_frame()? {
+                frame @ (Reply::Event { .. } | Reply::Done(_)) => self.pending.push_back(frame),
+                Reply::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                reply => return Ok(reply),
+            }
+        }
+    }
+
+    /// Submits a job; `stream` attaches this connection to its live
+    /// event stream. Returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn submit(
+        &mut self,
+        spec: &yoso_server::proto::JobSpec,
+        stream: bool,
+    ) -> Result<u64, ClientError> {
+        match self.request(&Request::Submit {
+            spec: spec.clone(),
+            stream,
+        })? {
+            Reply::Submitted { job } => Ok(job),
+            other => Err(ClientError::unexpected(&other)),
+        }
+    }
+
+    fn status_request(&mut self, req: Request) -> Result<JobStatus, ClientError> {
+        match self.request(&req)? {
+            Reply::Status(s) => Ok(s),
+            other => Err(ClientError::unexpected(&other)),
+        }
+    }
+
+    /// Queries a job's status.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn status(&mut self, job: u64) -> Result<JobStatus, ClientError> {
+        self.status_request(Request::Status { job })
+    }
+
+    /// Asks a queued/running job to suspend; the ack carries the
+    /// status at request time (watch the stream or poll for
+    /// `suspended`).
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn suspend(&mut self, job: u64) -> Result<JobStatus, ClientError> {
+        self.status_request(Request::Suspend { job })
+    }
+
+    /// Re-enqueues a suspended job (including jobs persisted by a
+    /// previous server process).
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn resume(&mut self, job: u64, stream: bool) -> Result<JobStatus, ClientError> {
+        self.status_request(Request::Resume { job, stream })
+    }
+
+    /// Replays a job's event log into this connection's stream, then
+    /// attaches for live events.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn subscribe(&mut self, job: u64) -> Result<JobStatus, ClientError> {
+        self.status_request(Request::Subscribe { job })
+    }
+
+    /// Fetches aggregate server counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(ClientError::unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Reply::ShuttingDown => Ok(()),
+            other => Err(ClientError::unexpected(&other)),
+        }
+    }
+
+    /// Returns the next stream frame — [`Reply::Event`] or
+    /// [`Reply::Done`] — from the buffer or the wire, blocking until
+    /// one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode errors, or a non-stream frame arriving outside
+    /// any request (a protocol violation).
+    pub fn next_event(&mut self) -> Result<Reply, ClientError> {
+        if let Some(frame) = self.pending.pop_front() {
+            return Ok(frame);
+        }
+        match self.read_frame()? {
+            frame @ (Reply::Event { .. } | Reply::Done(_)) => Ok(frame),
+            other => Err(ClientError::unexpected(&other)),
+        }
+    }
+
+    /// Collects one job's streamed trace lines until its `job_done`
+    /// frame, returning `(lines, done)`. Frames belonging to other
+    /// jobs stay buffered for later `wait_done`/`next_event` calls.
+    /// Requires a live subscription (submit/resume with `stream`, or
+    /// [`subscribe`](Client::subscribe)).
+    ///
+    /// # Errors
+    ///
+    /// As [`next_event`](Client::next_event).
+    pub fn wait_done(&mut self, job: u64) -> Result<(Vec<String>, JobDone), ClientError> {
+        let mut lines = Vec::new();
+        // Drain matching frames already buffered, keeping the rest.
+        let mut keep = VecDeque::with_capacity(self.pending.len());
+        let mut done: Option<JobDone> = None;
+        for frame in self.pending.drain(..) {
+            if done.is_some() {
+                keep.push_back(frame);
+                continue;
+            }
+            match frame {
+                Reply::Event { job: j, line, .. } if j == job => lines.push(line),
+                Reply::Done(d) if d.job == job => done = Some(d),
+                other => keep.push_back(other),
+            }
+        }
+        self.pending = keep;
+        if let Some(d) = done {
+            return Ok((lines, d));
+        }
+        loop {
+            match self.read_frame()? {
+                Reply::Event { job: j, line, .. } if j == job => lines.push(line),
+                Reply::Done(d) if d.job == job => return Ok((lines, d)),
+                frame @ (Reply::Event { .. } | Reply::Done(_)) => self.pending.push_back(frame),
+                other => return Err(ClientError::unexpected(&other)),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.writer.peer_addr().ok())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}

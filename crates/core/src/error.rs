@@ -44,6 +44,19 @@ pub enum Error {
         /// Emergency checkpoint path, when one could be written.
         checkpoint: Option<std::path::PathBuf>,
     },
+    /// The session's cancel flag (see
+    /// [`SearchSessionBuilder::cancel_flag`]) was raised mid-run. The
+    /// session stopped at the next iteration boundary; when a checkpoint
+    /// directory was configured a suspend checkpoint was written first,
+    /// so the run can later continue via `SearchSession::resume_from`.
+    ///
+    /// [`SearchSessionBuilder::cancel_flag`]: crate::session::SearchSessionBuilder::cancel_flag
+    Canceled {
+        /// Iterations completed before the stop.
+        iterations: usize,
+        /// Suspend checkpoint path, when one could be written.
+        checkpoint: Option<std::path::PathBuf>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -74,6 +87,16 @@ impl fmt::Display for Error {
                     None => f.write_str(" (no checkpoint directory configured)"),
                 }
             }
+            Error::Canceled {
+                iterations,
+                checkpoint,
+            } => {
+                write!(f, "search canceled after {iterations} iterations")?;
+                match checkpoint {
+                    Some(path) => write!(f, " (suspend checkpoint at {})", path.display()),
+                    None => f.write_str(" (no checkpoint directory configured)"),
+                }
+            }
         }
     }
 }
@@ -86,7 +109,8 @@ impl std::error::Error for Error {
             Error::Decode(e) => Some(e),
             Error::InvalidConfig(_)
             | Error::ResumeMismatch { .. }
-            | Error::FaultBudgetExhausted { .. } => None,
+            | Error::FaultBudgetExhausted { .. }
+            | Error::Canceled { .. } => None,
         }
     }
 }

@@ -8,9 +8,8 @@
 //! * [`evaluation`] — the fast evaluator (HyperNet accuracy + GP
 //!   performance predictors), the accurate evaluator (full training +
 //!   exact simulation) and a deterministic surrogate;
-//! * [`search`] — search configuration, history bookkeeping and the
-//!   classic free-function entry points (deprecated in favour of
-//!   [`SearchSession`]);
+//! * [`search`] — search configuration and history bookkeeping
+//!   (top-N selection, Pareto extraction, quarantine ledger);
 //! * [`session`] — the unified [`SearchSession`] entry point that runs
 //!   the RL loop (LSTM + REINFORCE over the 44-symbol joint action
 //!   space), regularized evolution or random search, with optional
@@ -71,8 +70,6 @@ pub use evaluation::{
 pub use parallel::parallel_map;
 pub use pipeline::{finalize, run_search_and_finalize, Finalist, YosoResult};
 pub use reward::{Constraints, RewardConfig, RewardForm};
-#[allow(deprecated)] // the wrappers stay exported until they are removed
-pub use search::{evolution_search, random_search, rl_search};
 pub use search::{SearchConfig, SearchConfigBuilder, SearchOutcome, SearchRecord};
 pub use session::{SearchEvent, SearchSession, SearchSessionBuilder, Strategy};
 pub use twostage::{

@@ -1,13 +1,12 @@
 //! Design-space search: configuration, history bookkeeping, top-N
-//! selection and Pareto-front extraction, plus the three historical
-//! free-function entry points (`rl_search`, `evolution_search`,
-//! `random_search`) — now thin wrappers over
-//! [`SearchSession`], which owns the
-//! actual loops and the telemetry hooks.
+//! selection and Pareto-front extraction. The search loops themselves
+//! live behind [`crate::session::SearchSession`], the single entry point
+//! (the historical `rl_search`/`evolution_search`/`random_search` free
+//! functions were deprecated in favor of the session builder and have
+//! been removed).
 
-use crate::evaluation::{Evaluation, Evaluator};
-use crate::reward::{NonFiniteMetric, RewardConfig};
-use crate::session::{SearchSession, Strategy};
+use crate::evaluation::Evaluation;
+use crate::reward::NonFiniteMetric;
 use yoso_arch::DesignPoint;
 
 /// Sentinel reward recorded for quarantined candidates: finite (so
@@ -59,6 +58,8 @@ impl PartialEq for QuarantineEntry {
 }
 
 /// Search-loop parameters, shared by every [`Strategy`].
+///
+/// [`Strategy`]: crate::session::Strategy
 ///
 /// Construct with [`SearchConfig::builder`] (or a struct literal with
 /// `..SearchConfig::default()`); the defaults are the paper's settings.
@@ -236,86 +237,12 @@ impl SearchOutcome {
     }
 }
 
-fn run(
-    evaluator: &dyn Evaluator,
-    reward_cfg: &RewardConfig,
-    cfg: &SearchConfig,
-    strategy: Strategy,
-) -> SearchOutcome {
-    SearchSession::builder()
-        .evaluator(evaluator)
-        .reward(*reward_cfg)
-        .config(cfg.clone())
-        .strategy(strategy)
-        .run()
-        .expect("valid search configuration and infallible evaluator")
-}
-
-/// RL-based search (paper step 2): the LSTM controller generates joint
-/// DNN + accelerator action sequences, the evaluator scores them, and
-/// REINFORCE steers the policy towards higher composite reward.
-///
-/// Equivalent to a [`SearchSession`] with [`Strategy::Rl`] and no trace.
-///
-/// # Panics
-///
-/// Panics if `cfg.rollouts_per_update` is zero or the evaluator fails —
-/// [`SearchSession`] reports both as typed errors instead.
-#[deprecated(note = "use SearchSession::builder()")]
-pub fn rl_search(
-    evaluator: &dyn Evaluator,
-    reward_cfg: &RewardConfig,
-    cfg: &SearchConfig,
-) -> SearchOutcome {
-    run(evaluator, reward_cfg, cfg, Strategy::Rl)
-}
-
-/// Regularized-evolution search (Real et al., the AmoebaNet method cited
-/// as \[9\]) over the joint space — an extra baseline beyond the paper's
-/// RL-vs-random comparison. Population and tournament sizes come from
-/// [`SearchConfig::population`] / [`SearchConfig::tournament`].
-///
-/// Equivalent to a [`SearchSession`] with [`Strategy::Evolution`] and no
-/// trace.
-///
-/// # Panics
-///
-/// Panics if `cfg.population` or `cfg.tournament` is zero or the
-/// evaluator fails — [`SearchSession`] reports both as typed errors
-/// instead.
-#[deprecated(note = "use SearchSession::builder()")]
-pub fn evolution_search(
-    evaluator: &dyn Evaluator,
-    reward_cfg: &RewardConfig,
-    cfg: &SearchConfig,
-) -> SearchOutcome {
-    run(evaluator, reward_cfg, cfg, Strategy::Evolution)
-}
-
-/// Uniform random search over the joint space — the Fig. 6(a) baseline.
-///
-/// Equivalent to a [`SearchSession`] with [`Strategy::Random`] and no
-/// trace.
-///
-/// # Panics
-///
-/// Panics if the evaluator fails — [`SearchSession`] reports this as a
-/// typed error instead.
-#[deprecated(note = "use SearchSession::builder()")]
-pub fn random_search(
-    evaluator: &dyn Evaluator,
-    reward_cfg: &RewardConfig,
-    cfg: &SearchConfig,
-) -> SearchOutcome {
-    run(evaluator, reward_cfg, cfg, Strategy::Random)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
-    use crate::evaluation::SurrogateEvaluator;
+    use crate::evaluation::{Evaluator, SurrogateEvaluator};
     use crate::reward::RewardConfig;
+    use crate::session::{SearchSession, Strategy};
     use yoso_arch::NetworkSkeleton;
 
     fn setup() -> (SurrogateEvaluator, RewardConfig) {
@@ -323,6 +250,37 @@ mod tests {
         let ev = SurrogateEvaluator::new(sk.clone());
         let cons = crate::evaluation::calibrate_constraints(&sk, 60, 0, 50.0);
         (ev, RewardConfig::balanced(cons))
+    }
+
+    fn run(
+        evaluator: &dyn Evaluator,
+        reward_cfg: &RewardConfig,
+        cfg: &SearchConfig,
+        strategy: Strategy,
+    ) -> SearchOutcome {
+        SearchSession::builder()
+            .evaluator(evaluator)
+            .reward(*reward_cfg)
+            .config(cfg.clone())
+            .strategy(strategy)
+            .run()
+            .expect("valid search configuration and infallible evaluator")
+    }
+
+    fn rl_search(ev: &dyn Evaluator, rc: &RewardConfig, cfg: &SearchConfig) -> SearchOutcome {
+        run(ev, rc, cfg, Strategy::Rl)
+    }
+
+    fn evolution_search(
+        ev: &dyn Evaluator,
+        rc: &RewardConfig,
+        cfg: &SearchConfig,
+    ) -> SearchOutcome {
+        run(ev, rc, cfg, Strategy::Evolution)
+    }
+
+    fn random_search(ev: &dyn Evaluator, rc: &RewardConfig, cfg: &SearchConfig) -> SearchOutcome {
+        run(ev, rc, cfg, Strategy::Random)
     }
 
     #[test]

@@ -77,6 +77,8 @@ use crate::search::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use yoso_arch::{ActionSpace, DesignPoint};
 use yoso_controller::{Controller, ControllerConfig, Rollout};
@@ -102,6 +104,17 @@ impl Strategy {
             Strategy::Rl => "rl",
             Strategy::Evolution => "evolution",
             Strategy::Random => "random",
+        }
+    }
+
+    /// Parses a [`Strategy::name`] back into a strategy (the protocol
+    /// layer's wire form).
+    pub fn from_name(s: &str) -> Option<Strategy> {
+        match s {
+            "rl" => Some(Strategy::Rl),
+            "evolution" => Some(Strategy::Evolution),
+            "random" => Some(Strategy::Random),
+            _ => None,
         }
     }
 }
@@ -219,6 +232,7 @@ pub struct SearchSession<'a> {
     checkpoint_dir: Option<PathBuf>,
     fault_budget: Option<u64>,
     scoring: Option<ScoringPrecision>,
+    cancel: Option<Arc<AtomicBool>>,
     resume: Option<ResumeState>,
 }
 
@@ -233,6 +247,7 @@ pub struct SearchSessionBuilder<'a> {
     checkpoint_dir: Option<PathBuf>,
     fault_budget: Option<u64>,
     scoring: Option<ScoringPrecision>,
+    cancel: Option<Arc<AtomicBool>>,
     resume: Option<ResumeState>,
 }
 
@@ -317,6 +332,49 @@ impl<'a> SearchSessionBuilder<'a> {
         self
     }
 
+    /// A shared cancel flag for cooperative suspension. The session polls
+    /// it at each iteration boundary (for RL, each controller-update
+    /// boundary); once raised, the run stops with [`Error::Canceled`],
+    /// writing a suspend checkpoint first when a
+    /// [`checkpoint_dir`](Self::checkpoint_dir) is configured — the
+    /// serving daemon's suspend/resume mechanism.
+    #[must_use]
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// The configured strategy (for turning a builder back into a
+    /// protocol-level job spec).
+    pub fn configured_strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The configured search parameters.
+    pub fn configured_config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The configured reward, when one was supplied.
+    pub fn configured_reward(&self) -> Option<&RewardConfig> {
+        self.reward.as_ref()
+    }
+
+    /// The configured checkpoint cadence, when one was supplied.
+    pub fn configured_checkpoint_every(&self) -> Option<usize> {
+        self.checkpoint_every
+    }
+
+    /// The configured fault budget, when one was supplied.
+    pub fn configured_fault_budget(&self) -> Option<u64> {
+        self.fault_budget
+    }
+
+    /// The requested scoring precision, when one was supplied.
+    pub fn configured_scoring_precision(&self) -> Option<ScoringPrecision> {
+        self.scoring
+    }
+
     /// Finalizes the session.
     ///
     /// # Errors
@@ -369,6 +427,7 @@ impl<'a> SearchSessionBuilder<'a> {
             checkpoint_dir: self.checkpoint_dir,
             fault_budget: self.fault_budget,
             scoring: self.scoring,
+            cancel: self.cancel,
             resume: self.resume,
         })
     }
@@ -397,6 +456,7 @@ impl<'a> SearchSession<'a> {
             checkpoint_dir: None,
             fault_budget: None,
             scoring: None,
+            cancel: None,
             resume: None,
         }
     }
@@ -819,6 +879,59 @@ impl<'a> SearchSession<'a> {
         })
     }
 
+    /// Errors out with [`Error::Canceled`] when the cancel flag has been
+    /// raised, writing a suspend checkpoint first when a directory is
+    /// available. Called at the same boundaries as the fault-budget
+    /// check, so an RL suspend checkpoint always lands on a
+    /// controller-update boundary and resumes bit-identically.
+    fn check_canceled(
+        &self,
+        outcome: &SearchOutcome,
+        update_index: u64,
+        rng: &StdRng,
+        controller: Option<&Controller>,
+    ) -> Result<(), Error> {
+        let Some(flag) = &self.cancel else {
+            return Ok(());
+        };
+        if !flag.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let iterations = outcome.history.len();
+        let checkpoint = match self.checkpoint_dir.as_ref() {
+            Some(dir) => {
+                let path = dir.join(checkpoint_file_name(iterations));
+                CheckpointWriter {
+                    strategy: self.strategy,
+                    evaluator: self.evaluator.name(),
+                    checkpoint_every: self.checkpoint_every.unwrap_or(0),
+                    config: &self.config,
+                    reward: &self.reward,
+                    update_index,
+                    history: &outcome.history,
+                    quarantine: &outcome.quarantine,
+                    rng_state: rng.state(),
+                    controller,
+                }
+                .write_to(&path)?;
+                Some(path)
+            }
+            None => None,
+        };
+        if self.trace.is_enabled() {
+            let mut e = Event::new("session_canceled").with_u64("iteration", iterations as u64);
+            if let Some(p) = &checkpoint {
+                e = e.with_str("checkpoint", p.display().to_string());
+            }
+            self.trace.emit(e);
+            self.trace.flush();
+        }
+        Err(Error::Canceled {
+            iterations,
+            checkpoint,
+        })
+    }
+
     /// Writes a checkpoint when the cadence since `last_ckpt` is due.
     /// `completed` counts evaluated iterations (= `history.len()`).
     fn maybe_checkpoint(
@@ -943,6 +1056,7 @@ impl<'a> SearchSession<'a> {
                 &rng,
                 Some(&controller),
             )?;
+            self.check_canceled(&outcome, update_index, &rng, Some(&controller))?;
             self.maybe_checkpoint(
                 iteration,
                 &mut last_ckpt,
@@ -1002,6 +1116,7 @@ impl<'a> SearchSession<'a> {
             }
             outcome.history.push(rec);
             self.check_fault_budget(&outcome, degraded_before, 0, &rng, None)?;
+            self.check_canceled(&outcome, 0, &rng, None)?;
             self.maybe_checkpoint(iteration + 1, &mut last_ckpt, 0, &outcome, &rng, None)?;
         }
         Ok(outcome)
@@ -1027,6 +1142,7 @@ impl<'a> SearchSession<'a> {
             }
             outcome.history.push(rec);
             self.check_fault_budget(&outcome, degraded_before, 0, &rng, None)?;
+            self.check_canceled(&outcome, 0, &rng, None)?;
             self.maybe_checkpoint(iteration + 1, &mut last_ckpt, 0, &outcome, &rng, None)?;
         }
         Ok(outcome)
@@ -1057,8 +1173,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn session_matches_free_functions() {
+    fn sessions_are_deterministic_per_strategy() {
         let (ev, rc) = setup();
         let cfg = SearchConfig::builder()
             .iterations(40)
@@ -1067,26 +1182,146 @@ mod tests {
             .population(16)
             .tournament(4)
             .build();
-        for (strategy, reference) in [
-            (Strategy::Rl, crate::search::rl_search(&ev, &rc, &cfg)),
-            (
-                Strategy::Evolution,
-                crate::search::evolution_search(&ev, &rc, &cfg),
-            ),
-            (
-                Strategy::Random,
-                crate::search::random_search(&ev, &rc, &cfg),
-            ),
-        ] {
-            let out = SearchSession::builder()
-                .evaluator(&ev)
-                .reward(rc)
-                .config(cfg.clone())
-                .strategy(strategy)
-                .run()
-                .unwrap();
-            assert_eq!(out, reference, "{strategy} diverged");
+        for strategy in [Strategy::Rl, Strategy::Evolution, Strategy::Random] {
+            let run = || {
+                SearchSession::builder()
+                    .evaluator(&ev)
+                    .reward(rc)
+                    .config(cfg.clone())
+                    .strategy(strategy)
+                    .run()
+                    .unwrap()
+            };
+            let first = run();
+            assert_eq!(first, run(), "{strategy} diverged between identical runs");
+            assert_eq!(first.history.len(), 40);
         }
+    }
+
+    #[test]
+    fn cancel_flag_suspends_and_resume_completes_identically() {
+        let (ev, rc) = setup();
+        let cfg = SearchConfig::builder()
+            .iterations(30)
+            .rollouts_per_update(5)
+            .seed(11)
+            .build();
+        let full_trace = Trace::memory();
+        let full = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(cfg.clone())
+            .strategy(Strategy::Rl)
+            .trace(full_trace.clone())
+            .run()
+            .unwrap();
+
+        // Raise the flag from a watcher thread once a few events exist;
+        // the session stops at the next update boundary with a suspend
+        // checkpoint.
+        let dir = temp_dir("cancel");
+        let flag = Arc::new(AtomicBool::new(true)); // pre-raised: stops ASAP
+        let suspended_trace = Trace::memory();
+        let err = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(cfg.clone())
+            .strategy(Strategy::Rl)
+            .checkpoint_dir(&dir)
+            .cancel_flag(Arc::clone(&flag))
+            .trace(suspended_trace.clone())
+            .run()
+            .unwrap_err();
+        let Error::Canceled {
+            iterations,
+            checkpoint: Some(ckpt),
+        } = err
+        else {
+            panic!("expected Canceled with checkpoint, got {err:?}");
+        };
+        assert_eq!(iterations, 5, "stops at the first update boundary");
+        assert!(suspended_trace
+            .lines()
+            .iter()
+            .any(|l| l.contains("\"session_canceled\"")));
+
+        // Resume with the flag lowered: the combined search_iter stream
+        // is byte-identical to the uninterrupted run.
+        let resumed_trace = Trace::memory();
+        let resumed = SearchSession::resume_from(&ckpt)
+            .unwrap()
+            .evaluator(&ev)
+            .trace(resumed_trace.clone())
+            .run()
+            .unwrap();
+        assert_eq!(resumed, full, "resumed outcome diverged");
+        let iter_lines = |t: &Trace| {
+            t.lines()
+                .into_iter()
+                .filter(|l| l.contains("\"search_iter\""))
+                .collect::<Vec<_>>()
+        };
+        let mut stitched = iter_lines(&suspended_trace);
+        stitched.extend(iter_lines(&resumed_trace));
+        assert_eq!(stitched, iter_lines(&full_trace));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cancel_without_checkpoint_dir_reports_no_checkpoint() {
+        let (ev, rc) = setup();
+        let err = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(SearchConfig::builder().iterations(10).build())
+            .strategy(Strategy::Random)
+            .cancel_flag(Arc::new(AtomicBool::new(true)))
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Canceled {
+                    iterations: 1,
+                    checkpoint: None
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn builder_getters_report_configuration() {
+        let (ev, rc) = setup();
+        let cfg = SearchConfig::builder().iterations(7).seed(3).build();
+        let b = SearchSession::builder()
+            .evaluator(&ev)
+            .reward(rc)
+            .config(cfg.clone())
+            .strategy(Strategy::Evolution)
+            .checkpoint_every(4)
+            .fault_budget(9)
+            .scoring_precision(ScoringPrecision::F32);
+        assert_eq!(b.configured_strategy(), Strategy::Evolution);
+        assert_eq!(b.configured_config(), &cfg);
+        assert_eq!(b.configured_reward(), Some(&rc));
+        assert_eq!(b.configured_checkpoint_every(), Some(4));
+        assert_eq!(b.configured_fault_budget(), Some(9));
+        assert_eq!(
+            b.configured_scoring_precision(),
+            Some(ScoringPrecision::F32)
+        );
+        let empty = SearchSession::builder();
+        assert_eq!(empty.configured_strategy(), Strategy::Rl);
+        assert!(empty.configured_reward().is_none());
+    }
+
+    #[test]
+    fn strategy_from_name_round_trips() {
+        for s in [Strategy::Rl, Strategy::Evolution, Strategy::Random] {
+            assert_eq!(Strategy::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Strategy::from_name("bogus"), None);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! The yoso-server daemon binary.
+//!
+//! ```text
+//! yoso_serve [--addr HOST:PORT] [--max-jobs N] [--queue-cap N]
+//!            [--checkpoint-root DIR] [--tenant-fault-budget N]
+//!            [--chaos-plan FILE]
+//! ```
+//!
+//! Binds, prints `listening on <addr>` to stdout (port 0 resolves to a
+//! free port, so drivers can parse the line), then serves until a
+//! client sends a `shutdown` frame.
+
+use yoso_server::{Server, ServerConfig};
+
+fn arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = arg("--addr") {
+        cfg.addr = addr;
+    }
+    if let Some(n) = arg("--max-jobs").and_then(|v| v.parse().ok()) {
+        cfg.max_concurrent_jobs = n;
+    }
+    if let Some(n) = arg("--queue-cap").and_then(|v| v.parse().ok()) {
+        cfg.queue_capacity = n;
+    }
+    if let Some(dir) = arg("--checkpoint-root") {
+        cfg.checkpoint_root = Some(dir.into());
+    }
+    if let Some(b) = arg("--tenant-fault-budget").and_then(|v| v.parse().ok()) {
+        cfg.tenant_fault_budget = Some(b);
+    }
+    if let Some(path) = arg("--chaos-plan") {
+        let plan = yoso_chaos::FaultPlan::load(&path)
+            .unwrap_or_else(|e| panic!("--chaos-plan {path}: {e}"));
+        eprintln!(
+            "[chaos] armed plan from {path}: seed {}, {} rule(s)",
+            plan.seed,
+            plan.rules.len()
+        );
+        yoso_chaos::install(&plan);
+    }
+
+    let server = Server::start(cfg).unwrap_or_else(|e| panic!("bind: {e}"));
+    println!("listening on {}", server.addr());
+    server.wait_for_shutdown_request();
+    eprintln!("shutdown requested; draining");
+    server.shutdown();
+}

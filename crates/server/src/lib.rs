@@ -1,0 +1,847 @@
+//! # yoso-server
+//!
+//! Co-design-as-a-service: a multi-tenant search daemon over
+//! [`yoso_core::session::SearchSession`].
+//!
+//! The server listens on plain TCP and speaks the versioned framed-JSON
+//! protocol defined in [`proto`] (one newline-terminated flat JSON
+//! object per frame — no external async runtime, no serde on the wire).
+//! Each accepted job runs as a `SearchSession` on a fixed pool of
+//! runner threads; its structured trace stream is captured live through
+//! a [`yoso_trace::Trace::forward`] sink and fanned out byte-identical
+//! to every subscribed connection, so a served job's `search_iter`
+//! JSONL is exactly what the same seed produces in-process.
+//!
+//! Multi-tenancy:
+//!
+//! * **Shared simulator cache** — all tenants hit the process-wide
+//!   [`yoso_accel::cache`]; runner threads tag themselves with
+//!   [`yoso_accel::cache::set_thread_tenant`] so per-tenant hit rates
+//!   are accounted (`tenant_stats`), and a design point simulated for
+//!   one tenant is a cache hit for every other.
+//! * **Admission control** — at most `max_concurrent_jobs` run at
+//!   once; up to `queue_capacity` more wait in a FIFO queue; beyond
+//!   that submits are refused with
+//!   [`proto::ErrorCode::AdmissionFull`] (backpressure, not
+//!   buffering).
+//! * **Fault isolation** — runner threads enter a per-tenant
+//!   [`yoso_chaos`] scope ([`yoso_chaos::scope_for`] of the tenant
+//!   name), so tenant-scoped fault rules hit only that tenant's jobs;
+//!   each tenant's injected faults and quarantined candidates accrue
+//!   to a ledger, and once a configured `tenant_fault_budget` is
+//!   exhausted further submissions from that tenant are refused with
+//!   [`proto::ErrorCode::FaultBudgetExhausted`].
+//!
+//! Suspend/resume rides on the session's crash-safe checkpoints
+//! ([`yoso_persist`] snapshots): a `suspend` request raises the job's
+//! cancel flag, the session stops at the next update boundary and
+//! writes a suspend checkpoint, and a later `resume` — on this server
+//! process *or a freshly restarted one* — replays bit-identically from
+//! the `spec.json` + checkpoint persisted under
+//! `checkpoint_root/<job>/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proto;
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+
+use proto::{ErrorCode, JobDone, JobSpec, JobState, JobStatus, Reply, Request, ServerStats};
+use yoso_arch::NetworkSkeleton;
+use yoso_core::error::Error as CoreError;
+use yoso_core::evaluation::SurrogateEvaluator;
+use yoso_core::session::SearchSession;
+use yoso_trace::Trace;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Runner threads — jobs executing simultaneously.
+    pub max_concurrent_jobs: usize,
+    /// Jobs allowed to wait beyond the running ones; submits past this
+    /// are refused with [`ErrorCode::AdmissionFull`].
+    pub queue_capacity: usize,
+    /// Cumulative faults (injected + quarantined) a tenant may accrue
+    /// before its submissions are refused. `None` disables the ledger
+    /// check.
+    pub tenant_fault_budget: Option<u64>,
+    /// Directory for per-job persistence (`<root>/<job>/spec.json` +
+    /// checkpoints). `None` disables suspend-to-disk and
+    /// across-restart resume.
+    pub checkpoint_root: Option<PathBuf>,
+    /// Skeleton for the server-side surrogate evaluator; must match
+    /// the one an in-process run uses for byte-identical streams.
+    pub skeleton: NetworkSkeleton,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_concurrent_jobs: 4,
+            queue_capacity: 256,
+            tenant_fault_budget: None,
+            checkpoint_root: None,
+            skeleton: NetworkSkeleton::tiny(),
+        }
+    }
+}
+
+/// Serialized writer half of one client connection. All frame writes
+/// go through the mutex so concurrently streaming jobs never interleave
+/// partial lines; a failed write marks the connection dead and further
+/// sends become no-ops.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        ConnWriter {
+            stream: Mutex::new(stream),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    fn send(&self, frame: &str) {
+        if !self.alive.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let ok = writeln!(&mut *s, "{frame}")
+            .and_then(|()| s.flush())
+            .is_ok();
+        if !ok {
+            self.alive.store(false, Ordering::Relaxed);
+        }
+    }
+
+    fn close(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+        let s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = s.shutdown(NetShutdown::Both);
+    }
+}
+
+/// One job's ordered event log plus its live subscribers. Replay and
+/// attach happen under the same lock as appends, so a subscriber sees
+/// every line exactly once, in order.
+struct JobLog {
+    job: u64,
+    lines: Vec<String>,
+    subs: Vec<Arc<ConnWriter>>,
+    done: Option<JobDone>,
+}
+
+impl JobLog {
+    fn push(&mut self, line: &str) {
+        let seq = self.lines.len() as u64;
+        self.lines.push(line.to_string());
+        if self.subs.is_empty() {
+            return;
+        }
+        let frame = Reply::Event {
+            job: self.job,
+            seq,
+            line: line.to_string(),
+        }
+        .to_json();
+        self.subs.retain(|s| s.alive.load(Ordering::Relaxed));
+        for sub in &self.subs {
+            sub.send(&frame);
+        }
+    }
+
+    fn finish(&mut self, done: JobDone) {
+        let frame = Reply::Done(done.clone()).to_json();
+        for sub in self.subs.drain(..) {
+            sub.send(&frame);
+        }
+        self.done = Some(done);
+    }
+
+    fn attach(&mut self, sub: Arc<ConnWriter>) {
+        for (seq, line) in self.lines.iter().enumerate() {
+            let frame = Reply::Event {
+                job: self.job,
+                seq: seq as u64,
+                line: line.clone(),
+            }
+            .to_json();
+            sub.send(&frame);
+        }
+        if let Some(done) = &self.done {
+            sub.send(&Reply::Done(done.clone()).to_json());
+        } else {
+            self.subs.push(sub);
+        }
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    iterations_done: Arc<AtomicU64>,
+    best_reward: Option<f64>,
+    error: Option<String>,
+    checkpoint: Option<PathBuf>,
+    log: Arc<Mutex<JobLog>>,
+}
+
+impl Job {
+    fn new(id: u64, spec: JobSpec) -> Job {
+        Job {
+            spec,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            iterations_done: Arc::new(AtomicU64::new(0)),
+            best_reward: None,
+            error: None,
+            checkpoint: None,
+            log: Arc::new(Mutex::new(JobLog {
+                job: id,
+                lines: Vec::new(),
+                subs: Vec::new(),
+                done: None,
+            })),
+        }
+    }
+
+    fn status(&self, id: u64) -> JobStatus {
+        JobStatus {
+            job: id,
+            tenant: self.spec.tenant.clone(),
+            state: self.state,
+            iterations_done: self.iterations_done.load(Ordering::Relaxed),
+            iterations_total: self.spec.config.iterations as u64,
+            best_reward: self.best_reward,
+            error: self.error.clone(),
+            checkpoint: self
+                .checkpoint
+                .as_ref()
+                .map(|p| p.to_string_lossy().into_owned()),
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    jobs: Mutex<HashMap<u64, Job>>,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    next_id: AtomicU64,
+    shutting_down: AtomicBool,
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    tenant_faults: Mutex<HashMap<String, u64>>,
+    conns: Mutex<Vec<Weak<ConnWriter>>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn job_dir(&self, id: u64) -> Option<PathBuf> {
+        self.cfg
+            .checkpoint_root
+            .as_ref()
+            .map(|root| root.join(id.to_string()))
+    }
+
+    fn charge_tenant(&self, tenant: &str, faults: u64) {
+        if faults == 0 {
+            return;
+        }
+        let mut ledger = self.tenant_faults.lock().unwrap_or_else(|e| e.into_inner());
+        *ledger.entry(tenant.to_string()).or_insert(0) += faults;
+    }
+}
+
+/// A running daemon. Dropping (or calling [`shutdown`](Server::shutdown))
+/// stops accepting, cancels running jobs at their next checkpoint
+/// boundary, and joins every thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    runners: Vec<JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl Server {
+    /// Binds, spawns the runner pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let runner_count = cfg.max_concurrent_jobs.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            tenant_faults: Mutex::new(HashMap::new()),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let runners = (0..runner_count)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("yoso-runner-{i}"))
+                    .spawn(move || runner_loop(&shared))
+                    .expect("spawn runner thread")
+            })
+            .collect();
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("yoso-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            runners,
+            stopped: false,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until some client sends a `shutdown` request (the daemon
+    /// binary's main-thread parking spot).
+    pub fn wait_for_shutdown_request(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops accepting, cancels running jobs (they suspend at the next
+    /// boundary when persistence is on), closes client connections and
+    /// joins every thread.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        {
+            let jobs = self.shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            for job in jobs.values() {
+                if job.state == JobState::Running {
+                    job.cancel.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        self.shared.queue_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        {
+            let conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            for conn in conns.iter().filter_map(Weak::upgrade) {
+                conn.close();
+            }
+        }
+        let handlers = std::mem::take(
+            &mut *self
+                .shared
+                .handlers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in handlers {
+            let _ = h.join();
+        }
+        for r in self.runners.drain(..) {
+            let _ = r.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared2 = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("yoso-conn".to_string())
+            .spawn(move || handle_conn(&shared2, stream))
+            .expect("spawn connection thread");
+        shared
+            .handlers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = Arc::new(ConnWriter::new(write_half));
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Arc::downgrade(&writer));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match Request::parse(&line) {
+            Ok(req) => handle_request(shared, &writer, req),
+            Err(e) => Reply::Error {
+                code: e.code,
+                message: e.message,
+            },
+        };
+        writer.send(&reply.to_json());
+        if !writer.alive.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: Request) -> Reply {
+    match req {
+        Request::Submit { spec, stream } => submit(shared, writer, spec, stream),
+        Request::Status { job } => with_job(shared, job, |id, j| Reply::Status(j.status(id))),
+        Request::Suspend { job } => suspend(shared, job),
+        Request::Resume { job, stream } => resume(shared, writer, job, stream),
+        Request::Subscribe { job } => subscribe(shared, writer, job),
+        Request::Stats => Reply::Stats(stats(shared)),
+        Request::Shutdown => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            {
+                let jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                for job in jobs.values() {
+                    if job.state == JobState::Running {
+                        job.cancel.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            shared.queue_cv.notify_all();
+            let mut requested = shared
+                .shutdown_requested
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *requested = true;
+            shared.shutdown_cv.notify_all();
+            Reply::ShuttingDown
+        }
+    }
+}
+
+fn error(code: ErrorCode, message: impl Into<String>) -> Reply {
+    Reply::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn with_job(shared: &Shared, id: u64, f: impl FnOnce(u64, &Job) -> Reply) -> Reply {
+    let jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    match jobs.get(&id) {
+        Some(job) => f(id, job),
+        None => error(ErrorCode::UnknownJob, format!("no job {id}")),
+    }
+}
+
+fn submit(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, spec: JobSpec, stream: bool) -> Reply {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error(ErrorCode::ShuttingDown, "server is shutting down");
+    }
+    if let Some(budget) = shared.cfg.tenant_fault_budget {
+        let ledger = shared
+            .tenant_faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let spent = ledger.get(&spec.tenant).copied().unwrap_or(0);
+        if spent >= budget {
+            return error(
+                ErrorCode::FaultBudgetExhausted,
+                format!(
+                    "tenant {:?} has accrued {spent} faults (budget {budget})",
+                    spec.tenant
+                ),
+            );
+        }
+    }
+    {
+        let queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= shared.cfg.queue_capacity {
+            return error(
+                ErrorCode::AdmissionFull,
+                format!("queue at capacity ({} pending)", queue.len()),
+            );
+        }
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    if let Some(dir) = shared.job_dir(id) {
+        let persisted = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(dir.join("spec.json"), format!("{}\n", spec.to_json())));
+        if let Err(e) = persisted {
+            return error(
+                ErrorCode::Internal,
+                format!("persist spec for job {id}: {e}"),
+            );
+        }
+    }
+    let job = Job::new(id, spec);
+    if stream {
+        job.log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .attach(writer.clone());
+    }
+    shared
+        .jobs
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id, job);
+    enqueue(shared, id);
+    Reply::Submitted { job: id }
+}
+
+fn enqueue(shared: &Shared, id: u64) {
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push_back(id);
+    shared.queue_cv.notify_one();
+}
+
+fn suspend(shared: &Shared, id: u64) -> Reply {
+    let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(job) = jobs.get_mut(&id) else {
+        return error(ErrorCode::UnknownJob, format!("no job {id}"));
+    };
+    match job.state {
+        JobState::Running => {
+            // The runner observes the flag at the next update boundary,
+            // writes a suspend checkpoint and emits `job_done` with
+            // state `suspended`.
+            job.cancel.store(true, Ordering::SeqCst);
+            Reply::Status(job.status(id))
+        }
+        JobState::Queued => {
+            job.state = JobState::Suspended;
+            drop(jobs);
+            shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .retain(|&q| q != id);
+            with_job(shared, id, |id, j| Reply::Status(j.status(id)))
+        }
+        other => error(
+            ErrorCode::InvalidState,
+            format!("job {id} is {other}, not running or queued"),
+        ),
+    }
+}
+
+fn resume(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, id: u64, stream: bool) -> Reply {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error(ErrorCode::ShuttingDown, "server is shutting down");
+    }
+    let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(job) = jobs.get_mut(&id) {
+        if job.state != JobState::Suspended {
+            return error(
+                ErrorCode::InvalidState,
+                format!("job {id} is {}, not suspended", job.state),
+            );
+        }
+        job.state = JobState::Queued;
+        job.cancel.store(false, Ordering::SeqCst);
+        let mut log = job.log.lock().unwrap_or_else(|e| e.into_inner());
+        log.done = None;
+        if stream {
+            log.subs.push(writer.clone());
+        }
+        drop(log);
+        let reply = Reply::Status(job.status(id));
+        drop(jobs);
+        enqueue(shared, id);
+        return reply;
+    }
+    drop(jobs);
+    // Not in the registry: resurrect a job persisted by a previous
+    // server process from its on-disk spec + latest checkpoint.
+    let Some(dir) = shared.job_dir(id) else {
+        return error(ErrorCode::UnknownJob, format!("no job {id}"));
+    };
+    let spec_line = match std::fs::read_to_string(dir.join("spec.json")) {
+        Ok(s) => s,
+        Err(_) => {
+            return error(
+                ErrorCode::UnknownJob,
+                format!("no job {id} (registry or disk)"),
+            )
+        }
+    };
+    let spec = match JobSpec::parse(spec_line.trim()) {
+        Ok(s) => s,
+        Err(e) => {
+            return error(
+                ErrorCode::Internal,
+                format!("corrupt spec for job {id}: {e}"),
+            )
+        }
+    };
+    let checkpoint = match yoso_core::checkpoint::latest_checkpoint(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            return error(
+                ErrorCode::Internal,
+                format!("scan checkpoints for job {id}: {e}"),
+            )
+        }
+    };
+    // Keep new ids clear of resurrected ones.
+    shared.next_id.fetch_max(id + 1, Ordering::SeqCst);
+    let mut job = Job::new(id, spec);
+    job.checkpoint = checkpoint;
+    if stream {
+        job.log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .attach(writer.clone());
+    }
+    let reply = Reply::Status(job.status(id));
+    shared
+        .jobs
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id, job);
+    enqueue(shared, id);
+    reply
+}
+
+fn subscribe(shared: &Shared, writer: &Arc<ConnWriter>, id: u64) -> Reply {
+    let jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(job) = jobs.get(&id) else {
+        return error(ErrorCode::UnknownJob, format!("no job {id}"));
+    };
+    // Replay + attach under the log lock: the reply frame is written
+    // after the replayed frames, so the client sees replay, then the
+    // status reply, then live events.
+    job.log
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .attach(writer.clone());
+    Reply::Status(job.status(id))
+}
+
+fn stats(shared: &Shared) -> ServerStats {
+    let mut out = ServerStats::default();
+    {
+        let jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        for job in jobs.values() {
+            match job.state {
+                JobState::Queued => out.queued += 1,
+                JobState::Running => out.running += 1,
+                JobState::Suspended => out.suspended += 1,
+                JobState::Completed => out.completed += 1,
+                JobState::Failed => out.failed += 1,
+            }
+        }
+    }
+    let cache = yoso_accel::cache::stats();
+    out.cache_hits = cache.hits;
+    out.cache_misses = cache.misses;
+    out.cache_hit_rate = cache.hit_rate();
+    out.tenants = yoso_accel::cache::tenant_stats().len() as u64;
+    out
+}
+
+fn runner_loop(shared: &Arc<Shared>) {
+    loop {
+        let id = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_job(shared, id);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, id: u64) {
+    let (spec, cancel, iterations_done, log, checkpoint) = {
+        let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(job) = jobs.get_mut(&id) else { return };
+        if job.state != JobState::Queued {
+            return; // suspended while queued; skip the stale queue entry
+        }
+        job.state = JobState::Running;
+        (
+            job.spec.clone(),
+            job.cancel.clone(),
+            job.iterations_done.clone(),
+            job.log.clone(),
+            job.checkpoint.clone(),
+        )
+    };
+
+    // Tenant context for this run: cache accounting and chaos scoping
+    // both key off thread-locals on the runner thread (evaluation is
+    // serial on the session's thread, so every simulator lookup and
+    // serial fault site lands here).
+    let tenant_tag = yoso_accel::cache::tenant_tag(&spec.tenant);
+    yoso_accel::cache::set_thread_tenant(Some(&tenant_tag));
+    yoso_chaos::set_thread_scope(Some(yoso_chaos::scope_for(&spec.tenant)));
+
+    let evaluator = SurrogateEvaluator::new(shared.cfg.skeleton.clone());
+    let trace = {
+        let log = log.clone();
+        let iterations_done = iterations_done.clone();
+        Trace::forward(move |line: &str| {
+            if line.starts_with("{\"event\":\"search_iter\"") {
+                iterations_done.fetch_add(1, Ordering::Relaxed);
+            }
+            log.lock().unwrap_or_else(|e| e.into_inner()).push(line);
+        })
+    };
+
+    let result = (|| -> Result<yoso_core::search::SearchOutcome, CoreError> {
+        let mut builder = match &checkpoint {
+            Some(path) => SearchSession::resume_from(path)?,
+            None => {
+                let mut b = spec.apply(SearchSession::builder());
+                if let Some(dir) = shared.job_dir(id) {
+                    b = b.checkpoint_dir(dir);
+                }
+                b
+            }
+        };
+        builder = builder
+            .evaluator(&evaluator)
+            .scoring_precision(spec.scoring)
+            .trace(trace)
+            .cancel_flag(cancel.clone());
+        if let Some(f) = spec.fault_budget {
+            builder = builder.fault_budget(f);
+        }
+        builder.run()
+    })();
+
+    yoso_accel::cache::set_thread_tenant(None);
+    yoso_chaos::set_thread_scope(None);
+
+    let done = {
+        let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(job) = jobs.get_mut(&id) else { return };
+        match result {
+            Ok(outcome) => {
+                job.state = JobState::Completed;
+                let best = if outcome.history.is_empty() {
+                    None
+                } else {
+                    Some(outcome.best().reward)
+                };
+                job.best_reward = best;
+                iterations_done.store(outcome.history.len() as u64, Ordering::Relaxed);
+                shared.charge_tenant(&job.spec.tenant, outcome.quarantine.len() as u64);
+                JobDone {
+                    job: id,
+                    state: JobState::Completed,
+                    iterations: outcome.history.len() as u64,
+                    best_reward: best,
+                    error: None,
+                }
+            }
+            Err(CoreError::Canceled {
+                iterations,
+                checkpoint,
+            }) => {
+                job.state = JobState::Suspended;
+                job.checkpoint = checkpoint;
+                JobDone {
+                    job: id,
+                    state: JobState::Suspended,
+                    iterations: iterations as u64,
+                    best_reward: None,
+                    error: None,
+                }
+            }
+            Err(e) => {
+                if let CoreError::FaultBudgetExhausted { faults, .. } = &e {
+                    shared.charge_tenant(&job.spec.tenant, *faults);
+                }
+                let msg = e.to_string();
+                job.state = JobState::Failed;
+                job.error = Some(msg.clone());
+                JobDone {
+                    job: id,
+                    state: JobState::Failed,
+                    iterations: iterations_done.load(Ordering::Relaxed),
+                    best_reward: None,
+                    error: Some(msg),
+                }
+            }
+        }
+    };
+    log.lock().unwrap_or_else(|e| e.into_inner()).finish(done);
+}

@@ -10,6 +10,7 @@ use std::sync::{Arc, Mutex};
 enum SinkImpl {
     Memory(Vec<String>),
     File(BufWriter<File>),
+    Forward(Box<dyn FnMut(&str) + Send>),
 }
 
 struct Inner {
@@ -19,7 +20,7 @@ struct Inner {
 
 /// A cloneable handle over a JSONL event sink.
 ///
-/// Three flavors:
+/// Four flavors:
 ///
 /// * [`Trace::disabled`] — every [`emit`](Trace::emit) is a no-op (one
 ///   `Option` check); the default everywhere, so tracing costs nothing
@@ -29,6 +30,9 @@ struct Inner {
 /// * [`Trace::to_path`] — events stream through a `BufWriter` to a file,
 ///   one JSON object per line; flushed on [`flush`](Trace::flush) and on
 ///   the last handle's drop.
+/// * [`Trace::forward`] — each serialized line is handed to a callback
+///   as it is emitted; used by the serving daemon to stream live
+///   `search_iter` events to subscribed clients.
 ///
 /// Clones share the same sink, so a session and its caller can both hold
 /// the handle. Emission is serialized by an internal mutex; events from
@@ -78,6 +82,19 @@ impl Trace {
         })
     }
 
+    /// A trace that pushes each serialized JSONL line into `f` as it is
+    /// emitted. Lines arrive fully formed and in emission order; the
+    /// callback runs under the sink mutex, so it must not emit into the
+    /// same trace (it would deadlock) and should return quickly.
+    pub fn forward(f: impl FnMut(&str) + Send + 'static) -> Self {
+        Trace {
+            inner: Some(Arc::new(Inner {
+                sink: Mutex::new(SinkImpl::Forward(Box::new(f))),
+                emitted: AtomicU64::new(0),
+            })),
+        }
+    }
+
     /// Whether this handle points at a real sink.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
@@ -97,6 +114,7 @@ impl Trace {
             SinkImpl::File(w) => {
                 let _ = writeln!(w, "{line}");
             }
+            SinkImpl::Forward(f) => f(&line),
         }
         inner.emitted.fetch_add(1, Ordering::Relaxed);
     }
@@ -116,7 +134,7 @@ impl Trace {
                 let sink = inner.sink.lock().unwrap_or_else(|e| e.into_inner());
                 match &*sink {
                     SinkImpl::Memory(lines) => lines.clone(),
-                    SinkImpl::File(_) => Vec::new(),
+                    SinkImpl::File(_) | SinkImpl::Forward(_) => Vec::new(),
                 }
             }
             None => Vec::new(),
@@ -190,6 +208,26 @@ mod tests {
         assert_eq!(e.get_u64("i"), Some(7));
         drop(t);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn forward_trace_streams_lines_in_emission_order() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let t = Trace::forward(move |line| sink.lock().unwrap().push(line.to_string()));
+        t.emit(Event::new("a").with_u64("i", 0));
+        t.emit(Event::new("b").with_u64("i", 1));
+        assert_eq!(t.events_emitted(), 2);
+        // Forward sinks do not buffer: lines() is empty, the callback saw all.
+        assert!(t.lines().is_empty());
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(Event::parse(&seen[0]).unwrap().kind, "a");
+        assert_eq!(Event::parse(&seen[1]).unwrap().kind, "b");
+        // Forwarded lines are byte-identical to what a memory sink stores.
+        let m = Trace::memory();
+        m.emit(Event::new("a").with_u64("i", 0));
+        assert_eq!(seen[0], m.lines()[0]);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! | [`hypernet`] | `yoso-hypernet` | one-shot weight-sharing supernet |
 //! | [`persist`] | `yoso-persist` | checksummed atomic snapshot container |
 //! | [`core`] | `yoso-core` | rewards, evaluators, search, baselines |
+//! | [`server`] | `yoso-server` | multi-tenant search daemon + wire protocol |
+//! | [`client`] | `yoso-client` | blocking protocol client library |
 //!
 //! The common entry points are gathered in [`prelude`]:
 //!
@@ -51,6 +53,7 @@
 pub use yoso_accel as accel;
 pub use yoso_arch as arch;
 pub use yoso_chaos as chaos;
+pub use yoso_client as client;
 pub use yoso_controller as controller;
 pub use yoso_core as core;
 pub use yoso_dataset as dataset;
@@ -59,6 +62,7 @@ pub use yoso_nn as nn;
 pub use yoso_persist as persist;
 pub use yoso_pool as pool;
 pub use yoso_predictor as predictor;
+pub use yoso_server as server;
 pub use yoso_tensor as tensor;
 pub use yoso_trace as trace;
 
@@ -73,9 +77,16 @@ pub use yoso_trace as trace;
 /// rides along: chaos plans ([`FaultPlan`](yoso_chaos::FaultPlan)),
 /// supervised-pool outcomes ([`ItemOutcome`](yoso_pool::ItemOutcome))
 /// and the quarantine ledger
-/// ([`QuarantineEntry`](yoso_core::search::QuarantineEntry)).
+/// ([`QuarantineEntry`](yoso_core::search::QuarantineEntry)). The
+/// serving surface rides along too: the daemon
+/// ([`Server`](yoso_server::Server) / [`ServerConfig`](yoso_server::ServerConfig)),
+/// the blocking [`Client`](yoso_client::Client) and the versioned wire
+/// types ([`JobSpec`](yoso_server::proto::JobSpec),
+/// [`JobStatus`](yoso_server::proto::JobStatus),
+/// [`ErrorCode`](yoso_server::proto::ErrorCode), …).
 pub mod prelude {
     pub use yoso_chaos::{FaultKind, FaultPlan, FaultRule};
+    pub use yoso_client::{Client, ClientError};
     pub use yoso_core::checkpoint::{latest_checkpoint, SessionCheckpoint};
     pub use yoso_core::error::{error_chain, Error};
     pub use yoso_core::evaluation::{
@@ -83,8 +94,6 @@ pub mod prelude {
         SurrogateEvaluator,
     };
     pub use yoso_core::reward::{Constraints, NonFiniteMetric, RewardConfig, RewardForm};
-    #[allow(deprecated)] // the wrappers stay exported until they are removed
-    pub use yoso_core::search::{evolution_search, random_search, rl_search};
     pub use yoso_core::search::{
         QuarantineEntry, SearchConfig, SearchConfigBuilder, SearchOutcome, SearchRecord,
         QUARANTINE_REWARD,
@@ -92,5 +101,10 @@ pub mod prelude {
     pub use yoso_core::session::{SearchEvent, SearchSession, SearchSessionBuilder, Strategy};
     pub use yoso_persist::{PersistError, Snapshot, SnapshotArchive, SnapshotBuilder};
     pub use yoso_pool::{ItemOutcome, PoolError, SupervisorConfig};
+    pub use yoso_server::proto::{
+        ErrorCode, JobDone, JobSpec, JobState, JobStatus, Reply, Request, ServerStats,
+        PROTO_VERSION,
+    };
+    pub use yoso_server::{Server, ServerConfig};
     pub use yoso_trace::{Event, Trace};
 }

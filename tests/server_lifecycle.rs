@@ -1,0 +1,273 @@
+//! Server lifecycle integration tests: the co-design-as-a-service
+//! daemon end to end over real TCP.
+//!
+//! The central contract is determinism: a job served over the wire
+//! must stream the *byte-identical* `search_iter` JSONL that the same
+//! seed produces in-process, including across a
+//! suspend → server-restart → resume cycle, and including when a
+//! chaos plan is faulting a *different* tenant on the same server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use yoso::prelude::*;
+use yoso_server::proto::Request;
+
+fn tiny_reward() -> RewardConfig {
+    let sk = yoso::arch::NetworkSkeleton::tiny();
+    RewardConfig::balanced(calibrate_constraints(&sk, 50, 0, 50.0))
+}
+
+fn spec(tenant: &str, iterations: usize, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(tenant, tiny_reward());
+    spec.config = yoso::core::SearchConfig {
+        iterations,
+        rollouts_per_update: 3,
+        seed,
+        population: 10,
+        tournament: 3,
+    };
+    spec
+}
+
+/// The same search run in-process, returning its `search_iter` lines.
+/// Checkpoint cadence never changes the trace, so it is dropped here
+/// rather than wiring up a scratch directory.
+fn in_process_lines(spec: &JobSpec) -> Vec<String> {
+    let mut spec = spec.clone();
+    spec.checkpoint_every = None;
+    let evaluator = SurrogateEvaluator::new(yoso::arch::NetworkSkeleton::tiny());
+    let trace = Trace::memory();
+    spec.apply(SearchSession::builder())
+        .evaluator(&evaluator)
+        .trace(trace.clone())
+        .run()
+        .expect("in-process run");
+    search_iter_lines(&trace.lines())
+}
+
+fn search_iter_lines(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| l.starts_with("{\"event\":\"search_iter\""))
+        .cloned()
+        .collect()
+}
+
+/// Fresh checkpoint root per test so parallel tests never collide.
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    static SALT: AtomicU64 = AtomicU64::new(0);
+    let n = SALT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("yoso_server_{tag}_{}_{n}", std::process::id()))
+}
+
+#[test]
+fn served_stream_is_byte_identical_to_in_process_run() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let spec = spec("equiv", 9, 42);
+    let job = client.submit(&spec, true).unwrap();
+    let (lines, done) = client.wait_done(job).unwrap();
+    assert_eq!(done.state, JobState::Completed);
+    assert_eq!(done.iterations, 9);
+    assert!(done.best_reward.is_some());
+
+    let served = search_iter_lines(&lines);
+    assert_eq!(served.len(), 9);
+    assert_eq!(served, in_process_lines(&spec), "served stream diverged");
+
+    // The replay path serves the same bytes again after completion.
+    let mut late = Client::connect(server.addr()).unwrap();
+    let status = late.subscribe(job).unwrap();
+    assert_eq!(status.state, JobState::Completed);
+    assert_eq!(status.iterations_done, 9);
+    let (replayed, done2) = late.wait_done(job).unwrap();
+    assert_eq!(search_iter_lines(&replayed), served);
+    assert_eq!(done2.state, JobState::Completed);
+
+    server.shutdown();
+}
+
+#[test]
+fn suspend_resume_across_server_restart_is_bit_identical() {
+    let root = temp_root("resume");
+    let cfg = ServerConfig {
+        checkpoint_root: Some(root.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let spec = spec("suspender", 120, 7);
+    let mut spec = spec;
+    spec.checkpoint_every = Some(6);
+    let job = client.submit(&spec, true).unwrap();
+
+    // Let at least one iteration stream, then ask for suspension; the
+    // session stops at its next controller-update boundary and writes
+    // a suspend checkpoint.
+    let first = client.next_event().unwrap();
+    assert!(matches!(first, Reply::Event { .. }));
+    client.suspend(job).unwrap();
+    let (pre_raw, done) = client.wait_done(job).unwrap();
+    assert_eq!(done.state, JobState::Suspended);
+    let mut pre = search_iter_lines(&pre_raw);
+    // One event was consumed by hand above.
+    if let Reply::Event { line, .. } = first {
+        if line.starts_with("{\"event\":\"search_iter\"") {
+            pre.insert(0, line);
+        }
+    }
+    assert!(
+        !pre.is_empty() && pre.len() < 120,
+        "suspend landed mid-run ({} iterations)",
+        pre.len()
+    );
+    let status = client.status(job).unwrap();
+    assert_eq!(status.state, JobState::Suspended);
+    assert!(status.checkpoint.is_some(), "suspend wrote a checkpoint");
+    drop(client);
+    server.shutdown();
+
+    // A brand-new server process state: resume purely from disk.
+    let server2 = Server::start(ServerConfig {
+        checkpoint_root: Some(root.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client2 = Client::connect(server2.addr()).unwrap();
+    let status = client2.resume(job, true).unwrap();
+    assert_eq!(status.job, job);
+    assert_eq!(status.tenant, "suspender");
+    let (post_raw, done2) = client2.wait_done(job).unwrap();
+    assert_eq!(done2.state, JobState::Completed);
+    assert_eq!(done2.iterations, 120);
+    let post = search_iter_lines(&post_raw);
+
+    let mut stitched = pre;
+    stitched.extend(post);
+    assert_eq!(
+        stitched,
+        in_process_lines(&spec),
+        "suspend/restart/resume diverged from the uninterrupted run"
+    );
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn rejection_paths_return_typed_error_codes() {
+    let server = Server::start(ServerConfig {
+        max_concurrent_jobs: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Unknown job.
+    let err = client.status(9_999).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::UnknownJob));
+
+    // Malformed frame and version mismatch, straight over the socket.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut reply = String::new();
+
+        writeln!(raw, "this is not a frame").unwrap();
+        reader.read_line(&mut reply).unwrap();
+        match Reply::parse(reply.trim()).unwrap() {
+            Reply::Error { code, .. } => assert_eq!(code, ErrorCode::MalformedFrame),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+
+        reply.clear();
+        writeln!(raw, "{}", Event::new("stats").with_u64("v", 99).to_json()).unwrap();
+        reader.read_line(&mut reply).unwrap();
+        match Reply::parse(reply.trim()).unwrap() {
+            Reply::Error { code, .. } => assert_eq!(code, ErrorCode::UnsupportedVersion),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    // Saturate the single runner with a long job, then fill the
+    // one-slot queue; the next submit must bounce with AdmissionFull.
+    let blocker = client.submit(&spec("hog", 4_000, 1), false).unwrap();
+    for _ in 0..1_000 {
+        if client.status(blocker).unwrap().state == JobState::Running {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(client.status(blocker).unwrap().state, JobState::Running);
+    let queued = client.submit(&spec("hog", 10, 2), false).unwrap();
+    let err = client.submit(&spec("hog", 10, 3), false).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::AdmissionFull));
+
+    // Resuming a job that is not suspended is a typed state error.
+    let err = client.resume(blocker, false).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::InvalidState));
+    let err = client.resume(queued, false).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::InvalidState));
+
+    // After a shutdown request, submits are refused.
+    client.request(&Request::Shutdown).unwrap();
+    let err = client.submit(&spec("hog", 10, 4), false).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::ShuttingDown));
+
+    server.shutdown();
+}
+
+#[test]
+fn scoped_chaos_faults_one_tenant_and_spares_others() {
+    // Baseline before arming chaos: what the clean tenant's stream
+    // must keep looking like.
+    let clean_spec = spec("bystander", 9, 99);
+    let baseline = in_process_lines(&clean_spec);
+
+    // Every reward for the victim tenant's scope goes NaN; nobody
+    // else matches the scope, so no other thread can fault.
+    let mut plan = FaultPlan::new(11);
+    plan.rules
+        .push(FaultRule::rate(FaultKind::NanReward, 1.0).scope(yoso::chaos::scope_for("victim")));
+    yoso::chaos::install(&plan);
+
+    let server = Server::start(ServerConfig {
+        tenant_fault_budget: Some(1),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // The victim's job degrades gracefully until its per-job fault
+    // budget trips, then the job fails with the typed core error.
+    let mut victim = spec("victim", 30, 5);
+    victim.fault_budget = Some(2);
+    let job = client.submit(&victim, true).unwrap();
+    let (_, done) = client.wait_done(job).unwrap();
+    assert_eq!(done.state, JobState::Failed);
+    let msg = done.error.expect("failed job carries its error");
+    assert!(
+        msg.contains("fault budget exhausted"),
+        "unexpected failure: {msg}"
+    );
+    let status = client.status(job).unwrap();
+    assert_eq!(status.state, JobState::Failed);
+
+    // The tenant's ledger is now over the server-side budget: further
+    // submissions from the same tenant bounce with a typed code.
+    let err = client.submit(&victim, false).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::FaultBudgetExhausted));
+
+    // A clean tenant on the same faulted server is untouched:
+    // byte-identical to the chaos-free in-process baseline.
+    let clean_job = client.submit(&clean_spec, true).unwrap();
+    let (lines, clean_done) = client.wait_done(clean_job).unwrap();
+    assert_eq!(clean_done.state, JobState::Completed);
+    assert_eq!(search_iter_lines(&lines), baseline);
+
+    server.shutdown();
+    yoso::chaos::disarm();
+}

@@ -12,7 +12,13 @@
 //!    dataflow gap.
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin ablations --
-//!   [--which 1,2,3,4,5,6] [--threads 0]`
+//!   [--which 1,2,3,4,5,6] [--threads 0] [--surrogate exact|sparse]
+//!   [--pareto-out front.csv]`
+//!
+//! `--surrogate sparse` runs ablation 3's budget curve on the
+//! inducing-point sparse GP backend instead of the exact one;
+//! `--pareto-out` writes the non-dominated archive of the last search
+//! ablation run (2 or 4) to the given CSV path.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,23 +51,35 @@ fn real_main() -> Result<(), Error> {
     args.configure_chaos();
     let which = args.value("--which").unwrap_or_else(|| "123456".into());
 
+    let mut last_outcome = None;
     if wants(&which, '1') {
         ablation_sampling();
     }
     if wants(&which, '2') {
-        ablation_reward_form()?;
+        last_outcome = Some(ablation_reward_form()?);
     }
     if wants(&which, '3') {
-        ablation_gp_budget()?;
+        ablation_gp_budget(args.surrogate()?)?;
     }
     if wants(&which, '4') {
-        ablation_rl_seeds()?;
+        last_outcome = Some(ablation_rl_seeds()?);
     }
     if wants(&which, '5') {
         ablation_hw_isolation();
     }
     if wants(&which, '6') {
         ablation_flexible_dataflow();
+    }
+    if let Some(path) = args.pareto_out() {
+        let out = last_outcome.as_ref().ok_or_else(|| {
+            Error::InvalidConfig("--pareto-out needs a search ablation (2 or 4) in --which".into())
+        })?;
+        yoso_core::analysis::save_pareto_csv(out, &path)?;
+        println!(
+            "pareto archive ({} entries) written to {}",
+            out.pareto().len(),
+            path.display()
+        );
     }
     yoso_bench::finish_trace(&trace);
     Ok(())
@@ -120,8 +138,9 @@ fn ablation_sampling() {
     );
 }
 
-/// 2. Eq. 2 reading: weighted product vs additive.
-fn ablation_reward_form() -> Result<(), Error> {
+/// 2. Eq. 2 reading: weighted product vs additive. Returns the last
+///    form's outcome so `--pareto-out` has an archive to persist.
+fn ablation_reward_form() -> Result<yoso_core::SearchOutcome, Error> {
     println!("=== Ablation 2: reward form (Eq. 2 ambiguity) ===");
     let sk = NetworkSkeleton::paper_default();
     let ev = SurrogateEvaluator::new(sk.clone());
@@ -133,6 +152,7 @@ fn ablation_reward_form() -> Result<(), Error> {
         ..SearchConfig::default()
     };
     let mut table = Table::new(&["form", "best_acc", "best_lat(ms)", "best_eer(mJ)"]);
+    let mut last = None;
     for form in [RewardForm::WeightedProduct, RewardForm::Additive] {
         let mut rc = RewardConfig::balanced(cons);
         rc.form = form;
@@ -149,22 +169,24 @@ fn ablation_reward_form() -> Result<(), Error> {
             format!("{:.4}", b.eval.latency_ms),
             format!("{:.4}", b.eval.energy_mj),
         ]);
+        last = Some(out);
     }
     println!("{table}");
     println!("  (both forms steer toward the same region; the product form\n   couples accuracy and hardware terms more tightly)\n");
-    Ok(())
+    Ok(last.expect("at least one form ran"))
 }
 
-/// 3. GP predictor error vs training-sample budget.
-fn ablation_gp_budget() -> Result<(), Error> {
-    println!("=== Ablation 3: GP error vs training-set size ===");
+/// 3. GP predictor error vs training-sample budget, on the surrogate
+///    backend picked by `--surrogate`.
+fn ablation_gp_budget(surrogate: yoso_core::SurrogateKind) -> Result<(), Error> {
+    println!("=== Ablation 3: {surrogate} GP error vs training-set size ===");
     let sk = NetworkSkeleton::paper_default();
     let sim = Simulator::exact();
     let test = collect_samples(&sk, &sim, 200, 999);
     let mut table = Table::new(&["samples", "latency MAPE%", "energy MAPE%"]);
     for n in [50usize, 100, 200, 400, 800] {
         let train = collect_samples(&sk, &sim, n, 7);
-        let pred = PerfPredictor::train(&sk, &train)?;
+        let pred = PerfPredictor::train_with(&sk, &train, surrogate)?;
         let mut pl = Vec::new();
         let mut pe = Vec::new();
         let mut tl = Vec::new();
@@ -187,8 +209,9 @@ fn ablation_gp_budget() -> Result<(), Error> {
     Ok(())
 }
 
-/// 4. RL vs regularized evolution vs random, multiple seeds.
-fn ablation_rl_seeds() -> Result<(), Error> {
+/// 4. RL vs regularized evolution vs random, multiple seeds. Returns
+///    the last seed's RL outcome so `--pareto-out` has an archive.
+fn ablation_rl_seeds() -> Result<yoso_core::SearchOutcome, Error> {
     println!("=== Ablation 4: RL vs evolution vs random across seeds ===");
     let sk = NetworkSkeleton::paper_default();
     let ev = SurrogateEvaluator::new(sk.clone());
@@ -204,6 +227,7 @@ fn ablation_rl_seeds() -> Result<(), Error> {
         "random_tail",
     ]);
     let mut rl_wins = 0;
+    let mut last_rl = None;
     for seed in 0..5u64 {
         let cfg = SearchConfig {
             iterations: 600,
@@ -242,10 +266,11 @@ fn ablation_rl_seeds() -> Result<(), Error> {
             format!("{:.4}", tail(&evo)),
             format!("{:.4}", tail(&rnd)),
         ]);
+        last_rl = Some(rl);
     }
     println!("{table}");
     println!("  RL tail-mean beats random in {rl_wins}/5 seeds\n");
-    Ok(())
+    Ok(last_rl.expect("at least one seed ran"))
 }
 
 /// 5. Marginal effect of each hardware parameter on a fixed network.

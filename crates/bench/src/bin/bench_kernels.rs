@@ -11,10 +11,13 @@
 //! * the u8xi8 integer GEMM vs f32 SGEMM on the same shapes;
 //! * end-to-end HyperNet candidate scoring, f32 vs int8;
 //! * incremental GP Cholesky appends (chunks of 50 up to n = 2000) vs a
-//!   frozen-hyperparameter full refactorization after every chunk.
+//!   frozen-hyperparameter full refactorization after every chunk;
+//! * the inducing-point sparse GP vs the exact GP, fit + batch predict
+//!   at n = 4000 (past the exact model's usual training cap).
 //!
 //! Targets: >= 2x on the GEMM/conv shapes, >= 2x multi-core scaling
-//! (when cores > 1), >= 1.5x int8 scoring, >= 5x on the GP refit.
+//! (when cores > 1), >= 1.5x int8 scoring, >= 5x on the GP refit,
+//! >= 5x on the sparse-vs-exact fit+predict.
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin bench_kernels --
 //!   [--iters 40] [--seed 0] [--out BENCH_kernels.json]`
@@ -24,7 +27,8 @@ use yoso_bench::{bench_meta_json, run_main, Args};
 use yoso_core::error::Error;
 use yoso_dataset::{SynthCifar, SynthCifarConfig};
 use yoso_hypernet::HyperNet;
-use yoso_predictor::{GaussianProcess, Regressor};
+use yoso_predictor::metrics::spearman;
+use yoso_predictor::{GaussianProcess, Regressor, SparseGaussianProcess};
 use yoso_tensor::conv::{conv2d_backward_scratch, conv2d_forward_scratch};
 use yoso_tensor::matmul::sgemm;
 use yoso_tensor::quant::{gemm_q, quantize_activations};
@@ -259,6 +263,44 @@ fn real_main() -> Result<(), Error> {
         "  refit-per-chunk {refit_ms:.0} ms, incremental {incremental_ms:.0} ms ({gp_speedup:.2}x, target >= 5x), max mean diff {max_diff:.2e}"
     );
 
+    // Sparse (inducing-point) GP vs the exact GP at production scale:
+    // one fit plus one 256-point batch predict at n = 4000, past the
+    // exact model's usual 2000-point training cap. Same fixed
+    // hyper-parameters on both sides; the rank agreement of the two
+    // prediction sets is recorded alongside the speedup.
+    let sp_n = 4000usize;
+    println!("gp-sparse: exact vs inducing-point fit+predict at n={sp_n} ({dims}-dim features)");
+    let sp_xs: Vec<Vec<f64>> = (0..sp_n)
+        .map(|_| (0..dims).map(|_| rng.random_range(-2.0..2.0)).collect())
+        .collect();
+    let sp_ys: Vec<f64> = sp_xs
+        .iter()
+        .map(|x| x.iter().map(|v| v.sin()).sum::<f64>() + 0.25 * x[0] * x[1])
+        .collect();
+    let sp_probe: Vec<Vec<f64>> = (0..256)
+        .map(|_| (0..dims).map(|_| rng.random_range(-2.0..2.0)).collect())
+        .collect();
+    let mut sp_exact = GaussianProcess::with_hyperparams(2.0, 1e-2).with_max_train(sp_n);
+    let mut sp_exact_pred = Vec::new();
+    let sp_exact_ms = time_ms(|| {
+        sp_exact.fit(&sp_xs, &sp_ys).expect("exact fit");
+        sp_exact_pred = sp_exact.predict_batch(&sp_probe);
+        std::hint::black_box(&sp_exact_pred);
+    });
+    let mut sp_sparse = SparseGaussianProcess::with_hyperparams(2.0, 1e-2);
+    let mut sp_sparse_pred = Vec::new();
+    let sp_sparse_ms = time_ms(|| {
+        sp_sparse.fit(&sp_xs, &sp_ys).expect("sparse fit");
+        sp_sparse_pred = sp_sparse.predict_batch(&sp_probe);
+        std::hint::black_box(&sp_sparse_pred);
+    });
+    let sp_speedup = sp_exact_ms / sp_sparse_ms;
+    let sp_spearman = spearman(&sp_exact_pred, &sp_sparse_pred);
+    println!(
+        "  exact {sp_exact_ms:.0} ms, sparse ({} inducing) {sp_sparse_ms:.0} ms ({sp_speedup:.2}x, target >= 5x), spearman {sp_spearman:.3}",
+        sp_sparse.inducing_len()
+    );
+
     // Raw integer GEMM (u8 activations x i8 weights -> i32) vs the f32
     // packed kernel on the same im2col shapes. Quantization of weights
     // is excluded (done once per candidate); activation quantization is
@@ -347,11 +389,12 @@ fn real_main() -> Result<(), Error> {
 
     let meta = bench_meta_json(2);
     let json = format!(
-        "{{\n  \"bench\": \"compute kernels\",\n  {meta},\n  \"gemm\": {{\n    \"threads\": 1,\n    \"iters\": {iters},\n    \"shapes\": [\n{}\n    ],\n    \"geomean_speedup\": {gemm_geomean:.2}\n  }},\n  \"simd\": {{\n    \"tier\": \"{}\",\n    \"shapes\": [\n{}\n    ],\n    \"geomean_vs_scalar\": {simd_geomean:.2}\n  }},\n  \"gemm_mt\": {{\n    \"m\": {mm}, \"k\": {mk}, \"n\": {mn},\n    \"serial_ms\": {mt_serial_ms:.3},\n    \"parallel_ms\": {mt_parallel_ms:.3},\n    \"speedup\": {mt_speedup:.2},\n    \"asserted\": {}\n  }},\n  \"conv2d_step\": {{\n    \"input\": [{cn}, {cin}, {chw}, {chw}],\n    \"cout\": {cout},\n    \"kernel\": {ck},\n    \"reference_ms\": {conv_ref_ms:.2},\n    \"packed_ms\": {conv_packed_ms:.2},\n    \"speedup\": {conv_speedup:.2}\n  }},\n  \"gp_incremental\": {{\n    \"initial\": {n0},\n    \"final\": {n_final},\n    \"chunk\": {chunk},\n    \"dims\": {dims},\n    \"refit_per_chunk_ms\": {refit_ms:.1},\n    \"incremental_ms\": {incremental_ms:.1},\n    \"speedup\": {gp_speedup:.2},\n    \"max_mean_abs_diff\": {max_diff:.3e}\n  }},\n  \"int8_gemm\": {{\n    \"tier\": \"{}\",\n    \"shapes\": [\n{}\n    ],\n    \"geomean_speedup\": {int8_gemm_geomean:.2}\n  }},\n  \"int8_scoring\": {{\n    \"candidates\": {},\n    \"f32_ms_per_candidate\": {f32_score_ms:.2},\n    \"int8_ms_per_candidate\": {int8_score_ms:.2},\n    \"speedup\": {score_speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"compute kernels\",\n  {meta},\n  \"gemm\": {{\n    \"threads\": 1,\n    \"iters\": {iters},\n    \"shapes\": [\n{}\n    ],\n    \"geomean_speedup\": {gemm_geomean:.2}\n  }},\n  \"simd\": {{\n    \"tier\": \"{}\",\n    \"shapes\": [\n{}\n    ],\n    \"geomean_vs_scalar\": {simd_geomean:.2}\n  }},\n  \"gemm_mt\": {{\n    \"m\": {mm}, \"k\": {mk}, \"n\": {mn},\n    \"serial_ms\": {mt_serial_ms:.3},\n    \"parallel_ms\": {mt_parallel_ms:.3},\n    \"speedup\": {mt_speedup:.2},\n    \"asserted\": {}\n  }},\n  \"conv2d_step\": {{\n    \"input\": [{cn}, {cin}, {chw}, {chw}],\n    \"cout\": {cout},\n    \"kernel\": {ck},\n    \"reference_ms\": {conv_ref_ms:.2},\n    \"packed_ms\": {conv_packed_ms:.2},\n    \"speedup\": {conv_speedup:.2}\n  }},\n  \"gp_incremental\": {{\n    \"initial\": {n0},\n    \"final\": {n_final},\n    \"chunk\": {chunk},\n    \"dims\": {dims},\n    \"refit_per_chunk_ms\": {refit_ms:.1},\n    \"incremental_ms\": {incremental_ms:.1},\n    \"speedup\": {gp_speedup:.2},\n    \"max_mean_abs_diff\": {max_diff:.3e}\n  }},\n  \"gp_sparse\": {{\n    \"n\": {sp_n},\n    \"dims\": {dims},\n    \"inducing\": {},\n    \"exact_ms\": {sp_exact_ms:.1},\n    \"sparse_ms\": {sp_sparse_ms:.1},\n    \"speedup\": {sp_speedup:.2},\n    \"spearman\": {sp_spearman:.3}\n  }},\n  \"int8_gemm\": {{\n    \"tier\": \"{}\",\n    \"shapes\": [\n{}\n    ],\n    \"geomean_speedup\": {int8_gemm_geomean:.2}\n  }},\n  \"int8_scoring\": {{\n    \"candidates\": {},\n    \"f32_ms_per_candidate\": {f32_score_ms:.2},\n    \"int8_ms_per_candidate\": {int8_score_ms:.2},\n    \"speedup\": {score_speedup:.2}\n  }}\n}}\n",
         shape_rows.join(",\n"),
         simd_tier(),
         simd_rows.join(",\n"),
         cores > 1,
+        sp_sparse.inducing_len(),
         quant_tier(),
         q_rows.join(",\n"),
         genos.len(),
@@ -374,6 +417,14 @@ fn real_main() -> Result<(), Error> {
     assert!(
         max_diff < 1e-8,
         "incremental and refit GPs diverged: {max_diff:.3e}"
+    );
+    assert!(
+        sp_speedup >= 5.0,
+        "sparse GP fit+predict speedup {sp_speedup:.2}x below the 5x target at n={sp_n}"
+    );
+    assert!(
+        sp_spearman >= 0.9,
+        "sparse GP rank agreement {sp_spearman:.3} below 0.9 at n={sp_n}"
     );
     if cores > 1 {
         assert!(

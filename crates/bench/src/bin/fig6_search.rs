@@ -13,7 +13,14 @@
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin fig6_search --
 //!   [--part a|b|c|all] [--iterations 2000] [--seed 0] [--fast-evaluator]
+//!   [--surrogate exact|sparse] [--pareto-out front.csv]
 //!   [--trace-out trace.jsonl]`
+//!
+//! `--surrogate sparse` swaps the fast evaluator's performance GPs for
+//! the inducing-point sparse approximation (only meaningful with
+//! `--fast-evaluator`). `--pareto-out` writes the last search's
+//! non-dominated archive — accuracy/latency/energy plus the derived
+//! power and area proxies — to the given CSV path.
 //!
 //! With `--trace-out` every search emits one `search_iter` JSONL event
 //! per candidate plus start/summary and subsystem events; the run ends
@@ -22,6 +29,7 @@
 use std::time::Instant;
 use yoso_arch::NetworkSkeleton;
 use yoso_bench::{finish_trace, run_main, write_csv, Args};
+use yoso_core::analysis::save_pareto_csv;
 use yoso_core::error::Error;
 use yoso_core::evaluation::{calibrate_constraints, Evaluator, FastEvaluator, SurrogateEvaluator};
 use yoso_core::reward::RewardConfig;
@@ -36,7 +44,8 @@ fn build_evaluator(
     seed: u64,
 ) -> Result<Box<dyn Evaluator>, Error> {
     if args.present("--fast-evaluator") {
-        println!("building fast evaluator (HyperNet + GP) ...");
+        let surrogate = args.surrogate()?;
+        println!("building fast evaluator (HyperNet + {surrogate} GP) ...");
         let data = SynthCifar::generate(&SynthCifarConfig::small());
         let cfg = HyperTrainConfig {
             epochs: args.usize("--hyper-epochs", 6),
@@ -44,10 +53,11 @@ fn build_evaluator(
             seed,
             ..Default::default()
         };
-        Ok(Box::new(FastEvaluator::build(
-            skeleton, &data, &cfg, 400, seed,
+        Ok(Box::new(FastEvaluator::build_with_surrogate(
+            skeleton, &data, &cfg, 400, seed, surrogate,
         )?))
     } else {
+        args.surrogate()?; // surface a typed error for bad values even here
         Ok(Box::new(SurrogateEvaluator::new(skeleton.clone())))
     }
 }
@@ -89,6 +99,8 @@ fn real_main() -> Result<(), Error> {
         seed,
         ..SearchConfig::default()
     };
+    // The most recent search's outcome, for `--pareto-out`.
+    let mut last_outcome: Option<SearchOutcome> = None;
 
     if part == "a" || part == "all" {
         println!("\n=== Fig. 6(a): RL vs random search ({iterations} iterations) ===");
@@ -133,6 +145,7 @@ fn real_main() -> Result<(), Error> {
             rnd.best().reward
         );
         println!("written {}", p.display());
+        last_outcome = Some(rl);
     }
 
     for (tag, label, rc, proj) in [
@@ -212,24 +225,26 @@ fn real_main() -> Result<(), Error> {
             label,
             mean(&tail, &metric),
         );
-        let front = out.pareto_by(|r| (metric(r), r.eval.accuracy));
-        println!("pareto front size: {} points", front.len());
-        let front_rows: Vec<Vec<String>> = front
-            .iter()
-            .map(|r| {
-                vec![
-                    r.eval.accuracy.to_string(),
-                    r.eval.energy_mj.to_string(),
-                    r.eval.latency_ms.to_string(),
-                ]
-            })
-            .collect();
-        write_csv(
-            &format!("fig6{tag}_pareto.csv"),
-            &["accuracy", "energy_mj", "latency_ms"],
-            &front_rows,
-        );
+        // The session's typed non-dominated archive (3-objective) is
+        // the front we persist; the figure's 2D scatter is a
+        // projection of it.
+        println!("pareto archive size: {} points", out.pareto().len());
+        let front_path = yoso_bench::results_dir().join(format!("fig6{tag}_pareto.csv"));
+        save_pareto_csv(&out, &front_path)?;
         println!("written {}", p.display());
+        last_outcome = Some(out);
+    }
+
+    if let Some(path) = args.pareto_out() {
+        let out = last_outcome.as_ref().ok_or_else(|| {
+            Error::InvalidConfig("--pareto-out needs at least one search part to run".into())
+        })?;
+        save_pareto_csv(out, &path)?;
+        println!(
+            "pareto archive ({} entries) written to {}",
+            out.pareto().len(),
+            path.display()
+        );
     }
 
     finish_trace(&trace);

@@ -12,10 +12,14 @@
 //!
 //! Usage: `cargo run --release -p yoso-bench --bin table2_comparison --
 //!   [--iterations 600] [--topn 5] [--hyper-epochs 6] [--full-epochs 6]
-//!   [--seed 0] [--threads 0]`
+//!   [--seed 0] [--threads 0] [--surrogate exact|sparse]
+//!   [--pareto-out front.csv]`
 //!
 //! `--threads 0` (default) uses all cores for sampling, hardware
-//! enumeration and reranking.
+//! enumeration and reranking. `--surrogate sparse` builds the fast
+//! evaluator on the inducing-point sparse GPs instead of the exact
+//! ones; `--pareto-out` writes the last YOSO run's non-dominated
+//! archive to the given CSV path.
 
 use std::time::Instant;
 use yoso_accel::Simulator;
@@ -122,7 +126,10 @@ fn real_main() -> Result<(), Error> {
     }
 
     // ---- YOSO single-stage runs ----------------------------------------
-    println!("\n[yoso] building fast evaluator (HyperNet {hyper_epochs} epochs + GP) ...");
+    let surrogate = args.surrogate()?;
+    println!(
+        "\n[yoso] building fast evaluator (HyperNet {hyper_epochs} epochs + {surrogate} GP) ..."
+    );
     let t1 = Instant::now();
     let hyper_cfg = HyperTrainConfig {
         epochs: hyper_epochs,
@@ -130,9 +137,11 @@ fn real_main() -> Result<(), Error> {
         seed,
         ..Default::default()
     };
-    let fast = FastEvaluator::build(&skeleton, &data, &hyper_cfg, 500, seed)?;
+    let fast =
+        FastEvaluator::build_with_surrogate(&skeleton, &data, &hyper_cfg, 500, seed, surrogate)?;
     println!("  built in {:.1?}", t1.elapsed());
 
+    let mut last_outcome = None;
     for (label, reward_cfg) in [
         ("Yoso_lat", RewardConfig::latency_focused(constraints)),
         ("Yoso_eer", RewardConfig::energy_focused(constraints)),
@@ -180,6 +189,17 @@ fn real_main() -> Result<(), Error> {
             latency_ms: champ.2,
             config: champ.0.hw.to_string(),
         });
+        last_outcome = Some(outcome);
+    }
+
+    if let Some(path) = args.pareto_out() {
+        let outcome = last_outcome.as_ref().expect("yoso runs executed");
+        yoso_core::analysis::save_pareto_csv(outcome, &path)?;
+        println!(
+            "pareto archive ({} entries) written to {}",
+            outcome.pareto().len(),
+            path.display()
+        );
     }
 
     // ---- Table 2 ---------------------------------------------------------

@@ -194,6 +194,30 @@ impl Args {
         }
     }
 
+    /// The shared `--surrogate exact|sparse` flag as a typed
+    /// [`yoso_core::SurrogateKind`] (absent means exact — the seed
+    /// behavior).
+    ///
+    /// # Errors
+    ///
+    /// [`yoso_core::Error::InvalidConfig`] on any other value.
+    pub fn surrogate(&self) -> Result<yoso_core::SurrogateKind, yoso_core::Error> {
+        match self.value("--surrogate").as_deref() {
+            None | Some("exact") => Ok(yoso_core::SurrogateKind::Exact),
+            Some("sparse") => Ok(yoso_core::SurrogateKind::Sparse),
+            Some(other) => Err(yoso_core::Error::InvalidConfig(format!(
+                "--surrogate must be exact or sparse, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The shared `--pareto-out <path>` flag: where to write the final
+    /// non-dominated archive as CSV (see
+    /// [`yoso_core::save_pareto_csv`]). Absent means don't write it.
+    pub fn pareto_out(&self) -> Option<PathBuf> {
+        self.value("--pareto-out").map(PathBuf::from)
+    }
+
     /// Applies the shared thread flags and returns the resolved worker
     /// count:
     ///
@@ -595,6 +619,61 @@ mod tests {
         assert_eq!(args.value("--missing"), None);
         assert_eq!(args.usize("--missing", 9), 9);
         assert_eq!(args.scoring().unwrap(), yoso_core::ScoringPrecision::Int8);
+    }
+
+    #[test]
+    fn args_surrogate_parses_and_rejects_like_scoring() {
+        let sparse = Args::from_argv(
+            ["bin", "--surrogate", "sparse"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(
+            sparse.surrogate().unwrap(),
+            yoso_core::SurrogateKind::Sparse
+        );
+        let exact = Args::from_argv(
+            ["bin", "--surrogate", "exact"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(exact.surrogate().unwrap(), yoso_core::SurrogateKind::Exact);
+        let default = Args::from_argv(vec!["bin".to_string()]);
+        assert_eq!(
+            default.surrogate().unwrap(),
+            yoso_core::SurrogateKind::Exact
+        );
+
+        let bad = Args::from_argv(
+            ["bin", "--surrogate", "dense"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        match bad.surrogate() {
+            Err(yoso_core::Error::InvalidConfig(msg)) => {
+                assert!(msg.contains("exact or sparse"), "message: {msg}");
+                assert!(msg.contains("dense"), "message: {msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn args_pareto_out_is_an_optional_path() {
+        let args = Args::from_argv(
+            ["bin", "--pareto-out", "/tmp/front.csv"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(
+            args.pareto_out(),
+            Some(std::path::PathBuf::from("/tmp/front.csv"))
+        );
+        assert_eq!(Args::from_argv(vec!["bin".to_string()]).pareto_out(), None);
     }
 
     #[test]

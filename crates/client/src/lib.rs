@@ -4,11 +4,14 @@
 //! TCP connection, newline-delimited [`proto`](yoso_server::proto)
 //! frames, no external runtime.
 //!
-//! The server may interleave stream frames (`job_event` / `job_done`)
-//! with request replies on the same connection; [`Client`] buffers
-//! them, so [`request`](Client::request) always returns the actual
-//! reply and [`wait_done`](Client::wait_done) /
-//! [`next_event`](Client::next_event) drain the stream in order.
+//! The server may interleave stream frames (`job_event` /
+//! `pareto_front` / `job_done`) with request replies on the same
+//! connection; [`Client`] buffers them, so [`request`](Client::request)
+//! always returns the actual reply and [`wait_done`](Client::wait_done)
+//! / [`next_event`](Client::next_event) drain the stream in order.
+//! A completed job's non-dominated archive frame is stashed as it
+//! passes by and read back with
+//! [`pareto_front`](Client::pareto_front).
 //!
 //! ```no_run
 //! use yoso_client::Client;
@@ -26,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use yoso_server::proto::{ErrorCode, JobDone, JobStatus, ProtoError, Reply, Request, ServerStats};
+use yoso_server::proto::{
+    ErrorCode, JobDone, JobStatus, ParetoFront, ProtoError, Reply, Request, ServerStats,
+};
 
 /// What can go wrong on a client call.
 #[derive(Debug)]
@@ -104,6 +109,9 @@ pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     pending: VecDeque<Reply>,
+    /// Latest `pareto_front` frame seen per job, stashed as the frames
+    /// stream by (they never enter `pending`).
+    fronts: HashMap<u64, ParetoFront>,
 }
 
 impl Client {
@@ -120,6 +128,7 @@ impl Client {
             writer: stream,
             reader,
             pending: VecDeque::new(),
+            fronts: HashMap::new(),
         })
     }
 
@@ -155,6 +164,9 @@ impl Client {
         loop {
             match self.read_frame()? {
                 frame @ (Reply::Event { .. } | Reply::Done(_)) => self.pending.push_back(frame),
+                Reply::ParetoFront(f) => {
+                    self.fronts.insert(f.job, f);
+                }
                 Reply::Error { code, message } => {
                     return Err(ClientError::Server { code, message })
                 }
@@ -266,9 +278,14 @@ impl Client {
         if let Some(frame) = self.pending.pop_front() {
             return Ok(frame);
         }
-        match self.read_frame()? {
-            frame @ (Reply::Event { .. } | Reply::Done(_)) => Ok(frame),
-            other => Err(ClientError::unexpected(&other)),
+        loop {
+            match self.read_frame()? {
+                frame @ (Reply::Event { .. } | Reply::Done(_)) => return Ok(frame),
+                Reply::ParetoFront(f) => {
+                    self.fronts.insert(f.job, f);
+                }
+                other => return Err(ClientError::unexpected(&other)),
+            }
         }
     }
 
@@ -306,9 +323,20 @@ impl Client {
                 Reply::Event { job: j, line, .. } if j == job => lines.push(line),
                 Reply::Done(d) if d.job == job => return Ok((lines, d)),
                 frame @ (Reply::Event { .. } | Reply::Done(_)) => self.pending.push_back(frame),
+                Reply::ParetoFront(f) => {
+                    self.fronts.insert(f.job, f);
+                }
                 other => return Err(ClientError::unexpected(&other)),
             }
         }
+    }
+
+    /// The latest streamed `pareto_front` frame for `job`, if one has
+    /// arrived — the server emits it right before `job_done` on
+    /// completed runs, and replays it on `subscribe`. Call after
+    /// [`wait_done`](Client::wait_done) reports `completed`.
+    pub fn pareto_front(&self, job: u64) -> Option<&ParetoFront> {
+        self.fronts.get(&job)
     }
 }
 

@@ -76,6 +76,37 @@ pub fn save_history_csv(outcome: &SearchOutcome, path: &Path) -> std::io::Result
     Ok(())
 }
 
+/// Writes the non-dominated Pareto archive to CSV (one row per front
+/// entry, in the archive's canonical order), including the derived
+/// area/power proxies so deployment-target filtering can be replayed
+/// from the file alone.
+///
+/// # Errors
+///
+/// Returns an I/O error on write failure.
+pub fn save_pareto_csv(outcome: &SearchOutcome, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "iteration,accuracy,latency_ms,energy_mj,reward,power_w,area_units,hw"
+    )?;
+    for r in outcome.pareto() {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{}",
+            r.iteration,
+            r.eval.accuracy,
+            r.eval.latency_ms,
+            r.eval.energy_mj,
+            r.reward,
+            crate::archive::power_w(&r.eval),
+            crate::archive::area_units(&r.point.hw),
+            r.point.hw
+        )?;
+    }
+    Ok(())
+}
+
 /// Summary statistics of an evaluation set.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EvalSummary {
@@ -197,5 +228,20 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("iteration,"));
         assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn save_pareto_writes_front_rows() {
+        let outcome = SearchOutcome::from_parts(
+            vec![rec(0.9, 1.0, 5.0), rec(0.8, 3.0, 6.0), rec(0.95, 0.5, 4.0)],
+            Vec::new(),
+        );
+        let path = std::env::temp_dir().join("yoso_pareto_test.csv");
+        save_pareto_csv(&outcome, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("iteration,"));
+        // Third record dominates the other two: header + 1 row.
+        assert_eq!(text.lines().count(), 1 + outcome.pareto().len());
+        assert_eq!(outcome.pareto().len(), 1);
     }
 }

@@ -1,0 +1,469 @@
+//! Non-dominated Pareto archive over typed multi-objective outcomes.
+//!
+//! A single co-design search explores thousands of `(accuracy, latency,
+//! energy)` trade-offs; tracking only the scalar-reward champion throws
+//! the rest away. The [`ParetoArchive`] keeps every candidate that is not
+//! dominated in the typed [`Objectives`] space, so one run can answer
+//! many deployment targets ("highest accuracy under 1 ms", "lowest
+//! energy above 90% accuracy", …) after the fact, filtered through
+//! RHNAS-style [`FeasibilityCaps`] (latency/energy thresholds plus
+//! area and power proxies).
+//!
+//! ## Determinism contract
+//!
+//! The archive is a **pure function of the search history as a set**:
+//! inserting the same records in any order produces the same entry list,
+//! because entries are kept in a canonical objective-sorted order and
+//! exact-duplicate objectives resolve to the earliest iteration. Since
+//! the per-iteration history is itself bit-identical across worker-pool
+//! thread counts and across checkpoint/resume, so is the archive — the
+//! property tests in this module and in `search`/`session` pin all three
+//! invariances.
+
+use crate::evaluation::Evaluation;
+use crate::search::{SearchRecord, QUARANTINE_REWARD};
+use yoso_arch::HwConfig;
+
+/// The three search objectives as a typed point: accuracy is maximized,
+/// latency and energy are minimized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Predicted validation accuracy in `[0, 1]` (maximize).
+    pub accuracy: f64,
+    /// Predicted end-to-end latency in ms (minimize).
+    pub latency_ms: f64,
+    /// Predicted end-to-end energy in mJ (minimize).
+    pub energy_mj: f64,
+}
+
+impl Objectives {
+    /// The objective point of an evaluation.
+    pub fn of(eval: &Evaluation) -> Objectives {
+        Objectives {
+            accuracy: eval.accuracy,
+            latency_ms: eval.latency_ms,
+            energy_mj: eval.energy_mj,
+        }
+    }
+
+    /// Strict Pareto dominance: no objective worse, at least one strictly
+    /// better.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        self.accuracy >= other.accuracy
+            && self.latency_ms <= other.latency_ms
+            && self.energy_mj <= other.energy_mj
+            && (self.accuracy > other.accuracy
+                || self.latency_ms < other.latency_ms
+                || self.energy_mj < other.energy_mj)
+    }
+
+    /// All three metrics are finite.
+    pub fn is_finite(&self) -> bool {
+        self.accuracy.is_finite() && self.latency_ms.is_finite() && self.energy_mj.is_finite()
+    }
+}
+
+/// One objective axis, for rank queries like
+/// [`SearchOutcome::top_k_by`](crate::search::SearchOutcome::top_k_by).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Validation accuracy — higher is better.
+    Accuracy,
+    /// Latency in ms — lower is better.
+    LatencyMs,
+    /// Energy in mJ — lower is better.
+    EnergyMj,
+    /// The composite scalar reward — higher is better.
+    Reward,
+}
+
+impl Objective {
+    /// Compares two records so that the *better* one under this objective
+    /// orders first.
+    pub fn better_first(&self, a: &SearchRecord, b: &SearchRecord) -> std::cmp::Ordering {
+        match self {
+            Objective::Accuracy => b.eval.accuracy.total_cmp(&a.eval.accuracy),
+            Objective::LatencyMs => a.eval.latency_ms.total_cmp(&b.eval.latency_ms),
+            Objective::EnergyMj => a.eval.energy_mj.total_cmp(&b.eval.energy_mj),
+            Objective::Reward => b.reward.total_cmp(&a.reward),
+        }
+    }
+}
+
+/// Deployment-target feasibility caps in the style of RHNAS: hard upper
+/// bounds a served design must satisfy. All caps are optional; an unset
+/// cap admits everything on that axis.
+///
+/// Latency and energy caps test the evaluation directly. The power cap
+/// tests average power `energy_mj / latency_ms` (mJ/ms = W). The area
+/// cap tests [`area_units`], a fixed structural proxy of the accelerator
+/// configuration — this repo's cost model has no silicon-area term, so
+/// the proxy stands in for one, with the same monotonicity (more PEs /
+/// larger buffers cost more area).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FeasibilityCaps {
+    /// Maximum latency in ms.
+    pub max_latency_ms: Option<f64>,
+    /// Maximum energy in mJ.
+    pub max_energy_mj: Option<f64>,
+    /// Maximum average power in W (`energy_mj / latency_ms`).
+    pub max_power_w: Option<f64>,
+    /// Maximum accelerator area in [`area_units`].
+    pub max_area_units: Option<f64>,
+}
+
+impl FeasibilityCaps {
+    /// No caps: admits every record.
+    pub fn none() -> FeasibilityCaps {
+        FeasibilityCaps::default()
+    }
+
+    /// Whether a record satisfies every configured cap.
+    pub fn admits(&self, rec: &SearchRecord) -> bool {
+        if let Some(cap) = self.max_latency_ms {
+            if rec.eval.latency_ms > cap {
+                return false;
+            }
+        }
+        if let Some(cap) = self.max_energy_mj {
+            if rec.eval.energy_mj > cap {
+                return false;
+            }
+        }
+        if let Some(cap) = self.max_power_w {
+            if power_w(&rec.eval) > cap {
+                return false;
+            }
+        }
+        if let Some(cap) = self.max_area_units {
+            if area_units(&rec.point.hw) > cap {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Structural area proxy of an accelerator configuration, in arbitrary
+/// but fixed units: one unit per PE, half a unit per KB of global
+/// buffer, and the aggregate register-buffer capacity scaled to the same
+/// ballpark. Monotone in every hardware parameter, so an area cap prunes
+/// the way a real floorplan constraint would.
+pub fn area_units(hw: &HwConfig) -> f64 {
+    let pes = hw.pe.count() as f64;
+    pes + 0.5 * hw.gbuf_kb as f64 + pes * hw.rbuf_bytes as f64 / 2048.0
+}
+
+/// Average power draw in watts implied by an evaluation
+/// (`energy_mj / latency_ms`; mJ per ms is exactly W). Zero latency maps
+/// to infinite power, which no finite cap admits.
+pub fn power_w(eval: &Evaluation) -> f64 {
+    if eval.latency_ms > 0.0 {
+        eval.energy_mj / eval.latency_ms
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// The set of mutually non-dominated records seen so far, in a canonical
+/// order (latency, then energy ascending, then accuracy descending, then
+/// iteration).
+///
+/// Quarantined records (the [`QUARANTINE_REWARD`] sentinel) and records
+/// with any non-finite objective are rejected on insert: their sanitized
+/// zeroed metrics would otherwise falsely dominate every real candidate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParetoArchive {
+    entries: Vec<SearchRecord>,
+}
+
+impl ParetoArchive {
+    /// An empty archive.
+    pub fn new() -> ParetoArchive {
+        ParetoArchive::default()
+    }
+
+    /// Builds the archive of a full history by replaying every insert.
+    pub fn from_history(history: &[SearchRecord]) -> ParetoArchive {
+        let mut archive = ParetoArchive::new();
+        for rec in history {
+            archive.insert(*rec);
+        }
+        archive
+    }
+
+    /// Offers a record to the archive. Returns `true` when it was
+    /// admitted (it now sits on the front), `false` when it was rejected
+    /// (quarantined, non-finite, dominated, or a later duplicate of an
+    /// entry with identical objectives).
+    pub fn insert(&mut self, rec: SearchRecord) -> bool {
+        if rec.reward == QUARANTINE_REWARD {
+            return false;
+        }
+        let obj = Objectives::of(&rec.eval);
+        if !obj.is_finite() || !rec.reward.is_finite() {
+            return false;
+        }
+        let same = |e: &SearchRecord| Objectives::of(&e.eval) == obj;
+        if self.entries.iter().any(|e| {
+            Objectives::of(&e.eval).dominates(&obj) || (same(e) && e.iteration <= rec.iteration)
+        }) {
+            return false;
+        }
+        self.entries
+            .retain(|e| !obj.dominates(&Objectives::of(&e.eval)) && !same(e));
+        let key = |r: &SearchRecord| {
+            (
+                r.eval.latency_ms,
+                r.eval.energy_mj,
+                -r.eval.accuracy,
+                r.iteration,
+            )
+        };
+        let k = key(&rec);
+        let pos = self.entries.partition_point(|e| {
+            let ek = key(e);
+            (
+                ek.0.total_cmp(&k.0),
+                ek.1.total_cmp(&k.1),
+                ek.2.total_cmp(&k.2),
+                ek.3.cmp(&k.3),
+            ) < (
+                std::cmp::Ordering::Equal,
+                std::cmp::Ordering::Equal,
+                std::cmp::Ordering::Equal,
+                std::cmp::Ordering::Equal,
+            )
+        });
+        self.entries.insert(pos, rec);
+        true
+    }
+
+    /// The non-dominated records, in canonical order.
+    pub fn entries(&self) -> &[SearchRecord] {
+        &self.entries
+    }
+
+    /// Number of entries on the front.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `k` best entries under one objective axis (ties broken by
+    /// canonical archive order, so the result is deterministic).
+    pub fn top_k_by(&self, objective: Objective, k: usize) -> Vec<SearchRecord> {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| objective.better_first(a, b));
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// The highest-reward entry admitted by the caps, if any.
+    pub fn best_feasible(&self, caps: &FeasibilityCaps) -> Option<&SearchRecord> {
+        self.entries
+            .iter()
+            .filter(|r| caps.admits(r))
+            .max_by(|a, b| a.reward.total_cmp(&b.reward))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use yoso_arch::DesignPoint;
+
+    fn rec(iteration: usize, acc: f64, lat: f64, eer: f64) -> SearchRecord {
+        SearchRecord {
+            iteration,
+            point: DesignPoint::random(&mut StdRng::seed_from_u64(iteration as u64)),
+            eval: Evaluation {
+                accuracy: acc,
+                latency_ms: lat,
+                energy_mj: eer,
+            },
+            reward: acc - 0.1 * lat - 0.01 * eer,
+        }
+    }
+
+    fn random_history(n: usize, seed: u64) -> Vec<SearchRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                rec(
+                    i,
+                    rng.random_range(0.5..1.0),
+                    rng.random_range(0.1..4.0),
+                    rng.random_range(1.0..20.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dominated_records_never_enter() {
+        let mut a = ParetoArchive::new();
+        assert!(a.insert(rec(0, 0.9, 1.0, 5.0)));
+        // Worse on every axis.
+        assert!(!a.insert(rec(1, 0.8, 2.0, 6.0)));
+        assert_eq!(a.len(), 1);
+        // Better on one axis, worse on another: incomparable, admitted.
+        assert!(a.insert(rec(2, 0.95, 2.0, 6.0)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn dominating_record_evicts_the_dominated() {
+        let mut a = ParetoArchive::new();
+        a.insert(rec(0, 0.8, 2.0, 6.0));
+        a.insert(rec(1, 0.7, 1.0, 9.0));
+        // Dominates the first entry but not the second.
+        assert!(a.insert(rec(2, 0.85, 1.5, 5.0)));
+        assert_eq!(a.len(), 2);
+        assert!(a.entries().iter().all(|e| e.iteration != 0));
+    }
+
+    #[test]
+    fn archive_is_always_mutually_nondominated() {
+        let a = ParetoArchive::from_history(&random_history(300, 9));
+        assert!(!a.is_empty());
+        for x in a.entries() {
+            for y in a.entries() {
+                assert!(
+                    !Objectives::of(&x.eval).dominates(&Objectives::of(&y.eval)),
+                    "archive entry dominates another"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant() {
+        let hist = random_history(200, 4);
+        let forward = ParetoArchive::from_history(&hist);
+        let mut reversed = hist.clone();
+        reversed.reverse();
+        assert_eq!(forward, ParetoArchive::from_history(&reversed));
+        // A deterministic shuffle.
+        let mut shuffled = hist.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            shuffled.swap(i, j);
+        }
+        assert_eq!(forward, ParetoArchive::from_history(&shuffled));
+    }
+
+    #[test]
+    fn quarantined_and_nonfinite_records_are_rejected() {
+        let mut a = ParetoArchive::new();
+        let mut q = rec(0, 0.0, 0.0, 0.0);
+        q.reward = QUARANTINE_REWARD;
+        assert!(!a.insert(q), "quarantine sentinel must not enter");
+        let mut nan = rec(1, f64::NAN, 1.0, 1.0);
+        nan.reward = 0.5;
+        assert!(!a.insert(nan));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn duplicate_objectives_keep_the_earliest_iteration() {
+        let mut a = ParetoArchive::new();
+        a.insert(rec(5, 0.9, 1.0, 5.0));
+        assert!(!a.insert(rec(9, 0.9, 1.0, 5.0)));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.entries()[0].iteration, 5);
+        // Inserted in the other order, the earlier iteration still wins.
+        let mut b = ParetoArchive::new();
+        b.insert(rec(9, 0.9, 1.0, 5.0));
+        assert!(b.insert(rec(5, 0.9, 1.0, 5.0)));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.entries()[0].iteration, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_k_by_each_objective() {
+        let a = ParetoArchive::from_history(&random_history(100, 12));
+        for obj in [
+            Objective::Accuracy,
+            Objective::LatencyMs,
+            Objective::EnergyMj,
+            Objective::Reward,
+        ] {
+            let top = a.top_k_by(obj, 3);
+            assert!(top.len() <= 3 && !top.is_empty());
+            for w in top.windows(2) {
+                assert_ne!(
+                    obj.better_first(&w[0], &w[1]),
+                    std::cmp::Ordering::Greater,
+                    "top_k_by({obj:?}) out of order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_caps_filter_and_best_feasible_maximizes_reward() {
+        let a = ParetoArchive::from_history(&random_history(200, 3));
+        let unconstrained = a.best_feasible(&FeasibilityCaps::none()).unwrap();
+        let best_reward = a
+            .entries()
+            .iter()
+            .map(|r| r.reward)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(unconstrained.reward, best_reward);
+        let caps = FeasibilityCaps {
+            max_latency_ms: Some(1.0),
+            ..FeasibilityCaps::none()
+        };
+        if let Some(best) = a.best_feasible(&caps) {
+            assert!(best.eval.latency_ms <= 1.0);
+            for r in a.entries().iter().filter(|r| caps.admits(r)) {
+                assert!(best.reward >= r.reward);
+            }
+        }
+        let impossible = FeasibilityCaps {
+            max_latency_ms: Some(-1.0),
+            ..FeasibilityCaps::none()
+        };
+        assert!(a.best_feasible(&impossible).is_none());
+    }
+
+    #[test]
+    fn area_and_power_proxies_are_monotone() {
+        use yoso_arch::{Dataflow, PeArray};
+        let small = HwConfig {
+            pe: PeArray { rows: 8, cols: 8 },
+            gbuf_kb: 108,
+            rbuf_bytes: 64,
+            dataflow: Dataflow::Ws,
+        };
+        let big = HwConfig {
+            pe: PeArray { rows: 16, cols: 32 },
+            gbuf_kb: 1024,
+            rbuf_bytes: 1024,
+            dataflow: Dataflow::Ws,
+        };
+        assert!(area_units(&big) > area_units(&small));
+        let e = Evaluation {
+            accuracy: 0.9,
+            latency_ms: 2.0,
+            energy_mj: 8.0,
+        };
+        assert_eq!(power_w(&e), 4.0);
+        assert_eq!(
+            power_w(&Evaluation {
+                latency_ms: 0.0,
+                ..e
+            }),
+            f64::INFINITY
+        );
+    }
+}

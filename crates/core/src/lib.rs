@@ -10,6 +10,9 @@
 //!   exact simulation) and a deterministic surrogate;
 //! * [`search`] — search configuration and history bookkeeping
 //!   (top-N selection, Pareto extraction, quarantine ledger);
+//! * [`archive`] — the non-dominated Pareto archive over typed
+//!   [`Objectives`] with RHNAS-style feasibility
+//!   caps, the multi-target answer a single run serves;
 //! * [`session`] — the unified [`SearchSession`] entry point that runs
 //!   the RL loop (LSTM + REINFORCE over the 44-symbol joint action
 //!   space), regularized evolution or random search, with optional
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod archive;
 pub mod checkpoint;
 pub mod error;
 pub mod evaluation;
@@ -60,12 +64,15 @@ pub mod search;
 pub mod session;
 pub mod twostage;
 
-pub use analysis::{feasible, hypervolume, save_history_csv, summarize, EvalSummary};
+pub use analysis::{
+    feasible, hypervolume, save_history_csv, save_pareto_csv, summarize, EvalSummary,
+};
+pub use archive::{area_units, power_w, FeasibilityCaps, Objective, Objectives, ParetoArchive};
 pub use checkpoint::{latest_checkpoint, SessionCheckpoint};
 pub use error::{error_chain, Error};
 pub use evaluation::{
     calibrate_constraints, AccurateEvaluator, Evaluation, Evaluator, FastEvaluator,
-    ScoringPrecision, SurrogateEvaluator,
+    ScoringPrecision, SurrogateEvaluator, SurrogateKind,
 };
 pub use parallel::parallel_map;
 pub use pipeline::{finalize, run_search_and_finalize, Finalist, YosoResult};

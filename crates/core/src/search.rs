@@ -5,6 +5,7 @@
 //! functions were deprecated in favor of the session builder and have
 //! been removed).
 
+use crate::archive::{FeasibilityCaps, Objective, ParetoArchive};
 use crate::evaluation::Evaluation;
 use crate::reward::NonFiniteMetric;
 use yoso_arch::DesignPoint;
@@ -164,7 +165,17 @@ pub struct SearchRecord {
     pub reward: f64,
 }
 
-/// Full search history.
+/// Full search history plus the non-dominated Pareto archive maintained
+/// over it.
+///
+/// The archive (see [`crate::archive`]) is the search's primary output:
+/// where [`best`](SearchOutcome::best) answers one deployment target,
+/// [`pareto`](SearchOutcome::pareto) /
+/// [`top_k_by`](SearchOutcome::top_k_by) /
+/// [`best_feasible`](SearchOutcome::best_feasible) answer many from the
+/// same run. It is a pure function of the history, so derived equality
+/// (used by the resume-equivalence tests) covers it with no extra
+/// bookkeeping.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SearchOutcome {
     /// Every evaluated candidate, in order. Quarantined candidates appear
@@ -174,19 +185,69 @@ pub struct SearchOutcome {
     /// Candidates quarantined for non-finite metrics, in iteration order.
     /// Empty on a fault-free run.
     pub quarantine: Vec<QuarantineEntry>,
+    /// Non-dominated front over `(accuracy, latency, energy)`, maintained
+    /// incrementally by [`record`](SearchOutcome::record).
+    pub archive: ParetoArchive,
 }
 
 impl SearchOutcome {
+    /// Rebuilds an outcome (including its archive) from checkpointed
+    /// history and quarantine ledgers.
+    pub fn from_parts(history: Vec<SearchRecord>, quarantine: Vec<QuarantineEntry>) -> Self {
+        let archive = ParetoArchive::from_history(&history);
+        SearchOutcome {
+            history,
+            quarantine,
+            archive,
+        }
+    }
+
+    /// Appends one evaluated candidate, offering it to the archive.
+    pub fn record(&mut self, rec: SearchRecord) {
+        self.archive.insert(rec);
+        self.history.push(rec);
+    }
+
     /// The highest-reward record.
+    ///
+    /// The reward is monotone in the archive's objectives (higher
+    /// accuracy / lower latency / lower energy never lowers it), so the
+    /// reward maximum always sits on the Pareto front; this delegates to
+    /// the archive and only falls back to a history scan for outcomes
+    /// whose archive is empty (manually assembled histories, or runs
+    /// where every candidate was quarantined).
     ///
     /// # Panics
     ///
     /// Panics if the history is empty.
     pub fn best(&self) -> &SearchRecord {
-        self.history
+        self.archive
+            .entries()
             .iter()
             .max_by(|a, b| a.reward.total_cmp(&b.reward))
+            .or_else(|| {
+                self.history
+                    .iter()
+                    .max_by(|a, b| a.reward.total_cmp(&b.reward))
+            })
             .expect("non-empty search history")
+    }
+
+    /// The non-dominated records over `(accuracy, latency, energy)`, in
+    /// the archive's canonical order.
+    pub fn pareto(&self) -> &[SearchRecord] {
+        self.archive.entries()
+    }
+
+    /// The `k` best archive entries along one objective axis.
+    pub fn top_k_by(&self, objective: Objective, k: usize) -> Vec<SearchRecord> {
+        self.archive.top_k_by(objective, k)
+    }
+
+    /// The highest-reward archive entry satisfying the feasibility caps,
+    /// if any.
+    pub fn best_feasible(&self, caps: &FeasibilityCaps) -> Option<&SearchRecord> {
+        self.archive.best_feasible(caps)
     }
 
     /// The `n` highest-reward *distinct* design points (paper step 3
@@ -456,6 +517,79 @@ mod tests {
                 assert!(!dominates, "front member dominated");
             }
         }
+    }
+
+    #[test]
+    fn archive_is_pure_function_of_history() {
+        let (ev, rc) = setup();
+        let out = random_search(
+            &ev,
+            &rc,
+            &SearchConfig {
+                iterations: 120,
+                rollouts_per_update: 1,
+                seed: 11,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(!out.archive.is_empty());
+        let rebuilt = crate::archive::ParetoArchive::from_history(&out.history);
+        assert_eq!(out.archive, rebuilt);
+        assert_eq!(
+            SearchOutcome::from_parts(out.history.clone(), out.quarantine.clone()),
+            out
+        );
+    }
+
+    #[test]
+    fn best_delegates_to_archive_and_matches_history_scan() {
+        let (ev, rc) = setup();
+        let out = rl_search(
+            &ev,
+            &rc,
+            &SearchConfig {
+                iterations: 80,
+                rollouts_per_update: 4,
+                seed: 12,
+                ..SearchConfig::default()
+            },
+        );
+        let scan = out
+            .history
+            .iter()
+            .max_by(|a, b| a.reward.total_cmp(&b.reward))
+            .unwrap();
+        assert_eq!(out.best(), scan);
+        // The champion sits on the Pareto front.
+        assert!(out.pareto().contains(scan));
+    }
+
+    #[test]
+    fn typed_queries_answer_multiple_targets_from_one_run() {
+        use crate::archive::{FeasibilityCaps, Objective};
+        let (ev, rc) = setup();
+        let out = random_search(
+            &ev,
+            &rc,
+            &SearchConfig {
+                iterations: 150,
+                rollouts_per_update: 1,
+                seed: 13,
+                ..SearchConfig::default()
+            },
+        );
+        let fastest = out.top_k_by(Objective::LatencyMs, 1);
+        assert_eq!(fastest.len(), 1);
+        for r in out.pareto() {
+            assert!(fastest[0].eval.latency_ms <= r.eval.latency_ms);
+        }
+        let caps = FeasibilityCaps {
+            max_latency_ms: Some(fastest[0].eval.latency_ms),
+            ..FeasibilityCaps::none()
+        };
+        let feasible = out.best_feasible(&caps).expect("fastest point is feasible");
+        assert!(feasible.eval.latency_ms <= fastest[0].eval.latency_ms);
+        assert!(out.best_feasible(&FeasibilityCaps::none()).is_some());
     }
 
     #[test]

@@ -589,7 +589,8 @@ impl<'a> SearchSession<'a> {
                 .with_str("strategy", self.strategy.name())
                 .with_u64("iterations", outcome.history.len() as u64)
                 .with_f64("wall_ms", wall_ms)
-                .with_str("evaluator", self.evaluator.name());
+                .with_str("evaluator", self.evaluator.name())
+                .with_u64("pareto_size", outcome.archive.len() as u64);
             if !outcome.history.is_empty() {
                 let best = outcome.best();
                 summary = summary
@@ -978,8 +979,7 @@ impl<'a> SearchSession<'a> {
         let mut last_ckpt = 0usize;
         let (mut controller, mut rng) = match &self.resume {
             Some(res) => {
-                outcome.history = res.history.clone();
-                outcome.quarantine = res.quarantine.clone();
+                outcome = SearchOutcome::from_parts(res.history.clone(), res.quarantine.clone());
                 update_index = res.update_index;
                 last_ckpt = res.history.len();
                 let controller = res
@@ -1027,7 +1027,7 @@ impl<'a> SearchSession<'a> {
                     }
                     None => batch.push((rollout, rec.reward)),
                 }
-                outcome.history.push(rec);
+                outcome.record(rec);
                 iteration += 1;
             }
             // An all-quarantined batch skips the update entirely — the
@@ -1079,12 +1079,12 @@ impl<'a> SearchSession<'a> {
         let mut last_ckpt = 0usize;
         let mut pop: std::collections::VecDeque<SearchRecord> = std::collections::VecDeque::new();
         if let Some(res) = &self.resume {
-            outcome.history = res.history.clone();
-            outcome.quarantine = res.quarantine.clone();
+            outcome = SearchOutcome::from_parts(res.history.clone(), res.quarantine.clone());
             last_ckpt = res.history.len();
             rng = StdRng::from_state(res.rng_state);
             // The sliding population is a pure function of the history:
-            // replay the push/evict sequence to rebuild it.
+            // replay the push/evict sequence to rebuild it (the Pareto
+            // archive is rebuilt the same way inside `from_parts`).
             for rec in &outcome.history {
                 pop.push_back(*rec);
                 if pop.len() > cfg.population {
@@ -1114,7 +1114,7 @@ impl<'a> SearchSession<'a> {
             if pop.len() > cfg.population {
                 pop.pop_front(); // regularization: age-based removal
             }
-            outcome.history.push(rec);
+            outcome.record(rec);
             self.check_fault_budget(&outcome, degraded_before, 0, &rng, None)?;
             self.check_canceled(&outcome, 0, &rng, None)?;
             self.maybe_checkpoint(iteration + 1, &mut last_ckpt, 0, &outcome, &rng, None)?;
@@ -1129,8 +1129,7 @@ impl<'a> SearchSession<'a> {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
         let mut last_ckpt = 0usize;
         if let Some(res) = &self.resume {
-            outcome.history = res.history.clone();
-            outcome.quarantine = res.quarantine.clone();
+            outcome = SearchOutcome::from_parts(res.history.clone(), res.quarantine.clone());
             last_ckpt = res.history.len();
             rng = StdRng::from_state(res.rng_state);
         }
@@ -1140,7 +1139,7 @@ impl<'a> SearchSession<'a> {
             if let Some((reason, raw)) = fault {
                 self.push_quarantine(&mut outcome, &rec, raw, reason, None);
             }
-            outcome.history.push(rec);
+            outcome.record(rec);
             self.check_fault_budget(&outcome, degraded_before, 0, &rng, None)?;
             self.check_canceled(&outcome, 0, &rng, None)?;
             self.maybe_checkpoint(iteration + 1, &mut last_ckpt, 0, &outcome, &rng, None)?;

@@ -4,10 +4,113 @@
 use crate::features::design_features;
 use crate::metrics::mape;
 use crate::regressors::gp::GaussianProcess;
+use crate::regressors::sparse_gp::SparseGaussianProcess;
 use crate::regressors::{FitError, Regressor};
 use yoso_accel::Simulator;
 use yoso_arch::{DesignPoint, NetworkSkeleton};
 use yoso_persist::{ByteReader, ByteWriter, PersistError, Snapshot};
+
+/// Which GP family backs the performance predictor.
+///
+/// [`Exact`](SurrogateKind::Exact) is the paper's O(n³) GP —
+/// most accurate, capped at `max_train` points.
+/// [`Sparse`](SurrogateKind::Sparse) is the subset-of-regressors
+/// approximation ([`SparseGaussianProcess`]) — O(n·m²) fit, O(m²)
+/// incremental append with no cap, built for the observation volumes a
+/// served deployment accumulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurrogateKind {
+    /// Exact GP (paper default).
+    #[default]
+    Exact,
+    /// Subset-of-regressors sparse GP.
+    Sparse,
+}
+
+impl std::fmt::Display for SurrogateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SurrogateKind::Exact => "exact",
+            SurrogateKind::Sparse => "sparse",
+        })
+    }
+}
+
+/// Either GP family behind one dispatching surface.
+#[derive(Debug, Clone)]
+enum SurrogateGp {
+    Exact(GaussianProcess),
+    Sparse(SparseGaussianProcess),
+}
+
+impl SurrogateGp {
+    fn new(kind: SurrogateKind) -> Self {
+        match kind {
+            SurrogateKind::Exact => SurrogateGp::Exact(GaussianProcess::default_rbf()),
+            SurrogateKind::Sparse => SurrogateGp::Sparse(SparseGaussianProcess::default_rbf()),
+        }
+    }
+
+    fn kind(&self) -> SurrogateKind {
+        match self {
+            SurrogateGp::Exact(_) => SurrogateKind::Exact,
+            SurrogateGp::Sparse(_) => SurrogateKind::Sparse,
+        }
+    }
+
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<(), FitError> {
+        match self {
+            SurrogateGp::Exact(gp) => gp.fit(xs, ys),
+            SurrogateGp::Sparse(gp) => gp.fit(xs, ys),
+        }
+    }
+
+    fn append(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<(), FitError> {
+        match self {
+            SurrogateGp::Exact(gp) => gp.append(xs, ys),
+            SurrogateGp::Sparse(gp) => gp.append(xs, ys),
+        }
+    }
+
+    fn predict_one(&self, f: &[f64]) -> f64 {
+        match self {
+            SurrogateGp::Exact(gp) => gp.predict_one(f),
+            SurrogateGp::Sparse(gp) => gp.predict_one(f),
+        }
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        match self {
+            SurrogateGp::Exact(gp) => gp.predict_batch(xs),
+            SurrogateGp::Sparse(gp) => gp.predict_batch(xs),
+        }
+    }
+}
+
+impl Snapshot for SurrogateGp {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        match self {
+            SurrogateGp::Exact(gp) => {
+                w.put_u8(0);
+                gp.snapshot(w);
+            }
+            SurrogateGp::Sparse(gp) => {
+                w.put_u8(1);
+                gp.snapshot(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        match r.take_u8()? {
+            0 => Ok(SurrogateGp::Exact(GaussianProcess::restore(r)?)),
+            1 => Ok(SurrogateGp::Sparse(SparseGaussianProcess::restore(r)?)),
+            tag => Err(PersistError::Malformed(format!(
+                "surrogate gp: unknown kind tag {tag}"
+            ))),
+        }
+    }
+}
 
 /// One ground-truth sample: a design point and its simulated performance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,12 +151,13 @@ pub fn collect_samples(
 #[derive(Debug, Clone)]
 pub struct PerfPredictor {
     skeleton: NetworkSkeleton,
-    latency_gp: GaussianProcess,
-    energy_gp: GaussianProcess,
+    latency_gp: SurrogateGp,
+    energy_gp: SurrogateGp,
 }
 
 impl PerfPredictor {
-    /// Trains both GPs from simulator samples.
+    /// Trains both GPs from simulator samples with the paper-default
+    /// [`SurrogateKind::Exact`] backend.
     ///
     /// Targets are modeled in log space (latency and energy are positive
     /// and multiplicative in the design factors), then exponentiated at
@@ -63,6 +167,20 @@ impl PerfPredictor {
     ///
     /// Returns [`FitError`] if `samples` is empty or a fit fails.
     pub fn train(skeleton: &NetworkSkeleton, samples: &[PerfSample]) -> Result<Self, FitError> {
+        Self::train_with(skeleton, samples, SurrogateKind::Exact)
+    }
+
+    /// Trains both regressors from simulator samples with an explicit
+    /// surrogate backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if `samples` is empty or a fit fails.
+    pub fn train_with(
+        skeleton: &NetworkSkeleton,
+        samples: &[PerfSample],
+        kind: SurrogateKind,
+    ) -> Result<Self, FitError> {
         if samples.is_empty() {
             return Err(FitError::EmptyTrainingSet);
         }
@@ -78,9 +196,9 @@ impl PerfPredictor {
             .iter()
             .map(|s| s.energy_mj.max(1e-12).ln())
             .collect();
-        let mut latency_gp = GaussianProcess::default_rbf();
+        let mut latency_gp = SurrogateGp::new(kind);
         latency_gp.fit(&xs, &y_lat)?;
-        let mut energy_gp = GaussianProcess::default_rbf();
+        let mut energy_gp = SurrogateGp::new(kind);
         energy_gp.fit(&xs, &y_eer)?;
         Ok(PerfPredictor {
             skeleton: skeleton.clone(),
@@ -89,9 +207,15 @@ impl PerfPredictor {
         })
     }
 
-    /// Folds new simulator samples into both GPs **incrementally** via
-    /// [`GaussianProcess::append`] — one Cholesky rank-append per point
-    /// instead of the `O(n³)` refactorization `train` pays, with the same
+    /// The surrogate backend this predictor was trained with.
+    pub fn kind(&self) -> SurrogateKind {
+        self.latency_gp.kind()
+    }
+
+    /// Folds new simulator samples into both regressors **incrementally**
+    /// — a Cholesky rank-append per point for the exact GP
+    /// ([`GaussianProcess::append`]), a rank-1 normal-equation update for
+    /// the sparse one ([`SparseGaussianProcess::append`]) — with the same
     /// log-space target transform. Hyper-parameters stay frozen at the
     /// values selected by the last full [`train`](Self::train).
     ///
@@ -213,8 +337,8 @@ impl Snapshot for PerfPredictor {
     fn restore(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
         Ok(PerfPredictor {
             skeleton: NetworkSkeleton::restore(r)?,
-            latency_gp: GaussianProcess::restore(r)?,
-            energy_gp: GaussianProcess::restore(r)?,
+            latency_gp: SurrogateGp::restore(r)?,
+            energy_gp: SurrogateGp::restore(r)?,
         })
     }
 }
@@ -325,6 +449,47 @@ mod tests {
         let back = PerfPredictor::restore(&mut ByteReader::new(&bytes)).unwrap();
         let mut rng = StdRng::seed_from_u64(12);
         for _ in 0..25 {
+            let p = DesignPoint::random(&mut rng);
+            let (l0, e0) = pred.predict(&p);
+            let (l1, e1) = back.predict(&p);
+            assert_eq!(l0.to_bits(), l1.to_bits());
+            assert_eq!(e0.to_bits(), e1.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_backend_is_accurate_and_appendable() {
+        let skeleton = NetworkSkeleton::tiny();
+        let sim = Simulator::fast();
+        let train = collect_samples(&skeleton, &sim, 300, 30);
+        let test = collect_samples(&skeleton, &sim, 60, 31);
+        let mut pred =
+            PerfPredictor::train_with(&skeleton, &train[..200], SurrogateKind::Sparse).unwrap();
+        assert_eq!(pred.kind(), SurrogateKind::Sparse);
+        let (lat_err, eer_err) = pred.evaluate(&test);
+        assert!(lat_err < 0.2, "sparse latency MAPE {lat_err}");
+        assert!(eer_err < 0.2, "sparse energy MAPE {eer_err}");
+        pred.append_samples(&train[200..]).unwrap();
+        let (lat_more, _) = pred.evaluate(&test);
+        assert!(
+            lat_more <= lat_err * 1.1,
+            "sparse append degraded MAPE: {lat_err} -> {lat_more}"
+        );
+    }
+
+    #[test]
+    fn sparse_predictor_roundtrips_with_kind_tag() {
+        let skeleton = NetworkSkeleton::tiny();
+        let sim = Simulator::fast();
+        let train = collect_samples(&skeleton, &sim, 100, 32);
+        let pred = PerfPredictor::train_with(&skeleton, &train, SurrogateKind::Sparse).unwrap();
+        let mut w = ByteWriter::new();
+        pred.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let back = PerfPredictor::restore(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.kind(), SurrogateKind::Sparse);
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..10 {
             let p = DesignPoint::random(&mut rng);
             let (l0, e0) = pred.predict(&p);
             let (l1, e1) = back.predict(&p);

@@ -85,7 +85,7 @@ impl GaussianProcess {
         (-sq_dist(a, b) / (2.0 * self.lengthscale * self.lengthscale)).exp()
     }
 
-    fn kernel_matrix(xs: &[Vec<f64>], ell: f64, noise: f64) -> Matrix {
+    pub(crate) fn kernel_matrix(xs: &[Vec<f64>], ell: f64, noise: f64) -> Matrix {
         let n = xs.len();
         let mut k = Matrix::zeros(n, n);
         let inv = 1.0 / (2.0 * ell * ell);
@@ -101,7 +101,7 @@ impl GaussianProcess {
     }
 
     /// Log marginal likelihood of `(xs, ys)` under `(ell, noise)`.
-    fn log_marginal(xs: &[Vec<f64>], ys: &[f64], ell: f64, noise: f64) -> f64 {
+    pub(crate) fn log_marginal(xs: &[Vec<f64>], ys: &[f64], ell: f64, noise: f64) -> f64 {
         let k = Self::kernel_matrix(xs, ell, noise);
         let Ok(l) = k.cholesky() else {
             return f64::NEG_INFINITY;
@@ -379,7 +379,7 @@ impl Default for GaussianProcess {
     }
 }
 
-fn stride_subsample<T: Clone>(v: &[T], cap: usize) -> Vec<T> {
+pub(crate) fn stride_subsample<T: Clone>(v: &[T], cap: usize) -> Vec<T> {
     if v.len() <= cap {
         return v.to_vec();
     }

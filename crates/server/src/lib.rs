@@ -140,6 +140,9 @@ struct JobLog {
     job: u64,
     lines: Vec<String>,
     subs: Vec<Arc<ConnWriter>>,
+    /// Pre-serialized `pareto_front` frame for a completed run, sent
+    /// right before the `job_done` frame and replayed on `subscribe`.
+    pareto: Option<String>,
     done: Option<JobDone>,
 }
 
@@ -162,11 +165,15 @@ impl JobLog {
         }
     }
 
-    fn finish(&mut self, done: JobDone) {
+    fn finish(&mut self, pareto: Option<String>, done: JobDone) {
         let frame = Reply::Done(done.clone()).to_json();
         for sub in self.subs.drain(..) {
+            if let Some(p) = &pareto {
+                sub.send(p);
+            }
             sub.send(&frame);
         }
+        self.pareto = pareto;
         self.done = Some(done);
     }
 
@@ -181,6 +188,9 @@ impl JobLog {
             sub.send(&frame);
         }
         if let Some(done) = &self.done {
+            if let Some(p) = &self.pareto {
+                sub.send(p);
+            }
             sub.send(&Reply::Done(done.clone()).to_json());
         } else {
             self.subs.push(sub);
@@ -213,6 +223,7 @@ impl Job {
                 job: id,
                 lines: Vec::new(),
                 subs: Vec::new(),
+                pareto: None,
                 done: None,
             })),
         }
@@ -607,6 +618,7 @@ fn resume(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, id: u64, stream: bool)
         job.state = JobState::Queued;
         job.cancel.store(false, Ordering::SeqCst);
         let mut log = job.log.lock().unwrap_or_else(|e| e.into_inner());
+        log.pareto = None;
         log.done = None;
         if stream {
             log.subs.push(writer.clone());
@@ -707,6 +719,28 @@ fn stats(shared: &Shared) -> ServerStats {
     out
 }
 
+/// Renders a completed outcome's non-dominated archive as the wire
+/// [`proto::ParetoFront`], in the archive's canonical order. The
+/// numeric fields cross the codec bit-exact, so comparing a served
+/// front against the in-process `outcome.pareto()` is an `==` check.
+pub fn pareto_front_of(job: u64, outcome: &yoso_core::search::SearchOutcome) -> proto::ParetoFront {
+    proto::ParetoFront {
+        job,
+        entries: outcome
+            .pareto()
+            .iter()
+            .map(|r| proto::ParetoEntry {
+                iteration: r.iteration as u64,
+                accuracy: r.eval.accuracy,
+                latency_ms: r.eval.latency_ms,
+                energy_mj: r.eval.energy_mj,
+                reward: r.reward,
+                hw: r.point.hw.to_string(),
+            })
+            .collect(),
+    }
+}
+
 fn runner_loop(shared: &Arc<Shared>) {
     loop {
         let id = {
@@ -790,7 +824,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     yoso_accel::cache::set_thread_tenant(None);
     yoso_chaos::set_thread_scope(None);
 
-    let done = {
+    let (pareto, done) = {
         let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
         let Some(job) = jobs.get_mut(&id) else { return };
         match result {
@@ -804,13 +838,17 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
                 job.best_reward = best;
                 iterations_done.store(outcome.history.len() as u64, Ordering::Relaxed);
                 shared.charge_tenant(&job.spec.tenant, outcome.quarantine.len() as u64);
-                JobDone {
-                    job: id,
-                    state: JobState::Completed,
-                    iterations: outcome.history.len() as u64,
-                    best_reward: best,
-                    error: None,
-                }
+                let pareto = Reply::ParetoFront(pareto_front_of(id, &outcome)).to_json();
+                (
+                    Some(pareto),
+                    JobDone {
+                        job: id,
+                        state: JobState::Completed,
+                        iterations: outcome.history.len() as u64,
+                        best_reward: best,
+                        error: None,
+                    },
+                )
             }
             Err(CoreError::Canceled {
                 iterations,
@@ -818,13 +856,16 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             }) => {
                 job.state = JobState::Suspended;
                 job.checkpoint = checkpoint;
-                JobDone {
-                    job: id,
-                    state: JobState::Suspended,
-                    iterations: iterations as u64,
-                    best_reward: None,
-                    error: None,
-                }
+                (
+                    None,
+                    JobDone {
+                        job: id,
+                        state: JobState::Suspended,
+                        iterations: iterations as u64,
+                        best_reward: None,
+                        error: None,
+                    },
+                )
             }
             Err(e) => {
                 if let CoreError::FaultBudgetExhausted { faults, .. } = &e {
@@ -833,15 +874,20 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
                 let msg = e.to_string();
                 job.state = JobState::Failed;
                 job.error = Some(msg.clone());
-                JobDone {
-                    job: id,
-                    state: JobState::Failed,
-                    iterations: iterations_done.load(Ordering::Relaxed),
-                    best_reward: None,
-                    error: Some(msg),
-                }
+                (
+                    None,
+                    JobDone {
+                        job: id,
+                        state: JobState::Failed,
+                        iterations: iterations_done.load(Ordering::Relaxed),
+                        best_reward: None,
+                        error: Some(msg),
+                    },
+                )
             }
         }
     };
-    log.lock().unwrap_or_else(|e| e.into_inner()).finish(done);
+    log.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .finish(pareto, done);
 }

@@ -10,11 +10,15 @@
 //! |---|---|
 //! | client → server | `submit`, `status`, `suspend`, `resume`, `subscribe`, `stats`, `shutdown` |
 //! | server → client (reply) | `submitted`, `job_status`, `server_stats`, `shutting_down`, `error` |
-//! | server → client (stream) | `job_event`, `job_done` |
+//! | server → client (stream) | `job_event`, `pareto_front`, `job_done` |
 //!
-//! Stream frames (`job_event` / `job_done`) may arrive *between* a
-//! request and its reply on the same connection; clients must buffer
-//! them ([`yoso-client`](../../yoso_client/index.html) does).
+//! Stream frames (`job_event` / `pareto_front` / `job_done`) may arrive
+//! *between* a request and its reply on the same connection; clients
+//! must buffer them ([`yoso-client`](../../yoso_client/index.html)
+//! does). `pareto_front` is additive in protocol version 1: it carries
+//! the completed job's non-dominated archive (one flat frame, numbered
+//! per-entry scalar fields) immediately before `job_done`, and is
+//! replayed by `subscribe`.
 //!
 //! A [`JobSpec`] converts losslessly to and from a
 //! [`SearchSessionBuilder`]: see [`JobSpec::apply`] and
@@ -413,6 +417,39 @@ pub struct JobDone {
     pub error: Option<String>,
 }
 
+/// One record of a job's non-dominated Pareto archive as it crosses
+/// the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoEntry {
+    /// Search iteration that produced the record.
+    pub iteration: u64,
+    /// Predicted accuracy (maximized).
+    pub accuracy: f64,
+    /// Predicted latency in milliseconds (minimized).
+    pub latency_ms: f64,
+    /// Predicted energy in millijoules (minimized).
+    pub energy_mj: f64,
+    /// Scalar reward under the job's reward config.
+    pub reward: f64,
+    /// Rendered hardware configuration (`HwConfig` display form).
+    pub hw: String,
+}
+
+/// Stream frame carrying a completed job's full non-dominated archive.
+///
+/// Emitted once per successful run, immediately before the `job_done`
+/// frame, and replayed by `subscribe` after the `job_event` log. The
+/// entries arrive in the archive's canonical order (ascending latency)
+/// so the frame is bit-identical across server thread counts and
+/// kill-and-resume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFront {
+    /// Which job the archive belongs to.
+    pub job: u64,
+    /// Non-dominated records in canonical archive order.
+    pub entries: Vec<ParetoEntry>,
+}
+
 /// Aggregate server counters returned by `stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ServerStats {
@@ -558,6 +595,9 @@ pub enum Reply {
         /// The raw trace line.
         line: String,
     },
+    /// A completed job's non-dominated archive, streamed right before
+    /// [`Reply::Done`] and replayed by `subscribe`.
+    ParetoFront(ParetoFront),
     /// Terminal stream frame for a job run.
     Done(JobDone),
     /// Reply to `shutdown`.
@@ -610,6 +650,21 @@ impl Reply {
                 .with_u64("seq", *seq)
                 .with_str("line", line)
                 .to_json(),
+            Reply::ParetoFront(front) => {
+                let mut ev = versioned("pareto_front")
+                    .with_u64("job", front.job)
+                    .with_u64("count", front.entries.len() as u64);
+                for (i, e) in front.entries.iter().enumerate() {
+                    ev = ev
+                        .with_u64(format!("iter{i}"), e.iteration)
+                        .with_f64(format!("acc{i}"), e.accuracy)
+                        .with_f64(format!("lat{i}"), e.latency_ms)
+                        .with_f64(format!("eer{i}"), e.energy_mj)
+                        .with_f64(format!("rew{i}"), e.reward)
+                        .with_str(format!("hw{i}"), &e.hw);
+                }
+                ev.to_json()
+            }
             Reply::Done(d) => {
                 let mut ev = versioned("job_done")
                     .with_u64("job", d.job)
@@ -673,6 +728,24 @@ impl Reply {
                 seq: get_u64(&ev, "seq")?,
                 line: get_str(&ev, "line")?.to_string(),
             },
+            "pareto_front" => {
+                let count = get_u64(&ev, "count")?;
+                let mut entries = Vec::with_capacity(count as usize);
+                for i in 0..count {
+                    entries.push(ParetoEntry {
+                        iteration: get_u64(&ev, &format!("iter{i}"))?,
+                        accuracy: get_f64(&ev, &format!("acc{i}"))?,
+                        latency_ms: get_f64(&ev, &format!("lat{i}"))?,
+                        energy_mj: get_f64(&ev, &format!("eer{i}"))?,
+                        reward: get_f64(&ev, &format!("rew{i}"))?,
+                        hw: get_str(&ev, &format!("hw{i}"))?.to_string(),
+                    });
+                }
+                Reply::ParetoFront(ParetoFront {
+                    job: get_u64(&ev, "job")?,
+                    entries,
+                })
+            }
             "job_done" => {
                 let state_name = get_str(&ev, "state")?;
                 Reply::Done(JobDone {
@@ -846,6 +919,31 @@ mod tests {
                 seq: 4,
                 line: "{\"event\":\"search_iter\",\"iter\":4,\"reward\":0.5}".to_string(),
             },
+            Reply::ParetoFront(ParetoFront {
+                job: 17,
+                entries: vec![
+                    ParetoEntry {
+                        iteration: 3,
+                        accuracy: 0.91,
+                        latency_ms: 12.5,
+                        energy_mj: 0.75,
+                        reward: 1.375,
+                        hw: "pes=64 gbuf_kb=128 rbuf_bytes=512".to_string(),
+                    },
+                    ParetoEntry {
+                        iteration: 31,
+                        accuracy: 0.94,
+                        latency_ms: 19.25,
+                        energy_mj: 1.5,
+                        reward: 1.25,
+                        hw: "pes=256 gbuf_kb=256 rbuf_bytes=1024".to_string(),
+                    },
+                ],
+            }),
+            Reply::ParetoFront(ParetoFront {
+                job: 4,
+                entries: Vec::new(),
+            }),
             Reply::Done(JobDone {
                 job: 17,
                 state: JobState::Completed,
@@ -878,6 +976,39 @@ mod tests {
         .to_json();
         match Reply::parse(&frame).unwrap() {
             Reply::Event { line, .. } => assert_eq!(line, inner),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pareto_front_frame_is_bit_exact_through_the_codec() {
+        // Archive objectives must survive the wire without rounding so
+        // the served front can be compared `==` against the in-process
+        // archive. Use values with awkward binary expansions.
+        let front = ParetoFront {
+            job: 9,
+            entries: vec![ParetoEntry {
+                iteration: u64::MAX >> 12,
+                accuracy: 0.1 + 0.2,
+                latency_ms: 1.0 / 3.0,
+                energy_mj: 6.02214076e-23,
+                reward: -1.7976931348623157e308,
+                hw: "pes=8 gbuf_kb=16 rbuf_bytes=\"64\"".to_string(),
+            }],
+        };
+        let line = Reply::ParetoFront(front.clone()).to_json();
+        match Reply::parse(&line).unwrap() {
+            Reply::ParetoFront(back) => {
+                assert_eq!(back.job, front.job);
+                assert_eq!(back.entries.len(), 1);
+                let (a, b) = (&back.entries[0], &front.entries[0]);
+                assert_eq!(a.iteration, b.iteration);
+                assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+                assert_eq!(a.latency_ms.to_bits(), b.latency_ms.to_bits());
+                assert_eq!(a.energy_mj.to_bits(), b.energy_mj.to_bits());
+                assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+                assert_eq!(a.hw, b.hw);
+            }
             other => panic!("unexpected reply {other:?}"),
         }
     }

@@ -83,15 +83,24 @@ pub use yoso_trace as trace;
 /// the blocking [`Client`](yoso_client::Client) and the versioned wire
 /// types ([`JobSpec`](yoso_server::proto::JobSpec),
 /// [`JobStatus`](yoso_server::proto::JobStatus),
-/// [`ErrorCode`](yoso_server::proto::ErrorCode), …).
+/// [`ErrorCode`](yoso_server::proto::ErrorCode), …). The
+/// multi-objective surface (DESIGN.md §12) completes the set: the
+/// typed [`Objectives`](yoso_core::archive::Objectives) point, rank
+/// axis [`Objective`](yoso_core::archive::Objective), deployment
+/// [`FeasibilityCaps`](yoso_core::archive::FeasibilityCaps), the
+/// [`ParetoArchive`](yoso_core::archive::ParetoArchive) itself, its
+/// wire form ([`ParetoFront`](yoso_server::proto::ParetoFront)) and
+/// the surrogate selector
+/// ([`SurrogateKind`](yoso_core::evaluation::SurrogateKind)).
 pub mod prelude {
     pub use yoso_chaos::{FaultKind, FaultPlan, FaultRule};
     pub use yoso_client::{Client, ClientError};
+    pub use yoso_core::archive::{FeasibilityCaps, Objective, Objectives, ParetoArchive};
     pub use yoso_core::checkpoint::{latest_checkpoint, SessionCheckpoint};
     pub use yoso_core::error::{error_chain, Error};
     pub use yoso_core::evaluation::{
         calibrate_constraints, AccurateEvaluator, Evaluation, Evaluator, FastEvaluator,
-        SurrogateEvaluator,
+        SurrogateEvaluator, SurrogateKind,
     };
     pub use yoso_core::reward::{Constraints, NonFiniteMetric, RewardConfig, RewardForm};
     pub use yoso_core::search::{
@@ -102,8 +111,8 @@ pub mod prelude {
     pub use yoso_persist::{PersistError, Snapshot, SnapshotArchive, SnapshotBuilder};
     pub use yoso_pool::{ItemOutcome, PoolError, SupervisorConfig};
     pub use yoso_server::proto::{
-        ErrorCode, JobDone, JobSpec, JobState, JobStatus, Reply, Request, ServerStats,
-        PROTO_VERSION,
+        ErrorCode, JobDone, JobSpec, JobState, JobStatus, ParetoEntry, ParetoFront, Reply, Request,
+        ServerStats, PROTO_VERSION,
     };
     pub use yoso_server::{Server, ServerConfig};
     pub use yoso_trace::{Event, Trace};

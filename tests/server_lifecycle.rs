@@ -156,6 +156,42 @@ fn suspend_resume_across_server_restart_is_bit_identical() {
 }
 
 #[test]
+fn served_pareto_front_matches_the_in_process_archive() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let spec = spec("multi", 12, 21);
+    let job = client.submit(&spec, true).unwrap();
+    let (_, done) = client.wait_done(job).unwrap();
+    assert_eq!(done.state, JobState::Completed);
+
+    // Same seed in-process: the served frame must carry exactly this
+    // run's non-dominated archive, value-identical after the codec.
+    let evaluator = SurrogateEvaluator::new(yoso::arch::NetworkSkeleton::tiny());
+    let outcome = spec
+        .apply(SearchSession::builder())
+        .evaluator(&evaluator)
+        .run()
+        .expect("in-process run");
+    let expected = yoso_server::pareto_front_of(job, &outcome);
+    assert!(!expected.entries.is_empty());
+
+    let served = client
+        .pareto_front(job)
+        .expect("pareto_front streamed before job_done");
+    assert_eq!(*served, expected);
+
+    // The replay path hands a late subscriber the identical frame.
+    let mut late = Client::connect(server.addr()).unwrap();
+    late.subscribe(job).unwrap();
+    let (_, done2) = late.wait_done(job).unwrap();
+    assert_eq!(done2.state, JobState::Completed);
+    assert_eq!(late.pareto_front(job), Some(&expected));
+
+    server.shutdown();
+}
+
+#[test]
 fn rejection_paths_return_typed_error_codes() {
     let server = Server::start(ServerConfig {
         max_concurrent_jobs: 1,

@@ -14,8 +14,17 @@
 //!    and collect its live `search_iter` events. Zero lost jobs, every
 //!    stream complete, p99 inter-event latency measured client-side.
 //!
+//! 3. **Journal phase** (in-process mode only) — the same job batch
+//!    runs against a journal-free server and a crash-consistent one
+//!    (write-ahead journal under a scratch `checkpoint_root`), after a
+//!    warm-up pass so both timed batches ride the simulator cache
+//!    identically. Journal overhead must stay ≤ 10% of throughput, and
+//!    a restart on the populated root must recover every job (the
+//!    measured recovery time is reported).
+//!
 //! Writes `BENCH_server.json` (jobs/sec, p99 iteration latency, hit
-//! rate vs tenant count) into [`yoso_bench::results_dir`].
+//! rate vs tenant count, journal overhead & recovery time) into
+//! [`yoso_bench::results_dir`].
 //!
 //! With `--addr HOST:PORT` the in-process server is skipped and the
 //! load is driven against an already-running `yoso_serve` daemon
@@ -271,11 +280,100 @@ fn real_main() -> Result<(), Error> {
             server_stats.failed
         )));
     }
+    let in_process = server.is_some();
     admin.shutdown_server().map_err(client_err)?;
     drop(admin);
     if let Some(server) = server {
         server.shutdown();
     }
+
+    // Phase 3 (in-process only; an external daemon's disk is not ours
+    // to journal on): journal overhead + crash-recovery cost. The same
+    // batch of jobs runs twice — once journal-free, once with the
+    // write-ahead journal armed — after an untimed warm-up pass with
+    // the same seeds, so both timed batches ride the simulator cache
+    // identically and the delta isolates the journal path.
+    let journal_json = if in_process {
+        println!("\n=== phase 3: journal overhead & recovery ===");
+        let journal_jobs = tenants.max(4);
+        let batch_seed = 40_000u64;
+        let run_batch = |addr: SocketAddr| -> Result<f64, Error> {
+            let start = Instant::now();
+            for i in 0..journal_jobs {
+                let spec = spec_for(
+                    &format!("journal-t{i}"),
+                    reward,
+                    iterations,
+                    batch_seed + i as u64,
+                );
+                drive_job(addr, &spec, iterations)?;
+            }
+            Ok(start.elapsed().as_secs_f64())
+        };
+        let start_server = |root: Option<std::path::PathBuf>| -> Result<Server, Error> {
+            Server::start(ServerConfig {
+                max_concurrent_jobs: max_jobs,
+                skeleton: skeleton.clone(),
+                checkpoint_root: root,
+                ..ServerConfig::default()
+            })
+            .map_err(|e| Error::InvalidConfig(format!("journal-phase bind: {e}")))
+        };
+
+        let plain = start_server(None)?;
+        run_batch(plain.addr())?; // warm-up: populates the sim cache
+        let plain_wall = run_batch(plain.addr())?;
+        plain.shutdown();
+
+        let root =
+            std::env::temp_dir().join(format!("yoso_loadgen_journal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root)
+            .map_err(|e| Error::InvalidConfig(format!("journal scratch root: {e}")))?;
+        let journaled = start_server(Some(root.clone()))?;
+        let journaled_wall = run_batch(journaled.addr())?;
+        let mut jc = Client::connect(journaled.addr()).map_err(client_err)?;
+        let fsyncs = jc.stats().map_err(client_err)?.journal_fsyncs;
+        jc.shutdown_server().map_err(client_err)?;
+        drop(jc);
+        journaled.shutdown();
+
+        let overhead_pct = 100.0 * (journaled_wall - plain_wall) / plain_wall.max(1e-9);
+        println!(
+            "  {journal_jobs} jobs: plain {plain_wall:.3}s, journaled {journaled_wall:.3}s \
+             ({overhead_pct:+.1}% overhead, {fsyncs} fsyncs)"
+        );
+        if overhead_pct > 10.0 {
+            return Err(Error::InvalidConfig(format!(
+                "journal overhead {overhead_pct:.1}% exceeds the 10% budget \
+                 (plain {plain_wall:.3}s vs journaled {journaled_wall:.3}s)"
+            )));
+        }
+
+        // Recovery: a fresh server on the populated root must pick up
+        // every journaled job at startup.
+        let recover_start = Instant::now();
+        let recovered_server = start_server(Some(root.clone()))?;
+        let recovery_ms = recover_start.elapsed().as_secs_f64() * 1e3;
+        let mut rc = Client::connect(recovered_server.addr()).map_err(client_err)?;
+        let recovered = rc.stats().map_err(client_err)?.jobs_recovered;
+        rc.shutdown_server().map_err(client_err)?;
+        drop(rc);
+        recovered_server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+        if recovered != journal_jobs as u64 {
+            return Err(Error::InvalidConfig(format!(
+                "restart recovered {recovered} jobs from the journal, expected {journal_jobs}"
+            )));
+        }
+        println!("  restart recovered {recovered} jobs in {recovery_ms:.1} ms");
+        format!(
+            "{{\n    \"jobs\": {journal_jobs},\n    \"plain_wall_s\": {plain_wall:.3},\n    \"journaled_wall_s\": {journaled_wall:.3},\n    \"overhead_pct\": {overhead_pct:.2},\n    \"fsyncs\": {fsyncs},\n    \"restart_recovery_ms\": {recovery_ms:.2},\n    \"jobs_recovered\": {recovered}\n  }}"
+        )
+    } else {
+        println!("\n(journal phase skipped: external daemon)");
+        "null".to_string()
+    };
 
     let mut table = Table::new(&["tenants", "hits", "misses", "hit rate"]);
     for &(t, h, m, r) in &phase_rows {
@@ -298,7 +396,7 @@ fn real_main() -> Result<(), Error> {
         .collect();
     let meta = bench_meta_json(2);
     let json = format!(
-        "{{\n  \"bench\": \"server load\",\n  {meta},\n  \"config\": {{\n    \"tenants\": {tenants},\n    \"sessions_per_tenant\": {sessions},\n    \"iterations_per_job\": {iterations},\n    \"max_concurrent_jobs\": {max_jobs}\n  }},\n  \"throughput\": {{\n    \"jobs\": {completed},\n    \"lost_jobs\": 0,\n    \"wall_s\": {wall_s:.3},\n    \"jobs_per_sec\": {jobs_per_sec:.2}\n  }},\n  \"iteration_latency_ms\": {{\n    \"events\": {},\n    \"p50\": {p50:.3},\n    \"p99\": {p99:.3}\n  }},\n  \"cache\": {{\n    \"process_hits\": {},\n    \"process_misses\": {},\n    \"hit_rate_by_tenant_count\": [\n{}\n    ],\n    \"strictly_increasing\": {strictly_increasing}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"server load\",\n  {meta},\n  \"config\": {{\n    \"tenants\": {tenants},\n    \"sessions_per_tenant\": {sessions},\n    \"iterations_per_job\": {iterations},\n    \"max_concurrent_jobs\": {max_jobs}\n  }},\n  \"throughput\": {{\n    \"jobs\": {completed},\n    \"lost_jobs\": 0,\n    \"wall_s\": {wall_s:.3},\n    \"jobs_per_sec\": {jobs_per_sec:.2}\n  }},\n  \"iteration_latency_ms\": {{\n    \"events\": {},\n    \"p50\": {p50:.3},\n    \"p99\": {p99:.3}\n  }},\n  \"cache\": {{\n    \"process_hits\": {},\n    \"process_misses\": {},\n    \"hit_rate_by_tenant_count\": [\n{}\n    ],\n    \"strictly_increasing\": {strictly_increasing}\n  }},\n  \"journal\": {journal_json}\n}}\n",
         deltas.len(),
         server_stats.cache_hits,
         server_stats.cache_misses,

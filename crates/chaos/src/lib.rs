@@ -54,9 +54,20 @@ pub enum FaultKind {
     NanReward,
     /// An evaluation stalls for `delay_ms` before returning (`yoso-core`).
     SlowEval,
+    /// A server connection is dropped mid-stream (`yoso-server`).
+    ConnDrop,
+    /// A wire frame is cut short after a prefix of its bytes
+    /// (`yoso-server`), leaving the peer a truncated line.
+    PartialWrite,
+    /// A socket write stalls for `delay_ms` before completing
+    /// (`yoso-server`), exercising deadlines and slow-consumer eviction.
+    Stall,
+    /// A garbage (non-protocol) line is injected into the stream ahead of
+    /// the real frame (`yoso-server`), exercising decoder hardening.
+    GarbageFrame,
 }
 
-const N_KINDS: usize = 6;
+const N_KINDS: usize = 10;
 
 impl FaultKind {
     /// All kinds, in stable order.
@@ -67,6 +78,10 @@ impl FaultKind {
         FaultKind::GpPredictNan,
         FaultKind::NanReward,
         FaultKind::SlowEval,
+        FaultKind::ConnDrop,
+        FaultKind::PartialWrite,
+        FaultKind::Stall,
+        FaultKind::GarbageFrame,
     ];
 
     fn index(self) -> usize {
@@ -77,6 +92,10 @@ impl FaultKind {
             FaultKind::GpPredictNan => 3,
             FaultKind::NanReward => 4,
             FaultKind::SlowEval => 5,
+            FaultKind::ConnDrop => 6,
+            FaultKind::PartialWrite => 7,
+            FaultKind::Stall => 8,
+            FaultKind::GarbageFrame => 9,
         }
     }
 
@@ -89,7 +108,18 @@ impl FaultKind {
             FaultKind::GpPredictNan => "gp_predict_nan",
             FaultKind::NanReward => "nan_reward",
             FaultKind::SlowEval => "slow_eval",
+            FaultKind::ConnDrop => "conn_drop",
+            FaultKind::PartialWrite => "partial_write",
+            FaultKind::Stall => "stall",
+            FaultKind::GarbageFrame => "garbage_frame",
         }
+    }
+
+    /// True for the kinds that carry a configurable stall duration, i.e.
+    /// those whose `delay_ms` is meaningful and serialized by
+    /// [`FaultPlan::to_text`].
+    pub fn has_delay(self) -> bool {
+        matches!(self, FaultKind::SlowEval | FaultKind::Stall)
     }
 
     /// Parses a [`FaultKind::name`] back into a kind.
@@ -123,7 +153,8 @@ pub struct FaultRule {
     pub at: Vec<u64>,
     /// Hard cap on injections for this kind (`u64::MAX` = unlimited).
     pub max_faults: u64,
-    /// Stall duration for [`FaultKind::SlowEval`] injections.
+    /// Stall duration for [`FaultKind::SlowEval`] / [`FaultKind::Stall`]
+    /// injections.
     pub delay_ms: u64,
     /// When set, the rule applies only to threads whose
     /// [`set_thread_scope`] id equals this value.
@@ -168,7 +199,8 @@ impl FaultRule {
         self
     }
 
-    /// Sets the stall duration for [`FaultKind::SlowEval`].
+    /// Sets the stall duration for [`FaultKind::SlowEval`] /
+    /// [`FaultKind::Stall`].
     pub fn delay_ms(mut self, ms: u64) -> Self {
         self.delay_ms = ms;
         self
@@ -221,7 +253,7 @@ impl FaultPlan {
             if r.max_faults != u64::MAX {
                 s.push_str(&format!(" max {}", r.max_faults));
             }
-            if r.kind == FaultKind::SlowEval {
+            if r.kind.has_delay() {
                 s.push_str(&format!(" delay_ms {}", r.delay_ms));
             }
             if let Some(scope) = r.scope {
@@ -631,6 +663,19 @@ pub fn eval_delay() -> Option<Duration> {
     }
 }
 
+/// The configured `delay_ms` for `kind` under the installed plan, without
+/// consuming an opportunity. Sites that already decided to inject a
+/// stall-style fault (via [`should_fault`] / [`should_fault_indexed`])
+/// call this to learn how long to sleep.
+pub fn delay_of(kind: FaultKind) -> Duration {
+    if !armed() {
+        return Duration::ZERO;
+    }
+    let guard = ACTIVE.read().unwrap_or_else(|e| e.into_inner());
+    let ms = guard.as_ref().map(|a| a.delay[kind.index()]).unwrap_or(0);
+    Duration::from_millis(ms)
+}
+
 /// Consumes one opportunity for `kind`; returns NaN when it fires, `value`
 /// otherwise. Convenience for poisoning scalar outputs at serial sites.
 pub fn poison_f64(kind: FaultKind, value: f64) -> f64 {
@@ -875,6 +920,37 @@ mod tests {
         assert_ne!(first, other);
         set_thread_scope(None);
         disarm();
+    }
+
+    #[test]
+    fn network_kinds_round_trip_through_text() {
+        let plan = FaultPlan::new(13)
+            .rule(FaultRule::rate(FaultKind::ConnDrop, 0.1).max_faults(4))
+            .rule(FaultRule::rate(FaultKind::PartialWrite, 0.05))
+            .rule(FaultRule::rate(FaultKind::Stall, 0.2).delay_ms(9))
+            .rule(FaultRule::at(FaultKind::GarbageFrame, &[2, 5]));
+        let text = plan.to_text();
+        assert!(text.contains("fault stall rate 0.2 delay_ms 9"), "{text}");
+        assert_eq!(FaultPlan::from_text(&text).expect("parses"), plan);
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn delay_of_reports_stall_duration_without_consuming() {
+        let _guard = test_lock();
+        install(&FaultPlan::new(6).rule(FaultRule::rate(FaultKind::Stall, 1.0).delay_ms(12)));
+        assert_eq!(delay_of(FaultKind::Stall), Duration::from_millis(12));
+        assert_eq!(delay_of(FaultKind::Stall), Duration::from_millis(12));
+        let s = stats();
+        let stall = s
+            .iter()
+            .find(|s| s.kind == FaultKind::Stall)
+            .expect("stall stats");
+        assert_eq!(stall.opportunities, 0);
+        disarm();
+        assert_eq!(delay_of(FaultKind::Stall), Duration::ZERO);
     }
 
     #[test]

@@ -7,11 +7,22 @@
 //! The server may interleave stream frames (`job_event` /
 //! `pareto_front` / `job_done`) with request replies on the same
 //! connection; [`Client`] buffers them, so [`request`](Client::request)
-//! always returns the actual reply and [`wait_done`](Client::wait_done)
+//! always returns the actual reply and [`ResilientClient::wait_done`](Client::wait_done)
 //! / [`next_event`](Client::next_event) drain the stream in order.
 //! A completed job's non-dominated archive frame is stashed as it
 //! passes by and read back with
-//! [`pareto_front`](Client::pareto_front).
+//! [`pareto_front`](Client::pareto_front). Server heartbeat `ping`
+//! frames are answered transparently inside the read loop, so an idle
+//! [`ResilientClient::wait_done`](Client::wait_done) never trips the server's
+//! missed-heartbeat eviction.
+//!
+//! For connections that must survive network faults and server
+//! restarts, [`ResilientClient`] wraps a [`Client`] with jittered
+//! exponential-backoff reconnection ([`RetryPolicy`]) and
+//! resume-from-last-seen replay: on reconnect it re-subscribes with
+//! the next event sequence it expects and drops any replayed
+//! duplicates, so each job's collected line stream has zero lost and
+//! zero duplicated events no matter how often the transport fails.
 //!
 //! ```no_run
 //! use yoso_client::Client;
@@ -32,6 +43,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use yoso_server::proto::{
     ErrorCode, JobDone, JobStatus, ParetoFront, ProtoError, Reply, Request, ServerStats,
@@ -96,6 +108,19 @@ impl ClientError {
         }
     }
 
+    /// Whether retrying the operation (after reconnecting) can
+    /// plausibly succeed. Transport failures and undecodable frames
+    /// are retryable — a fresh connection gets a clean stream — as is
+    /// a typed [`ErrorCode::AdmissionFull`] refusal (backpressure,
+    /// retry after a delay). Every other typed refusal is a fact about
+    /// the request or the server's state that a retry cannot change.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) | ClientError::Proto(_) => true,
+            ClientError::Server { code, .. } => matches!(code, ErrorCode::AdmissionFull),
+        }
+    }
+
     fn unexpected(reply: &Reply) -> ClientError {
         ClientError::Proto(ProtoError {
             code: ErrorCode::MalformedFrame,
@@ -147,7 +172,15 @@ impl Client {
             if trimmed.is_empty() {
                 continue;
             }
-            return Ok(Reply::parse(trimmed)?);
+            match Reply::parse(trimmed)? {
+                // Heartbeat probe: answer and keep reading. Every call
+                // that reads frames stays heartbeat-transparent.
+                Reply::Ping => {
+                    writeln!(self.writer, "{}", Request::Pong.to_json())?;
+                    self.writer.flush()?;
+                }
+                reply => return Ok(reply),
+            }
         }
     }
 
@@ -239,7 +272,25 @@ impl Client {
     ///
     /// As [`request`](Client::request).
     pub fn subscribe(&mut self, job: u64) -> Result<JobStatus, ClientError> {
-        self.status_request(Request::Subscribe { job })
+        self.status_request(Request::Subscribe {
+            job,
+            from_seq: None,
+        })
+    }
+
+    /// Like [`subscribe`](Client::subscribe), but replays only events
+    /// with sequence ≥ `from_seq` — the idempotent-resume primitive a
+    /// reconnecting client uses to pick a stream back up without
+    /// re-receiving what it already has.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Client::request).
+    pub fn subscribe_from(&mut self, job: u64, from_seq: u64) -> Result<JobStatus, ClientError> {
+        self.status_request(Request::Subscribe {
+            job,
+            from_seq: Some(from_seq),
+        })
     }
 
     /// Fetches aggregate server counters.
@@ -334,7 +385,7 @@ impl Client {
     /// The latest streamed `pareto_front` frame for `job`, if one has
     /// arrived — the server emits it right before `job_done` on
     /// completed runs, and replays it on `subscribe`. Call after
-    /// [`wait_done`](Client::wait_done) reports `completed`.
+    /// [`ResilientClient::wait_done`](Client::wait_done) reports `completed`.
     pub fn pareto_front(&self, job: u64) -> Option<&ParetoFront> {
         self.fronts.get(&job)
     }
@@ -346,5 +397,388 @@ impl std::fmt::Debug for Client {
             .field("peer", &self.writer.peer_addr().ok())
             .field("pending", &self.pending.len())
             .finish()
+    }
+}
+
+/// Jittered exponential backoff for [`ResilientClient`]: attempt `n`
+/// sleeps `base_delay * 2^n` (capped at `max_delay`), scaled by a
+/// seeded jitter in `[0.5, 1.5)` so a fleet of reconnecting clients
+/// does not stampede the daemon in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Consecutive failed attempts before giving up (the original
+    /// failure is returned).
+    pub max_retries: u32,
+    /// First-attempt backoff.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream; same seed, same jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// SplitMix64 — the same tiny deterministic generator the chaos layer
+/// draws from; here it only decorrelates backoff jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (0-based), advancing the
+    /// jitter stream.
+    fn backoff(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        // Uniform jitter factor in [0.5, 1.5).
+        let unit = (splitmix64(jitter_state) >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + unit)
+    }
+}
+
+/// A [`Client`] that survives dropped connections, garbage frames and
+/// server restarts.
+///
+/// Tracks, per job, the next event sequence it expects; when the
+/// transport fails mid-stream it reconnects under [`RetryPolicy`]
+/// backoff, re-subscribes with
+/// [`subscribe_from`](Client::subscribe_from) at that watermark, and
+/// drops any replayed or re-emitted event below it. Because a
+/// journal-recovered server re-emits the post-checkpoint suffix
+/// byte-identically at the same sequence numbers, the collected stream
+/// ends up with zero lost and zero duplicated lines even across a
+/// `kill -9` + restart of the daemon.
+pub struct ResilientClient {
+    addr: String,
+    policy: RetryPolicy,
+    jitter: u64,
+    client: Option<Client>,
+    /// Per-job next expected event sequence (== lines collected).
+    next_seq: HashMap<u64, u64>,
+    /// Per-job lines collected so far (survives reconnects).
+    collected: HashMap<u64, Vec<String>>,
+    /// Terminal frames seen for jobs other than the one being awaited.
+    finished: HashMap<u64, JobDone>,
+    fronts: HashMap<u64, ParetoFront>,
+    reconnects: u64,
+}
+
+impl ResilientClient {
+    /// Creates the wrapper; the first connection is established lazily
+    /// (and under retry) by the first operation.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient {
+            addr: addr.into(),
+            policy,
+            jitter: 0,
+            client: None,
+            next_seq: HashMap::new(),
+            collected: HashMap::new(),
+            finished: HashMap::new(),
+            fronts: HashMap::new(),
+            reconnects: 0,
+        }
+    }
+
+    /// Times the transport was re-established after a failure.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn drop_conn(&mut self) {
+        if self.client.take().is_some() {
+            self.reconnects += 1;
+        }
+    }
+
+    /// Returns a live connection, dialing under backoff if necessary.
+    fn conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.client.is_none() {
+            if self.jitter == 0 {
+                self.jitter = self.policy.seed;
+            }
+            let mut attempt = 0u32;
+            loop {
+                match Client::connect(&self.addr) {
+                    Ok(c) => {
+                        self.client = Some(c);
+                        break;
+                    }
+                    Err(e) => {
+                        if attempt >= self.policy.max_retries {
+                            return Err(e);
+                        }
+                        std::thread::sleep(self.policy.backoff(attempt, &mut self.jitter));
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+        Ok(self.client.as_mut().expect("connection just established"))
+    }
+
+    /// Runs one request under the retry policy, reconnecting between
+    /// attempts on retryable failures.
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self.conn().and_then(&mut op);
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
+                    self.drop_conn();
+                    std::thread::sleep(self.policy.backoff(attempt, &mut self.jitter));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Submits a job (no streaming attach — [`ResilientClient::wait_done`]
+    /// (ResilientClient::wait_done) subscribes explicitly so the
+    /// subscription can be re-established after a reconnect).
+    ///
+    /// Retried under the policy. Caveat: a retry after a reply lost
+    /// in transit can leave an orphan duplicate job on the server; the
+    /// id returned is always one this client observed, so tracked
+    /// streams stay exact.
+    ///
+    /// # Errors
+    ///
+    /// The first non-retryable failure, or the last failure once
+    /// retries are exhausted.
+    pub fn submit(&mut self, spec: &yoso_server::proto::JobSpec) -> Result<u64, ClientError> {
+        let spec = spec.clone();
+        let job = self.with_retry(move |c| c.submit(&spec, false))?;
+        self.next_seq.insert(job, 0);
+        self.collected.insert(job, Vec::new());
+        Ok(job)
+    }
+
+    /// Resumes a suspended job (including one persisted by a previous
+    /// server process), retried under the policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](ResilientClient::submit).
+    pub fn resume(&mut self, job: u64) -> Result<JobStatus, ClientError> {
+        let status = self.with_retry(move |c| c.resume(job, false))?;
+        self.next_seq.entry(job).or_insert(0);
+        self.collected.entry(job).or_default();
+        Ok(status)
+    }
+
+    /// Fetches server stats, retried under the policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](ResilientClient::submit).
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        self.with_retry(|c| c.stats())
+    }
+
+    /// Streams `job` to completion, self-healing across transport
+    /// failures: subscribes from the current watermark, accepts each
+    /// event exactly once (replayed duplicates below the watermark are
+    /// dropped), and on any retryable failure reconnects with backoff
+    /// and re-subscribes from where it left off. Returns every line of
+    /// the job's stream — including those collected on earlier calls
+    /// or connections — and the terminal frame.
+    ///
+    /// # Errors
+    ///
+    /// A non-retryable failure, or the last failure once
+    /// `max_retries` consecutive attempts burned without progress
+    /// (progress resets the attempt counter).
+    pub fn wait_done(&mut self, job: u64) -> Result<(Vec<String>, JobDone), ClientError> {
+        self.next_seq.entry(job).or_insert(0);
+        self.collected.entry(job).or_default();
+        if let Some(done) = self.finished.get(&job).cloned() {
+            return Ok((self.collected.get(&job).cloned().unwrap_or_default(), done));
+        }
+        let mut attempt = 0u32;
+        loop {
+            let from = *self.next_seq.get(&job).unwrap_or(&0);
+            let result = self.stream_once(job, from);
+            match result {
+                Ok(Some(done)) => {
+                    if let Some(front) = self
+                        .client
+                        .as_ref()
+                        .and_then(|c| c.pareto_front(job))
+                        .cloned()
+                    {
+                        self.fronts.insert(job, front);
+                    }
+                    self.finished.insert(job, done.clone());
+                    return Ok((self.collected.get(&job).cloned().unwrap_or_default(), done));
+                }
+                Ok(None) => unreachable!("stream_once returns a done frame or an error"),
+                Err(e) if e.is_retryable() => {
+                    // Reset the attempt budget whenever the connection
+                    // made forward progress before dying.
+                    if *self.next_seq.get(&job).unwrap_or(&0) > from {
+                        attempt = 0;
+                    }
+                    if attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    self.drop_conn();
+                    std::thread::sleep(self.policy.backoff(attempt, &mut self.jitter));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One subscribe-and-drain attempt on the current connection.
+    /// Returns the terminal frame, or an error when the transport or
+    /// stream fails first.
+    fn stream_once(&mut self, job: u64, from: u64) -> Result<Option<JobDone>, ClientError> {
+        // Subscribe on the live connection from the watermark; the
+        // reply confirms the job exists before we block on events.
+        self.conn()?.subscribe_from(job, from)?;
+        loop {
+            let frame = self.conn()?.next_event()?;
+            match frame {
+                Reply::Event { job: j, seq, line } => {
+                    if j != job {
+                        continue; // other jobs' frames: not ours to track
+                    }
+                    let next = self.next_seq.entry(job).or_insert(0);
+                    if seq < *next {
+                        continue; // replayed duplicate below the watermark
+                    }
+                    if seq > *next {
+                        // A gap means the subscription missed events —
+                        // resubscribe from the watermark.
+                        return Err(ClientError::Io(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("event gap: expected seq {next}, got {seq}"),
+                        )));
+                    }
+                    *next += 1;
+                    self.collected.entry(job).or_default().push(line);
+                }
+                Reply::Done(done) => {
+                    if done.job == job {
+                        return Ok(Some(done));
+                    }
+                    self.finished.insert(done.job, done);
+                }
+                other => return Err(ClientError::unexpected(&other)),
+            }
+        }
+    }
+
+    /// The latest `pareto_front` frame captured for `job` (survives
+    /// reconnects, unlike [`Client::pareto_front`]'s).
+    pub fn pareto_front(&self, job: u64) -> Option<&ParetoFront> {
+        self.fronts.get(&job)
+    }
+}
+
+impl std::fmt::Debug for ResilientClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientClient")
+            .field("addr", &self.addr)
+            .field("connected", &self.client.is_some())
+            .field("reconnects", &self.reconnects)
+            .field("jobs", &self.next_seq.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        let io = ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "reset",
+        ));
+        assert!(io.is_retryable());
+        let proto = ClientError::Proto(ProtoError {
+            code: ErrorCode::MalformedFrame,
+            message: "garbage".into(),
+        });
+        assert!(proto.is_retryable());
+        let full = ClientError::Server {
+            code: ErrorCode::AdmissionFull,
+            message: "queue full".into(),
+        };
+        assert!(full.is_retryable());
+        for code in [
+            ErrorCode::UnknownJob,
+            ErrorCode::InvalidState,
+            ErrorCode::FaultBudgetExhausted,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            let e = ClientError::Server {
+                code,
+                message: String::new(),
+            };
+            assert!(!e.is_retryable(), "{code} must be fatal");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            seed: 7,
+        };
+        let mut s1 = policy.seed;
+        let mut s2 = policy.seed;
+        let a: Vec<Duration> = (0..8).map(|i| policy.backoff(i, &mut s1)).collect();
+        let b: Vec<Duration> = (0..8).map(|i| policy.backoff(i, &mut s2)).collect();
+        assert_eq!(a, b, "same seed must give the same jitter sequence");
+        for (i, d) in a.iter().enumerate() {
+            let exp = policy
+                .base_delay
+                .saturating_mul(1 << i as u32)
+                .min(policy.max_delay);
+            assert!(
+                *d >= exp.mul_f64(0.5) && *d < exp.mul_f64(1.5),
+                "attempt {i}"
+            );
+        }
+        // The cap binds from attempt 5 on (10ms * 32 > 200ms).
+        assert!(a[7] < Duration::from_millis(300));
+    }
+
+    #[test]
+    fn resilient_client_is_lazy_and_tracks_state() {
+        let rc = ResilientClient::new("127.0.0.1:1", RetryPolicy::default());
+        assert_eq!(rc.reconnects(), 0);
+        assert!(rc.pareto_front(0).is_none());
+        let dbg = format!("{rc:?}");
+        assert!(dbg.contains("connected: false"), "{dbg}");
     }
 }

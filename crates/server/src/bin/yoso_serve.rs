@@ -3,12 +3,25 @@
 //! ```text
 //! yoso_serve [--addr HOST:PORT] [--max-jobs N] [--queue-cap N]
 //!            [--checkpoint-root DIR] [--tenant-fault-budget N]
-//!            [--chaos-plan FILE]
+//!            [--chaos-plan FILE] [--read-timeout-ms N]
+//!            [--write-timeout-ms N] [--heartbeat-misses N]
+//!            [--max-sub-queue N] [--drain-timeout-ms N]
+//!            [--journal-fsync-every N] [--no-recover]
+//!            [--bind-retry-ms N]
 //! ```
 //!
 //! Binds, prints `listening on <addr>` to stdout (port 0 resolves to a
 //! free port, so drivers can parse the line), then serves until a
-//! client sends a `shutdown` frame.
+//! client sends a `shutdown` frame. With a `--checkpoint-root`, jobs
+//! recorded in the write-ahead journal are recovered at startup — a
+//! daemon killed with `SIGKILL` and relaunched on the same root picks
+//! its tenants' jobs back up (pass `--no-recover` to opt out).
+//!
+//! `--bind-retry-ms` keeps retrying a failed bind for that long — how a
+//! restart drill rebinds the fixed port an earlier incarnation held
+//! moments before.
+
+use std::time::{Duration, Instant};
 
 use yoso_server::{Server, ServerConfig};
 
@@ -17,6 +30,10 @@ fn arg(flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
 }
 
 fn main() {
@@ -36,6 +53,27 @@ fn main() {
     if let Some(b) = arg("--tenant-fault-budget").and_then(|v| v.parse().ok()) {
         cfg.tenant_fault_budget = Some(b);
     }
+    if let Some(ms) = arg("--read-timeout-ms").and_then(|v| v.parse().ok()) {
+        cfg.read_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = arg("--write-timeout-ms").and_then(|v| v.parse().ok()) {
+        cfg.write_timeout = Duration::from_millis(ms);
+    }
+    if let Some(n) = arg("--heartbeat-misses").and_then(|v| v.parse().ok()) {
+        cfg.heartbeat_misses = n;
+    }
+    if let Some(n) = arg("--max-sub-queue").and_then(|v| v.parse().ok()) {
+        cfg.max_subscriber_queue = n;
+    }
+    if let Some(ms) = arg("--drain-timeout-ms").and_then(|v| v.parse().ok()) {
+        cfg.drain_timeout = Duration::from_millis(ms);
+    }
+    if let Some(n) = arg("--journal-fsync-every").and_then(|v| v.parse().ok()) {
+        cfg.journal_fsync_every = n;
+    }
+    if present("--no-recover") {
+        cfg.recover_jobs = false;
+    }
     if let Some(path) = arg("--chaos-plan") {
         let plan = yoso_chaos::FaultPlan::load(&path)
             .unwrap_or_else(|e| panic!("--chaos-plan {path}: {e}"));
@@ -47,7 +85,22 @@ fn main() {
         yoso_chaos::install(&plan);
     }
 
-    let server = Server::start(cfg).unwrap_or_else(|e| panic!("bind: {e}"));
+    let retry_for = Duration::from_millis(
+        arg("--bind-retry-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    );
+    let deadline = Instant::now() + retry_for;
+    let server = loop {
+        match Server::start(cfg.clone()) {
+            Ok(server) => break server,
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("bind {}: {e}; retrying", cfg.addr);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("bind: {e}"),
+        }
+    };
     println!("listening on {}", server.addr());
     server.wait_for_shutdown_request();
     eprintln!("shutdown requested; draining");

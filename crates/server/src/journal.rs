@@ -1,0 +1,686 @@
+//! Crash-consistent write-ahead job journal.
+//!
+//! The journal is one append-only file (`journal.wal` under the server's
+//! `checkpoint_root`) recording every job admission, every trace line a
+//! runner emits, the last durable iteration at each suspend point, and
+//! each job's terminal frame. A daemon killed with `SIGKILL` mid-run
+//! recovers *all* tenant jobs on restart by replaying the journal —
+//! completed jobs come back with their full replayable event log, and
+//! interrupted jobs are re-admitted with their log truncated to the
+//! prefix covered by their newest on-disk checkpoint, so the resumed
+//! session re-emits the remainder byte-identically.
+//!
+//! ## Record framing
+//!
+//! Each record is `[u32 len][u64 fnv1a(payload)][payload]`, all
+//! little-endian, with the payload built by [`yoso_persist::ByteWriter`]
+//! (the same checksummed container discipline as the snapshot format).
+//! The framing gives the reader two distinct failure modes:
+//!
+//! * **torn tail** — the file ends mid-record, or the declared length is
+//!   implausible (`0` or beyond [`MAX_RECORD_LEN`]). This is the
+//!   expected signature of a crash during an append; recovery stops
+//!   there and everything before it is intact.
+//! * **corrupt record** — the length is plausible but the checksum (or
+//!   the payload decode) fails. Recovery *skips* that record and keeps
+//!   scanning at the next boundary; a job whose `admit` record is the
+//!   casualty is skipped as a whole (typed in
+//!   [`Recovery::corrupt_records`] / [`Recovery::orphan_lines`]), never
+//!   a crash.
+//!
+//! ## Durability model
+//!
+//! Appends go through the OS page cache; a `SIGKILL` loses nothing that
+//! `write(2)` returned for, so kill-9 recovery does not depend on fsync
+//! at all. `fsync` (counted in `server.journal_fsyncs`) matters only for
+//! power loss and is issued every `fsync_every` appends plus at every
+//! terminal record, bounding the power-loss exposure window without
+//! paying a disk flush per trace line.
+//!
+//! On startup the server compacts the journal: recovered jobs are
+//! rewritten (admit + truncated log + terminal frames) to a tmp file
+//! that is fsynced and atomically renamed over the old journal, so
+//! replay is idempotent across repeated crashes and the file does not
+//! grow without bound across restarts.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use yoso_persist::{fnv1a, ByteReader, ByteWriter};
+
+/// File name of the journal under the server's `checkpoint_root`.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// Hard cap on one record's payload length. A declared length beyond
+/// this is treated as a torn/corrupt tail, not an allocation request.
+pub const MAX_RECORD_LEN: u32 = 4 << 20;
+
+const KIND_ADMIT: u8 = 1;
+const KIND_LINE: u8 = 2;
+const KIND_DURABLE: u8 = 3;
+const KIND_DONE: u8 = 4;
+const KIND_RESUMED: u8 = 5;
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A job was admitted; `spec_json` is its `job_spec` frame.
+    Admit {
+        /// Server-assigned job id.
+        job: u64,
+        /// The spec's standalone frame form.
+        spec_json: String,
+    },
+    /// One trace line a runner emitted for the job.
+    Line {
+        /// Which job emitted it.
+        job: u64,
+        /// The raw JSONL trace line.
+        line: String,
+    },
+    /// The job reached a durable point: a checkpoint covering
+    /// `iteration` completed iterations is on disk.
+    Durable {
+        /// Which job.
+        job: u64,
+        /// Completed iterations the checkpoint covers.
+        iteration: u64,
+    },
+    /// The job finished; `done_json` is its `job_done` frame and
+    /// `pareto_json` the `pareto_front` frame for completed runs.
+    Done {
+        /// Which job.
+        job: u64,
+        /// Serialized `job_done` reply frame.
+        done_json: String,
+        /// Serialized `pareto_front` reply frame, when the run
+        /// completed successfully.
+        pareto_json: Option<String>,
+    },
+    /// A previously finished (suspended) job was resumed: its terminal
+    /// frame no longer describes it, so recovery must treat it as
+    /// in-flight again.
+    Resumed {
+        /// Which job.
+        job: u64,
+    },
+}
+
+impl Record {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Record::Admit { job, spec_json } => {
+                w.put_u8(KIND_ADMIT);
+                w.put_u64(*job);
+                w.put_str(spec_json);
+            }
+            Record::Line { job, line } => {
+                w.put_u8(KIND_LINE);
+                w.put_u64(*job);
+                w.put_str(line);
+            }
+            Record::Durable { job, iteration } => {
+                w.put_u8(KIND_DURABLE);
+                w.put_u64(*job);
+                w.put_u64(*iteration);
+            }
+            Record::Done {
+                job,
+                done_json,
+                pareto_json,
+            } => {
+                w.put_u8(KIND_DONE);
+                w.put_u64(*job);
+                w.put_str(done_json);
+                w.put_bool(pareto_json.is_some());
+                if let Some(p) = pareto_json {
+                    w.put_str(p);
+                }
+            }
+            Record::Resumed { job } => {
+                w.put_u8(KIND_RESUMED);
+                w.put_u64(*job);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Option<Record> {
+        let mut r = ByteReader::new(payload);
+        let kind = r.take_u8().ok()?;
+        let job = r.take_u64().ok()?;
+        Some(match kind {
+            KIND_ADMIT => Record::Admit {
+                job,
+                spec_json: r.take_str().ok()?,
+            },
+            KIND_LINE => Record::Line {
+                job,
+                line: r.take_str().ok()?,
+            },
+            KIND_DURABLE => Record::Durable {
+                job,
+                iteration: r.take_u64().ok()?,
+            },
+            KIND_DONE => {
+                let done_json = r.take_str().ok()?;
+                let pareto_json = if r.take_bool().ok()? {
+                    Some(r.take_str().ok()?)
+                } else {
+                    None
+                };
+                Record::Done {
+                    job,
+                    done_json,
+                    pareto_json,
+                }
+            }
+            KIND_RESUMED => Record::Resumed { job },
+            _ => return None,
+        })
+    }
+
+    fn frame(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut out = Vec::with_capacity(12 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// True for records that should force a flush to disk regardless of
+    /// the fsync cadence (admissions and terminal frames — the records
+    /// recovery cannot reconstruct from anywhere else).
+    fn is_boundary(&self) -> bool {
+        matches!(
+            self,
+            Record::Admit { .. }
+                | Record::Done { .. }
+                | Record::Durable { .. }
+                | Record::Resumed { .. }
+        )
+    }
+}
+
+/// Append handle to the journal file.
+pub struct Journal {
+    file: File,
+    /// `fsync` every this many appends (`0` = never on cadence; boundary
+    /// records still sync).
+    fsync_every: u64,
+    appends_since_sync: u64,
+    fsyncs: u64,
+}
+
+impl Journal {
+    /// Opens (creating if missing) the journal under `root` in append
+    /// mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(root: &Path, fsync_every: u64) -> io::Result<Journal> {
+        std::fs::create_dir_all(root)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(root.join(JOURNAL_FILE))?;
+        Ok(Journal {
+            file,
+            fsync_every,
+            appends_since_sync: 0,
+            fsyncs: 0,
+        })
+    }
+
+    /// Appends one record; returns whether this append fsynced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, rec: &Record) -> io::Result<bool> {
+        self.file.write_all(&rec.frame())?;
+        self.appends_since_sync += 1;
+        let due = rec.is_boundary()
+            || (self.fsync_every > 0 && self.appends_since_sync >= self.fsync_every);
+        if due {
+            self.sync()?;
+        }
+        Ok(due)
+    }
+
+    /// Forces an fsync of everything appended so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.appends_since_sync = 0;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// `fsync` calls issued through this handle.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+}
+
+/// One job reconstructed from the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredJob {
+    /// Server-assigned id from the admit record.
+    pub job: u64,
+    /// The spec's `job_spec` frame.
+    pub spec_json: String,
+    /// Trace lines journaled for the job, in emit order.
+    pub lines: Vec<String>,
+    /// Highest durable iteration recorded (suspend points).
+    pub durable: Option<u64>,
+    /// Terminal `job_done` frame, when the job finished.
+    pub done_json: Option<String>,
+    /// `pareto_front` frame for completed runs.
+    pub pareto_json: Option<String>,
+}
+
+/// Everything a journal scan reconstructs, plus its damage report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Recovered jobs in ascending id order.
+    pub jobs: Vec<RecoveredJob>,
+    /// Records whose checksum or payload decode failed and were
+    /// skipped.
+    pub corrupt_records: u64,
+    /// Line/durable/done records referencing a job with no (valid)
+    /// admit record — the typed signature of a corrupt admission, which
+    /// skips the whole job rather than crashing.
+    pub orphan_lines: u64,
+    /// True when the scan stopped at a torn tail (crash mid-append).
+    pub torn_tail: bool,
+}
+
+impl Recovery {
+    /// Highest job id seen, for seeding the server's id counter.
+    pub fn max_job_id(&self) -> u64 {
+        self.jobs.iter().map(|j| j.job).max().unwrap_or(0)
+    }
+}
+
+/// Scans the journal under `root` and reconstructs per-job state.
+/// Missing journal ⇒ empty recovery. Never fails on damaged contents:
+/// corrupt records are skipped (and counted), a torn tail stops the
+/// scan.
+///
+/// # Errors
+///
+/// Propagates only filesystem read errors (not content damage).
+pub fn recover(root: &Path) -> io::Result<Recovery> {
+    let path = root.join(JOURNAL_FILE);
+    let mut bytes = Vec::new();
+    match File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Recovery::default()),
+        Err(e) => return Err(e),
+    }
+
+    let mut rec = Recovery::default();
+    let mut jobs: Vec<RecoveredJob> = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 12 {
+            rec.torn_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        if len == 0 || len > MAX_RECORD_LEN {
+            rec.torn_tail = true;
+            break;
+        }
+        let len = len as usize;
+        if bytes.len() - pos - 12 < len {
+            rec.torn_tail = true;
+            break;
+        }
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(&bytes[pos + 4..pos + 12]);
+        let checksum = u64::from_le_bytes(sum);
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        pos += 12 + len;
+        if fnv1a(payload) != checksum {
+            rec.corrupt_records += 1;
+            continue;
+        }
+        let Some(record) = Record::decode(payload) else {
+            rec.corrupt_records += 1;
+            continue;
+        };
+        match record {
+            Record::Admit { job, spec_json } => {
+                if jobs.iter().all(|j| j.job != job) {
+                    jobs.push(RecoveredJob {
+                        job,
+                        spec_json,
+                        lines: Vec::new(),
+                        durable: None,
+                        done_json: None,
+                        pareto_json: None,
+                    });
+                }
+            }
+            Record::Line { job, line } => match jobs.iter_mut().find(|j| j.job == job) {
+                Some(j) => j.lines.push(line),
+                None => rec.orphan_lines += 1,
+            },
+            Record::Durable { job, iteration } => match jobs.iter_mut().find(|j| j.job == job) {
+                Some(j) => j.durable = Some(j.durable.map_or(iteration, |d| d.max(iteration))),
+                None => rec.orphan_lines += 1,
+            },
+            Record::Done {
+                job,
+                done_json,
+                pareto_json,
+            } => match jobs.iter_mut().find(|j| j.job == job) {
+                Some(j) => {
+                    j.done_json = Some(done_json);
+                    j.pareto_json = pareto_json;
+                }
+                None => rec.orphan_lines += 1,
+            },
+            Record::Resumed { job } => match jobs.iter_mut().find(|j| j.job == job) {
+                Some(j) => {
+                    j.done_json = None;
+                    j.pareto_json = None;
+                }
+                None => rec.orphan_lines += 1,
+            },
+        }
+    }
+    jobs.sort_by_key(|j| j.job);
+    rec.jobs = jobs;
+    Ok(rec)
+}
+
+/// Rewrites the journal under `root` to exactly the given jobs
+/// (compaction), using the tmp + fsync + atomic-rename discipline, and
+/// returns a fresh append handle onto the rewritten file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn rewrite(root: &Path, jobs: &[RecoveredJob], fsync_every: u64) -> io::Result<Journal> {
+    std::fs::create_dir_all(root)?;
+    let tmp = root.join(format!("{JOURNAL_FILE}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        for j in jobs {
+            f.write_all(
+                &Record::Admit {
+                    job: j.job,
+                    spec_json: j.spec_json.clone(),
+                }
+                .frame(),
+            )?;
+            for line in &j.lines {
+                f.write_all(
+                    &Record::Line {
+                        job: j.job,
+                        line: line.clone(),
+                    }
+                    .frame(),
+                )?;
+            }
+            if let Some(iteration) = j.durable {
+                f.write_all(
+                    &Record::Durable {
+                        job: j.job,
+                        iteration,
+                    }
+                    .frame(),
+                )?;
+            }
+            if let Some(done_json) = &j.done_json {
+                f.write_all(
+                    &Record::Done {
+                        job: j.job,
+                        done_json: done_json.clone(),
+                        pareto_json: j.pareto_json.clone(),
+                    }
+                    .frame(),
+                )?;
+            }
+        }
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, root.join(JOURNAL_FILE))?;
+    if let Ok(dir) = File::open(root) {
+        let _ = dir.sync_data();
+    }
+    let mut journal = Journal::open(root, fsync_every)?;
+    journal.fsyncs = 1; // the rewrite's own sync
+    Ok(journal)
+}
+
+/// The journal path under `root` (for tests and tooling).
+pub fn journal_path(root: &Path) -> PathBuf {
+    root.join(JOURNAL_FILE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SALT: AtomicU64 = AtomicU64::new(0);
+        let n = SALT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("yoso_journal_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn write_job(root: &Path, job: u64, lines: &[&str], done: bool) {
+        let mut j = Journal::open(root, 0).expect("open");
+        j.append(&Record::Admit {
+            job,
+            spec_json: format!("{{\"event\":\"job_spec\",\"job\":{job}}}"),
+        })
+        .expect("admit");
+        for line in lines {
+            j.append(&Record::Line {
+                job,
+                line: (*line).to_string(),
+            })
+            .expect("line");
+        }
+        if done {
+            j.append(&Record::Done {
+                job,
+                done_json: format!("{{\"event\":\"job_done\",\"job\":{job}}}"),
+                pareto_json: None,
+            })
+            .expect("done");
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_frame_codec() {
+        let records = vec![
+            Record::Admit {
+                job: 7,
+                spec_json: "{\"event\":\"job_spec\"}".to_string(),
+            },
+            Record::Line {
+                job: 7,
+                line: "{\"event\":\"search_iter\",\"iteration\":0}".to_string(),
+            },
+            Record::Durable {
+                job: 7,
+                iteration: 12,
+            },
+            Record::Done {
+                job: 7,
+                done_json: "{\"event\":\"job_done\"}".to_string(),
+                pareto_json: Some("{\"event\":\"pareto_front\"}".to_string()),
+            },
+        ];
+        for rec in records {
+            let frame = rec.frame();
+            let payload = &frame[12..];
+            assert_eq!(Record::decode(payload), Some(rec));
+        }
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let root = temp_root("roundtrip");
+        write_job(&root, 1, &["l0", "l1"], true);
+        write_job(&root, 2, &["a"], false);
+        let rec = recover(&root).expect("recover");
+        assert_eq!(rec.corrupt_records, 0);
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.jobs.len(), 2);
+        assert_eq!(rec.jobs[0].job, 1);
+        assert_eq!(rec.jobs[0].lines, vec!["l0", "l1"]);
+        assert!(rec.jobs[0].done_json.is_some());
+        assert_eq!(rec.jobs[1].job, 2);
+        assert!(rec.jobs[1].done_json.is_none());
+        assert_eq!(rec.max_job_id(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_journal_recovers_empty() {
+        let root = temp_root("missing");
+        let rec = recover(&root).expect("recover");
+        assert_eq!(rec, Recovery::default());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_stops_the_scan_but_keeps_the_prefix() {
+        let root = temp_root("torn");
+        write_job(&root, 1, &["l0", "l1"], false);
+        // Simulate a crash mid-append: chop bytes off the file tail.
+        let path = journal_path(&root);
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncate");
+        let rec = recover(&root).expect("recover");
+        assert!(rec.torn_tail);
+        assert_eq!(rec.jobs.len(), 1);
+        assert_eq!(rec.jobs[0].lines, vec!["l0"], "prefix before the tear");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_not_fatal() {
+        let root = temp_root("corrupt");
+        write_job(&root, 1, &["l0", "l1", "l2"], false);
+        // Flip a payload byte inside the second line record; its
+        // checksum no longer matches, so recovery must skip exactly it.
+        let path = journal_path(&root);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let needle = b"l1";
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("find l1");
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let rec = recover(&root).expect("recover");
+        assert_eq!(rec.corrupt_records, 1);
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.jobs[0].lines, vec!["l0", "l2"]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_admit_skips_the_whole_job() {
+        let root = temp_root("orphan");
+        write_job(&root, 1, &["a0"], false);
+        write_job(&root, 2, &["b0", "b1"], false);
+        // Corrupt job 2's admit record payload.
+        let path = journal_path(&root);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let needle = b"\"job\":2";
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("find admit 2");
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let rec = recover(&root).expect("recover");
+        assert_eq!(rec.corrupt_records, 1);
+        assert_eq!(rec.orphan_lines, 2, "job 2's lines are orphaned");
+        assert_eq!(rec.jobs.len(), 1);
+        assert_eq!(rec.jobs[0].job, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn resumed_record_clears_the_terminal_frame() {
+        let root = temp_root("resumed");
+        write_job(&root, 1, &["l0"], true);
+        let mut j = Journal::open(&root, 0).expect("open");
+        j.append(&Record::Resumed { job: 1 }).expect("resumed");
+        drop(j);
+        let rec = recover(&root).expect("recover");
+        assert_eq!(rec.jobs.len(), 1);
+        assert!(rec.jobs[0].done_json.is_none(), "resume voided the done");
+        assert_eq!(rec.jobs[0].lines, vec!["l0"], "lines survive the resume");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rewrite_compacts_idempotently() {
+        let root = temp_root("rewrite");
+        write_job(&root, 1, &["l0", "l1"], true);
+        write_job(&root, 2, &["a"], false);
+        let before = recover(&root).expect("recover");
+        let size_before = std::fs::metadata(journal_path(&root)).expect("stat").len();
+        // Compact with job 2's log truncated (as startup recovery does).
+        let mut jobs = before.jobs.clone();
+        jobs[1].lines.clear();
+        let journal = rewrite(&root, &jobs, 0).expect("rewrite");
+        assert_eq!(journal.fsyncs(), 1);
+        drop(journal);
+        let after = recover(&root).expect("recover");
+        assert_eq!(after.jobs, jobs);
+        let size_after = std::fs::metadata(journal_path(&root)).expect("stat").len();
+        assert!(size_after < size_before);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fsync_cadence_counts_boundary_and_periodic_syncs() {
+        let root = temp_root("fsync");
+        let mut j = Journal::open(&root, 3).expect("open");
+        let synced = j
+            .append(&Record::Admit {
+                job: 1,
+                spec_json: "{}".to_string(),
+            })
+            .expect("admit");
+        assert!(synced, "admissions always sync");
+        let mut periodic = 0;
+        for i in 0..9 {
+            if j.append(&Record::Line {
+                job: 1,
+                line: format!("l{i}"),
+            })
+            .expect("line")
+            {
+                periodic += 1;
+            }
+        }
+        assert_eq!(periodic, 3, "every 3rd line append syncs");
+        assert_eq!(j.fsyncs(), 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -32,6 +32,26 @@
 //!   exhausted further submissions from that tenant are refused with
 //!   [`proto::ErrorCode::FaultBudgetExhausted`].
 //!
+//! Serving resilience (DESIGN.md §13):
+//!
+//! * **Crash consistency** — with a `checkpoint_root` configured, every
+//!   admission, trace line and terminal frame is appended to a
+//!   checksummed write-ahead [`journal`]; a daemon killed with
+//!   `SIGKILL` mid-run recovers *all* tenant jobs on restart
+//!   (interrupted jobs auto-resume from their newest checkpoint and
+//!   replay `search_iter` streams byte-identically; finished jobs come
+//!   back fully replayable).
+//! * **Connection hardening** — per-connection read/write deadlines,
+//!   heartbeat `ping`/`pong` probes on idle connections, bounded
+//!   per-subscriber write queues with slow-consumer eviction, and a
+//!   graceful drain shutdown with a deadline (counters:
+//!   `server.slow_client_evictions`, `server.heartbeats_missed`,
+//!   `server.journal_fsyncs`, `server.drain_timeouts`).
+//! * **Network chaos** — the outbound write path is instrumented with
+//!   the `conn_drop` / `partial_write` / `stall` / `garbage_frame`
+//!   fault kinds of [`yoso_chaos`], so a seeded plan can prove clients
+//!   self-heal (see `yoso-client`'s `ResilientClient`).
+//!
 //! Suspend/resume rides on the session's crash-safe checkpoints
 //! ([`yoso_persist`] snapshots): a `suspend` request raises the job's
 //! cancel flag, the session stops at the next update boundary and
@@ -43,18 +63,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod proto;
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use proto::{ErrorCode, JobDone, JobSpec, JobState, JobStatus, Reply, Request, ServerStats};
 use yoso_arch::NetworkSkeleton;
+use yoso_chaos::FaultKind;
 use yoso_core::error::Error as CoreError;
 use yoso_core::evaluation::SurrogateEvaluator;
 use yoso_core::session::SearchSession;
@@ -75,12 +98,38 @@ pub struct ServerConfig {
     /// check.
     pub tenant_fault_budget: Option<u64>,
     /// Directory for per-job persistence (`<root>/<job>/spec.json` +
-    /// checkpoints). `None` disables suspend-to-disk and
-    /// across-restart resume.
+    /// checkpoints) and the write-ahead job journal. `None` disables
+    /// suspend-to-disk, across-restart resume and crash recovery.
     pub checkpoint_root: Option<PathBuf>,
     /// Skeleton for the server-side surrogate evaluator; must match
     /// the one an in-process run uses for byte-identical streams.
     pub skeleton: NetworkSkeleton,
+    /// Per-connection socket read deadline; doubles as the heartbeat
+    /// interval — an idle connection gets a `ping` probe each time the
+    /// deadline elapses.
+    pub read_timeout: Duration,
+    /// Per-connection socket write deadline, so a stalled client can
+    /// never pin the connection's writer thread.
+    pub write_timeout: Duration,
+    /// Consecutive unanswered heartbeat probes before the connection
+    /// is declared dead and closed (`server.heartbeats_missed`).
+    pub heartbeat_misses: u32,
+    /// Bound on a connection's outbound frame queue; a subscriber that
+    /// falls this far behind is evicted (`server.slow_client_evictions`)
+    /// rather than buffered without bound.
+    pub max_subscriber_queue: usize,
+    /// How long [`Server::shutdown`] waits for runner threads to drain
+    /// before journaling-and-abandoning their jobs
+    /// (`server.drain_timeouts`).
+    pub drain_timeout: Duration,
+    /// Journal fsync cadence: flush to disk every this many appends
+    /// (admissions and terminal records always sync). `0` syncs only
+    /// at those boundaries.
+    pub journal_fsync_every: u64,
+    /// Replay the job journal at startup, restoring finished jobs'
+    /// replayable logs and auto-resuming interrupted ones. Only
+    /// meaningful with a `checkpoint_root`.
+    pub recover_jobs: bool,
 }
 
 impl Default for ServerConfig {
@@ -92,44 +141,151 @@ impl Default for ServerConfig {
             tenant_fault_budget: None,
             checkpoint_root: None,
             skeleton: NetworkSkeleton::tiny(),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            heartbeat_misses: 3,
+            max_subscriber_queue: 4096,
+            drain_timeout: Duration::from_secs(30),
+            journal_fsync_every: 64,
+            recover_jobs: true,
         }
     }
 }
 
-/// Serialized writer half of one client connection. All frame writes
-/// go through the mutex so concurrently streaming jobs never interleave
-/// partial lines; a failed write marks the connection dead and further
-/// sends become no-ops.
+/// Resilience counters, mirrored into [`yoso_trace`] (`server.*`) and
+/// the `server_stats` wire frame.
+#[derive(Default)]
+struct Counters {
+    slow_client_evictions: AtomicU64,
+    heartbeats_missed: AtomicU64,
+    journal_fsyncs: AtomicU64,
+    drain_timeouts: AtomicU64,
+    jobs_recovered: AtomicU64,
+}
+
+/// Writer half of one client connection: a bounded frame queue drained
+/// by a dedicated writer thread, so producers (runner threads pushing
+/// job events) never block on a slow socket. A queue overflowing its
+/// bound evicts the subscriber — memory stays bounded no matter how
+/// stalled the client is. All outbound frames pass the network-chaos
+/// injection sites.
 struct ConnWriter {
-    stream: Mutex<TcpStream>,
+    queue: Mutex<VecDeque<String>>,
+    cv: Condvar,
     alive: AtomicBool,
+    /// Set when the read loop ends: the writer thread drains what is
+    /// queued, then exits.
+    closing: AtomicBool,
+    cap: usize,
+    stream: TcpStream,
+    counters: Arc<Counters>,
+    /// Salt decorrelating this connection's chaos draws from other
+    /// connections'.
+    chaos_salt: u64,
 }
 
 impl ConnWriter {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, cap: usize, counters: Arc<Counters>, chaos_salt: u64) -> Self {
         ConnWriter {
-            stream: Mutex::new(stream),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
             alive: AtomicBool::new(true),
+            closing: AtomicBool::new(false),
+            cap: cap.max(1),
+            stream,
+            counters,
+            chaos_salt,
         }
     }
 
+    /// Enqueues one frame for the writer thread. Never blocks: if the
+    /// queue is at capacity the connection is evicted instead.
     fn send(&self, frame: &str) {
         if !self.alive.load(Ordering::Relaxed) {
             return;
         }
-        let mut s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        let ok = writeln!(&mut *s, "{frame}")
-            .and_then(|()| s.flush())
-            .is_ok();
-        if !ok {
-            self.alive.store(false, Ordering::Relaxed);
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.cap {
+            drop(q);
+            self.counters
+                .slow_client_evictions
+                .fetch_add(1, Ordering::Relaxed);
+            yoso_trace::counter_add("server.slow_client_evictions", 1);
+            self.close();
+            return;
+        }
+        q.push_back(frame.to_string());
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    /// Marks the connection for graceful teardown: queued frames are
+    /// still written, then the writer thread exits.
+    fn finish(&self) {
+        self.closing.store(true, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    /// Hard-closes the connection: drops queued frames and shuts the
+    /// socket down.
+    fn close(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.cv.notify_all();
+        let _ = self.stream.shutdown(NetShutdown::Both);
+    }
+
+    /// The writer thread body: pops frames and writes them with the
+    /// chaos injection sites applied.
+    fn writer_loop(self: &Arc<Self>) {
+        let mut frame_idx: u64 = 0;
+        loop {
+            let frame = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(f) = q.pop_front() {
+                        break Some(f);
+                    }
+                    if self.closing.load(Ordering::Relaxed) || !self.alive.load(Ordering::Relaxed) {
+                        break None;
+                    }
+                    q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let Some(frame) = frame else { return };
+            if !self.write_frame(&frame, frame_idx) {
+                self.close();
+                return;
+            }
+            frame_idx += 1;
         }
     }
 
-    fn close(&self) {
-        self.alive.store(false, Ordering::Relaxed);
-        let s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = s.shutdown(NetShutdown::Both);
+    /// Writes one frame, applying the network fault kinds when a chaos
+    /// plan is armed. Returns false when the connection should die.
+    fn write_frame(&self, frame: &str, idx: u64) -> bool {
+        let mut s = &self.stream;
+        if yoso_chaos::armed() {
+            if yoso_chaos::should_fault_indexed(FaultKind::ConnDrop, idx, 0, self.chaos_salt) {
+                return false;
+            }
+            if yoso_chaos::should_fault_indexed(FaultKind::Stall, idx, 0, self.chaos_salt) {
+                std::thread::sleep(yoso_chaos::delay_of(FaultKind::Stall));
+            }
+            if yoso_chaos::should_fault_indexed(FaultKind::GarbageFrame, idx, 0, self.chaos_salt)
+                && writeln!(s, "\u{1}\u{2}!!not-a-frame!!{{{{").is_err()
+            {
+                return false;
+            }
+            if yoso_chaos::should_fault_indexed(FaultKind::PartialWrite, idx, 0, self.chaos_salt) {
+                // Half a frame, no newline, then drop the connection —
+                // the signature of a peer dying mid-write.
+                let half = &frame.as_bytes()[..frame.len() / 2];
+                let _ = s.write_all(half).and_then(|()| s.flush());
+                return false;
+            }
+        }
+        writeln!(s, "{frame}").and_then(|()| s.flush()).is_ok()
     }
 }
 
@@ -177,8 +333,12 @@ impl JobLog {
         self.done = Some(done);
     }
 
-    fn attach(&mut self, sub: Arc<ConnWriter>) {
-        for (seq, line) in self.lines.iter().enumerate() {
+    /// Replays the log from event sequence `from` (0 = everything),
+    /// then attaches for live events (or the terminal frames, for a
+    /// finished job). `from` past the end replays nothing old — the
+    /// idempotent-resume contract a reconnecting client relies on.
+    fn attach_from(&mut self, sub: Arc<ConnWriter>, from: u64) {
+        for (seq, line) in self.lines.iter().enumerate().skip(from as usize) {
             let frame = Reply::Event {
                 job: self.job,
                 seq: seq as u64,
@@ -258,6 +418,9 @@ struct Shared {
     tenant_faults: Mutex<HashMap<String, u64>>,
     conns: Mutex<Vec<Weak<ConnWriter>>>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    journal: Option<Mutex<journal::Journal>>,
+    counters: Arc<Counters>,
+    conn_salt: AtomicU64,
 }
 
 impl Shared {
@@ -275,11 +438,59 @@ impl Shared {
         let mut ledger = self.tenant_faults.lock().unwrap_or_else(|e| e.into_inner());
         *ledger.entry(tenant.to_string()).or_insert(0) += faults;
     }
+
+    /// Appends one record to the job journal (no-op without one).
+    fn journal_append(&self, rec: &journal::Record) -> std::io::Result<()> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        let mut j = journal.lock().unwrap_or_else(|e| e.into_inner());
+        if j.append(rec)? {
+            self.counters.journal_fsyncs.fetch_add(1, Ordering::Relaxed);
+            yoso_trace::counter_add("server.journal_fsyncs", 1);
+        }
+        Ok(())
+    }
+}
+
+/// Parses the completed-iteration count out of a checkpoint file name
+/// (`ckpt_<iteration:08>.snap`, the format of
+/// [`yoso_core::checkpoint::checkpoint_file_name`]).
+fn checkpoint_iteration(path: &Path) -> Option<u64> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("ckpt_")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+fn is_search_iter(line: &str) -> bool {
+    line.starts_with("{\"event\":\"search_iter\"")
+}
+
+/// The prefix of a journaled line log covered by a checkpoint at `k`
+/// completed iterations: everything up to (excluding) the `(k+1)`-th
+/// `search_iter` line. The resumed session re-emits the remainder
+/// byte-identically, so keeping more would duplicate events.
+fn truncate_to_iterations(lines: &[String], k: u64) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut seen = 0u64;
+    for line in lines {
+        if is_search_iter(line) {
+            if seen == k {
+                break;
+            }
+            seen += 1;
+        }
+        out.push(line.clone());
+    }
+    out
 }
 
 /// A running daemon. Dropping (or calling [`shutdown`](Server::shutdown))
 /// stops accepting, cancels running jobs at their next checkpoint
-/// boundary, and joins every thread.
+/// boundary, and drains every thread (with a deadline on the runners).
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
@@ -289,27 +500,82 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the runner pool and the accept loop, and returns.
+    /// Binds, replays the job journal (when persistence is configured),
+    /// spawns the runner pool and the accept loop, and returns.
     ///
     /// # Errors
     ///
-    /// Returns the bind error if the address is unavailable.
+    /// Returns the bind error if the address is unavailable, or a
+    /// filesystem error from opening/compacting the journal. Damaged
+    /// journal *contents* never fail startup — corrupt records and
+    /// jobs are skipped, typed in the recovery counters.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let runner_count = cfg.max_concurrent_jobs.max(1);
+        let counters = Arc::new(Counters::default());
+
+        // Journal recovery, before anything can run: reconstruct jobs,
+        // compact the journal, and queue interrupted jobs for resume.
+        let mut restored: Vec<(u64, Job)> = Vec::new();
+        let mut resume_queue: VecDeque<u64> = VecDeque::new();
+        let mut max_restored_id = 0u64;
+        let journal = match &cfg.checkpoint_root {
+            Some(root) => {
+                if cfg.recover_jobs {
+                    let recovery = journal::recover(root)?;
+                    let mut compacted: Vec<journal::RecoveredJob> = Vec::new();
+                    for rec in recovery.jobs {
+                        match restore_job(root, &rec) {
+                            Some((job, auto_resume, kept)) => {
+                                max_restored_id = max_restored_id.max(rec.job);
+                                if auto_resume {
+                                    resume_queue.push_back(rec.job);
+                                }
+                                compacted.push(journal::RecoveredJob { lines: kept, ..rec });
+                                restored.push((rec.job, job));
+                            }
+                            None => {
+                                // Unparseable spec or terminal frame:
+                                // skip the job, drop it from the
+                                // compacted journal.
+                            }
+                        }
+                    }
+                    counters
+                        .jobs_recovered
+                        .fetch_add(restored.len() as u64, Ordering::Relaxed);
+                    yoso_trace::counter_add("server.jobs_recovered", restored.len() as u64);
+                    Some(Mutex::new(journal::rewrite(
+                        root,
+                        &compacted,
+                        cfg.journal_fsync_every,
+                    )?))
+                } else {
+                    Some(Mutex::new(journal::Journal::open(
+                        root,
+                        cfg.journal_fsync_every,
+                    )?))
+                }
+            }
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             cfg,
-            jobs: Mutex::new(HashMap::new()),
-            queue: Mutex::new(VecDeque::new()),
+            jobs: Mutex::new(restored.into_iter().collect()),
+            queue: Mutex::new(resume_queue),
             queue_cv: Condvar::new(),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(max_restored_id + 1),
             shutting_down: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             tenant_faults: Mutex::new(HashMap::new()),
             conns: Mutex::new(Vec::new()),
             handlers: Mutex::new(Vec::new()),
+            journal,
+            counters,
+            conn_salt: AtomicU64::new(0),
         });
         let runners = (0..runner_count)
             .map(|i| {
@@ -360,7 +626,10 @@ impl Server {
 
     /// Stops accepting, cancels running jobs (they suspend at the next
     /// boundary when persistence is on), closes client connections and
-    /// joins every thread.
+    /// drains every thread. Runner threads get `drain_timeout` to
+    /// finish; one that overruns is journaled-and-abandoned
+    /// (`server.drain_timeouts`) — its job is recoverable from the
+    /// journal on the next start.
     pub fn shutdown(mut self) {
         self.do_shutdown();
     }
@@ -401,8 +670,26 @@ impl Server {
         for h in handlers {
             let _ = h.join();
         }
+        // Drain the runners with a deadline instead of unbounded joins:
+        // a job wedged past the deadline is abandoned — every line it
+        // emitted is already journaled, so the next start recovers it.
+        let deadline = Instant::now() + self.shared.cfg.drain_timeout;
         for r in self.runners.drain(..) {
-            let _ = r.join();
+            while !r.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if r.is_finished() {
+                let _ = r.join();
+            } else {
+                self.shared
+                    .counters
+                    .drain_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                yoso_trace::counter_add("server.drain_timeouts", 1);
+            }
+        }
+        if let Some(journal) = &self.shared.journal {
+            let _ = journal.lock().unwrap_or_else(|e| e.into_inner()).sync();
         }
     }
 }
@@ -413,12 +700,94 @@ impl Drop for Server {
     }
 }
 
+/// Rebuilds one in-memory [`Job`] from a journal-recovered record.
+/// Returns the job, whether it must be auto-resumed, and the (possibly
+/// truncated) line log it was seeded with; `None` when the record is
+/// unusable (unparseable spec/terminal frame).
+fn restore_job(root: &Path, rec: &journal::RecoveredJob) -> Option<(Job, bool, Vec<String>)> {
+    let spec = JobSpec::parse(rec.spec_json.trim()).ok()?;
+    let id = rec.job;
+    let dir = root.join(id.to_string());
+    let mut job = Job::new(id, spec);
+
+    let done = match &rec.done_json {
+        Some(frame) => match Reply::parse(frame) {
+            Ok(Reply::Done(done)) => Some(done),
+            _ => return None,
+        },
+        None => None,
+    };
+
+    match done {
+        Some(done) if done.state == JobState::Completed || done.state == JobState::Failed => {
+            // Finished: restore the full replayable log and terminal
+            // frames; nothing to run.
+            job.state = done.state;
+            job.best_reward = done.best_reward;
+            job.error = done.error.clone();
+            job.iterations_done
+                .store(done.iterations, Ordering::Relaxed);
+            let mut log = job.log.lock().unwrap_or_else(|e| e.into_inner());
+            log.lines = rec.lines.clone();
+            log.pareto = rec.pareto_json.clone();
+            log.done = Some(done);
+            drop(log);
+            Some((job, false, rec.lines.clone()))
+        }
+        Some(done) => {
+            // Suspended on purpose: restore as suspended, log truncated
+            // to the checkpoint the suspend wrote; wait for `resume`.
+            let checkpoint = yoso_core::checkpoint::latest_checkpoint(&dir)
+                .ok()
+                .flatten();
+            let k = rec
+                .durable
+                .or_else(|| checkpoint.as_deref().and_then(checkpoint_iteration))
+                .unwrap_or(done.iterations);
+            let kept = truncate_to_iterations(&rec.lines, k);
+            job.state = JobState::Suspended;
+            job.checkpoint = checkpoint;
+            job.iterations_done.store(
+                kept.iter().filter(|l| is_search_iter(l)).count() as u64,
+                Ordering::Relaxed,
+            );
+            job.log.lock().unwrap_or_else(|e| e.into_inner()).lines = kept.clone();
+            Some((job, false, kept))
+        }
+        None => {
+            // Interrupted mid-run (crash): seed the log with the prefix
+            // the newest checkpoint covers and auto-resume; the session
+            // re-emits the remainder byte-identically.
+            let checkpoint = yoso_core::checkpoint::latest_checkpoint(&dir)
+                .ok()
+                .flatten();
+            let k = checkpoint
+                .as_deref()
+                .and_then(checkpoint_iteration)
+                .unwrap_or(0);
+            let kept = truncate_to_iterations(&rec.lines, k);
+            job.state = JobState::Queued;
+            job.checkpoint = checkpoint;
+            job.iterations_done.store(
+                kept.iter().filter(|l| is_search_iter(l)).count() as u64,
+                Ordering::Relaxed,
+            );
+            job.log.lock().unwrap_or_else(|e| e.into_inner()).lines = kept.clone();
+            Some((job, true, kept))
+        }
+    }
+}
+
 fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     for stream in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Deadlines before the stream reaches any thread: a half-open
+        // client can stall a read or write for at most one timeout.
+        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
         let shared2 = shared.clone();
         let handle = std::thread::Builder::new()
             .name("yoso-conn".to_string())
@@ -432,35 +801,156 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
+/// One read attempt's outcome on a connection.
+enum ReadOutcome {
+    /// A complete line (without the newline).
+    Line(String),
+    /// The socket read deadline elapsed with no data.
+    TimedOut,
+    /// The line exceeded [`proto::MAX_FRAME_LEN`]; the overflow was
+    /// discarded through the next newline.
+    Oversized,
+    /// EOF or a hard socket error.
+    Closed,
+}
+
+/// Reads one newline-terminated frame with a hard length cap, so a
+/// hostile peer cannot make the server buffer an unbounded line. `buf`
+/// carries a partial line across read timeouts; `overflowed` remembers
+/// that the line in progress already blew the cap (its bytes are being
+/// discarded until the newline).
+fn read_frame_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    overflowed: &mut bool,
+) -> ReadOutcome {
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return ReadOutcome::Closed,
+            Ok(chunk) => chunk,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return ReadOutcome::TimedOut;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Closed,
+        };
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let over = *overflowed || buf.len() + nl > proto::MAX_FRAME_LEN;
+                if !over {
+                    buf.extend_from_slice(&chunk[..nl]);
+                }
+                reader.consume(nl + 1);
+                *overflowed = false;
+                if over {
+                    buf.clear();
+                    return ReadOutcome::Oversized;
+                }
+                let line = String::from_utf8_lossy(buf).into_owned();
+                buf.clear();
+                return ReadOutcome::Line(line);
+            }
+            None => {
+                let n = chunk.len();
+                if !*overflowed && buf.len() + n <= proto::MAX_FRAME_LEN {
+                    buf.extend_from_slice(chunk);
+                } else {
+                    // Past the cap: drop bytes (bounded memory) until
+                    // the newline shows up, then report the oversize.
+                    *overflowed = true;
+                    buf.clear();
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
+
 fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let writer = Arc::new(ConnWriter::new(write_half));
+    let salt = shared.conn_salt.fetch_add(1, Ordering::Relaxed);
+    let writer = Arc::new(ConnWriter::new(
+        write_half,
+        shared.cfg.max_subscriber_queue,
+        shared.counters.clone(),
+        salt,
+    ));
     shared
         .conns
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .push(Arc::downgrade(&writer));
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let writer_thread = {
+        let writer = writer.clone();
+        std::thread::Builder::new()
+            .name("yoso-conn-writer".to_string())
+            .spawn(move || writer.writer_loop())
+            .expect("spawn connection writer thread")
+    };
+
+    let mut reader = BufReader::new(stream);
+    let mut partial = Vec::new();
+    let mut overflowed = false;
+    let mut misses: u32 = 0;
+    loop {
+        match read_frame_line(&mut reader, &mut partial, &mut overflowed) {
+            ReadOutcome::Line(line) => {
+                misses = 0;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let req = Request::parse(&line);
+                if matches!(req, Ok(Request::Pong)) {
+                    continue; // heartbeat answer; nothing to reply
+                }
+                let reply = match req {
+                    Ok(req) => handle_request(shared, &writer, req),
+                    Err(e) => Reply::Error {
+                        code: e.code,
+                        message: e.message,
+                    },
+                };
+                writer.send(&reply.to_json());
+            }
+            ReadOutcome::TimedOut => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                misses += 1;
+                if misses > shared.cfg.heartbeat_misses {
+                    shared
+                        .counters
+                        .heartbeats_missed
+                        .fetch_add(1, Ordering::Relaxed);
+                    yoso_trace::counter_add("server.heartbeats_missed", 1);
+                    break;
+                }
+                writer.send(&Reply::Ping.to_json());
+            }
+            ReadOutcome::Oversized => {
+                writer.send(
+                    &Reply::Error {
+                        code: ErrorCode::MalformedFrame,
+                        message: format!("frame exceeds {} byte cap", proto::MAX_FRAME_LEN),
+                    }
+                    .to_json(),
+                );
+            }
+            ReadOutcome::Closed => break,
         }
-        let reply = match Request::parse(&line) {
-            Ok(req) => handle_request(shared, &writer, req),
-            Err(e) => Reply::Error {
-                code: e.code,
-                message: e.message,
-            },
-        };
-        writer.send(&reply.to_json());
         if !writer.alive.load(Ordering::Relaxed) {
             break;
         }
     }
+    writer.finish();
+    let _ = writer_thread.join();
+    writer.close();
 }
 
 fn handle_request(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: Request) -> Reply {
@@ -469,8 +959,11 @@ fn handle_request(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: Request) 
         Request::Status { job } => with_job(shared, job, |id, j| Reply::Status(j.status(id))),
         Request::Suspend { job } => suspend(shared, job),
         Request::Resume { job, stream } => resume(shared, writer, job, stream),
-        Request::Subscribe { job } => subscribe(shared, writer, job),
+        Request::Subscribe { job, from_seq } => {
+            subscribe(shared, writer, job, from_seq.unwrap_or(0))
+        }
         Request::Stats => Reply::Stats(stats(shared)),
+        Request::Pong => Reply::Ping, // unreachable; pongs are consumed in handle_conn
         Request::Shutdown => {
             shared.shutting_down.store(true, Ordering::SeqCst);
             {
@@ -548,12 +1041,23 @@ fn submit(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, spec: JobSpec, stream:
             );
         }
     }
+    // Write-ahead: the admission is durable before the job exists, so
+    // a crash at any later point recovers it.
+    if let Err(e) = shared.journal_append(&journal::Record::Admit {
+        job: id,
+        spec_json: spec.to_json(),
+    }) {
+        return error(
+            ErrorCode::Internal,
+            format!("journal admit for job {id}: {e}"),
+        );
+    }
     let job = Job::new(id, spec);
     if stream {
         job.log
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .attach(writer.clone());
+            .attach_from(writer.clone(), 0);
     }
     shared
         .jobs
@@ -594,6 +1098,18 @@ fn suspend(shared: &Shared, id: u64) -> Reply {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .retain(|&q| q != id);
+            let _ = shared.journal_append(&journal::Record::Done {
+                job: id,
+                done_json: Reply::Done(JobDone {
+                    job: id,
+                    state: JobState::Suspended,
+                    iterations: 0,
+                    best_reward: None,
+                    error: None,
+                })
+                .to_json(),
+                pareto_json: None,
+            });
             with_job(shared, id, |id, j| Reply::Status(j.status(id)))
         }
         other => error(
@@ -626,6 +1142,7 @@ fn resume(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, id: u64, stream: bool)
         drop(log);
         let reply = Reply::Status(job.status(id));
         drop(jobs);
+        let _ = shared.journal_append(&journal::Record::Resumed { job: id });
         enqueue(shared, id);
         return reply;
     }
@@ -664,13 +1181,18 @@ fn resume(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, id: u64, stream: bool)
     };
     // Keep new ids clear of resurrected ones.
     shared.next_id.fetch_max(id + 1, Ordering::SeqCst);
+    let _ = shared.journal_append(&journal::Record::Admit {
+        job: id,
+        spec_json: spec.to_json(),
+    });
+    let _ = shared.journal_append(&journal::Record::Resumed { job: id });
     let mut job = Job::new(id, spec);
     job.checkpoint = checkpoint;
     if stream {
         job.log
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .attach(writer.clone());
+            .attach_from(writer.clone(), 0);
     }
     let reply = Reply::Status(job.status(id));
     shared
@@ -682,7 +1204,7 @@ fn resume(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, id: u64, stream: bool)
     reply
 }
 
-fn subscribe(shared: &Shared, writer: &Arc<ConnWriter>, id: u64) -> Reply {
+fn subscribe(shared: &Shared, writer: &Arc<ConnWriter>, id: u64, from_seq: u64) -> Reply {
     let jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
     let Some(job) = jobs.get(&id) else {
         return error(ErrorCode::UnknownJob, format!("no job {id}"));
@@ -693,7 +1215,7 @@ fn subscribe(shared: &Shared, writer: &Arc<ConnWriter>, id: u64) -> Reply {
     job.log
         .lock()
         .unwrap_or_else(|e| e.into_inner())
-        .attach(writer.clone());
+        .attach_from(writer.clone(), from_seq);
     Reply::Status(job.status(id))
 }
 
@@ -716,6 +1238,12 @@ fn stats(shared: &Shared) -> ServerStats {
     out.cache_misses = cache.misses;
     out.cache_hit_rate = cache.hit_rate();
     out.tenants = yoso_accel::cache::tenant_stats().len() as u64;
+    let c = &shared.counters;
+    out.slow_client_evictions = c.slow_client_evictions.load(Ordering::Relaxed);
+    out.heartbeats_missed = c.heartbeats_missed.load(Ordering::Relaxed);
+    out.journal_fsyncs = c.journal_fsyncs.load(Ordering::Relaxed);
+    out.drain_timeouts = c.drain_timeouts.load(Ordering::Relaxed);
+    out.jobs_recovered = c.jobs_recovered.load(Ordering::Relaxed);
     out
 }
 
@@ -791,10 +1319,17 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     let trace = {
         let log = log.clone();
         let iterations_done = iterations_done.clone();
+        let shared = shared.clone();
         Trace::forward(move |line: &str| {
-            if line.starts_with("{\"event\":\"search_iter\"") {
+            if is_search_iter(line) {
                 iterations_done.fetch_add(1, Ordering::Relaxed);
             }
+            // Journal first, then fan out: a line a subscriber saw is
+            // always recoverable after a crash.
+            let _ = shared.journal_append(&journal::Record::Line {
+                job: id,
+                line: line.to_string(),
+            });
             log.lock().unwrap_or_else(|e| e.into_inner()).push(line);
         })
     };
@@ -856,6 +1391,10 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             }) => {
                 job.state = JobState::Suspended;
                 job.checkpoint = checkpoint;
+                let _ = shared.journal_append(&journal::Record::Durable {
+                    job: id,
+                    iteration: iterations as u64,
+                });
                 (
                     None,
                     JobDone {
@@ -887,6 +1426,11 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             }
         }
     };
+    let _ = shared.journal_append(&journal::Record::Done {
+        job: id,
+        done_json: Reply::Done(done.clone()).to_json(),
+        pareto_json: pareto.clone(),
+    });
     log.lock()
         .unwrap_or_else(|e| e.into_inner())
         .finish(pareto, done);

@@ -8,9 +8,9 @@
 //!
 //! | direction | frames |
 //! |---|---|
-//! | client → server | `submit`, `status`, `suspend`, `resume`, `subscribe`, `stats`, `shutdown` |
+//! | client → server | `submit`, `status`, `suspend`, `resume`, `subscribe`, `stats`, `shutdown`, `pong` |
 //! | server → client (reply) | `submitted`, `job_status`, `server_stats`, `shutting_down`, `error` |
-//! | server → client (stream) | `job_event`, `pareto_front`, `job_done` |
+//! | server → client (stream) | `job_event`, `pareto_front`, `job_done`, `ping` |
 //!
 //! Stream frames (`job_event` / `pareto_front` / `job_done`) may arrive
 //! *between* a request and its reply on the same connection; clients
@@ -31,7 +31,23 @@ use yoso_core::session::{SearchSessionBuilder, Strategy};
 use yoso_trace::{Event, Value};
 
 /// Wire protocol version carried in the `"v"` field of every frame.
+///
+/// The `ping`/`pong` heartbeat frames and the optional `from_seq` field
+/// on `subscribe` are *additive* in version 1: peers that predate them
+/// never see a `ping` unless they stall, and omitting `from_seq` keeps
+/// the original replay-from-zero semantics.
 pub const PROTO_VERSION: u64 = 1;
+
+/// Hard cap on the byte length of a single wire frame. Longer lines are
+/// rejected as [`ErrorCode::MalformedFrame`] before JSON parsing, so a
+/// hostile or corrupted peer cannot make the decoder buffer unbounded
+/// input.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Hard cap on the declared entry count of a `pareto_front` frame. The
+/// decoder allocates from the *declared* count, so it must be bounded
+/// before the allocation, not after.
+pub const MAX_PARETO_ENTRIES: u64 = 65_536;
 
 /// Typed error codes carried in `error` reply frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -471,6 +487,21 @@ pub struct ServerStats {
     pub cache_hit_rate: f64,
     /// Distinct tenants seen by the cache accounting.
     pub tenants: u64,
+    /// Subscribers evicted because their bounded write queue filled
+    /// (additive in v1; absent means 0).
+    pub slow_client_evictions: u64,
+    /// Connections closed after missing consecutive heartbeat probes
+    /// (additive in v1; absent means 0).
+    pub heartbeats_missed: u64,
+    /// `fsync` calls issued by the job journal (additive in v1; absent
+    /// means 0).
+    pub journal_fsyncs: u64,
+    /// Shutdown drains that hit their deadline and journaled-and-
+    /// abandoned a running job (additive in v1; absent means 0).
+    pub drain_timeouts: u64,
+    /// Jobs recovered from the journal at startup (additive in v1;
+    /// absent means 0).
+    pub jobs_recovered: u64,
 }
 
 /// A client → server frame.
@@ -507,11 +538,18 @@ pub enum Request {
     Subscribe {
         /// Job id.
         job: u64,
+        /// Replay starts at this 0-based event sequence number;
+        /// `None` replays from the beginning (additive in v1 — how a
+        /// reconnecting client resumes without duplicate events).
+        from_seq: Option<u64>,
     },
     /// Fetch aggregate server counters.
     Stats,
     /// Ask the server to shut down.
     Shutdown,
+    /// Heartbeat response to a server [`Reply::Ping`] (additive in
+    /// v1). Carries no payload; receipt alone proves liveness.
+    Pong,
 }
 
 impl Request {
@@ -528,9 +566,16 @@ impl Request {
                 .with_u64("job", *job)
                 .with_bool("stream", *stream)
                 .to_json(),
-            Request::Subscribe { job } => versioned("subscribe").with_u64("job", *job).to_json(),
+            Request::Subscribe { job, from_seq } => {
+                let mut ev = versioned("subscribe").with_u64("job", *job);
+                if let Some(seq) = from_seq {
+                    ev = ev.with_u64("from_seq", *seq);
+                }
+                ev.to_json()
+            }
             Request::Stats => versioned("stats").to_json(),
             Request::Shutdown => versioned("shutdown").to_json(),
+            Request::Pong => versioned("pong").to_json(),
         }
     }
 
@@ -561,9 +606,11 @@ impl Request {
             },
             "subscribe" => Request::Subscribe {
                 job: get_u64(&ev, "job")?,
+                from_seq: ev.get_u64("from_seq"),
             },
             "stats" => Request::Stats,
             "shutdown" => Request::Shutdown,
+            "pong" => Request::Pong,
             other => {
                 return Err(ProtoError::malformed(format!(
                     "unknown request kind {other:?}"
@@ -602,6 +649,10 @@ pub enum Reply {
     Done(JobDone),
     /// Reply to `shutdown`.
     ShuttingDown,
+    /// Heartbeat probe sent when a connection has been idle past its
+    /// read deadline (additive in v1); the client answers with
+    /// [`Request::Pong`].
+    Ping,
     /// Any request failure.
     Error {
         /// Machine-readable code.
@@ -644,6 +695,11 @@ impl Reply {
                 .with_u64("cache_misses", s.cache_misses)
                 .with_f64("cache_hit_rate", s.cache_hit_rate)
                 .with_u64("tenants", s.tenants)
+                .with_u64("slow_client_evictions", s.slow_client_evictions)
+                .with_u64("heartbeats_missed", s.heartbeats_missed)
+                .with_u64("journal_fsyncs", s.journal_fsyncs)
+                .with_u64("drain_timeouts", s.drain_timeouts)
+                .with_u64("jobs_recovered", s.jobs_recovered)
                 .to_json(),
             Reply::Event { job, seq, line } => versioned("job_event")
                 .with_u64("job", *job)
@@ -679,6 +735,7 @@ impl Reply {
                 ev.to_json()
             }
             Reply::ShuttingDown => versioned("shutting_down").to_json(),
+            Reply::Ping => versioned("ping").to_json(),
             Reply::Error { code, message } => versioned("error")
                 .with_str("code", code.name())
                 .with_str("message", message)
@@ -722,6 +779,11 @@ impl Reply {
                 cache_misses: get_u64(&ev, "cache_misses")?,
                 cache_hit_rate: get_f64(&ev, "cache_hit_rate")?,
                 tenants: get_u64(&ev, "tenants")?,
+                slow_client_evictions: ev.get_u64("slow_client_evictions").unwrap_or(0),
+                heartbeats_missed: ev.get_u64("heartbeats_missed").unwrap_or(0),
+                journal_fsyncs: ev.get_u64("journal_fsyncs").unwrap_or(0),
+                drain_timeouts: ev.get_u64("drain_timeouts").unwrap_or(0),
+                jobs_recovered: ev.get_u64("jobs_recovered").unwrap_or(0),
             }),
             "job_event" => Reply::Event {
                 job: get_u64(&ev, "job")?,
@@ -730,6 +792,13 @@ impl Reply {
             },
             "pareto_front" => {
                 let count = get_u64(&ev, "count")?;
+                // The allocation below trusts `count`; cap it first so a
+                // hostile frame cannot request an absurd reservation.
+                if count > MAX_PARETO_ENTRIES {
+                    return Err(ProtoError::malformed(format!(
+                        "pareto_front count {count} exceeds cap {MAX_PARETO_ENTRIES}"
+                    )));
+                }
                 let mut entries = Vec::with_capacity(count as usize);
                 for i in 0..count {
                     entries.push(ParetoEntry {
@@ -759,6 +828,7 @@ impl Reply {
                 })
             }
             "shutting_down" => Reply::ShuttingDown,
+            "ping" => Reply::Ping,
             "error" => {
                 let code_name = get_str(&ev, "code")?;
                 Reply::Error {
@@ -782,6 +852,12 @@ fn versioned(kind: &str) -> Event {
 }
 
 fn parse_versioned(line: &str) -> Result<Event, ProtoError> {
+    if line.len() > MAX_FRAME_LEN {
+        return Err(ProtoError::malformed(format!(
+            "frame of {} bytes exceeds cap {MAX_FRAME_LEN}",
+            line.len()
+        )));
+    }
     let ev = Event::parse(line).map_err(|e| ProtoError::malformed(e.to_string()))?;
     match ev.get_u64("v") {
         Some(PROTO_VERSION) => Ok(ev),
@@ -869,9 +945,17 @@ mod tests {
                 job: 9,
                 stream: true,
             },
-            Request::Subscribe { job: 1 },
+            Request::Subscribe {
+                job: 1,
+                from_seq: None,
+            },
+            Request::Subscribe {
+                job: 1,
+                from_seq: Some(42),
+            },
             Request::Stats,
             Request::Shutdown,
+            Request::Pong,
         ];
         for req in requests {
             let line = req.to_json();
@@ -913,6 +997,11 @@ mod tests {
                 cache_misses: 25,
                 cache_hit_rate: 0.8,
                 tenants: 8,
+                slow_client_evictions: 2,
+                heartbeats_missed: 1,
+                journal_fsyncs: 37,
+                drain_timeouts: 1,
+                jobs_recovered: 3,
             }),
             Reply::Event {
                 job: 17,
@@ -952,6 +1041,7 @@ mod tests {
                 error: None,
             }),
             Reply::ShuttingDown,
+            Reply::Ping,
             Reply::Error {
                 code: ErrorCode::AdmissionFull,
                 message: "queue at capacity (64 pending)".to_string(),
@@ -1056,6 +1146,57 @@ mod tests {
         .to_json();
         let err = Request::parse(&line).unwrap_err();
         assert_eq!(err.code, ErrorCode::InvalidSpec);
+    }
+
+    #[test]
+    fn stats_counter_fields_are_additive() {
+        // A v1 frame from a peer that predates the resilience counters
+        // must still parse, with the new counters defaulting to zero.
+        let legacy = versioned("server_stats")
+            .with_u64("queued", 1)
+            .with_u64("running", 2)
+            .with_u64("suspended", 0)
+            .with_u64("completed", 3)
+            .with_u64("failed", 0)
+            .with_u64("cache_hits", 10)
+            .with_u64("cache_misses", 5)
+            .with_f64("cache_hit_rate", 0.666)
+            .with_u64("tenants", 2)
+            .to_json();
+        match Reply::parse(&legacy).unwrap() {
+            Reply::Stats(s) => {
+                assert_eq!(s.queued, 1);
+                assert_eq!(s.slow_client_evictions, 0);
+                assert_eq!(s.heartbeats_missed, 0);
+                assert_eq!(s.journal_fsyncs, 0);
+                assert_eq!(s.drain_timeouts, 0);
+                assert_eq!(s.jobs_recovered, 0);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_parsing() {
+        let mut line = String::from("{\"event\":\"stats\",\"v\":1,\"pad\":\"");
+        line.push_str(&"x".repeat(MAX_FRAME_LEN));
+        line.push_str("\"}");
+        let err = Request::parse(&line).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MalformedFrame);
+        assert!(err.message.contains("exceeds cap"), "{}", err.message);
+    }
+
+    #[test]
+    fn pareto_count_is_capped_before_allocation() {
+        // A hostile frame declaring u64::MAX entries must bounce with a
+        // typed error instead of reserving memory for them.
+        let line = versioned("pareto_front")
+            .with_u64("job", 1)
+            .with_u64("count", u64::MAX)
+            .to_json();
+        let err = Reply::parse(&line).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MalformedFrame);
+        assert!(err.message.contains("exceeds cap"), "{}", err.message);
     }
 
     #[test]

@@ -80,7 +80,11 @@ pub use yoso_trace as trace;
 /// ([`QuarantineEntry`](yoso_core::search::QuarantineEntry)). The
 /// serving surface rides along too: the daemon
 /// ([`Server`](yoso_server::Server) / [`ServerConfig`](yoso_server::ServerConfig)),
-/// the blocking [`Client`](yoso_client::Client) and the versioned wire
+/// the blocking [`Client`](yoso_client::Client), its self-healing
+/// wrapper ([`ResilientClient`](yoso_client::ResilientClient) under a
+/// [`RetryPolicy`](yoso_client::RetryPolicy)), the crash-recovery
+/// journal ([`Journal`](yoso_server::journal::Journal) /
+/// [`Recovery`](yoso_server::journal::Recovery)) and the versioned wire
 /// types ([`JobSpec`](yoso_server::proto::JobSpec),
 /// [`JobStatus`](yoso_server::proto::JobStatus),
 /// [`ErrorCode`](yoso_server::proto::ErrorCode), …). The
@@ -94,7 +98,7 @@ pub use yoso_trace as trace;
 /// ([`SurrogateKind`](yoso_core::evaluation::SurrogateKind)).
 pub mod prelude {
     pub use yoso_chaos::{FaultKind, FaultPlan, FaultRule};
-    pub use yoso_client::{Client, ClientError};
+    pub use yoso_client::{Client, ClientError, ResilientClient, RetryPolicy};
     pub use yoso_core::archive::{FeasibilityCaps, Objective, Objectives, ParetoArchive};
     pub use yoso_core::checkpoint::{latest_checkpoint, SessionCheckpoint};
     pub use yoso_core::error::{error_chain, Error};
@@ -110,6 +114,7 @@ pub mod prelude {
     pub use yoso_core::session::{SearchEvent, SearchSession, SearchSessionBuilder, Strategy};
     pub use yoso_persist::{PersistError, Snapshot, SnapshotArchive, SnapshotBuilder};
     pub use yoso_pool::{ItemOutcome, PoolError, SupervisorConfig};
+    pub use yoso_server::journal::{Journal, Record, RecoveredJob, Recovery};
     pub use yoso_server::proto::{
         ErrorCode, JobDone, JobSpec, JobState, JobStatus, ParetoEntry, ParetoFront, Reply, Request,
         ServerStats, PROTO_VERSION,

@@ -60,8 +60,19 @@ fn temp_root(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("yoso_server_{tag}_{}_{n}", std::process::id()))
 }
 
+/// These tests share one process and chaos plans are global — an
+/// unscoped network-fault plan armed by one test would corrupt another
+/// test's wire traffic. Every test serializes on the chaos test lock
+/// and clears any plan a panicked predecessor left armed.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    let guard = yoso::chaos::test_lock();
+    yoso::chaos::disarm();
+    guard
+}
+
 #[test]
 fn served_stream_is_byte_identical_to_in_process_run() {
+    let _guard = serial();
     let server = Server::start(ServerConfig::default()).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
 
@@ -90,6 +101,7 @@ fn served_stream_is_byte_identical_to_in_process_run() {
 
 #[test]
 fn suspend_resume_across_server_restart_is_bit_identical() {
+    let _guard = serial();
     let root = temp_root("resume");
     let cfg = ServerConfig {
         checkpoint_root: Some(root.clone()),
@@ -157,6 +169,7 @@ fn suspend_resume_across_server_restart_is_bit_identical() {
 
 #[test]
 fn served_pareto_front_matches_the_in_process_archive() {
+    let _guard = serial();
     let server = Server::start(ServerConfig::default()).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
 
@@ -193,6 +206,7 @@ fn served_pareto_front_matches_the_in_process_archive() {
 
 #[test]
 fn rejection_paths_return_typed_error_codes() {
+    let _guard = serial();
     let server = Server::start(ServerConfig {
         max_concurrent_jobs: 1,
         queue_capacity: 1,
@@ -258,6 +272,7 @@ fn rejection_paths_return_typed_error_codes() {
 
 #[test]
 fn scoped_chaos_faults_one_tenant_and_spares_others() {
+    let _guard = serial();
     // Baseline before arming chaos: what the clean tenant's stream
     // must keep looking like.
     let clean_spec = spec("bystander", 9, 99);
@@ -306,4 +321,333 @@ fn scoped_chaos_faults_one_tenant_and_spares_others() {
 
     server.shutdown();
     yoso::chaos::disarm();
+}
+
+/// Crash recovery, end to end: a journal describing a job interrupted
+/// mid-run (admitted, lines streamed, **no** terminal record — exactly
+/// what a SIGKILL leaves behind) is replayed at startup, the job
+/// auto-resumes from its newest checkpoint, and a client subscribing
+/// to the recovered job collects the byte-identical `search_iter`
+/// stream of an uninterrupted in-process run — zero lost, zero
+/// duplicated iterations.
+#[test]
+fn journal_recovery_resumes_interrupted_jobs_byte_identically() {
+    let _guard = serial();
+    let root = temp_root("recover");
+    let mut spec = spec("phoenix", 24, 1234);
+    spec.checkpoint_every = Some(6);
+    let job_id = 1u64;
+    let job_dir = root.join(job_id.to_string());
+
+    // Fabricate the crashed daemon's disk state by running the same
+    // seed in-process with the job's checkpoint dir, capturing the
+    // full line stream, then journaling only a prefix: everything up
+    // to two iterations past the 12-iteration checkpoint, as if the
+    // process died there.
+    std::fs::create_dir_all(&job_dir).unwrap();
+    let evaluator = SurrogateEvaluator::new(yoso::arch::NetworkSkeleton::tiny());
+    let trace = Trace::memory();
+    spec.apply(SearchSession::builder())
+        .evaluator(&evaluator)
+        .checkpoint_dir(job_dir.clone())
+        .trace(trace.clone())
+        .run()
+        .expect("seed run");
+    let all_lines = trace.lines();
+    let full_stream = search_iter_lines(&all_lines);
+    assert_eq!(full_stream.len(), 24);
+
+    // Keep only the newest pre-crash checkpoint (iteration 12) plus an
+    // older one, mimicking the cadence's retention.
+    for stale in ["ckpt_00000018.snap", "ckpt_00000024.snap"] {
+        let _ = std::fs::remove_file(job_dir.join(stale));
+    }
+    std::fs::write(job_dir.join("spec.json"), format!("{}\n", spec.to_json())).unwrap();
+    let mut journal = Journal::open(&root, 0).unwrap();
+    journal
+        .append(&Record::Admit {
+            job: job_id,
+            spec_json: spec.to_json(),
+        })
+        .unwrap();
+    let mut iters = 0;
+    for line in &all_lines {
+        if line.starts_with("{\"event\":\"search_iter\"") {
+            iters += 1;
+        }
+        journal
+            .append(&Record::Line {
+                job: job_id,
+                line: line.clone(),
+            })
+            .unwrap();
+        if iters == 14 {
+            break; // crash point: two iterations past the checkpoint
+        }
+    }
+    journal.sync().unwrap();
+    drop(journal);
+
+    // Restart: recovery must re-admit the job, auto-resume it from the
+    // iteration-12 checkpoint, and re-emit iterations 13.. exactly.
+    let server = Server::start(ServerConfig {
+        checkpoint_root: Some(root.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.subscribe(job_id).unwrap();
+    let (lines, done) = client.wait_done(job_id).unwrap();
+    assert_eq!(done.state, JobState::Completed);
+    assert_eq!(done.iterations, 24);
+    assert_eq!(
+        search_iter_lines(&lines),
+        full_stream,
+        "recovered job's stream diverged from the uninterrupted run"
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_recovered, 1);
+
+    // The journal was compacted + extended: a second restart restores
+    // the job as completed, fully replayable, without re-running it.
+    drop(client);
+    server.shutdown();
+    let server2 = Server::start(ServerConfig {
+        checkpoint_root: Some(root.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client2 = Client::connect(server2.addr()).unwrap();
+    let status = client2.subscribe(job_id).unwrap();
+    assert_eq!(status.state, JobState::Completed);
+    let (replayed, done2) = client2.wait_done(job_id).unwrap();
+    assert_eq!(done2.state, JobState::Completed);
+    assert_eq!(search_iter_lines(&replayed), full_stream);
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A corrupted journal is a typed, recoverable condition: the damaged
+/// job is skipped (not crashed on), intact jobs recover normally, and
+/// the daemon starts.
+#[test]
+fn corrupt_journal_records_skip_the_job_not_the_server() {
+    let _guard = serial();
+    let root = temp_root("corrupt");
+    std::fs::create_dir_all(&root).unwrap();
+    let good = spec("survivor", 5, 77);
+    let mut journal = Journal::open(&root, 0).unwrap();
+    journal
+        .append(&Record::Admit {
+            job: 1,
+            spec_json: good.to_json(),
+        })
+        .unwrap();
+    journal
+        .append(&Record::Admit {
+            job: 2,
+            spec_json: "{not json at all".to_string(),
+        })
+        .unwrap();
+    journal.sync().unwrap();
+    drop(journal);
+
+    // Flip a byte inside the first record's payload: checksum mismatch
+    // → the record is skipped and job 1 never admits; job 2's admit
+    // decodes but its spec is unparseable → skipped at restore.
+    let path = yoso_server::journal::journal_path(&root);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[16] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let recovery = yoso_server::journal::recover(&root).unwrap();
+    assert_eq!(recovery.corrupt_records, 1, "typed corruption count");
+
+    let server = Server::start(ServerConfig {
+        checkpoint_root: Some(root.clone()),
+        max_concurrent_jobs: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Neither damaged job exists; the server is healthy for new work.
+    assert_eq!(
+        client.status(1).unwrap_err().code(),
+        Some(ErrorCode::UnknownJob)
+    );
+    assert_eq!(
+        client.status(2).unwrap_err().code(),
+        Some(ErrorCode::UnknownJob)
+    );
+    let job = client.submit(&good, true).unwrap();
+    let (_, done) = client.wait_done(job).unwrap();
+    assert_eq!(done.state, JobState::Completed);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A subscriber that cannot drain its stream is evicted once its
+/// bounded write queue fills — memory stays bounded and the job (and
+/// healthy subscribers) are unaffected. The writer thread is slowed
+/// with a seeded `stall` chaos plan so the queue fills
+/// deterministically.
+#[test]
+fn slow_subscribers_are_evicted_not_buffered_unboundedly() {
+    let _guard = serial();
+    let mut plan = FaultPlan::new(3);
+    plan.rules
+        .push(FaultRule::rate(FaultKind::Stall, 1.0).delay_ms(40));
+    yoso::chaos::install(&plan);
+
+    let server = Server::start(ServerConfig {
+        max_subscriber_queue: 3,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    // Run the job to completion first (its ~hundred trace lines are
+    // now all in the replay log), then subscribe from a raw socket
+    // that never reads. Replay floods the 3-slot queue while the
+    // chaos-stalled writer drains one frame per 40ms: eviction is
+    // deterministic, not a race on socket buffers.
+    let mut ctl = Client::connect(server.addr()).unwrap();
+    let spec = spec("flood", 40, 13);
+    let job = ctl.submit(&spec, false).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while ctl.status(job).unwrap().state != JobState::Completed {
+        assert!(std::time::Instant::now() < deadline, "job never completed");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    writeln!(
+        raw,
+        "{}",
+        Request::Subscribe {
+            job,
+            from_seq: None
+        }
+        .to_json()
+    )
+    .unwrap();
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let stats = ctl.stats().unwrap();
+        if stats.slow_client_evictions > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled subscriber was never evicted"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    yoso::chaos::disarm();
+
+    // The job itself (and the control connection, whose queue never
+    // grew past one frame) is untouched by the eviction.
+    let status = ctl.status(job).unwrap();
+    assert_eq!(status.state, JobState::Completed);
+    assert_eq!(status.iterations_done, 40);
+    server.shutdown();
+}
+
+/// Silent connections get heartbeat probes and are closed after the
+/// configured number of unanswered pings; a real [`Client`] answers
+/// pings transparently and survives the same idle window.
+#[test]
+fn heartbeats_probe_then_close_silent_connections() {
+    let _guard = serial();
+    let server = Server::start(ServerConfig {
+        read_timeout: std::time::Duration::from_millis(60),
+        heartbeat_misses: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    // A raw socket that never writes: it must see ping frames, then a
+    // clean close once the miss budget is spent.
+    {
+        use std::io::{BufRead, BufReader};
+        let raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut pings = 0;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break, // server closed us
+                Ok(_) => {
+                    if matches!(Reply::parse(line.trim()), Ok(Reply::Ping)) {
+                        pings += 1;
+                    }
+                }
+            }
+        }
+        assert!(pings >= 1, "silent connection never got a heartbeat probe");
+    }
+
+    // A real client blocked in `wait_done` across many heartbeat
+    // windows answers the pings under the hood (the 3-miss budget is
+    // ~180ms; the job runs far longer) and the connection survives.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let started = std::time::Instant::now();
+    let job = client.submit(&spec("alive", 2_000, 2), true).unwrap();
+    let (_, done) = client.wait_done(job).unwrap();
+    assert_eq!(done.state, JobState::Completed);
+    assert!(
+        started.elapsed() > std::time::Duration::from_millis(200),
+        "job too fast to span a heartbeat miss window"
+    );
+    assert_eq!(client.status(job).unwrap().state, JobState::Completed);
+
+    let mut poller = Client::connect(server.addr()).unwrap();
+    assert!(
+        poller.stats().unwrap().heartbeats_missed >= 1,
+        "silent connection close was not counted"
+    );
+    server.shutdown();
+}
+
+/// A `ResilientClient` rides out a mid-stream network chaos plan —
+/// connection drops, partial writes, garbage frames — and still
+/// collects the byte-identical stream, with zero lost or duplicated
+/// iterations.
+#[test]
+fn resilient_client_survives_network_chaos_byte_identically() {
+    let _guard = serial();
+    let spec = spec("healer", 30, 4242);
+    let baseline = in_process_lines(&spec);
+
+    let mut plan = FaultPlan::new(2024);
+    plan.rules.push(FaultRule::rate(FaultKind::ConnDrop, 0.04));
+    plan.rules
+        .push(FaultRule::rate(FaultKind::PartialWrite, 0.04));
+    plan.rules
+        .push(FaultRule::rate(FaultKind::GarbageFrame, 0.08));
+    yoso::chaos::install(&plan);
+
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut rc = ResilientClient::new(
+        server.addr().to_string(),
+        RetryPolicy {
+            max_retries: 30,
+            base_delay: std::time::Duration::from_millis(5),
+            max_delay: std::time::Duration::from_millis(100),
+            seed: 99,
+        },
+    );
+    let job = rc.submit(&spec).unwrap();
+    let (lines, done) = rc.wait_done(job).unwrap();
+    yoso::chaos::disarm();
+
+    assert_eq!(done.state, JobState::Completed);
+    assert_eq!(
+        search_iter_lines(&lines),
+        baseline,
+        "self-healed stream diverged (lost or duplicated events)"
+    );
+    server.shutdown();
 }
